@@ -1,0 +1,164 @@
+//! A linearizable consensus implementation from a compare&swap register.
+//!
+//! Used as the baseline against which the valency experiments (E6) contrast
+//! the register-only Proposition 16 algorithm: with a consensus-power
+//! primitive the bivalence-preserving adversary is stopped at a critical
+//! configuration after a couple of steps, exactly as the proof of
+//! Proposition 15 predicts cannot happen with registers and eventually
+//! linearizable objects alone.
+
+use evlin_history::ProcessId;
+use evlin_sim::base::{objects, BaseObject};
+use evlin_sim::program::{Implementation, ProcessLogic, TaskStep};
+use evlin_spec::{CompareAndSwap, Invocation, Value};
+
+/// Linearizable consensus: `propose(v)` tries `cas(⊥, v)` on a shared
+/// compare&swap register and then reads the decided value.
+#[derive(Debug, Clone)]
+pub struct CasConsensusSim {
+    processes: usize,
+}
+
+impl CasConsensusSim {
+    /// Creates the implementation for `processes` processes.
+    pub fn new(processes: usize) -> Self {
+        CasConsensusSim { processes }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Cas,
+    AwaitCas,
+    AwaitRead,
+}
+
+/// Programme state for [`CasConsensusSim`].
+#[derive(Debug, Clone)]
+struct CasConsensusLogic {
+    proposal: Value,
+    phase: Phase,
+}
+
+impl Implementation for CasConsensusSim {
+    fn name(&self) -> String {
+        "compare&swap consensus (linearizable)".into()
+    }
+
+    fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+        vec![objects::cas(Value::Bottom)]
+    }
+
+    fn new_process(&self, _process: ProcessId) -> Box<dyn ProcessLogic> {
+        Box::new(CasConsensusLogic {
+            proposal: Value::Bottom,
+            phase: Phase::Idle,
+        })
+    }
+}
+
+impl ProcessLogic for CasConsensusLogic {
+    fn begin(&mut self, invocation: Invocation) {
+        assert_eq!(invocation.method(), "propose");
+        self.proposal = invocation
+            .arg(0)
+            .cloned()
+            .expect("propose carries a value");
+        self.phase = Phase::Cas;
+    }
+
+    fn step(&mut self, previous_response: Option<Value>) -> TaskStep {
+        match self.phase.clone() {
+            Phase::Idle => panic!("step called with no operation in progress"),
+            Phase::Cas => {
+                self.phase = Phase::AwaitCas;
+                TaskStep::Access {
+                    object: 0,
+                    invocation: CompareAndSwap::cas(Value::Bottom, self.proposal.clone()),
+                }
+            }
+            Phase::AwaitCas => {
+                let won = previous_response
+                    .and_then(|v| v.as_bool())
+                    .expect("cas returns a boolean");
+                if won {
+                    self.phase = Phase::Idle;
+                    TaskStep::Complete(self.proposal.clone())
+                } else {
+                    self.phase = Phase::AwaitRead;
+                    TaskStep::Access {
+                        object: 0,
+                        invocation: CompareAndSwap::read(),
+                    }
+                }
+            }
+            Phase::AwaitRead => {
+                let decided = previous_response.expect("read returns the decided value");
+                self.phase = Phase::Idle;
+                TaskStep::Complete(decided)
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProcessLogic> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlin_checker::linearizability;
+    use evlin_history::ObjectUniverse;
+    use evlin_sim::explorer::{terminal_histories, ExploreOptions};
+    use evlin_sim::valency::{bivalence_walk, check_consensus, WalkEnd};
+    use evlin_sim::workload::Workload;
+    use evlin_spec::Consensus;
+
+    #[test]
+    fn every_interleaving_is_linearizable() {
+        let imp = CasConsensusSim::new(2);
+        let w = Workload::one_shot(vec![
+            Consensus::propose(Value::from(0i64)),
+            Consensus::propose(Value::from(1i64)),
+        ]);
+        let mut u = ObjectUniverse::new();
+        u.add_object(Consensus::new());
+        let histories = terminal_histories(&imp, &w, ExploreOptions::default());
+        assert!(!histories.is_empty());
+        for h in &histories {
+            assert!(linearizability::is_linearizable(h, &u), "violation:\n{h}");
+        }
+    }
+
+    #[test]
+    fn agreement_and_validity_hold_exhaustively() {
+        let imp = CasConsensusSim::new(2);
+        let check = check_consensus(
+            &imp,
+            &[Value::from(0i64), Value::from(1i64)],
+            ExploreOptions::default(),
+        );
+        assert!(check.is_correct());
+        assert!(check.all_terminated);
+    }
+
+    #[test]
+    fn bivalence_ends_at_a_critical_configuration() {
+        let imp = CasConsensusSim::new(2);
+        let walk = bivalence_walk(
+            &imp,
+            &[Value::from(0i64), Value::from(1i64)],
+            24,
+            50_000,
+            32,
+        );
+        assert_eq!(walk.ended, WalkEnd::CriticalConfiguration);
+        assert!(walk.bivalent_steps <= 2);
+    }
+}

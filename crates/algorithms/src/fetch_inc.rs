@@ -1,0 +1,495 @@
+//! Fetch&increment implementations.
+//!
+//! Three implementations, matching the roles the paper assigns to this
+//! object:
+//!
+//! * [`CasFetchInc`] — the introduction's baseline: a lock-free (non-blocking)
+//!   linearizable fetch&increment built from a compare&swap register, with a
+//!   retry loop;
+//! * [`NoisyPrefixFetchInc`] — a fetch&increment that performs the same
+//!   compare&swap protocol (so every increment is always counted) but, while
+//!   the shared counter is still below a configurable warm-up threshold,
+//!   returns a *stale, process-local* value instead of the true one.  Its
+//!   executions are weakly consistent and stabilize exactly when the shared
+//!   counter passes the threshold — the structure exploited by Proposition 18
+//!   and exercised by experiment E7.  (For finite warm-up `G = 0` it
+//!   coincides with [`CasFetchInc`].)
+//! * [`GossipFetchInc`] — a register-only "gossip" attempt: each process
+//!   keeps its own increment count in a single-writer register and computes
+//!   responses by summing the registers it reads.  Corollary 19 says no
+//!   register-only non-blocking implementation can be eventually
+//!   linearizable; this one produces duplicate responses under concurrency in
+//!   every window of the execution, and the experiments show its minimal
+//!   stabilization index chases the end of the history.
+
+use evlin_history::ProcessId;
+use evlin_sim::base::{objects, BaseObject};
+use evlin_sim::program::{Implementation, ProcessLogic, TaskStep};
+use evlin_spec::{CompareAndSwap, Invocation, Register, Value};
+
+// ---------------------------------------------------------------------------
+// CasFetchInc
+// ---------------------------------------------------------------------------
+
+/// A linearizable, lock-free fetch&increment from one compare&swap register:
+/// `loop { v := read(); if cas(v, v+1) then return v }`.
+#[derive(Debug, Clone)]
+pub struct CasFetchInc {
+    processes: usize,
+    initial: i64,
+}
+
+impl CasFetchInc {
+    /// Creates the implementation for `processes` processes, counter starting
+    /// at zero.
+    pub fn new(processes: usize) -> Self {
+        CasFetchInc {
+            processes,
+            initial: 0,
+        }
+    }
+
+    /// Creates the implementation with a non-zero initial counter value.
+    pub fn starting_at(processes: usize, initial: i64) -> Self {
+        CasFetchInc { processes, initial }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CasPhase {
+    Idle,
+    Read,
+    AwaitRead,
+    AwaitCas { expected: i64 },
+}
+
+/// Programme state for [`CasFetchInc`].
+#[derive(Debug, Clone)]
+struct CasLogic {
+    phase: CasPhase,
+}
+
+impl Implementation for CasFetchInc {
+    fn name(&self) -> String {
+        "compare&swap fetch&increment (linearizable, lock-free)".into()
+    }
+
+    fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+        vec![objects::cas(Value::from(self.initial))]
+    }
+
+    fn new_process(&self, _process: ProcessId) -> Box<dyn ProcessLogic> {
+        Box::new(CasLogic {
+            phase: CasPhase::Idle,
+        })
+    }
+}
+
+impl ProcessLogic for CasLogic {
+    fn begin(&mut self, invocation: Invocation) {
+        assert_eq!(invocation.method(), "fetch_inc");
+        self.phase = CasPhase::Read;
+    }
+
+    fn step(&mut self, previous_response: Option<Value>) -> TaskStep {
+        match self.phase.clone() {
+            CasPhase::Idle => panic!("step called with no operation in progress"),
+            CasPhase::Read => {
+                self.phase = CasPhase::AwaitRead;
+                TaskStep::Access {
+                    object: 0,
+                    invocation: CompareAndSwap::read(),
+                }
+            }
+            CasPhase::AwaitRead => {
+                let v = previous_response
+                    .and_then(|v| v.as_int())
+                    .expect("read returns an integer");
+                self.phase = CasPhase::AwaitCas { expected: v };
+                TaskStep::Access {
+                    object: 0,
+                    invocation: CompareAndSwap::cas(Value::from(v), Value::from(v + 1)),
+                }
+            }
+            CasPhase::AwaitCas { expected } => {
+                let ok = previous_response
+                    .and_then(|v| v.as_bool())
+                    .expect("cas returns a boolean");
+                if ok {
+                    self.phase = CasPhase::Idle;
+                    TaskStep::Complete(Value::from(expected))
+                } else {
+                    // Contention: retry, issuing a fresh read whose response
+                    // the next step (back in `AwaitRead`) will consume.
+                    self.phase = CasPhase::AwaitRead;
+                    TaskStep::Access {
+                        object: 0,
+                        invocation: CompareAndSwap::read(),
+                    }
+                }
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProcessLogic> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NoisyPrefixFetchInc
+// ---------------------------------------------------------------------------
+
+/// A fetch&increment whose responses are stale during a global warm-up.
+///
+/// Every operation performs the full compare&swap protocol, so the shared
+/// counter always advances by one per operation; but if the slot obtained is
+/// below `warmup`, the operation reports the process's *local* count of its
+/// own operations instead of the true slot (duplicated across processes,
+/// lower than the true value — the "temporarily inconsistent" counter of the
+/// paper's introduction).  Once the shared counter reaches `warmup`, every
+/// response is the true slot, so executions stabilize at the point where the
+/// warm-up ends.
+#[derive(Debug, Clone)]
+pub struct NoisyPrefixFetchInc {
+    processes: usize,
+    warmup: i64,
+}
+
+impl NoisyPrefixFetchInc {
+    /// Creates the implementation; the first `warmup` operations (globally)
+    /// return stale local values.
+    pub fn new(processes: usize, warmup: i64) -> Self {
+        NoisyPrefixFetchInc { processes, warmup }
+    }
+
+    /// The warm-up threshold.
+    pub fn warmup(&self) -> i64 {
+        self.warmup
+    }
+}
+
+/// Programme state for [`NoisyPrefixFetchInc`].
+#[derive(Debug, Clone)]
+struct NoisyLogic {
+    inner: CasLogic,
+    warmup: i64,
+    /// Number of operations this process has completed so far.
+    local_count: i64,
+}
+
+impl Implementation for NoisyPrefixFetchInc {
+    fn name(&self) -> String {
+        format!("noisy-prefix fetch&increment (warm-up {})", self.warmup)
+    }
+
+    fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+        vec![objects::cas(Value::from(0i64))]
+    }
+
+    fn new_process(&self, _process: ProcessId) -> Box<dyn ProcessLogic> {
+        Box::new(NoisyLogic {
+            inner: CasLogic {
+                phase: CasPhase::Idle,
+            },
+            warmup: self.warmup,
+            local_count: 0,
+        })
+    }
+}
+
+impl ProcessLogic for NoisyLogic {
+    fn begin(&mut self, invocation: Invocation) {
+        self.inner.begin(invocation);
+    }
+
+    fn step(&mut self, previous_response: Option<Value>) -> TaskStep {
+        match self.inner.step(previous_response) {
+            TaskStep::Complete(v) => {
+                let slot = v.as_int().expect("fetch&inc returns an integer");
+                let response = if slot < self.warmup {
+                    // Warm-up: report a stale, process-local value.
+                    self.local_count
+                } else {
+                    slot
+                };
+                self.local_count += 1;
+                TaskStep::Complete(Value::from(response))
+            }
+            access => access,
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProcessLogic> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GossipFetchInc
+// ---------------------------------------------------------------------------
+
+/// A register-only attempt at fetch&increment: process `i` stores how many
+/// increments it has performed in single-writer register `i` and answers with
+/// the sum of the registers it has read (its own count contributing the
+/// pre-increment value).
+///
+/// Per Corollary 19 this cannot be an eventually linearizable implementation:
+/// whenever two processes increment concurrently they can obtain the same
+/// response, and this keeps happening arbitrarily late in the execution, so
+/// no stabilization index works.
+#[derive(Debug, Clone)]
+pub struct GossipFetchInc {
+    processes: usize,
+}
+
+impl GossipFetchInc {
+    /// Creates the implementation for `processes` processes.
+    pub fn new(processes: usize) -> Self {
+        GossipFetchInc { processes }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GossipPhase {
+    Idle,
+    /// Write own incremented count to own register.
+    WriteOwn,
+    AwaitWrite,
+    /// Read register `k`, accumulating the sum of other processes' counts.
+    Scan(usize),
+}
+
+/// Programme state for [`GossipFetchInc`].
+#[derive(Debug, Clone)]
+struct GossipLogic {
+    me: ProcessId,
+    n: usize,
+    own_count: i64,
+    sum_others: i64,
+    phase: GossipPhase,
+}
+
+impl Implementation for GossipFetchInc {
+    fn name(&self) -> String {
+        "gossip fetch&increment (registers only, not eventually linearizable)".into()
+    }
+
+    fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+        (0..self.processes)
+            .map(|_| objects::register(Value::from(0i64)))
+            .collect()
+    }
+
+    fn new_process(&self, process: ProcessId) -> Box<dyn ProcessLogic> {
+        Box::new(GossipLogic {
+            me: process,
+            n: self.processes,
+            own_count: 0,
+            sum_others: 0,
+            phase: GossipPhase::Idle,
+        })
+    }
+}
+
+impl ProcessLogic for GossipLogic {
+    fn begin(&mut self, invocation: Invocation) {
+        assert_eq!(invocation.method(), "fetch_inc");
+        self.phase = GossipPhase::WriteOwn;
+        self.sum_others = 0;
+    }
+
+    fn step(&mut self, previous_response: Option<Value>) -> TaskStep {
+        match self.phase.clone() {
+            GossipPhase::Idle => panic!("step called with no operation in progress"),
+            GossipPhase::WriteOwn => {
+                self.own_count += 1;
+                self.phase = GossipPhase::AwaitWrite;
+                TaskStep::Access {
+                    object: self.me.index(),
+                    invocation: Register::write(Value::from(self.own_count)),
+                }
+            }
+            GossipPhase::AwaitWrite => {
+                let _ack = previous_response;
+                self.phase = GossipPhase::Scan(0);
+                self.scan_or_finish(0, None)
+            }
+            GossipPhase::Scan(k) => self.scan_or_finish(k + 1, previous_response),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProcessLogic> {
+        Box::new(self.clone())
+    }
+}
+
+impl GossipLogic {
+    fn scan_or_finish(&mut self, next: usize, previous: Option<Value>) -> TaskStep {
+        if let Some(v) = previous {
+            // Response of the read of register `next - 1` (skip our own).
+            if next - 1 != self.me.index() {
+                self.sum_others += v.as_int().unwrap_or(0);
+            }
+        }
+        // Find the next register to read, skipping our own.
+        let mut k = next;
+        while k < self.n && k == self.me.index() {
+            k += 1;
+        }
+        if k < self.n {
+            self.phase = GossipPhase::Scan(k);
+            TaskStep::Access {
+                object: k,
+                invocation: Register::read(),
+            }
+        } else {
+            self.phase = GossipPhase::Idle;
+            // The value before our own increment: others' counts plus our own
+            // previous count.
+            TaskStep::Complete(Value::from(self.sum_others + self.own_count - 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlin_checker::{fi, weak_consistency};
+    use evlin_history::ObjectUniverse;
+    use evlin_sim::prelude::*;
+    use evlin_spec::FetchIncrement;
+
+    fn fi_universe() -> ObjectUniverse {
+        let mut u = ObjectUniverse::new();
+        u.add_object(FetchIncrement::new());
+        u
+    }
+
+    #[test]
+    fn cas_fetch_inc_is_linearizable_under_many_schedules() {
+        let imp = CasFetchInc::new(3);
+        let w = Workload::uniform(3, FetchIncrement::fetch_inc(), 5);
+        for seed in 0..20u64 {
+            let mut s = RandomScheduler::seeded(seed);
+            let out = run(&imp, &w, &mut s, 100_000);
+            assert!(out.completed_all, "seed {seed}");
+            assert_eq!(fi::is_linearizable(&out.history, 0), Ok(true), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cas_fetch_inc_respects_initial_value() {
+        let imp = CasFetchInc::starting_at(1, 7);
+        let w = Workload::uniform(1, FetchIncrement::fetch_inc(), 3);
+        let mut s = RoundRobinScheduler::new();
+        let out = run(&imp, &w, &mut s, 1000);
+        let responses: Vec<_> = out
+            .history
+            .complete_operations()
+            .iter()
+            .map(|o| o.response.clone().unwrap())
+            .collect();
+        assert_eq!(
+            responses,
+            vec![Value::from(7i64), Value::from(8i64), Value::from(9i64)]
+        );
+    }
+
+    #[test]
+    fn cas_retry_path_still_returns_distinct_values() {
+        // The solo-burst scheduler interleaves read and cas steps of
+        // different processes, forcing cas failures and retries.
+        let imp = CasFetchInc::new(4);
+        let w = Workload::uniform(4, FetchIncrement::fetch_inc(), 4);
+        let mut s = SoloBurstScheduler::new(2);
+        let out = run(&imp, &w, &mut s, 100_000);
+        assert!(out.completed_all);
+        assert_eq!(fi::is_linearizable(&out.history, 0), Ok(true));
+    }
+
+    #[test]
+    fn noisy_prefix_is_weakly_consistent_and_stabilizes_at_warmup() {
+        let warmup = 4i64;
+        let imp = NoisyPrefixFetchInc::new(2, warmup);
+        assert_eq!(imp.warmup(), warmup);
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 6);
+        let u = fi_universe();
+        let mut s = RoundRobinScheduler::new();
+        let out = run(&imp, &w, &mut s, 100_000);
+        assert!(out.completed_all);
+        // Not linearizable (stale duplicates during warm-up)…
+        assert_eq!(fi::is_linearizable(&out.history, 0), Ok(false));
+        // …but weakly consistent, and the stabilization index is positive yet
+        // strictly smaller than the history length (it stops growing once the
+        // warm-up is over).
+        assert!(weak_consistency::is_weakly_consistent(&out.history, &u));
+        let t = fi::min_stabilization(&out.history, 0).unwrap();
+        assert!(t > 0);
+        assert!(t < out.history.len());
+    }
+
+    #[test]
+    fn noisy_prefix_with_zero_warmup_is_linearizable() {
+        let imp = NoisyPrefixFetchInc::new(2, 0);
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 4);
+        let mut s = RandomScheduler::seeded(3);
+        let out = run(&imp, &w, &mut s, 100_000);
+        assert!(out.completed_all);
+        assert_eq!(fi::is_linearizable(&out.history, 0), Ok(true));
+    }
+
+    #[test]
+    fn gossip_duplicates_survive_arbitrarily_late() {
+        // Two processes running in lockstep duplicate responses in every
+        // round, so the minimal stabilization index keeps chasing the end of
+        // the history as it grows — the executable face of Corollary 19.
+        let imp = GossipFetchInc::new(2);
+        let u = fi_universe();
+        let mut previous_t = 0usize;
+        for ops in [2usize, 4, 6] {
+            let w = Workload::uniform(2, FetchIncrement::fetch_inc(), ops);
+            let mut s = RoundRobinScheduler::new();
+            let out = run(&imp, &w, &mut s, 100_000);
+            assert!(out.completed_all);
+            assert!(weak_consistency::is_weakly_consistent(&out.history, &u));
+            assert_eq!(fi::is_linearizable(&out.history, 0), Ok(false));
+            let t = fi::min_stabilization(&out.history, 0).unwrap();
+            assert!(
+                t >= previous_t,
+                "stabilization index should not shrink as the run grows"
+            );
+            assert!(
+                t * 2 >= out.history.len(),
+                "the gossip implementation must keep mis-counting late in the run \
+                 (t = {t}, len = {})",
+                out.history.len()
+            );
+            previous_t = t;
+        }
+    }
+
+    #[test]
+    fn gossip_solo_runs_are_correct() {
+        // Without concurrency the gossip implementation counts correctly —
+        // the impossibility only bites under contention.
+        let imp = GossipFetchInc::new(2);
+        let w = Workload::new(vec![vec![FetchIncrement::fetch_inc(); 5], Vec::new()]);
+        let mut s = RoundRobinScheduler::new();
+        let out = run(&imp, &w, &mut s, 10_000);
+        assert!(out.completed_all);
+        assert_eq!(fi::is_linearizable(&out.history, 0), Ok(true));
+    }
+}

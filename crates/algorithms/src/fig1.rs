@@ -1,0 +1,554 @@
+//! Proposition 11 / Figure 1: guaranteeing weak consistency with registers.
+//!
+//! Proposition 11: if linearizable registers are available, an object type
+//! with finite non-determinism has an eventually linearizable non-blocking
+//! implementation **iff** it has a non-blocking implementation whose every
+//! history is `t`-linearizable for some `t` — i.e. registers let us add the
+//! missing safety half (weak consistency) to any implementation that already
+//! has the liveness half.
+//!
+//! The algorithm (Figure 1 of the paper), executed by process `p_i` to
+//! perform `op`:
+//!
+//! 1. announce `op` by writing it to `R_i[c_i]`, increment `c_i`;
+//! 2. compute `⟨q_i, r_private⟩`: the response `op` would get if applied to
+//!    the state reached by `p_i`'s own operations alone;
+//! 3. run `op` in the underlying implementation `A`, obtaining `r_shared`;
+//! 4. read all announced operations of all processes;
+//! 5. if some permutation of a subset of the announced operations (containing
+//!    all of `p_i`'s own announcements) forms a legal sequential execution in
+//!    which `op` returns `r_shared`, return `r_shared`; otherwise return
+//!    `r_private`.
+//!
+//! The unbounded per-process register array `R_i[0, 1, 2, …]` is modelled by
+//! one append-only single-writer announce log per process
+//! ([`evlin_sim::base::AnnounceLog`]), which preserves the structure of the
+//! algorithm (announce before computing, scan all announcements before
+//! answering); see DESIGN.md for the substitution note.
+
+use crate::encode::{decode_invocation, encode_invocation};
+use evlin_history::ProcessId;
+use evlin_sim::base::{AnnounceLog, BaseObject};
+use evlin_sim::program::{Implementation, ProcessLogic, TaskStep};
+use evlin_spec::{Invocation, ObjectType, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The Figure 1 wrapper around an inner implementation.
+///
+/// Base objects `0 .. inner.len()` are the inner implementation's objects;
+/// base objects `inner.len() .. inner.len() + n` are the announce logs of
+/// processes `0 .. n`.
+#[derive(Debug)]
+pub struct Fig1Wrapper<I> {
+    inner: I,
+    ty: Arc<dyn ObjectType>,
+    processes: usize,
+}
+
+impl<I: Implementation> Fig1Wrapper<I> {
+    /// Wraps `inner`, an implementation of the object type `ty`, for
+    /// `processes` processes.
+    pub fn new(inner: I, ty: Arc<dyn ObjectType>, processes: usize) -> Self {
+        Fig1Wrapper {
+            inner,
+            ty,
+            processes,
+        }
+    }
+
+    /// The wrapped implementation.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+}
+
+impl<I: Implementation> Implementation for Fig1Wrapper<I> {
+    fn name(&self) -> String {
+        format!("Figure-1 wrapper around [{}]", self.inner.name())
+    }
+
+    fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+        let mut objects = self.inner.initial_base_objects();
+        for _ in 0..self.processes {
+            objects.push(Box::new(AnnounceLog::new()) as Box<dyn BaseObject>);
+        }
+        objects
+    }
+
+    fn new_process(&self, process: ProcessId) -> Box<dyn ProcessLogic> {
+        let private_state = self
+            .ty
+            .initial_states()
+            .into_iter()
+            .next()
+            .expect("object types must have at least one initial state");
+        Box::new(Fig1Logic {
+            me: process,
+            n: self.processes,
+            inner_objects: self.inner.initial_base_objects().len(),
+            inner: self.inner.new_process(process),
+            ty: self.ty.clone(),
+            private_state,
+            own_announced: Vec::new(),
+            phase: Phase::Idle,
+            current: None,
+            r_private: Value::Unit,
+            r_shared: Value::Unit,
+            announced: Vec::new(),
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// About to announce the operation (line 2 of Figure 1).
+    Announce,
+    /// Waiting for the announce acknowledgement; next we run the inner
+    /// implementation.
+    StartInner,
+    /// Running the inner implementation (line 5).
+    Inner,
+    /// Scanning announce log `k` (lines 6–12).
+    Scan(usize),
+}
+
+/// Programme state for the Figure 1 wrapper.
+#[derive(Debug)]
+struct Fig1Logic {
+    me: ProcessId,
+    n: usize,
+    inner_objects: usize,
+    inner: Box<dyn ProcessLogic>,
+    ty: Arc<dyn ObjectType>,
+    /// `q_i`: the state reached by this process's own operations alone.
+    private_state: Value,
+    /// All operations this process has announced (its own prior operations).
+    own_announced: Vec<Invocation>,
+    phase: Phase,
+    current: Option<Invocation>,
+    r_private: Value,
+    r_shared: Value,
+    /// Announced operations of all processes gathered during the scan.
+    announced: Vec<Invocation>,
+}
+
+impl Clone for Fig1Logic {
+    fn clone(&self) -> Self {
+        Fig1Logic {
+            me: self.me,
+            n: self.n,
+            inner_objects: self.inner_objects,
+            inner: self.inner.clone(),
+            ty: self.ty.clone(),
+            private_state: self.private_state.clone(),
+            own_announced: self.own_announced.clone(),
+            phase: self.phase.clone(),
+            current: self.current.clone(),
+            r_private: self.r_private.clone(),
+            r_shared: self.r_shared.clone(),
+            announced: self.announced.clone(),
+        }
+    }
+}
+
+impl ProcessLogic for Fig1Logic {
+    fn begin(&mut self, invocation: Invocation) {
+        self.current = Some(invocation);
+        self.phase = Phase::Announce;
+        self.announced.clear();
+    }
+
+    fn step(&mut self, previous_response: Option<Value>) -> TaskStep {
+        match self.phase.clone() {
+            Phase::Idle => panic!("step called with no operation in progress"),
+            Phase::Announce => {
+                let op = self.current.clone().expect("begin was called");
+                self.phase = Phase::StartInner;
+                TaskStep::Access {
+                    object: self.inner_objects + self.me.index(),
+                    invocation: AnnounceLog::append(encode_invocation(&op)),
+                }
+            }
+            Phase::StartInner => {
+                // Line 4: compute ⟨q_i, r_private⟩ from the private state.
+                let op = self.current.clone().expect("begin was called");
+                let (r_private, next_private) = self
+                    .ty
+                    .apply_deterministic(&self.private_state, &op)
+                    .expect("the implemented type must be total and deterministic");
+                self.r_private = r_private;
+                self.private_state = next_private;
+                self.own_announced.push(op.clone());
+                // Line 5: run op in the inner implementation.
+                self.inner.begin(op);
+                self.phase = Phase::Inner;
+                self.drive_inner(None)
+            }
+            Phase::Inner => self.drive_inner(previous_response),
+            Phase::Scan(k) => {
+                let announced = previous_response.expect("read_all response");
+                for entry in announced.as_list().unwrap_or(&[]) {
+                    if let Some(inv) = decode_invocation(entry) {
+                        self.announced.push(inv);
+                    }
+                }
+                self.continue_scan(k + 1)
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProcessLogic> {
+        Box::new(self.clone())
+    }
+}
+
+impl Fig1Logic {
+    fn drive_inner(&mut self, previous: Option<Value>) -> TaskStep {
+        match self.inner.step(previous) {
+            TaskStep::Access { object, invocation } => TaskStep::Access { object, invocation },
+            TaskStep::Complete(r_shared) => {
+                self.r_shared = r_shared;
+                // Lines 6–12: read every process's announce log.
+                self.continue_scan(0)
+            }
+        }
+    }
+
+    fn continue_scan(&mut self, next: usize) -> TaskStep {
+        if next < self.n {
+            self.phase = Phase::Scan(next);
+            TaskStep::Access {
+                object: self.inner_objects + next,
+                invocation: AnnounceLog::read_all(),
+            }
+        } else {
+            // Line 13: the verification test.
+            self.phase = Phase::Idle;
+            let op = self.current.take().expect("begin was called");
+            if self.shared_response_is_justified(&op) {
+                TaskStep::Complete(self.r_shared.clone())
+            } else {
+                TaskStep::Complete(self.r_private.clone())
+            }
+        }
+    }
+
+    /// Line 13: does a permutation of a subset of the announced operations —
+    /// containing all of this process's own announcements — yield a legal
+    /// sequential execution in which `op` returns `r_shared`?
+    fn shared_response_is_justified(&self, op: &Invocation) -> bool {
+        // Must-include: our own prior announcements (the current op is
+        // handled as the final, response-constrained application).
+        let must: Vec<&Invocation> = self
+            .own_announced
+            .iter()
+            .filter({
+                // `own_announced` already contains the current op (announced
+                // on line 2); skip exactly one occurrence of it.
+                let mut skipped = false;
+                move |inv| {
+                    if !skipped && *inv == op {
+                        skipped = true;
+                        false
+                    } else {
+                        true
+                    }
+                }
+            })
+            .collect();
+        // Optional pool: announcements of other processes (ours are all
+        // mandatory).  Count multiplicities.
+        let mut optional: Vec<(Invocation, usize)> = Vec::new();
+        {
+            let mut own_left: Vec<&Invocation> = self.own_announced.iter().collect();
+            for inv in &self.announced {
+                if let Some(pos) = own_left.iter().position(|o| *o == inv) {
+                    own_left.remove(pos);
+                    continue; // one of our own announcements
+                }
+                match optional.iter_mut().find(|(i, _)| i == inv) {
+                    Some((_, count)) => *count += 1,
+                    None => optional.push((inv.clone(), 1)),
+                }
+            }
+        }
+        // Depth-first search over application orders, memoizing on
+        // (state, must-mask, optional counts) — identical in spirit to the
+        // weak-consistency checker.
+        let q0 = self
+            .ty
+            .initial_states()
+            .into_iter()
+            .next()
+            .expect("non-empty initial states");
+        let mut visited: HashSet<(Value, u64, Vec<usize>)> = HashSet::new();
+        self.dfs_justify(
+            op,
+            &must,
+            &optional,
+            q0,
+            0,
+            vec![0; optional.len()],
+            &mut visited,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_justify(
+        &self,
+        op: &Invocation,
+        must: &[&Invocation],
+        optional: &[(Invocation, usize)],
+        state: Value,
+        must_mask: u64,
+        used: Vec<usize>,
+        visited: &mut HashSet<(Value, u64, Vec<usize>)>,
+    ) -> bool {
+        if !visited.insert((state.clone(), must_mask, used.clone())) {
+            return false;
+        }
+        // Can we finish here?  All our own operations applied, and applying
+        // `op` yields r_shared.
+        if must_mask.count_ones() as usize == must.len() {
+            if let Ok((resp, _)) = self.ty.apply_deterministic(&state, op) {
+                if resp == self.r_shared {
+                    return true;
+                }
+            }
+        }
+        for (i, m) in must.iter().enumerate() {
+            if must_mask & (1 << i) != 0 {
+                continue;
+            }
+            if let Ok((_, next)) = self.ty.apply_deterministic(&state, m) {
+                if self.dfs_justify(op, must, optional, next, must_mask | (1 << i), used.clone(), visited)
+                {
+                    return true;
+                }
+            }
+        }
+        for (gi, (inv, avail)) in optional.iter().enumerate() {
+            if used[gi] >= *avail {
+                continue;
+            }
+            if let Ok((_, next)) = self.ty.apply_deterministic(&state, inv) {
+                let mut next_used = used.clone();
+                next_used[gi] += 1;
+                if self.dfs_justify(op, must, optional, next, must_mask, next_used, visited) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetch_inc::CasFetchInc;
+    use evlin_checker::{eventual, weak_consistency};
+    use evlin_history::ObjectUniverse;
+    use evlin_sim::prelude::*;
+    use evlin_spec::{FetchIncrement, Register};
+
+    /// An inner implementation that satisfies the liveness half of eventual
+    /// linearizability (its histories are t-linearizable for some t) but not
+    /// weak consistency: the first `garbage` operations globally return the
+    /// out-of-left-field value 999.
+    #[derive(Debug)]
+    struct GarbagePrefixFetchInc {
+        inner: CasFetchInc,
+        garbage: i64,
+    }
+
+    #[derive(Debug)]
+    struct GarbageLogic {
+        inner: Box<dyn ProcessLogic>,
+        garbage: i64,
+    }
+
+    impl Implementation for GarbagePrefixFetchInc {
+        fn name(&self) -> String {
+            "garbage-prefix fetch&increment".into()
+        }
+        fn processes(&self) -> usize {
+            self.inner.processes()
+        }
+        fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+            self.inner.initial_base_objects()
+        }
+        fn new_process(&self, p: ProcessId) -> Box<dyn ProcessLogic> {
+            Box::new(GarbageLogic {
+                inner: self.inner.new_process(p),
+                garbage: self.garbage,
+            })
+        }
+    }
+
+    impl ProcessLogic for GarbageLogic {
+        fn begin(&mut self, invocation: Invocation) {
+            self.inner.begin(invocation);
+        }
+        fn step(&mut self, previous_response: Option<Value>) -> TaskStep {
+            match self.inner.step(previous_response) {
+                TaskStep::Complete(v) => {
+                    let slot = v.as_int().expect("integer response");
+                    if slot < self.garbage {
+                        TaskStep::Complete(Value::from(999i64))
+                    } else {
+                        TaskStep::Complete(v)
+                    }
+                }
+                access => access,
+            }
+        }
+        fn clone_box(&self) -> Box<dyn ProcessLogic> {
+            Box::new(GarbageLogic {
+                inner: self.inner.clone(),
+                garbage: self.garbage,
+            })
+        }
+    }
+
+    fn fi_universe() -> ObjectUniverse {
+        let mut u = ObjectUniverse::new();
+        u.add_object(FetchIncrement::new());
+        u
+    }
+
+    #[test]
+    fn raw_garbage_implementation_violates_weak_consistency() {
+        let imp = GarbagePrefixFetchInc {
+            inner: CasFetchInc::new(2),
+            garbage: 2,
+        };
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 3);
+        let mut s = RoundRobinScheduler::new();
+        let out = run(&imp, &w, &mut s, 100_000);
+        assert!(out.completed_all);
+        let u = fi_universe();
+        assert!(!weak_consistency::is_weakly_consistent(&out.history, &u));
+    }
+
+    #[test]
+    fn wrapper_restores_weak_consistency() {
+        let inner = GarbagePrefixFetchInc {
+            inner: CasFetchInc::new(2),
+            garbage: 2,
+        };
+        let imp = Fig1Wrapper::new(inner, Arc::new(FetchIncrement::new()), 2);
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 3);
+        let u = fi_universe();
+        for seed in 0..10u64 {
+            let mut s = RandomScheduler::seeded(seed);
+            let out = run(&imp, &w, &mut s, 100_000);
+            assert!(out.completed_all, "seed {seed}");
+            assert!(
+                weak_consistency::is_weakly_consistent(&out.history, &u),
+                "seed {seed}: wrapper failed to restore weak consistency\n{}",
+                out.history
+            );
+            assert!(eventual::is_eventually_linearizable(&out.history, &u));
+        }
+    }
+
+    #[test]
+    fn wrapper_preserves_good_responses_of_a_linearizable_inner() {
+        // Wrapping an already linearizable implementation must keep it
+        // linearizable: the verification test accepts every r_shared.
+        let imp = Fig1Wrapper::new(CasFetchInc::new(2), Arc::new(FetchIncrement::new()), 2);
+        assert!(imp.inner().processes() == 2);
+        assert!(imp.name().contains("Figure-1"));
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 3);
+        let u = fi_universe();
+        for seed in 0..10u64 {
+            let mut s = RandomScheduler::seeded(seed);
+            let out = run(&imp, &w, &mut s, 100_000);
+            assert!(out.completed_all);
+            let report = eventual::analyze(&out.history, &u);
+            assert!(report.is_linearizable(), "seed {seed}:\n{}", out.history);
+        }
+    }
+
+    #[test]
+    fn wrapper_works_for_registers_too() {
+        // Wrap a register implementation (the inner one simply reads/writes a
+        // linearizable register, so it is already correct) to exercise the
+        // wrapper with a different object type, including write operations.
+        #[derive(Debug)]
+        struct DirectRegister {
+            processes: usize,
+        }
+        #[derive(Debug, Clone)]
+        struct DirectLogic {
+            pending: Option<Invocation>,
+            accessed: bool,
+        }
+        impl Implementation for DirectRegister {
+            fn name(&self) -> String {
+                "direct register".into()
+            }
+            fn processes(&self) -> usize {
+                self.processes
+            }
+            fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+                vec![evlin_sim::base::objects::register(Value::from(0i64))]
+            }
+            fn new_process(&self, _p: ProcessId) -> Box<dyn ProcessLogic> {
+                Box::new(DirectLogic {
+                    pending: None,
+                    accessed: false,
+                })
+            }
+        }
+        impl ProcessLogic for DirectLogic {
+            fn begin(&mut self, invocation: Invocation) {
+                self.pending = Some(invocation);
+                self.accessed = false;
+            }
+            fn step(&mut self, previous_response: Option<Value>) -> TaskStep {
+                if !self.accessed {
+                    self.accessed = true;
+                    TaskStep::Access {
+                        object: 0,
+                        invocation: self.pending.clone().expect("begin"),
+                    }
+                } else {
+                    TaskStep::Complete(previous_response.expect("register response"))
+                }
+            }
+            fn clone_box(&self) -> Box<dyn ProcessLogic> {
+                Box::new(self.clone())
+            }
+        }
+
+        let imp = Fig1Wrapper::new(
+            DirectRegister { processes: 2 },
+            Arc::new(Register::new(Value::from(0i64))),
+            2,
+        );
+        let w = Workload::new(vec![
+            vec![
+                Register::write(Value::from(5i64)),
+                Register::read(),
+            ],
+            vec![Register::read(), Register::write(Value::from(6i64))],
+        ]);
+        let mut u = ObjectUniverse::new();
+        u.add_object(Register::new(Value::from(0i64)));
+        for seed in 0..10u64 {
+            let mut s = RandomScheduler::seeded(seed);
+            let out = run(&imp, &w, &mut s, 100_000);
+            assert!(out.completed_all);
+            let report = eventual::analyze(&out.history, &u);
+            assert!(report.is_linearizable(), "seed {seed}:\n{}", out.history);
+        }
+    }
+}

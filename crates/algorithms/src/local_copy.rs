@@ -1,0 +1,192 @@
+//! The Theorem 12 transformation: replacing shared objects by local copies.
+//!
+//! "We construct an n-process wait-free linearizable implementation `I′` of
+//! an object of type `T` simply by replacing each shared object `o` by `n`
+//! local copies `o_1, …, o_n`.  Whenever process `p_i` must perform an
+//! operation `op` on shared object `o` according to `I`, `p_i` instead
+//! performs `op` on its local copy `o_i`."
+//!
+//! The transformation is the heart of the proof that eventually linearizable
+//! base objects are useless for building non-trivial linearizable objects:
+//! every finite history of `I′` is also a possible history of `I` (the
+//! eventually linearizable base objects are allowed to behave exactly like
+//! never-synchronizing local copies in any finite prefix), so if `I` were
+//! linearizable then `I′` — an implementation with **no communication at
+//! all** — would be too, which is only possible for trivial types
+//! (Proposition 14).
+//!
+//! [`LocalCopy`] performs the transformation mechanically on any
+//! [`Implementation`]; the E4 experiment then checks which implemented types
+//! survive it with their consistency intact.
+
+use evlin_history::ProcessId;
+use evlin_sim::base::BaseObject;
+use evlin_sim::program::{Implementation, ProcessLogic, TaskStep};
+use evlin_spec::{Invocation, Value};
+
+/// The Theorem 12 transformation `I ↦ I′`.
+#[derive(Debug)]
+pub struct LocalCopy<I> {
+    inner: I,
+}
+
+impl<I: Implementation> LocalCopy<I> {
+    /// Transforms `inner` into an implementation that uses no shared objects.
+    pub fn new(inner: I) -> Self {
+        LocalCopy { inner }
+    }
+
+    /// The original implementation.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+}
+
+impl<I: Implementation> Implementation for LocalCopy<I> {
+    fn name(&self) -> String {
+        format!("local-copy transformation of [{}]", self.inner.name())
+    }
+
+    fn processes(&self) -> usize {
+        self.inner.processes()
+    }
+
+    fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+        // The whole point: no shared objects.
+        Vec::new()
+    }
+
+    fn new_process(&self, process: ProcessId) -> Box<dyn ProcessLogic> {
+        Box::new(LocalCopyLogic {
+            inner: self.inner.new_process(process),
+            local_objects: self.inner.initial_base_objects(),
+            process,
+        })
+    }
+}
+
+/// Programme state of the transformed implementation: the original
+/// programme plus a private copy of every base object.
+#[derive(Debug)]
+struct LocalCopyLogic {
+    inner: Box<dyn ProcessLogic>,
+    local_objects: Vec<Box<dyn BaseObject>>,
+    process: ProcessId,
+}
+
+impl ProcessLogic for LocalCopyLogic {
+    fn begin(&mut self, invocation: Invocation) {
+        self.inner.begin(invocation);
+    }
+
+    fn step(&mut self, previous_response: Option<Value>) -> TaskStep {
+        // Drive the inner programme, resolving every base-object access
+        // against the local copies.  Since no shared memory is involved, the
+        // whole operation can be collapsed into a single atomic step without
+        // changing the set of reachable histories.
+        let mut response = previous_response;
+        loop {
+            match self.inner.step(response.take()) {
+                TaskStep::Access { object, invocation } => {
+                    let value = self.local_objects[object].invoke(self.process, &invocation);
+                    response = Some(value);
+                }
+                TaskStep::Complete(value) => return TaskStep::Complete(value),
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProcessLogic> {
+        Box::new(LocalCopyLogic {
+            inner: self.inner.clone(),
+            local_objects: self.local_objects.clone(),
+            process: self.process,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetch_inc::CasFetchInc;
+    use crate::prop16::Prop16Consensus;
+    use evlin_checker::{linearizability, weak_consistency};
+    use evlin_history::ObjectUniverse;
+    use evlin_sim::explorer::{terminal_histories, ExploreOptions};
+    use evlin_sim::prelude::*;
+    use evlin_spec::{Consensus, FetchIncrement, Value};
+
+    #[test]
+    fn transformed_implementation_uses_no_shared_objects() {
+        let t = LocalCopy::new(CasFetchInc::new(2));
+        assert!(t.initial_base_objects().is_empty());
+        assert_eq!(t.processes(), 2);
+        assert!(t.name().contains("local-copy"));
+        assert!(t.inner().name().contains("compare&swap"));
+    }
+
+    #[test]
+    fn fetch_inc_loses_linearizability_under_the_transformation() {
+        // CasFetchInc is linearizable; its local-copy transformation is not
+        // (fetch&increment is not a trivial type), which is exactly why
+        // Theorem 12 forbids a linearizable fetch&increment from eventually
+        // linearizable objects.
+        let t = LocalCopy::new(CasFetchInc::new(2));
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 1);
+        let mut u = ObjectUniverse::new();
+        u.add_object(FetchIncrement::new());
+        let histories = terminal_histories(&t, &w, ExploreOptions::default());
+        assert!(!histories.is_empty());
+        let mut some_violation = false;
+        for h in &histories {
+            // Still wait-free and weakly consistent…
+            assert_eq!(h.complete_operations().len(), 2);
+            assert!(weak_consistency::is_weakly_consistent(h, &u));
+            // …but at least one interleaving (in fact, all of them, since the
+            // copies never communicate) is not linearizable.
+            if !linearizability::is_linearizable(h, &u) {
+                some_violation = true;
+            }
+        }
+        assert!(some_violation);
+    }
+
+    #[test]
+    fn consensus_also_breaks_but_stays_wait_free() {
+        let t = LocalCopy::new(Prop16Consensus::new(2));
+        let w = Workload::one_shot(vec![
+            Consensus::propose(Value::from(0i64)),
+            Consensus::propose(Value::from(1i64)),
+        ]);
+        let mut u = ObjectUniverse::new();
+        u.add_object(Consensus::new());
+        let mut s = RoundRobinScheduler::new();
+        let out = run(&t, &w, &mut s, 10_000);
+        assert!(out.completed_all, "the transformation preserves wait-freedom");
+        // Each process decides its own value: agreement is violated, so the
+        // history is not linearizable.
+        assert!(!linearizability::is_linearizable(&out.history, &u));
+        assert!(weak_consistency::is_weakly_consistent(&out.history, &u));
+    }
+
+    #[test]
+    fn solo_executions_are_unchanged_by_the_transformation() {
+        // With a single process the transformation is invisible (this is the
+        // wait-freedom argument in the proof of Theorem 12: a solo execution
+        // of I' is a solo execution of I).
+        let original = CasFetchInc::new(1);
+        let transformed = LocalCopy::new(CasFetchInc::new(1));
+        let w = Workload::uniform(1, FetchIncrement::fetch_inc(), 5);
+        let mut s1 = RoundRobinScheduler::new();
+        let mut s2 = RoundRobinScheduler::new();
+        let a = run(&original, &w, &mut s1, 10_000);
+        let b = run(&transformed, &w, &mut s2, 10_000);
+        let responses = |h: &evlin_history::History| {
+            h.complete_operations()
+                .iter()
+                .map(|o| o.response.clone().unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(responses(&a.history), responses(&b.history));
+    }
+}

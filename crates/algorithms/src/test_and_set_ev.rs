@@ -1,0 +1,141 @@
+//! The trivial eventually linearizable test&set of Section 4.
+//!
+//! "A test&set object has an eventually linearizable implementation where
+//! each process simply returns 0 for its first invocation of test&set and 1
+//! for all subsequent invocations."  No shared objects are used at all: the
+//! implementation may "behave badly" (several processes return 0) only in a
+//! finite prefix of the execution, which eventual linearizability forgives —
+//! and which full linearizability obviously does not.
+
+use evlin_history::ProcessId;
+use evlin_sim::base::BaseObject;
+use evlin_sim::program::{Implementation, ProcessLogic, TaskStep};
+use evlin_spec::{Invocation, Value};
+
+/// The communication-free eventually linearizable test&set implementation.
+#[derive(Debug, Clone)]
+pub struct TestAndSetEv {
+    processes: usize,
+}
+
+impl TestAndSetEv {
+    /// Creates the implementation for `processes` processes.
+    pub fn new(processes: usize) -> Self {
+        TestAndSetEv { processes }
+    }
+}
+
+/// Programme state: just a flag saying whether this process has already
+/// performed a `test_and_set`.
+#[derive(Debug, Clone, Default)]
+struct TasLogic {
+    already_called: bool,
+    running: bool,
+}
+
+impl Implementation for TestAndSetEv {
+    fn name(&self) -> String {
+        "eventually linearizable test&set (no shared objects)".into()
+    }
+
+    fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+        Vec::new()
+    }
+
+    fn new_process(&self, _process: ProcessId) -> Box<dyn ProcessLogic> {
+        Box::new(TasLogic::default())
+    }
+}
+
+impl ProcessLogic for TasLogic {
+    fn begin(&mut self, invocation: Invocation) {
+        assert_eq!(
+            invocation.method(),
+            "test_and_set",
+            "this implementation only provides test_and_set()"
+        );
+        self.running = true;
+    }
+
+    fn step(&mut self, _previous_response: Option<Value>) -> TaskStep {
+        assert!(self.running, "step called with no operation in progress");
+        self.running = false;
+        if self.already_called {
+            TaskStep::Complete(Value::from(1i64))
+        } else {
+            self.already_called = true;
+            TaskStep::Complete(Value::from(0i64))
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ProcessLogic> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlin_checker::{eventual, linearizability};
+    use evlin_history::ObjectUniverse;
+    use evlin_sim::explorer::{terminal_histories, ExploreOptions};
+    use evlin_sim::prelude::*;
+    use evlin_spec::TestAndSet;
+
+    fn universe() -> ObjectUniverse {
+        let mut u = ObjectUniverse::new();
+        u.add_object(TestAndSet::new());
+        u
+    }
+
+    #[test]
+    fn every_interleaving_is_eventually_linearizable() {
+        let imp = TestAndSetEv::new(3);
+        let w = Workload::uniform(3, TestAndSet::test_and_set(), 2);
+        let u = universe();
+        let histories = terminal_histories(&imp, &w, ExploreOptions::default());
+        assert!(!histories.is_empty());
+        for h in &histories {
+            let report = eventual::analyze(h, &u);
+            assert!(report.is_eventually_linearizable(), "violation:\n{h}");
+        }
+    }
+
+    #[test]
+    fn concurrent_winners_make_it_non_linearizable() {
+        let imp = TestAndSetEv::new(2);
+        let w = Workload::uniform(2, TestAndSet::test_and_set(), 1);
+        let u = universe();
+        let mut s = RoundRobinScheduler::new();
+        let out = run(&imp, &w, &mut s, 100);
+        assert!(out.completed_all);
+        // Both processes return 0 — fine eventually, not linearizable.
+        assert!(!linearizability::is_linearizable(&out.history, &u));
+        assert!(eventual::is_eventually_linearizable(&out.history, &u));
+    }
+
+    #[test]
+    fn later_operations_by_the_same_process_return_one() {
+        let imp = TestAndSetEv::new(1);
+        let w = Workload::uniform(1, TestAndSet::test_and_set(), 3);
+        let mut s = RoundRobinScheduler::new();
+        let out = run(&imp, &w, &mut s, 100);
+        let responses: Vec<_> = out
+            .history
+            .complete_operations()
+            .iter()
+            .map(|o| o.response.clone().unwrap())
+            .collect();
+        assert_eq!(
+            responses,
+            vec![Value::from(0i64), Value::from(1i64), Value::from(1i64)]
+        );
+        // A single process running alone is even linearizable.
+        let u = universe();
+        assert!(linearizability::is_linearizable(&out.history, &u));
+    }
+}

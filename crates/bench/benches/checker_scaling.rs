@@ -1,0 +1,61 @@
+//! E10 bench: checker scalability.
+//!
+//! * generic constrained-linearization search vs history length;
+//! * specialized fetch&increment checker vs history length (much larger).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use evlin_checker::{fi, linearizability};
+use evlin_history::generator::{concurrentize, random_sequential_legal, WorkloadSpec};
+use evlin_history::{HistoryBuilder, ObjectUniverse, ProcessId};
+use evlin_spec::{FetchIncrement, Register, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/generic_linearizability");
+    for &ops in &[8usize, 12, 16, 20] {
+        let mut universe = ObjectUniverse::new();
+        universe.add_object(Register::new(Value::from(0i64)));
+        universe.add_object(FetchIncrement::new());
+        let mut rng = StdRng::seed_from_u64(ops as u64);
+        let seq = random_sequential_legal(
+            &universe,
+            &WorkloadSpec {
+                processes: 3,
+                operations: ops,
+            },
+            &mut rng,
+        );
+        let conc = concurrentize(&seq, 3, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &conc, |b, h| {
+            b.iter(|| assert!(linearizability::is_linearizable(h, &universe)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_specialized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/fi_linearizability");
+    for &ops in &[1_000usize, 10_000, 100_000] {
+        // Build a linearizable fetch&increment history directly.
+        let x = evlin_history::ObjectId(0);
+        let mut b = HistoryBuilder::new();
+        for k in 0..ops {
+            b = b.complete(
+                ProcessId(k % 4),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(k as i64),
+            );
+        }
+        let history = b.build();
+        group.throughput(Throughput::Elements(ops as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &history, |b, h| {
+            b.iter(|| assert_eq!(fi::is_linearizable(h, 0), Ok(true)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(checker_scaling, bench_generic, bench_specialized);
+criterion_main!(checker_scaling);

@@ -1,0 +1,53 @@
+//! E1 bench: running the Proposition 16 consensus algorithm and computing the
+//! stabilization index of its histories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evlin_algorithms::Prop16Consensus;
+use evlin_checker::t_linearizability;
+use evlin_history::ObjectUniverse;
+use evlin_sim::prelude::*;
+use evlin_spec::{Consensus, Value};
+
+fn proposals(n: usize) -> Workload {
+    Workload::one_shot(
+        (0..n)
+            .map(|i| Consensus::propose(Value::from(i as i64)))
+            .collect(),
+    )
+}
+
+fn bench_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop16/run");
+    for &n in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let imp = Prop16Consensus::new(n);
+            let w = proposals(n);
+            b.iter(|| {
+                let mut s = RoundRobinScheduler::new();
+                let out = run(&imp, &w, &mut s, 1_000_000);
+                assert!(out.completed_all);
+                out.history.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stabilization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop16/min_stabilization");
+    for &n in &[2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let imp = Prop16Consensus::new(n);
+            let w = proposals(n);
+            let mut s = SoloBurstScheduler::new(2);
+            let out = run(&imp, &w, &mut s, 1_000_000);
+            let mut u = ObjectUniverse::new();
+            u.add_object(Consensus::new());
+            b.iter(|| t_linearizability::min_stabilization(&out.history, &u, None));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(consensus_stabilization, bench_run, bench_stabilization);
+criterion_main!(consensus_stabilization);

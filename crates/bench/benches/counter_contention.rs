@@ -1,0 +1,43 @@
+//! E8 bench: counter throughput under contention (paper's introduction).
+//!
+//! Compares the linearizable compare&swap loop, the hardware `fetch_add` and
+//! the eventually consistent sharded counter across thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use evlin_runtime::counter::{CasCounter, ConcurrentCounter, FetchAddCounter, ShardedCounter};
+use evlin_runtime::harness::{run_counter_workload, HarnessOptions};
+
+const OPS_PER_THREAD: usize = 20_000;
+
+fn bench_counter(c: &mut Criterion, name: &str, make: impl Fn(usize) -> Box<dyn ConcurrentCounter>) {
+    let mut group = c.benchmark_group(format!("counter_contention/{name}"));
+    for &threads in &[1usize, 2, 4] {
+        group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let counter = make(threads);
+                let run = run_counter_workload(
+                    counter.as_ref(),
+                    HarnessOptions {
+                        threads,
+                        ops_per_thread: OPS_PER_THREAD,
+                        record_history: false,
+                    },
+                );
+                assert_eq!(run.final_total as usize, threads * OPS_PER_THREAD);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_counter(c, "cas-loop", |_| Box::new(CasCounter::new()));
+    bench_counter(c, "fetch-add", |_| Box::new(FetchAddCounter::new()));
+    bench_counter(c, "sharded-eventual", |threads| {
+        Box::new(ShardedCounter::new(threads, 64))
+    });
+}
+
+criterion_group!(counter_contention, benches);
+criterion_main!(counter_contention);

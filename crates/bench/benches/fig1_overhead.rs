@@ -1,0 +1,38 @@
+//! E9 bench: the cost of the Figure 1 announce-and-verify wrapper
+//! (Proposition 11), measured as simulator runs of the wrapped vs raw
+//! fetch&increment implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evlin_algorithms::{CasFetchInc, Fig1Wrapper};
+use evlin_sim::prelude::*;
+use evlin_spec::FetchIncrement;
+use std::sync::Arc;
+
+fn bench_raw_vs_wrapped(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_overhead");
+    for &ops in &[2usize, 4, 8] {
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), ops);
+        group.bench_with_input(BenchmarkId::new("raw", ops), &w, |b, w| {
+            let imp = CasFetchInc::new(2);
+            b.iter(|| {
+                let mut s = RoundRobinScheduler::new();
+                let out = run(&imp, w, &mut s, 1_000_000);
+                assert!(out.completed_all);
+                out.steps
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("wrapped", ops), &w, |b, w| {
+            let imp = Fig1Wrapper::new(CasFetchInc::new(2), Arc::new(FetchIncrement::new()), 2);
+            b.iter(|| {
+                let mut s = RoundRobinScheduler::new();
+                let out = run(&imp, w, &mut s, 1_000_000);
+                assert!(out.completed_all);
+                out.steps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig1_overhead, bench_raw_vs_wrapped);
+criterion_main!(fig1_overhead);

@@ -1,0 +1,45 @@
+//! The experiment driver: regenerates every table of EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [e1 | e2 | … | e10 | all]…
+//! ```
+//!
+//! With no experiment argument, every experiment is run.  `--quick` shrinks
+//! workloads so the whole suite finishes in well under a minute (the numbers
+//! in EXPERIMENTS.md come from a full run).
+
+use evlin_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let requested: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+
+    let ids: Vec<String> = if requested.is_empty() {
+        vec!["all".to_string()]
+    } else {
+        requested.iter().map(|s| s.to_string()).collect()
+    };
+
+    for id in &ids {
+        match experiments::run(id, quick) {
+            Some(tables) => {
+                for table in tables {
+                    println!("{table}");
+                }
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment id `{id}`; known ids: {} or `all`",
+                    experiments::IDS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! E1 — Proposition 16: wait-free eventually linearizable consensus from
+//! (eventually linearizable) registers.
+//!
+//! For each process count and scheduler, run the Proposition 16 algorithm on
+//! a one-shot consensus workload, check weak consistency, record the minimal
+//! stabilization index and whether the run disagreed (which is allowed before
+//! stabilization and is exactly what distinguishes the implementation from a
+//! linearizable one).
+
+use crate::Table;
+use evlin_algorithms::Prop16Consensus;
+use evlin_checker::{t_linearizability, weak_consistency};
+use evlin_history::ObjectUniverse;
+use evlin_sim::eventually::StabilizationPolicy;
+use evlin_sim::prelude::*;
+use evlin_spec::{Consensus, Value};
+use std::collections::BTreeSet;
+
+fn consensus_universe() -> ObjectUniverse {
+    let mut u = ObjectUniverse::new();
+    u.add_object(Consensus::new());
+    u
+}
+
+fn proposals(n: usize) -> Workload {
+    Workload::one_shot(
+        (0..n)
+            .map(|i| Consensus::propose(Value::from(i as i64)))
+            .collect(),
+    )
+}
+
+struct RunSummary {
+    weakly_consistent: bool,
+    min_t: Option<usize>,
+    history_len: usize,
+    disagreed: bool,
+}
+
+fn summarize(history: &evlin_history::History, universe: &ObjectUniverse) -> RunSummary {
+    let decided: BTreeSet<Value> = history
+        .complete_operations()
+        .iter()
+        .filter_map(|op| op.response.clone())
+        .collect();
+    RunSummary {
+        weakly_consistent: weak_consistency::is_weakly_consistent(history, universe),
+        min_t: t_linearizability::min_stabilization(history, universe, None),
+        history_len: history.len(),
+        disagreed: decided.len() > 1,
+    }
+}
+
+/// Runs experiment E1 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let universe = consensus_universe();
+    let process_counts: Vec<usize> = if quick { vec![2, 3] } else { vec![2, 3, 4, 5, 6] };
+    let seeds: Vec<u64> = if quick { (0..5).collect() } else { (0..30).collect() };
+
+    let mut per_scheduler = Table::new(
+        "E1 — Prop 16 consensus from registers: eventual linearizability across schedulers",
+        &[
+            "processes",
+            "scheduler",
+            "runs",
+            "all weakly consistent",
+            "runs with disagreement",
+            "max stabilization t",
+            "max history len",
+        ],
+    );
+
+    for &n in &process_counts {
+        let imp = Prop16Consensus::new(n);
+        let mut scheduler_runs: Vec<(&str, Vec<RunSummary>)> = Vec::new();
+
+        // Round robin (deterministic): one run.
+        {
+            let mut s = RoundRobinScheduler::new();
+            let out = evlin_sim::runner::run(&imp, &proposals(n), &mut s, 100_000);
+            scheduler_runs.push(("round-robin", vec![summarize(&out.history, &universe)]));
+        }
+        // Solo bursts (adversarial).
+        {
+            let mut s = SoloBurstScheduler::new(2);
+            let out = evlin_sim::runner::run(&imp, &proposals(n), &mut s, 100_000);
+            scheduler_runs.push(("solo-burst(2)", vec![summarize(&out.history, &universe)]));
+        }
+        // Random schedules.
+        {
+            let mut summaries = Vec::new();
+            for &seed in &seeds {
+                let mut s = RandomScheduler::seeded(seed);
+                let out = evlin_sim::runner::run(&imp, &proposals(n), &mut s, 100_000);
+                summaries.push(summarize(&out.history, &universe));
+            }
+            scheduler_runs.push(("random", summaries));
+        }
+
+        for (name, summaries) in scheduler_runs {
+            let all_wc = summaries.iter().all(|s| s.weakly_consistent);
+            let disagreements = summaries.iter().filter(|s| s.disagreed).count();
+            let max_t = summaries
+                .iter()
+                .map(|s| s.min_t.unwrap_or(usize::MAX))
+                .max()
+                .unwrap_or(0);
+            let max_len = summaries.iter().map(|s| s.history_len).max().unwrap_or(0);
+            per_scheduler.push_row([
+                n.to_string(),
+                name.to_string(),
+                summaries.len().to_string(),
+                all_wc.to_string(),
+                disagreements.to_string(),
+                max_t.to_string(),
+                max_len.to_string(),
+            ]);
+        }
+    }
+
+    // Second table: the algorithm still works over *eventually linearizable*
+    // registers (the stronger claim of Proposition 16).
+    let mut over_ev = Table::new(
+        "E1b — Prop 16 over eventually linearizable base registers",
+        &[
+            "processes",
+            "register stabilization (accesses)",
+            "runs",
+            "all weakly consistent",
+            "all eventually linearizable",
+            "max stabilization t",
+        ],
+    );
+    let stabilizations = if quick { vec![0usize, 4] } else { vec![0usize, 2, 4, 8, 16] };
+    for &n in process_counts.iter().take(2) {
+        for &k in &stabilizations {
+            let imp = Prop16Consensus::with_eventually_linearizable_registers(
+                n,
+                StabilizationPolicy::AfterAccesses(k),
+            );
+            let mut all_wc = true;
+            let mut all_ev = true;
+            let mut max_t = 0usize;
+            for &seed in &seeds {
+                let mut s = RandomScheduler::seeded(seed);
+                let out = evlin_sim::runner::run(&imp, &proposals(n), &mut s, 100_000);
+                let summary = summarize(&out.history, &universe);
+                all_wc &= summary.weakly_consistent;
+                all_ev &= summary.weakly_consistent && summary.min_t.is_some();
+                max_t = max_t.max(summary.min_t.unwrap_or(usize::MAX));
+            }
+            over_ev.push_row([
+                n.to_string(),
+                k.to_string(),
+                seeds.len().to_string(),
+                all_wc.to_string(),
+                all_ev.to_string(),
+                max_t.to_string(),
+            ]);
+        }
+    }
+
+    vec![per_scheduler, over_ev]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_consistent_tables() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 2);
+        assert!(!tables[0].is_empty());
+        assert!(!tables[1].is_empty());
+        // Every row of E1 must report "all weakly consistent = true": that is
+        // the safety half of Proposition 16.
+        for row in &tables[0].rows {
+            assert_eq!(row[3], "true", "weak consistency must hold: {row:?}");
+        }
+        for row in &tables[1].rows {
+            assert_eq!(row[3], "true");
+            assert_eq!(row[4], "true");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! E2 — Section 3.2: `t`-linearizability (for a fixed `t > 0`) is not a
+//! safety property.
+//!
+//! The paper's counterexample is the fetch&increment history in which process
+//! `p` performs one operation returning 0 and process `q` then performs
+//! operations returning 0, 1, 2, …  Every finite prefix is 2-linearizable
+//! (move `p`'s operation to the end), but the infinite history is not: the
+//! limit of 2-linearizable histories fails to be 2-linearizable, so the set
+//! of 2-linearizable histories is not limit-closed.  The experiment tabulates
+//! growing prefixes: 2-linearizability holds at every finite length while the
+//! cost of the witness (the displacement of `p`'s operation) grows without
+//! bound, and 0/1-linearizability fail throughout.
+
+use crate::Table;
+use evlin_checker::{fi, safety, t_linearizability, weak_consistency};
+use evlin_history::{HistoryBuilder, ObjectUniverse, ProcessId};
+use evlin_spec::{FetchIncrement, Value};
+
+/// Builds the Section 3.2 history with `q_ops` operations by process `q`.
+pub fn section_3_2_history(q_ops: usize) -> evlin_history::History {
+    let x = evlin_history::ObjectId(0);
+    let mut b = HistoryBuilder::new().complete(
+        ProcessId(0),
+        x,
+        FetchIncrement::fetch_inc(),
+        Value::from(0i64),
+    );
+    for k in 0..q_ops {
+        b = b.complete(
+            ProcessId(1),
+            x,
+            FetchIncrement::fetch_inc(),
+            Value::from(k as i64),
+        );
+    }
+    b.build()
+}
+
+/// Runs experiment E2 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut u = ObjectUniverse::new();
+    u.add_object(FetchIncrement::new());
+
+    let max_q = if quick { 6 } else { 40 };
+    let mut growth = Table::new(
+        "E2 — Section 3.2 counterexample: prefixes of the paradoxical fetch&inc history",
+        &[
+            "events",
+            "0-linearizable",
+            "1-linearizable",
+            "2-linearizable",
+            "weakly consistent",
+            "min stabilization t",
+        ],
+    );
+    for q_ops in (1..=max_q).step_by(if quick { 1 } else { 4 }) {
+        let h = section_3_2_history(q_ops);
+        growth.push_row([
+            h.len().to_string(),
+            fi::is_t_linearizable(&h, 0, 0).unwrap().to_string(),
+            fi::is_t_linearizable(&h, 0, 1).unwrap().to_string(),
+            fi::is_t_linearizable(&h, 0, 2).unwrap().to_string(),
+            weak_consistency::is_weakly_consistent(&h, &u).to_string(),
+            fi::min_stabilization(&h, 0).unwrap().to_string(),
+        ]);
+    }
+
+    // Classification table: which conditions behave as safety properties on
+    // this family of histories.
+    let h = section_3_2_history(if quick { 6 } else { 20 });
+    let mut classification = Table::new(
+        "E2b — prefix closure of the consistency conditions on the counterexample",
+        &["property", "holds on full history", "prefix-closed on this history"],
+    );
+    let wc_closure = safety::check_prefix_closure(&h, |p| {
+        weak_consistency::is_weakly_consistent(p, &u)
+    });
+    classification.push_row([
+        "weak consistency".to_string(),
+        weak_consistency::is_weakly_consistent(&h, &u).to_string(),
+        format!("{wc_closure:?}"),
+    ]);
+    let t2_closure = safety::check_prefix_closure(&h, |p| {
+        t_linearizability::is_t_linearizable(p, &u, 2)
+    });
+    classification.push_row([
+        "2-linearizability".to_string(),
+        t_linearizability::is_t_linearizable(&h, &u, 2).to_string(),
+        format!("{t2_closure:?}"),
+    ]);
+    let lin_closure = safety::check_prefix_closure(&h, |p| {
+        t_linearizability::is_t_linearizable(p, &u, 0)
+    });
+    classification.push_row([
+        "linearizability".to_string(),
+        t_linearizability::is_t_linearizable(&h, &u, 0).to_string(),
+        format!("{lin_closure:?}"),
+    ]);
+
+    vec![growth, classification]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_behave_as_the_paper_says() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 2);
+        for row in &tables[0].rows {
+            assert_eq!(row[1], "false", "never 0-linearizable");
+            assert_eq!(row[2], "false", "never 1-linearizable");
+            assert_eq!(row[3], "true", "always 2-linearizable");
+            assert_eq!(row[4], "true", "always weakly consistent");
+            assert_eq!(row[5], "2", "stabilization index is exactly 2");
+        }
+    }
+
+    #[test]
+    fn history_builder_matches_the_paper() {
+        let h = section_3_2_history(3);
+        assert_eq!(h.len(), 8);
+        let ops = h.complete_operations();
+        assert_eq!(ops[0].response, Some(Value::from(0i64)));
+        assert_eq!(ops[1].response, Some(Value::from(0i64)));
+        assert_eq!(ops[3].response, Some(Value::from(2i64)));
+    }
+}

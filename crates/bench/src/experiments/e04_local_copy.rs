@@ -1,0 +1,215 @@
+//! E4 — Theorem 12: the local-copy transformation.
+//!
+//! Applying the transformation to a linearizable implementation yields an
+//! implementation with no shared objects at all.  For trivial types
+//! (Definition 13) this costs nothing; for non-trivial types linearizability
+//! is lost (which is why eventually linearizable base objects cannot be used
+//! to build them).  The experiment explores all interleavings of small
+//! workloads of the transformed implementations and tabulates which
+//! consistency conditions survive.
+
+use crate::Table;
+use evlin_algorithms::{CasFetchInc, LocalCopy, Prop16Consensus};
+use evlin_checker::{linearizability, weak_consistency};
+use evlin_history::ObjectUniverse;
+use evlin_sim::explorer::{terminal_histories, ExploreOptions};
+use evlin_sim::program::LocalSpecImplementation;
+use evlin_sim::workload::Workload;
+use evlin_spec::trivial::{BlindRegister, StickyGate};
+use evlin_spec::{Consensus, FetchIncrement, ObjectType, Queue, Register, TestAndSet, Value};
+use std::sync::Arc;
+
+struct Case {
+    name: &'static str,
+    ty: Arc<dyn ObjectType>,
+    workload: Workload,
+    trivial: bool,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "sticky-gate (trivial)",
+            ty: Arc::new(StickyGate::new()),
+            workload: Workload::uniform(2, StickyGate::knock(), 2),
+            trivial: true,
+        },
+        Case {
+            name: "blind-register (trivial)",
+            ty: Arc::new(BlindRegister::new()),
+            workload: Workload::uniform(2, BlindRegister::write(Value::from(1i64)), 2),
+            trivial: true,
+        },
+        Case {
+            name: "register",
+            ty: Arc::new(Register::new(Value::from(0i64))),
+            workload: Workload::new(vec![
+                vec![Register::write(Value::from(1i64)), Register::read()],
+                vec![Register::read(), Register::read()],
+            ]),
+            trivial: false,
+        },
+        Case {
+            name: "fetch&increment",
+            ty: Arc::new(FetchIncrement::new()),
+            workload: Workload::uniform(2, FetchIncrement::fetch_inc(), 2),
+            trivial: false,
+        },
+        Case {
+            name: "test&set",
+            ty: Arc::new(TestAndSet::new()),
+            workload: Workload::uniform(2, TestAndSet::test_and_set(), 1),
+            trivial: false,
+        },
+        Case {
+            name: "consensus",
+            ty: Arc::new(Consensus::new()),
+            workload: Workload::one_shot(vec![
+                Consensus::propose(Value::from(0i64)),
+                Consensus::propose(Value::from(1i64)),
+            ]),
+            trivial: false,
+        },
+        Case {
+            name: "queue",
+            ty: Arc::new(Queue::new()),
+            workload: Workload::new(vec![
+                vec![Queue::enqueue(Value::from(1i64)), Queue::dequeue()],
+                vec![Queue::enqueue(Value::from(2i64)), Queue::dequeue()],
+            ]),
+            trivial: false,
+        },
+    ]
+}
+
+/// Runs experiment E4 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let options = ExploreOptions {
+        max_depth: if quick { 16 } else { 24 },
+        max_configs: if quick { 50_000 } else { 400_000 },
+    };
+
+    let mut per_type = Table::new(
+        "E4 — Theorem 12: communication-free (local-copy) implementations, all interleavings",
+        &[
+            "implemented type",
+            "trivial (Def. 13)",
+            "terminal histories",
+            "all linearizable",
+            "all weakly consistent",
+        ],
+    );
+    for case in cases() {
+        let mut universe = ObjectUniverse::new();
+        universe.add_shared(case.ty.clone(), case.ty.initial_states()[0].clone());
+        let implementation = LocalSpecImplementation::new(case.ty.clone(), 2);
+        let histories = terminal_histories(&implementation, &case.workload, options);
+        let all_lin = histories
+            .iter()
+            .all(|h| linearizability::is_linearizable(h, &universe));
+        let all_wc = histories
+            .iter()
+            .all(|h| weak_consistency::is_weakly_consistent(h, &universe));
+        per_type.push_row([
+            case.name.to_string(),
+            case.trivial.to_string(),
+            histories.len().to_string(),
+            all_lin.to_string(),
+            all_wc.to_string(),
+        ]);
+    }
+
+    // Second table: the transformation applied to real (multi-step)
+    // implementations rather than directly to the specification.
+    let mut transformed = Table::new(
+        "E4b — local-copy transformation of concrete implementations",
+        &[
+            "implementation",
+            "terminal histories",
+            "all linearizable",
+            "all weakly consistent",
+            "all operations complete (wait-free)",
+        ],
+    );
+    {
+        let t = LocalCopy::new(CasFetchInc::new(2));
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), if quick { 1 } else { 2 });
+        let mut u = ObjectUniverse::new();
+        u.add_object(FetchIncrement::new());
+        let total = w.total_operations();
+        let histories = terminal_histories(&t, &w, options);
+        transformed.push_row([
+            "LocalCopy(CasFetchInc)".to_string(),
+            histories.len().to_string(),
+            histories
+                .iter()
+                .all(|h| linearizability::is_linearizable(h, &u))
+                .to_string(),
+            histories
+                .iter()
+                .all(|h| weak_consistency::is_weakly_consistent(h, &u))
+                .to_string(),
+            histories
+                .iter()
+                .all(|h| h.complete_operations().len() == total)
+                .to_string(),
+        ]);
+    }
+    {
+        let t = LocalCopy::new(Prop16Consensus::new(2));
+        let w = Workload::one_shot(vec![
+            Consensus::propose(Value::from(0i64)),
+            Consensus::propose(Value::from(1i64)),
+        ]);
+        let mut u = ObjectUniverse::new();
+        u.add_object(Consensus::new());
+        let total = w.total_operations();
+        let histories = terminal_histories(&t, &w, options);
+        transformed.push_row([
+            "LocalCopy(Prop16Consensus)".to_string(),
+            histories.len().to_string(),
+            histories
+                .iter()
+                .all(|h| linearizability::is_linearizable(h, &u))
+                .to_string(),
+            histories
+                .iter()
+                .all(|h| weak_consistency::is_weakly_consistent(h, &u))
+                .to_string(),
+            histories
+                .iter()
+                .all(|h| h.complete_operations().len() == total)
+                .to_string(),
+        ]);
+    }
+
+    vec![per_type, transformed]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_types_survive_and_non_trivial_do_not() {
+        let tables = run(true);
+        for row in &tables[0].rows {
+            let trivial: bool = row[1].parse().unwrap();
+            let all_lin: bool = row[2].parse::<usize>().unwrap() > 0
+                && row[3].parse::<bool>().unwrap();
+            let all_wc: bool = row[4].parse().unwrap();
+            assert!(all_wc, "local copies are always weakly consistent: {row:?}");
+            assert_eq!(
+                trivial, all_lin,
+                "linearizability must survive exactly for trivial types: {row:?}"
+            );
+        }
+        // Transformed concrete implementations stay wait-free and weakly
+        // consistent, but lose linearizability.
+        for row in &tables[1].rows {
+            assert_eq!(row[2], "false");
+            assert_eq!(row[3], "true");
+            assert_eq!(row[4], "true");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! E6 — Proposition 15 and Corollary 19: registers (and eventually
+//! linearizable objects) cannot be combined into consensus-power objects.
+//!
+//! Two executable views of the impossibility:
+//!
+//! 1. **Valency analysis.**  A bivalence-preserving adversary is run against
+//!    two-process consensus implementations.  For the compare&swap-based
+//!    implementation the walk hits a critical configuration almost
+//!    immediately (the decisive step is the CAS, matching the classical
+//!    argument); for the register-only Proposition 16 algorithm the adversary
+//!    either keeps the execution bivalent or the algorithm pays for
+//!    termination with disagreement — it never combines agreement, validity
+//!    and termination, which is what Proposition 15 forbids.
+//!
+//! 2. **Corollary 19.**  The register-only gossip fetch&increment keeps
+//!    producing duplicate responses arbitrarily late, so its minimal
+//!    stabilization index grows with the execution instead of settling — no
+//!    eventually linearizable register-only fetch&increment exists.
+
+use crate::Table;
+use evlin_algorithms::{CasConsensusSim, CasFetchInc, GossipFetchInc, NoisyPrefixFetchInc, Prop16Consensus};
+use evlin_checker::fi;
+use evlin_sim::explorer::ExploreOptions;
+use evlin_sim::prelude::*;
+use evlin_sim::valency::{bivalence_walk, check_consensus};
+use evlin_spec::{FetchIncrement, Value};
+
+/// Runs experiment E6 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let proposals = [Value::from(0i64), Value::from(1i64)];
+    let lookahead = if quick { 20 } else { 28 };
+    let max_configs = if quick { 60_000 } else { 300_000 };
+    let max_walk = if quick { 16 } else { 40 };
+
+    let mut valency = Table::new(
+        "E6 — bivalence-preserving adversary against 2-process consensus implementations",
+        &[
+            "implementation",
+            "base objects",
+            "agreement (exhaustive)",
+            "walk outcome",
+            "bivalent steps",
+        ],
+    );
+
+    {
+        let imp = CasConsensusSim::new(2);
+        let check = check_consensus(&imp, &proposals, ExploreOptions::default());
+        let walk = bivalence_walk(&imp, &proposals, lookahead, max_configs, max_walk);
+        valency.push_row([
+            "compare&swap consensus".to_string(),
+            "compare&swap".to_string(),
+            check.is_correct().to_string(),
+            format!("{:?}", walk.ended),
+            walk.bivalent_steps.to_string(),
+        ]);
+    }
+    {
+        let imp = Prop16Consensus::new(2);
+        let check = check_consensus(&imp, &proposals, ExploreOptions::default());
+        let walk = bivalence_walk(&imp, &proposals, lookahead, max_configs, max_walk);
+        valency.push_row([
+            "Prop16 consensus (registers only)".to_string(),
+            "registers".to_string(),
+            check.is_correct().to_string(),
+            format!("{:?}", walk.ended),
+            walk.bivalent_steps.to_string(),
+        ]);
+    }
+
+    // Corollary 19: stabilization index growth of register-only vs CAS-based
+    // fetch&increment implementations.
+    let mut cor19 = Table::new(
+        "E6b — Corollary 19: stabilization index as the execution grows (2 processes, round-robin)",
+        &[
+            "ops per process",
+            "history events",
+            "gossip (registers): min t",
+            "gossip: t / events",
+            "noisy-prefix (CAS, warm-up 4): min t",
+            "cas loop: min t",
+        ],
+    );
+    let sizes: Vec<usize> = if quick { vec![2, 4, 8] } else { vec![2, 4, 8, 16, 32, 64] };
+    for &ops in &sizes {
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), ops);
+        let run_one = |imp: &dyn evlin_sim::program::Implementation| {
+            let mut s = RoundRobinScheduler::new();
+            evlin_sim::runner::run(imp, &w, &mut s, 1_000_000).history
+        };
+        let gossip_history = run_one(&GossipFetchInc::new(2));
+        let noisy_history = run_one(&NoisyPrefixFetchInc::new(2, 4));
+        let cas_history = run_one(&CasFetchInc::new(2));
+        let gossip_t = fi::min_stabilization(&gossip_history, 0).unwrap();
+        cor19.push_row([
+            ops.to_string(),
+            gossip_history.len().to_string(),
+            gossip_t.to_string(),
+            format!("{:.2}", gossip_t as f64 / gossip_history.len() as f64),
+            fi::min_stabilization(&noisy_history, 0).unwrap().to_string(),
+            fi::min_stabilization(&cas_history, 0).unwrap().to_string(),
+        ]);
+    }
+
+    vec![valency, cor19]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_consensus_reaches_a_critical_configuration_and_registers_do_not_solve_consensus() {
+        let tables = run(true);
+        let valency = &tables[0];
+        let cas_row = &valency.rows[0];
+        assert_eq!(cas_row[2], "true", "CAS consensus is correct");
+        assert!(cas_row[3].contains("Critical"));
+        let reg_row = &valency.rows[1];
+        // The register-only algorithm cannot be a correct consensus object:
+        // exhaustive checking finds an agreement violation.
+        assert_eq!(reg_row[2], "false");
+    }
+
+    #[test]
+    fn gossip_stabilization_chases_the_history_while_cas_stays_at_zero() {
+        let tables = run(true);
+        let cor19 = &tables[1];
+        let gossip_ts: Vec<usize> = cor19.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(gossip_ts.windows(2).all(|w| w[1] >= w[0]));
+        assert!(*gossip_ts.last().unwrap() > *gossip_ts.first().unwrap());
+        for row in &cor19.rows {
+            assert_eq!(row[5], "0", "the CAS loop is linearizable");
+            let noisy_t: usize = row[4].parse().unwrap();
+            let events: usize = row[1].parse().unwrap();
+            // The noisy-prefix implementation stabilizes: its index is capped
+            // by the warm-up, not by the history length.
+            assert!(noisy_t <= 20 || noisy_t * 2 < events);
+        }
+    }
+}

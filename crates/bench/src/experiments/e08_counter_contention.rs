@@ -1,0 +1,125 @@
+//! E8 — the introduction's motivation: eventual consistency buys throughput
+//! for reference counting under contention.
+//!
+//! Real threads hammer three counters — the linearizable compare&swap retry
+//! loop, the linearizable hardware `fetch_add`, and the eventually consistent
+//! sharded counter — across a sweep of thread counts.  For each configuration
+//! the table reports throughput, whether any increment was lost (never), how
+//! many responses were stale duplicates and the maximal observed staleness;
+//! a second, smaller recorded run feeds the histories to the offline checkers
+//! to connect the measurements back to the formal definitions.
+
+use crate::Table;
+use evlin_checker::fi;
+use evlin_runtime::counter::{CasCounter, ConcurrentCounter, FetchAddCounter, ShardedCounter};
+use evlin_runtime::harness::{run_counter_workload, HarnessOptions};
+
+fn counters(threads: usize) -> Vec<Box<dyn ConcurrentCounter>> {
+    vec![
+        Box::new(CasCounter::new()),
+        Box::new(FetchAddCounter::new()),
+        Box::new(ShardedCounter::new(threads, 64)),
+    ]
+}
+
+/// Runs experiment E8 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let thread_counts: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 4, 8] };
+    let ops = if quick { 5_000 } else { 200_000 };
+
+    let mut throughput = Table::new(
+        "E8 — counter throughput under contention (real threads, recording off)",
+        &[
+            "threads",
+            "counter",
+            "ops",
+            "throughput (Mops/s)",
+            "increments lost",
+            "duplicate responses",
+            "max staleness",
+        ],
+    );
+    for &threads in &thread_counts {
+        for counter in counters(threads) {
+            let run = run_counter_workload(
+                counter.as_ref(),
+                HarnessOptions {
+                    threads,
+                    ops_per_thread: ops,
+                    record_history: false,
+                },
+            );
+            let lost = run.total_ops as i64 - run.final_total;
+            throughput.push_row([
+                threads.to_string(),
+                counter.name().to_string(),
+                run.total_ops.to_string(),
+                format!("{:.2}", run.throughput / 1.0e6),
+                lost.to_string(),
+                run.duplicate_responses.to_string(),
+                run.max_staleness.to_string(),
+            ]);
+        }
+    }
+
+    // Recorded runs: connect the raw measurements back to the consistency
+    // definitions with the offline fetch&increment checker.
+    let record_threads = if quick { 2 } else { 4 };
+    let record_ops = if quick { 300 } else { 3_000 };
+    let mut recorded = Table::new(
+        "E8b — recorded runs checked offline",
+        &[
+            "counter",
+            "ops",
+            "linearizable",
+            "min stabilization t",
+            "history events",
+        ],
+    );
+    for counter in counters(record_threads) {
+        let run = run_counter_workload(
+            counter.as_ref(),
+            HarnessOptions {
+                threads: record_threads,
+                ops_per_thread: record_ops,
+                record_history: true,
+            },
+        );
+        let history = run.history.expect("recording enabled");
+        let linearizable = fi::is_linearizable(&history, 0).unwrap();
+        let t = fi::min_stabilization(&history, 0).unwrap();
+        recorded.push_row([
+            counter.name().to_string(),
+            run.total_ops.to_string(),
+            linearizable.to_string(),
+            t.to_string(),
+            history.len().to_string(),
+        ]);
+    }
+
+    vec![throughput, recorded]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_counter_ever_loses_increments() {
+        let tables = run(true);
+        for row in &tables[0].rows {
+            assert_eq!(row[4], "0", "increments must never be lost: {row:?}");
+        }
+    }
+
+    #[test]
+    fn linearizable_counters_produce_linearizable_histories() {
+        let tables = run(true);
+        for row in &tables[1].rows {
+            if row[0] == "cas-loop" || row[0] == "fetch-add" {
+                assert_eq!(row[2], "true", "{row:?}");
+                assert_eq!(row[3], "0", "{row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! E9 — Proposition 11 / Figure 1: registers buy back weak consistency.
+//!
+//! A fetch&increment implementation whose warm-up responses are
+//! out-of-left-field garbage satisfies the liveness half of eventual
+//! linearizability but not the safety half.  Wrapping it in the Figure 1
+//! announce-and-verify construction restores weak consistency without
+//! breaking the liveness half; wrapping an already linearizable
+//! implementation leaves it linearizable.  The experiment also reports the
+//! wrapper's overhead in simulator steps per operation.
+
+use crate::Table;
+use evlin_algorithms::fig1::Fig1Wrapper;
+use evlin_algorithms::CasFetchInc;
+use evlin_checker::{eventual, weak_consistency};
+use evlin_history::{ObjectUniverse, ProcessId};
+use evlin_sim::base::BaseObject;
+use evlin_sim::prelude::*;
+use evlin_sim::program::{Implementation, ProcessLogic};
+use evlin_spec::{FetchIncrement, Invocation, Value};
+use std::sync::Arc;
+
+/// A fetch&increment whose first `garbage` operations (globally, by slot)
+/// return the nonsense value 999 — `t`-linearizable for some `t` but not
+/// weakly consistent.
+#[derive(Debug)]
+pub struct GarbagePrefixFetchInc {
+    inner: CasFetchInc,
+    garbage: i64,
+}
+
+impl GarbagePrefixFetchInc {
+    /// Creates the implementation for `processes` processes with the given
+    /// number of garbage responses.
+    pub fn new(processes: usize, garbage: i64) -> Self {
+        GarbagePrefixFetchInc {
+            inner: CasFetchInc::new(processes),
+            garbage,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct GarbageLogic {
+    inner: Box<dyn ProcessLogic>,
+    garbage: i64,
+}
+
+impl Implementation for GarbagePrefixFetchInc {
+    fn name(&self) -> String {
+        format!("garbage-prefix fetch&increment ({} garbage ops)", self.garbage)
+    }
+    fn processes(&self) -> usize {
+        self.inner.processes()
+    }
+    fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+        self.inner.initial_base_objects()
+    }
+    fn new_process(&self, p: ProcessId) -> Box<dyn ProcessLogic> {
+        Box::new(GarbageLogic {
+            inner: self.inner.new_process(p),
+            garbage: self.garbage,
+        })
+    }
+}
+
+impl ProcessLogic for GarbageLogic {
+    fn begin(&mut self, invocation: Invocation) {
+        self.inner.begin(invocation);
+    }
+    fn step(&mut self, previous_response: Option<Value>) -> evlin_sim::program::TaskStep {
+        use evlin_sim::program::TaskStep;
+        match self.inner.step(previous_response) {
+            TaskStep::Complete(v) => {
+                let slot = v.as_int().expect("integer response");
+                if slot < self.garbage {
+                    TaskStep::Complete(Value::from(999i64))
+                } else {
+                    TaskStep::Complete(v)
+                }
+            }
+            access => access,
+        }
+    }
+    fn clone_box(&self) -> Box<dyn ProcessLogic> {
+        Box::new(GarbageLogic {
+            inner: self.inner.clone(),
+            garbage: self.garbage,
+        })
+    }
+}
+
+struct Summary {
+    weakly_consistent_runs: usize,
+    eventually_linearizable_runs: usize,
+    linearizable_runs: usize,
+    total_runs: usize,
+    steps_per_op: f64,
+}
+
+fn evaluate(imp: &dyn Implementation, seeds: &[u64], ops: usize) -> Summary {
+    let mut u = ObjectUniverse::new();
+    u.add_object(FetchIncrement::new());
+    let w = Workload::uniform(2, FetchIncrement::fetch_inc(), ops);
+    let mut summary = Summary {
+        weakly_consistent_runs: 0,
+        eventually_linearizable_runs: 0,
+        linearizable_runs: 0,
+        total_runs: seeds.len(),
+        steps_per_op: 0.0,
+    };
+    let mut total_steps = 0usize;
+    for &seed in seeds {
+        let mut s = RandomScheduler::seeded(seed);
+        let out = evlin_sim::runner::run(imp, &w, &mut s, 1_000_000);
+        assert!(out.completed_all, "non-blocking implementations must finish");
+        total_steps += out.steps;
+        let report = eventual::analyze(&out.history, &u);
+        if weak_consistency::is_weakly_consistent(&out.history, &u) {
+            summary.weakly_consistent_runs += 1;
+        }
+        if report.is_eventually_linearizable() {
+            summary.eventually_linearizable_runs += 1;
+        }
+        if report.is_linearizable() {
+            summary.linearizable_runs += 1;
+        }
+    }
+    summary.steps_per_op = total_steps as f64 / (seeds.len() * w.total_operations()) as f64;
+    summary
+}
+
+/// Runs experiment E9 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let seeds: Vec<u64> = if quick { (0..4).collect() } else { (0..20).collect() };
+    let ops = if quick { 2 } else { 3 };
+
+    let mut table = Table::new(
+        "E9 — Figure 1 wrapper: weak consistency restored, overhead in steps per operation",
+        &[
+            "implementation",
+            "runs",
+            "weakly consistent runs",
+            "eventually linearizable runs",
+            "linearizable runs",
+            "steps per operation",
+        ],
+    );
+
+    let raw = GarbagePrefixFetchInc::new(2, 2);
+    let raw_summary = evaluate(&raw, &seeds, ops);
+    table.push_row([
+        "garbage-prefix (raw)".to_string(),
+        raw_summary.total_runs.to_string(),
+        raw_summary.weakly_consistent_runs.to_string(),
+        raw_summary.eventually_linearizable_runs.to_string(),
+        raw_summary.linearizable_runs.to_string(),
+        format!("{:.1}", raw_summary.steps_per_op),
+    ]);
+
+    let wrapped = Fig1Wrapper::new(
+        GarbagePrefixFetchInc::new(2, 2),
+        Arc::new(FetchIncrement::new()),
+        2,
+    );
+    let wrapped_summary = evaluate(&wrapped, &seeds, ops);
+    table.push_row([
+        "garbage-prefix (Figure-1 wrapped)".to_string(),
+        wrapped_summary.total_runs.to_string(),
+        wrapped_summary.weakly_consistent_runs.to_string(),
+        wrapped_summary.eventually_linearizable_runs.to_string(),
+        wrapped_summary.linearizable_runs.to_string(),
+        format!("{:.1}", wrapped_summary.steps_per_op),
+    ]);
+
+    let plain = CasFetchInc::new(2);
+    let plain_summary = evaluate(&plain, &seeds, ops);
+    table.push_row([
+        "cas loop (raw)".to_string(),
+        plain_summary.total_runs.to_string(),
+        plain_summary.weakly_consistent_runs.to_string(),
+        plain_summary.eventually_linearizable_runs.to_string(),
+        plain_summary.linearizable_runs.to_string(),
+        format!("{:.1}", plain_summary.steps_per_op),
+    ]);
+
+    let wrapped_plain = Fig1Wrapper::new(CasFetchInc::new(2), Arc::new(FetchIncrement::new()), 2);
+    let wrapped_plain_summary = evaluate(&wrapped_plain, &seeds, ops);
+    table.push_row([
+        "cas loop (Figure-1 wrapped)".to_string(),
+        wrapped_plain_summary.total_runs.to_string(),
+        wrapped_plain_summary.weakly_consistent_runs.to_string(),
+        wrapped_plain_summary.eventually_linearizable_runs.to_string(),
+        wrapped_plain_summary.linearizable_runs.to_string(),
+        format!("{:.1}", wrapped_plain_summary.steps_per_op),
+    ]);
+
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapper_restores_weak_consistency_and_preserves_linearizability() {
+        let tables = run(true);
+        let rows = &tables[0].rows;
+        let runs: usize = rows[0][1].parse().unwrap();
+        // Raw garbage implementation violates weak consistency in every run.
+        assert_eq!(rows[0][2], "0");
+        // Wrapped: weakly consistent (and hence eventually linearizable) in
+        // every run.
+        assert_eq!(rows[1][2], runs.to_string());
+        assert_eq!(rows[1][3], runs.to_string());
+        // The plain CAS loop is linearizable with and without the wrapper.
+        assert_eq!(rows[2][4], runs.to_string());
+        assert_eq!(rows[3][4], runs.to_string());
+        // The wrapper costs extra steps per operation.
+        let raw_steps: f64 = rows[0][5].parse().unwrap();
+        let wrapped_steps: f64 = rows[1][5].parse().unwrap();
+        assert!(wrapped_steps > raw_steps);
+    }
+}

@@ -1,0 +1,176 @@
+//! E10 — checker scalability (methodological experiment).
+//!
+//! The executable-theory claims of this repository are only as good as the
+//! decision procedures backing them.  This experiment measures the generic
+//! constrained-linearization search against history length and concurrency,
+//! and the specialized fetch&increment checker against much larger histories,
+//! and cross-checks that the two agree wherever both are applicable.
+
+use crate::Table;
+use evlin_checker::{fi, linearizability, t_linearizability};
+use evlin_history::generator::{concurrentize, random_sequential_legal, WorkloadSpec};
+use evlin_history::ObjectUniverse;
+use evlin_runtime::counter::{CasCounter, ShardedCounter};
+use evlin_runtime::harness::{run_counter_workload, HarnessOptions};
+use evlin_spec::{FetchIncrement, Register, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Runs experiment E10 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut generic = Table::new(
+        "E10 — generic linearizability checker on random linearizable histories",
+        &[
+            "operations",
+            "processes",
+            "histories",
+            "all accepted",
+            "mean check time (µs)",
+        ],
+    );
+    let sizes: Vec<usize> = if quick { vec![6, 10, 14] } else { vec![6, 10, 14, 18, 22] };
+    let histories_per_size = if quick { 5 } else { 20 };
+    for &ops in &sizes {
+        let mut universe = ObjectUniverse::new();
+        universe.add_object(Register::new(Value::from(0i64)));
+        universe.add_object(FetchIncrement::new());
+        let mut all_ok = true;
+        let mut total = std::time::Duration::ZERO;
+        for seed in 0..histories_per_size {
+            let mut rng = StdRng::seed_from_u64(seed as u64);
+            let seq = random_sequential_legal(
+                &universe,
+                &WorkloadSpec {
+                    processes: 3,
+                    operations: ops,
+                },
+                &mut rng,
+            );
+            let conc = concurrentize(&seq, 2, &mut rng);
+            let start = Instant::now();
+            all_ok &= linearizability::is_linearizable(&conc, &universe);
+            total += start.elapsed();
+        }
+        generic.push_row([
+            ops.to_string(),
+            "3".to_string(),
+            histories_per_size.to_string(),
+            all_ok.to_string(),
+            format!("{:.1}", total.as_micros() as f64 / histories_per_size as f64),
+        ]);
+    }
+
+    let mut specialized = Table::new(
+        "E10b — specialized fetch&increment checker on recorded multi-threaded histories",
+        &[
+            "counter",
+            "operations",
+            "check",
+            "verdict / min t",
+            "time (ms)",
+        ],
+    );
+    let record_ops = if quick { 1_000 } else { 20_000 };
+    {
+        let counter = CasCounter::new();
+        let run = run_counter_workload(
+            &counter,
+            HarnessOptions {
+                threads: 4,
+                ops_per_thread: record_ops,
+                record_history: true,
+            },
+        );
+        let history = run.history.expect("recording enabled");
+        let start = Instant::now();
+        let lin = fi::is_linearizable(&history, 0).unwrap();
+        let elapsed = start.elapsed();
+        specialized.push_row([
+            "cas-loop".to_string(),
+            run.total_ops.to_string(),
+            "linearizability".to_string(),
+            lin.to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+        ]);
+    }
+    {
+        let counter = ShardedCounter::new(4, 64);
+        let run = run_counter_workload(
+            &counter,
+            HarnessOptions {
+                threads: 4,
+                ops_per_thread: record_ops,
+                record_history: true,
+            },
+        );
+        let history = run.history.expect("recording enabled");
+        let start = Instant::now();
+        let t = fi::min_stabilization(&history, 0).unwrap();
+        let elapsed = start.elapsed();
+        specialized.push_row([
+            "sharded-eventual".to_string(),
+            run.total_ops.to_string(),
+            "min stabilization".to_string(),
+            t.to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+        ]);
+    }
+
+    // Agreement between the two checkers on small fetch&increment histories.
+    let mut agreement = Table::new(
+        "E10c — generic vs specialized checker agreement on small fetch&inc histories",
+        &["histories", "linearizability agreements", "stabilization agreements"],
+    );
+    {
+        let mut universe = ObjectUniverse::new();
+        universe.add_object(FetchIncrement::new());
+        let count = if quick { 20 } else { 100 };
+        let mut lin_agree = 0usize;
+        let mut stab_agree = 0usize;
+        for seed in 0..count {
+            let mut rng = StdRng::seed_from_u64(seed as u64);
+            let seq = random_sequential_legal(
+                &universe,
+                &WorkloadSpec {
+                    processes: 2,
+                    operations: 6,
+                },
+                &mut rng,
+            );
+            let conc = concurrentize(&seq, 2, &mut rng);
+            let a = linearizability::is_linearizable(&conc, &universe);
+            let b = fi::is_linearizable(&conc, 0).unwrap();
+            if a == b {
+                lin_agree += 1;
+            }
+            let ta = t_linearizability::min_stabilization(&conc, &universe, None);
+            let tb = fi::min_stabilization(&conc, 0).ok();
+            if ta == tb {
+                stab_agree += 1;
+            }
+        }
+        agreement.push_row([count.to_string(), lin_agree.to_string(), stab_agree.to_string()]);
+    }
+
+    vec![generic, specialized, agreement]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkers_accept_linearizable_inputs_and_agree() {
+        let tables = run(true);
+        for row in &tables[0].rows {
+            assert_eq!(row[3], "true", "generated linearizable histories must be accepted");
+        }
+        // The CAS counter's recorded history is linearizable.
+        assert_eq!(tables[1].rows[0][3], "true");
+        // Full agreement between the generic and specialized checkers.
+        let row = &tables[2].rows[0];
+        assert_eq!(row[1], row[0]);
+        assert_eq!(row[2], row[0]);
+    }
+}

@@ -1,0 +1,68 @@
+//! The experiments of EXPERIMENTS.md, one module per experiment.
+//!
+//! Every function returns [`crate::Table`]s; the `experiments` binary prints
+//! them and EXPERIMENTS.md records a reference run.
+
+pub mod e01_prop16_consensus;
+pub mod e02_safety_counterexample;
+pub mod e03_locality;
+pub mod e04_local_copy;
+pub mod e05_triviality;
+pub mod e06_valency;
+pub mod e07_stability;
+pub mod e08_counter_contention;
+pub mod e09_fig1_wrapper;
+pub mod e10_checker_scaling;
+
+use crate::Table;
+
+/// Runs one experiment by id (`"e1"` … `"e10"`), or all of them for `"all"`.
+/// `quick` reduces workload sizes so the suite finishes quickly (used by
+/// tests).
+pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
+    match id {
+        "e1" => Some(e01_prop16_consensus::run(quick)),
+        "e2" => Some(e02_safety_counterexample::run(quick)),
+        "e3" => Some(e03_locality::run(quick)),
+        "e4" => Some(e04_local_copy::run(quick)),
+        "e5" => Some(e05_triviality::run(quick)),
+        "e6" => Some(e06_valency::run(quick)),
+        "e7" => Some(e07_stability::run(quick)),
+        "e8" => Some(e08_counter_contention::run(quick)),
+        "e9" => Some(e09_fig1_wrapper::run(quick)),
+        "e10" => Some(e10_checker_scaling::run(quick)),
+        "all" => {
+            let mut all = Vec::new();
+            for id in IDS {
+                all.extend(run(id, quick).expect("known id"));
+            }
+            Some(all)
+        }
+        _ => None,
+    }
+}
+
+/// The known experiment identifiers, in order.
+pub const IDS: [&str; 10] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_rejected() {
+        assert!(run("e99", true).is_none());
+        assert!(run("", true).is_none());
+    }
+
+    #[test]
+    fn every_id_is_routed() {
+        for id in IDS {
+            // Only check routing here (not executing): each module has its own
+            // test that actually runs it in quick mode.
+            assert!(matches!(id.as_bytes()[0], b'e'));
+        }
+    }
+}

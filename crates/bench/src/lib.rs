@@ -1,0 +1,26 @@
+//! # evlin-bench
+//!
+//! Experiment drivers and benchmark support for the `evlin` workspace.
+//!
+//! The paper (Guerraoui & Ruppert, PODC 2014) has no tables or figures of its
+//! own; EXPERIMENTS.md defines one experiment per theorem / proposition /
+//! counterexample plus the introduction's motivating scenario, and this crate
+//! regenerates every one of them:
+//!
+//! * the `experiments` binary (`cargo run -p evlin-bench --bin experiments --
+//!   all`) prints every experiment table;
+//! * the Criterion benches (`cargo bench -p evlin-bench`) measure the
+//!   timing-sensitive experiments (counter contention, consensus
+//!   stabilization, checker scaling, Figure-1 overhead, stability search).
+//!
+//! Each experiment lives in its own module under [`experiments`] and returns
+//! [`table::Table`]s so the binary, the tests and EXPERIMENTS.md all agree on
+//! the numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

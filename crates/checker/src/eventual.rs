@@ -1,0 +1,143 @@
+//! Eventual linearizability (Definitions 3 and 4).
+//!
+//! A history is *eventually linearizable* when it is weakly consistent and
+//! `t`-linearizable for some `t`.  For a finite history the second condition
+//! always holds (take `t` to be the history length — see Section 3.2 of the
+//! paper, which notes that being `t`-linearizable for some `t` is a liveness
+//! property), so the interesting quantity reported here is the *minimal*
+//! stabilization index.  Experiments over growing prefixes of long executions
+//! use that index to decide whether an implementation's executions actually
+//! stabilize or whether the index keeps chasing the end of the history (the
+//! tell-tale of an implementation that is not eventually linearizable).
+
+use crate::{t_linearizability, weak_consistency};
+use evlin_history::{History, ObjectUniverse, OpId};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of the eventual-linearizability analysis of a (finite)
+/// history.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventualReport {
+    /// Whether the history is weakly consistent (the safety half).
+    pub weakly_consistent: bool,
+    /// The smallest `t` for which the history is `t`-linearizable, if one was
+    /// found within the search limits (the liveness half).
+    pub min_stabilization: Option<usize>,
+    /// Number of events in the analysed history.
+    pub history_len: usize,
+    /// Number of completed operations in the analysed history.
+    pub completed_operations: usize,
+}
+
+impl EventualReport {
+    /// Whether the history is eventually linearizable (finite-history
+    /// reading: weakly consistent and `t`-linearizable for some `t`).
+    pub fn is_eventually_linearizable(&self) -> bool {
+        self.weakly_consistent && self.min_stabilization.is_some()
+    }
+
+    /// Whether the history is linearizable outright (stabilization index 0).
+    pub fn is_linearizable(&self) -> bool {
+        self.weakly_consistent && self.min_stabilization == Some(0)
+    }
+}
+
+/// Analyses a history: weak consistency plus the minimal stabilization index.
+pub fn analyze(history: &History, universe: &ObjectUniverse) -> EventualReport {
+    EventualReport {
+        weakly_consistent: weak_consistency::is_weakly_consistent(history, universe),
+        min_stabilization: t_linearizability::min_stabilization(history, universe, None),
+        history_len: history.len(),
+        completed_operations: history.complete_operations().len(),
+    }
+}
+
+/// Convenience predicate: weakly consistent and `t`-linearizable for some
+/// `t ≤ history.len()`.
+pub fn is_eventually_linearizable(history: &History, universe: &ObjectUniverse) -> bool {
+    analyze(history, universe).is_eventually_linearizable()
+}
+
+/// Details of a weak-consistency violation found by [`diagnose`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// The overall report.
+    pub report: EventualReport,
+    /// Operations violating Definition 1, if any.
+    pub weak_violations: Vec<OpId>,
+}
+
+/// Like [`analyze`] but also lists the operations violating weak consistency.
+pub fn diagnose(history: &History, universe: &ObjectUniverse) -> Diagnosis {
+    let weak_violations = weak_consistency::violations(history, universe);
+    let report = EventualReport {
+        weakly_consistent: weak_violations.is_empty(),
+        min_stabilization: t_linearizability::min_stabilization(history, universe, None),
+        history_len: history.len(),
+        completed_operations: history.complete_operations().len(),
+    };
+    Diagnosis {
+        report,
+        weak_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlin_history::{HistoryBuilder, ProcessId};
+    use evlin_spec::{FetchIncrement, Register, Value};
+
+    #[test]
+    fn linearizable_history_report() {
+        let mut u = ObjectUniverse::new();
+        let x = u.add_object(FetchIncrement::new());
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .build();
+        let r = analyze(&h, &u);
+        assert!(r.is_linearizable());
+        assert!(r.is_eventually_linearizable());
+        assert_eq!(r.min_stabilization, Some(0));
+        assert_eq!(r.completed_operations, 2);
+        assert_eq!(r.history_len, 4);
+    }
+
+    #[test]
+    fn stale_but_weakly_consistent_history_report() {
+        let mut u = ObjectUniverse::new();
+        let x = u.add_object(FetchIncrement::new());
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .build();
+        let r = analyze(&h, &u);
+        assert!(!r.is_linearizable());
+        assert!(r.is_eventually_linearizable());
+        assert_eq!(r.min_stabilization, Some(2));
+    }
+
+    #[test]
+    fn weak_violation_is_diagnosed() {
+        let mut u = ObjectUniverse::new();
+        let reg = u.add_object(Register::new(Value::from(0i64)));
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), reg, Register::read(), Value::from(42i64))
+            .build();
+        let d = diagnose(&h, &u);
+        assert!(!d.report.weakly_consistent);
+        assert!(!d.report.is_eventually_linearizable());
+        assert_eq!(d.weak_violations, vec![OpId(0)]);
+        // The liveness half still holds for the finite history.
+        assert!(d.report.min_stabilization.is_some());
+    }
+
+    #[test]
+    fn empty_history_is_eventually_linearizable() {
+        let u = ObjectUniverse::new();
+        let r = analyze(&History::new(), &u);
+        assert!(r.is_eventually_linearizable());
+        assert!(r.is_linearizable());
+    }
+}

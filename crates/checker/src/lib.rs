@@ -1,0 +1,61 @@
+//! # evlin-checker
+//!
+//! Decision procedures for the consistency conditions of Guerraoui & Ruppert
+//! (PODC 2014), Section 3:
+//!
+//! * [`linearizability`] — classical linearizability (= 0-linearizability),
+//!   decided by a constrained-linearization search in the style of Wing &
+//!   Gong with memoization;
+//! * [`t_linearizability`] — Definition 2: linearizability "after the first
+//!   `t` events", including [`t_linearizability::min_stabilization`] which
+//!   finds the smallest such `t`;
+//! * [`weak_consistency`] — Definition 1: responses are never "out of left
+//!   field" even before stabilization;
+//! * [`eventual`] — Definition 3/4: weak consistency plus `t`-linearizability
+//!   for some `t`;
+//! * [`safety`] — prefix- and limit-closure test harnesses used to reproduce
+//!   the paper's observations about which conditions are safety properties;
+//! * [`locality`] — the per-object decompositions of Lemmas 7–9 and
+//!   Proposition 9;
+//! * [`fi`] — specialized, near-linear-time checkers for fetch&increment
+//!   histories, used by the large-scale experiments (the generic search is
+//!   exponential in the worst case).
+//!
+//! ## Example
+//!
+//! ```
+//! use evlin_checker::{linearizability, t_linearizability};
+//! use evlin_history::{HistoryBuilder, ObjectUniverse, ProcessId};
+//! use evlin_spec::{FetchIncrement, Value};
+//!
+//! let mut universe = ObjectUniverse::new();
+//! let x = universe.add_object(FetchIncrement::new());
+//!
+//! // Two concurrent fetch&inc operations that both return 0: not
+//! // linearizable, but 2-linearizable (drop the first two events).
+//! let h = HistoryBuilder::new()
+//!     .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+//!     .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+//!     .build();
+//!
+//! assert!(!linearizability::is_linearizable(&h, &universe));
+//! assert_eq!(t_linearizability::min_stabilization(&h, &universe, None), Some(2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod eventual;
+pub mod fi;
+pub mod linearizability;
+pub mod locality;
+pub mod safety;
+pub mod search;
+pub mod t_linearizability;
+pub mod weak_consistency;
+mod util;
+
+pub use eventual::{is_eventually_linearizable, EventualReport};
+pub use linearizability::{is_linearizable, linearization_witness};
+pub use t_linearizability::{is_t_linearizable, min_stabilization};
+pub use weak_consistency::is_weakly_consistent;

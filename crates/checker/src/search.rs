@@ -1,0 +1,374 @@
+//! The constrained-linearization search engine.
+//!
+//! Linearizability (Definition in [Herlihy & Wing 1990]) and
+//! `t`-linearizability (Definition 2 of the paper) both reduce to the same
+//! question: *is there a legal sequential arrangement of a set of operations
+//! that (a) includes every required operation, (b) assigns each operation a
+//! legal response, matching the fixed response where one is imposed, and
+//! (c) respects a given precedence relation between operations?*
+//!
+//! [`SearchProblem`] captures that question and [`search`] answers it with a
+//! depth-first search over partial linearizations, memoizing visited
+//! (linearized-set, object-states) pairs — the classic Wing–Gong approach
+//! generalized to per-operation constraints.
+
+use crate::util::BitSet;
+use evlin_history::{ObjectUniverse, OperationRecord};
+use evlin_spec::Value;
+use std::collections::HashSet;
+
+/// One operation of a search problem, together with its constraints.
+#[derive(Debug, Clone)]
+pub struct ConstrainedOp {
+    /// The underlying operation (object, invocation, original indices).
+    pub record: OperationRecord,
+    /// Whether the operation must appear in the sequential witness.
+    /// Operations that completed in the history are required; pending
+    /// operations are optional.
+    pub required: bool,
+    /// The response the witness must assign, or `None` if any legal response
+    /// is acceptable (pending operations, and operations whose response fell
+    /// in the unconstrained prefix for `t`-linearizability).
+    pub fixed_response: Option<Value>,
+}
+
+/// A constrained-linearization problem.
+#[derive(Debug, Clone)]
+pub struct SearchProblem {
+    /// The operations, with their constraints.
+    pub ops: Vec<ConstrainedOp>,
+    /// Precedence edges `(i, j)`: if both operations appear in the witness,
+    /// operation `i` must be placed before operation `j`.
+    ///
+    /// All reductions in this crate only create edges whose source is a
+    /// *required* operation, which lets the search treat an edge as "source
+    /// must already be linearized before the target can be taken".
+    pub precedence: Vec<(usize, usize)>,
+}
+
+/// A successful search outcome: a witness linearization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Indices (into [`SearchProblem::ops`]) of the operations included in
+    /// the witness, in linearization order.
+    pub order: Vec<usize>,
+    /// The response assigned to each included operation, in the same order.
+    pub responses: Vec<Value>,
+}
+
+/// Limits placed on the search to keep worst-case behaviour under control.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchLimits {
+    /// Maximum number of search nodes to expand before giving up.
+    pub max_nodes: usize,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits {
+            max_nodes: 2_000_000,
+        }
+    }
+}
+
+/// The verdict of a search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchResult {
+    /// A witness linearization exists.
+    Yes(Witness),
+    /// No witness linearization exists.
+    No,
+    /// The search gave up after expanding [`SearchLimits::max_nodes`] nodes.
+    Unknown,
+}
+
+impl SearchResult {
+    /// `true` iff the result is [`SearchResult::Yes`].
+    pub fn is_yes(&self) -> bool {
+        matches!(self, SearchResult::Yes(_))
+    }
+
+    /// Extracts the witness, if any.
+    pub fn witness(self) -> Option<Witness> {
+        match self {
+            SearchResult::Yes(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+struct Searcher<'a> {
+    problem: &'a SearchProblem,
+    universe: &'a ObjectUniverse,
+    /// predecessors[j] = indices i with an edge (i, j).
+    predecessors: Vec<Vec<usize>>,
+    required_count: usize,
+    visited: HashSet<(BitSet, Vec<Value>)>,
+    limits: SearchLimits,
+    nodes: usize,
+    exhausted: bool,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(problem: &'a SearchProblem, universe: &'a ObjectUniverse, limits: SearchLimits) -> Self {
+        let n = problem.ops.len();
+        let mut predecessors = vec![Vec::new(); n];
+        for &(i, j) in &problem.precedence {
+            predecessors[j].push(i);
+        }
+        let required_count = problem.ops.iter().filter(|o| o.required).count();
+        Searcher {
+            problem,
+            universe,
+            predecessors,
+            required_count,
+            visited: HashSet::new(),
+            limits,
+            nodes: 0,
+            exhausted: false,
+        }
+    }
+
+    fn run(&mut self) -> SearchResult {
+        let n = self.problem.ops.len();
+        let taken = BitSet::with_capacity(n.max(1));
+        let states: Vec<Value> = self
+            .universe
+            .object_ids()
+            .iter()
+            .map(|id| self.universe.initial_state(*id).clone())
+            .collect();
+        let mut order = Vec::new();
+        let mut responses = Vec::new();
+        if self.dfs(taken, states, 0, &mut order, &mut responses) {
+            SearchResult::Yes(Witness { order, responses })
+        } else if self.exhausted {
+            SearchResult::Unknown
+        } else {
+            SearchResult::No
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        taken: BitSet,
+        states: Vec<Value>,
+        required_taken: usize,
+        order: &mut Vec<usize>,
+        responses: &mut Vec<Value>,
+    ) -> bool {
+        if required_taken == self.required_count {
+            return true;
+        }
+        self.nodes += 1;
+        if self.nodes > self.limits.max_nodes {
+            self.exhausted = true;
+            return false;
+        }
+        if !self.visited.insert((taken.clone(), states.clone())) {
+            return false;
+        }
+        let n = self.problem.ops.len();
+        for i in 0..n {
+            if taken.contains(i) {
+                continue;
+            }
+            // All (required) predecessors must already be linearized.
+            if self.predecessors[i]
+                .iter()
+                .any(|&p| self.problem.ops[p].required && !taken.contains(p))
+            {
+                continue;
+            }
+            let cop = &self.problem.ops[i];
+            // Greedy pruning: linearizing an *optional* operation only helps
+            // if some required operation is still missing, which is always
+            // the case here (required_taken < required_count), so we try it.
+            let object = cop.record.object;
+            let state = &states[object.index()];
+            let ty = self.universe.object_type(object);
+            let transitions = ty.transitions(state, &cop.record.invocation);
+            for tr in transitions {
+                if let Some(fixed) = &cop.fixed_response {
+                    if &tr.response != fixed {
+                        continue;
+                    }
+                }
+                let mut new_taken = taken.clone();
+                new_taken.set(i);
+                let mut new_states = states.clone();
+                new_states[object.index()] = tr.next_state.clone();
+                order.push(i);
+                responses.push(tr.response.clone());
+                let new_required = required_taken + usize::from(cop.required);
+                if self.dfs(new_taken, new_states, new_required, order, responses) {
+                    return true;
+                }
+                order.pop();
+                responses.pop();
+            }
+        }
+        false
+    }
+}
+
+/// Runs the constrained-linearization search.
+///
+/// Returns [`SearchResult::Yes`] with a witness if a legal arrangement
+/// exists, [`SearchResult::No`] if provably none exists, and
+/// [`SearchResult::Unknown`] if the node budget was exhausted first.
+pub fn search(
+    problem: &SearchProblem,
+    universe: &ObjectUniverse,
+    limits: SearchLimits,
+) -> SearchResult {
+    Searcher::new(problem, universe, limits).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlin_history::{HistoryBuilder, ObjectId, ProcessId};
+    use evlin_spec::{Register, Value};
+
+    fn problem_from(
+        history: &evlin_history::History,
+        fix_all: bool,
+    ) -> (SearchProblem, Vec<(usize, usize)>) {
+        let ops = history.operations();
+        let mut cops = Vec::new();
+        for op in &ops {
+            cops.push(ConstrainedOp {
+                required: op.is_complete(),
+                fixed_response: if fix_all { op.response.clone() } else { None },
+                record: op.clone(),
+            });
+        }
+        let mut precedence = Vec::new();
+        for (i, a) in ops.iter().enumerate() {
+            for (j, b) in ops.iter().enumerate() {
+                if i != j && a.precedes(b) {
+                    precedence.push((i, j));
+                }
+            }
+        }
+        (
+            SearchProblem {
+                ops: cops,
+                precedence: precedence.clone(),
+            },
+            precedence,
+        )
+    }
+
+    #[test]
+    fn accepts_simple_register_history() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(ProcessId(1), r, Register::read(), Value::from(1i64))
+            .build();
+        let (p, _) = problem_from(&h, true);
+        let result = search(&p, &u, SearchLimits::default());
+        let w = result.witness().expect("should be linearizable");
+        assert_eq!(w.order.len(), 2);
+        assert_eq!(w.responses[0], Value::Unit);
+    }
+
+    #[test]
+    fn rejects_stale_read_after_write() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        // write(1) completes strictly before read() starts, yet read returns 0.
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(ProcessId(1), r, Register::read(), Value::from(0i64))
+            .build();
+        let (p, _) = problem_from(&h, true);
+        assert_eq!(search(&p, &u, SearchLimits::default()), SearchResult::No);
+    }
+
+    #[test]
+    fn pending_write_can_justify_a_read() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        // p0's write(5) never completes, but p1 reads 5: linearizable by
+        // including the pending write.
+        let h = HistoryBuilder::new()
+            .invoke(ProcessId(0), r, Register::write(Value::from(5i64)))
+            .complete(ProcessId(1), r, Register::read(), Value::from(5i64))
+            .build();
+        let (p, _) = problem_from(&h, true);
+        let w = search(&p, &u, SearchLimits::default())
+            .witness()
+            .expect("linearizable with pending write");
+        assert_eq!(w.order.len(), 2); // the pending write was included
+    }
+
+    #[test]
+    fn unfixed_responses_relax_the_problem() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(ProcessId(1), r, Register::read(), Value::from(99i64))
+            .build();
+        // With fixed responses the read of 99 is illegal...
+        let (fixed, _) = problem_from(&h, true);
+        assert_eq!(search(&fixed, &u, SearchLimits::default()), SearchResult::No);
+        // ...but if responses are left free the operations can be arranged.
+        let (free, _) = problem_from(&h, false);
+        assert!(search(&free, &u, SearchLimits::default()).is_yes());
+    }
+
+    #[test]
+    fn node_budget_reports_unknown() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let mut b = HistoryBuilder::new();
+        for i in 0..6 {
+            b = b
+                .invoke(ProcessId(i), r, Register::write(Value::from(i as i64)))
+                .invoke(ProcessId(i + 6), r, Register::read());
+        }
+        for i in 0..6 {
+            b = b
+                .respond(ProcessId(i), r, Value::Unit)
+                .respond(ProcessId(i + 6), r, Value::from(((i + 1) % 6) as i64));
+        }
+        let h = b.build();
+        let (p, _) = problem_from(&h, true);
+        let result = search(&p, &u, SearchLimits { max_nodes: 3 });
+        assert_eq!(result, SearchResult::Unknown);
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_satisfiable() {
+        let u = ObjectUniverse::new();
+        let p = SearchProblem {
+            ops: Vec::new(),
+            precedence: Vec::new(),
+        };
+        assert!(search(&p, &u, SearchLimits::default()).is_yes());
+    }
+
+    #[test]
+    fn witness_respects_precedence() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let o = ObjectId(0);
+        assert_eq!(r, o);
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(ProcessId(0), r, Register::write(Value::from(2i64)), Value::Unit)
+            .complete(ProcessId(1), r, Register::read(), Value::from(2i64))
+            .build();
+        let (p, precedence) = problem_from(&h, true);
+        let w = search(&p, &u, SearchLimits::default()).witness().unwrap();
+        let pos = |i: usize| w.order.iter().position(|&x| x == i).unwrap();
+        for (a, b) in precedence {
+            assert!(pos(a) < pos(b), "edge ({a},{b}) violated");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! `t`-linearizability (Definition 2) and the minimal stabilization index.
+//!
+//! A legal sequential history `S` is a *t-linearization* of `H` when, with
+//! `H'` the suffix of `H` after its first `t` events:
+//!
+//! 1. every operation invoked in `S` is invoked in `H`;
+//! 2. every operation completed in `H` is completed in `S`;
+//! 3. if `op1`'s response precedes `op2`'s invocation, both events lie in
+//!    `H'`, and `op2` appears in `S`, then `op1` precedes `op2` in `S`;
+//! 4. every operation whose response lies in `H'` has the same response in
+//!    `S`.
+//!
+//! Operations whose response falls inside the first `t` events therefore must
+//! still appear in `S`, but their responses and their ordering are
+//! unconstrained — that is how the definition forgives an arbitrarily bad
+//! finite prefix.
+
+use crate::search::{search, ConstrainedOp, SearchLimits, SearchProblem, SearchResult, Witness};
+use evlin_history::{History, ObjectUniverse};
+
+/// Builds the constrained-linearization problem corresponding to
+/// `t`-linearizability of `history`.
+pub fn problem_for(history: &History, t: usize) -> SearchProblem {
+    let ops = history.operations();
+    let mut cops = Vec::with_capacity(ops.len());
+    for op in &ops {
+        let responds_in_suffix = op.respond_index.map(|r| r >= t).unwrap_or(false);
+        cops.push(ConstrainedOp {
+            required: op.is_complete(),
+            fixed_response: if responds_in_suffix {
+                op.response.clone()
+            } else {
+                None
+            },
+            record: op.clone(),
+        });
+    }
+    let mut precedence = Vec::new();
+    for (i, a) in ops.iter().enumerate() {
+        let Some(ra) = a.respond_index else { continue };
+        if ra < t {
+            continue; // a's response is not in H'
+        }
+        for (j, b) in ops.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if b.invoke_index >= t && ra < b.invoke_index {
+                precedence.push((i, j));
+            }
+        }
+    }
+    SearchProblem {
+        ops: cops,
+        precedence,
+    }
+}
+
+/// Decides whether `history` is `t`-linearizable.
+///
+/// Uses the default [`SearchLimits`]; an exhausted node budget is reported as
+/// *not* `t`-linearizable, which is the conservative answer for the
+/// experiments (it can only under-report stabilization).
+pub fn is_t_linearizable(history: &History, universe: &ObjectUniverse, t: usize) -> bool {
+    t_linearization(history, universe, t).is_some()
+}
+
+/// Like [`is_t_linearizable`] but returns the witness `t`-linearization.
+pub fn t_linearization(history: &History, universe: &ObjectUniverse, t: usize) -> Option<Witness> {
+    let problem = problem_for(history, t);
+    match search(&problem, universe, SearchLimits::default()) {
+        SearchResult::Yes(w) => Some(w),
+        _ => None,
+    }
+}
+
+/// Finds the smallest `t` such that `history` is `t`-linearizable, searching
+/// `t ∈ [0, limit]` (where `limit` defaults to the history length).
+///
+/// By Lemma 5 of the paper, `t`-linearizability is monotone in `t`, so a
+/// binary search is sound.  Returns `None` if the history is not even
+/// `limit`-linearizable (which cannot happen for total types when `limit`
+/// is the history length).
+pub fn min_stabilization(
+    history: &History,
+    universe: &ObjectUniverse,
+    limit: Option<usize>,
+) -> Option<usize> {
+    let hi_bound = limit.unwrap_or(history.len());
+    if !is_t_linearizable(history, universe, hi_bound) {
+        return None;
+    }
+    let mut lo = 0usize; // candidate answer space: [lo, hi], hi known-good
+    let mut hi = hi_bound;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if is_t_linearizable(history, universe, mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlin_history::{HistoryBuilder, ProcessId};
+    use evlin_spec::{FetchIncrement, Register, Value};
+
+    fn fi_universe() -> (ObjectUniverse, evlin_history::ObjectId) {
+        let mut u = ObjectUniverse::new();
+        let x = u.add_object(FetchIncrement::new());
+        (u, x)
+    }
+
+    #[test]
+    fn duplicate_zero_returns_need_t_two() {
+        let (u, x) = fi_universe();
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .build();
+        assert!(!is_t_linearizable(&h, &u, 0));
+        assert!(!is_t_linearizable(&h, &u, 1));
+        assert!(is_t_linearizable(&h, &u, 2));
+        assert_eq!(min_stabilization(&h, &u, None), Some(2));
+    }
+
+    #[test]
+    fn linearizable_history_has_stabilization_zero() {
+        let (u, x) = fi_universe();
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .build();
+        assert_eq!(min_stabilization(&h, &u, None), Some(0));
+    }
+
+    #[test]
+    fn paper_section_3_2_history_prefixes() {
+        // The infinite history from Section 3.2:
+        //   p: fetch_inc -> 0, then q: fetch_inc -> 0, 1, 2, ...
+        // Every finite prefix is 2-linearizable (t = response of the first
+        // operation): the t-linearization moves the first operation to the
+        // end.  We verify a few prefixes.
+        let (u, x) = fi_universe();
+        let mut b = HistoryBuilder::new().complete(
+            ProcessId(0),
+            x,
+            FetchIncrement::fetch_inc(),
+            Value::from(0i64),
+        );
+        for k in 0..4i64 {
+            b = b.complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(k));
+        }
+        let h = b.build();
+        for n in (2..=h.len()).step_by(2) {
+            let prefix = h.prefix(n);
+            assert!(
+                is_t_linearizable(&prefix, &u, 2),
+                "prefix of {n} events should be 2-linearizable"
+            );
+        }
+        // But the full prefix (which stands in for the infinite history) is
+        // not 0- or 1-linearizable.
+        assert!(!is_t_linearizable(&h, &u, 0));
+        assert_eq!(min_stabilization(&h, &u, None), Some(2));
+    }
+
+    #[test]
+    fn witness_reassigns_early_responses() {
+        let (u, x) = fi_universe();
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(7i64))
+            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .build();
+        // The nonsense response 7 lies in the first two events, so with t = 2
+        // the witness may give that operation a different (legal) response.
+        let w = t_linearization(&h, &u, 2).expect("2-linearizable");
+        assert_eq!(w.order.len(), 2);
+        let mut responses = w.responses.clone();
+        responses.sort();
+        assert_eq!(responses, vec![Value::from(0i64), Value::from(1i64)]);
+        assert!(!is_t_linearizable(&h, &u, 0));
+    }
+
+    #[test]
+    fn monotone_in_t_lemma_5() {
+        let (u, x) = fi_universe();
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .build();
+        let t0 = min_stabilization(&h, &u, None).unwrap();
+        for t in t0..=h.len() {
+            assert!(is_t_linearizable(&h, &u, t), "monotonicity violated at t={t}");
+        }
+        for t in 0..t0 {
+            assert!(!is_t_linearizable(&h, &u, t));
+        }
+    }
+
+    #[test]
+    fn register_history_with_early_garbage() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let h = HistoryBuilder::new()
+            // Garbage read (99 was never written) in the prefix...
+            .complete(ProcessId(0), r, Register::read(), Value::from(99i64))
+            // ...then well-behaved operations.
+            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(ProcessId(1), r, Register::read(), Value::from(1i64))
+            .build();
+        assert!(!is_t_linearizable(&h, &u, 0));
+        assert_eq!(min_stabilization(&h, &u, None), Some(2));
+    }
+
+    #[test]
+    fn empty_history_is_zero_linearizable() {
+        let (u, _) = fi_universe();
+        let h = History::new();
+        assert!(is_t_linearizable(&h, &u, 0));
+        assert_eq!(min_stabilization(&h, &u, None), Some(0));
+    }
+}

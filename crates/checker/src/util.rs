@@ -1,0 +1,71 @@
+//! Small utilities shared by the checkers.
+
+/// A dynamically sized bit set used to memoize which operations have already
+/// been linearized in a search state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+#[allow(dead_code)] // `clear`/`count` are exercised by unit tests only.
+impl BitSet {
+    /// Creates a bit set able to hold `n` bits, all clear.
+    pub fn with_capacity(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Sets bit `i`.
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    pub fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_contains_count() {
+        let mut b = BitSet::with_capacity(130);
+        assert!(!b.contains(0));
+        b.set(0);
+        b.set(65);
+        b.set(129);
+        assert!(b.contains(0) && b.contains(65) && b.contains(129));
+        assert!(!b.contains(64));
+        assert_eq!(b.count(), 3);
+        b.clear(65);
+        assert!(!b.contains(65));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn equality_and_hash_reflect_contents() {
+        use std::collections::HashSet;
+        let mut a = BitSet::with_capacity(10);
+        let mut b = BitSet::with_capacity(10);
+        a.set(3);
+        b.set(3);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+    }
+}

@@ -1,0 +1,395 @@
+//! Weak consistency (Definition 1).
+//!
+//! A history `H` is *weakly consistent* if for each operation `op` that has a
+//! response in `H` there is a legal sequential history `S` that
+//!
+//! * contains only operations invoked in `H` before `op` terminates,
+//! * contains all operations performed by the same process that precede `op`
+//!   in `H`, and
+//! * ends with the same response to `op` as in `H`.
+//!
+//! Only the *response of `op` itself* is constrained — the other operations
+//! of `S` merely have to be arrangeable legally.  The checker therefore
+//! searches over sequences of **invocations** (grouping interchangeable
+//! optional invocations into multisets) and asks whether some arrangement
+//! makes the final application of `op`'s invocation return `op`'s response.
+
+use evlin_history::{History, ObjectUniverse, OpId, OperationRecord};
+use evlin_spec::{Invocation, Value};
+use std::collections::{BTreeMap, HashSet};
+
+/// Limits on the per-operation search.
+#[derive(Debug, Clone, Copy)]
+pub struct WeakLimits {
+    /// Maximum number of search states explored per checked operation.
+    pub max_nodes: usize,
+}
+
+impl Default for WeakLimits {
+    fn default() -> Self {
+        WeakLimits { max_nodes: 200_000 }
+    }
+}
+
+/// Decides whether the whole history is weakly consistent.
+pub fn is_weakly_consistent(history: &History, universe: &ObjectUniverse) -> bool {
+    violations_with_limits(history, universe, WeakLimits::default()).is_empty()
+}
+
+/// Returns the identifiers of all completed operations that violate
+/// Definition 1 (empty when the history is weakly consistent).
+pub fn violations(history: &History, universe: &ObjectUniverse) -> Vec<OpId> {
+    violations_with_limits(history, universe, WeakLimits::default())
+}
+
+/// [`violations`] with explicit search limits.  An operation whose search
+/// exhausts the node budget is conservatively reported as a violation.
+pub fn violations_with_limits(
+    history: &History,
+    universe: &ObjectUniverse,
+    limits: WeakLimits,
+) -> Vec<OpId> {
+    let ops = history.operations();
+    let mut bad = Vec::new();
+    for op in ops.iter().filter(|op| op.is_complete()) {
+        if !operation_satisfies_definition(op, &ops, universe, limits) {
+            bad.push(op.id);
+        }
+    }
+    bad
+}
+
+/// Checks Definition 1 for a single completed operation.
+pub fn check_operation(
+    history: &History,
+    universe: &ObjectUniverse,
+    op_id: OpId,
+    limits: WeakLimits,
+) -> bool {
+    let ops = history.operations();
+    let Some(op) = ops.iter().find(|o| o.id == op_id) else {
+        return false;
+    };
+    if op.is_pending() {
+        // Definition 1 only constrains operations that have a response.
+        return true;
+    }
+    operation_satisfies_definition(op, &ops, universe, limits)
+}
+
+fn operation_satisfies_definition(
+    op: &OperationRecord,
+    all_ops: &[OperationRecord],
+    universe: &ObjectUniverse,
+    limits: WeakLimits,
+) -> bool {
+    let respond_index = op
+        .respond_index
+        .expect("only completed operations are checked");
+    let target_response = op.response.clone().expect("completed");
+
+    // Operations by the same process that precede `op` in H (program order).
+    let must: Vec<&OperationRecord> = all_ops
+        .iter()
+        .filter(|o| o.process == op.process && o.invoke_index < op.invoke_index)
+        .collect();
+
+    // Optional operations: invoked before `op` terminates.  Only operations
+    // on the same object can influence the legality of `op`'s response, so
+    // restricting the optional pool to them is sound (cf. Lemma 8) and keeps
+    // the search small.
+    let mut optional_counts: BTreeMap<(usize, Invocation), usize> = BTreeMap::new();
+    let must_ids: HashSet<OpId> = must.iter().map(|o| o.id).collect();
+    for o in all_ops {
+        if o.id == op.id || must_ids.contains(&o.id) {
+            continue;
+        }
+        if o.object == op.object && o.invoke_index < respond_index {
+            *optional_counts
+                .entry((o.object.index(), o.invocation.clone()))
+                .or_insert(0) += 1;
+        }
+    }
+    let optional: Vec<((usize, Invocation), usize)> = optional_counts.into_iter().collect();
+
+    // Search state: object states + which must-ops have been applied + how
+    // many of each optional invocation group have been applied.
+    let initial_states: Vec<Value> = universe
+        .object_ids()
+        .iter()
+        .map(|id| universe.initial_state(*id).clone())
+        .collect();
+
+    let mut visited: HashSet<(Vec<Value>, u64, Vec<usize>)> = HashSet::new();
+    let mut nodes = 0usize;
+    let optional_used = vec![0usize; optional.len()];
+    dfs(
+        op,
+        &target_response,
+        &must,
+        &optional,
+        universe,
+        initial_states,
+        0,
+        optional_used,
+        &mut visited,
+        &mut nodes,
+        limits,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    op: &OperationRecord,
+    target_response: &Value,
+    must: &[&OperationRecord],
+    optional: &[((usize, Invocation), usize)],
+    universe: &ObjectUniverse,
+    states: Vec<Value>,
+    must_mask: u64,
+    optional_used: Vec<usize>,
+    visited: &mut HashSet<(Vec<Value>, u64, Vec<usize>)>,
+    nodes: &mut usize,
+    limits: WeakLimits,
+) -> bool {
+    *nodes += 1;
+    if *nodes > limits.max_nodes {
+        return false;
+    }
+    if !visited.insert((states.clone(), must_mask, optional_used.clone())) {
+        return false;
+    }
+
+    // Try to finish: all must-ops applied and applying `op` yields the target
+    // response.
+    let all_must_applied = must_mask.count_ones() as usize == must.len();
+    if all_must_applied {
+        let ty = universe.object_type(op.object);
+        let state = &states[op.object.index()];
+        if ty
+            .transitions(state, &op.invocation)
+            .iter()
+            .any(|t| &t.response == target_response)
+        {
+            return true;
+        }
+    }
+
+    // Apply an unused must-operation (its response is unconstrained).
+    for (i, m) in must.iter().enumerate() {
+        if must_mask & (1 << i) != 0 {
+            continue;
+        }
+        let ty = universe.object_type(m.object);
+        let state = &states[m.object.index()];
+        for tr in ty.transitions(state, &m.invocation) {
+            let mut next_states = states.clone();
+            next_states[m.object.index()] = tr.next_state;
+            if dfs(
+                op,
+                target_response,
+                must,
+                optional,
+                universe,
+                next_states,
+                must_mask | (1 << i),
+                optional_used.clone(),
+                visited,
+                nodes,
+                limits,
+            ) {
+                return true;
+            }
+        }
+    }
+
+    // Apply one more instance of an optional invocation group.
+    for (gi, ((obj_idx, inv), avail)) in optional.iter().enumerate() {
+        if optional_used[gi] >= *avail {
+            continue;
+        }
+        let object = evlin_history::ObjectId(*obj_idx);
+        let ty = universe.object_type(object);
+        let state = &states[*obj_idx];
+        for tr in ty.transitions(state, inv) {
+            let mut next_states = states.clone();
+            next_states[*obj_idx] = tr.next_state;
+            let mut next_used = optional_used.clone();
+            next_used[gi] += 1;
+            if dfs(
+                op,
+                target_response,
+                must,
+                optional,
+                universe,
+                next_states,
+                must_mask,
+                next_used,
+                visited,
+                nodes,
+                limits,
+            ) {
+                return true;
+            }
+        }
+    }
+
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlin_history::{HistoryBuilder, ProcessId};
+    use evlin_spec::{Consensus, FetchIncrement, Register, Value};
+
+    #[test]
+    fn reads_of_written_values_are_weakly_consistent() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        // The read of 1 overlaps the write of 1: allowed.
+        let h = HistoryBuilder::new()
+            .invoke(ProcessId(0), r, Register::write(Value::from(1i64)))
+            .complete(ProcessId(1), r, Register::read(), Value::from(1i64))
+            .respond(ProcessId(0), r, Value::Unit)
+            .build();
+        assert!(is_weakly_consistent(&h, &u));
+    }
+
+    #[test]
+    fn out_of_left_field_read_is_a_violation() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        // 7 is never written by anyone, so no legal sequential history can
+        // justify the read of 7.
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(ProcessId(1), r, Register::read(), Value::from(7i64))
+            .build();
+        assert!(!is_weakly_consistent(&h, &u));
+        let v = violations(&h, &u);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0], OpId(1));
+    }
+
+    #[test]
+    fn value_from_a_later_write_is_a_violation() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        // The read returns 5, but write(5) is invoked only after the read
+        // terminated — Definition 1 only allows operations invoked before the
+        // read terminates.
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(1), r, Register::read(), Value::from(5i64))
+            .complete(ProcessId(0), r, Register::write(Value::from(5i64)), Value::Unit)
+            .build();
+        assert!(!is_weakly_consistent(&h, &u));
+    }
+
+    #[test]
+    fn own_writes_must_be_respected() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        // p0 writes 3 and then reads 0: the read ignores p0's own earlier
+        // write, violating the "contains all operations performed by the same
+        // process" clause (no legal history containing write(3) ends with a
+        // read of 0 unless someone else wrote 0 — nobody did... note the
+        // initial value is 0, but the mandatory write(3) would have to be
+        // ordered after the read, which Definition 1 forbids since S must end
+        // with op).
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), r, Register::write(Value::from(3i64)), Value::Unit)
+            .complete(ProcessId(0), r, Register::read(), Value::from(0i64))
+            .build();
+        assert!(!is_weakly_consistent(&h, &u));
+
+        // Whereas another process may still read 0 (it need not have seen the
+        // write).
+        let h2 = HistoryBuilder::new()
+            .complete(ProcessId(0), r, Register::write(Value::from(3i64)), Value::Unit)
+            .complete(ProcessId(1), r, Register::read(), Value::from(0i64))
+            .build();
+        assert!(is_weakly_consistent(&h2, &u));
+    }
+
+    #[test]
+    fn duplicate_fetch_inc_zeroes_are_weakly_consistent_but_not_linearizable() {
+        // This is the key distinction the paper draws: returning a stale
+        // counter value is weakly consistent (each response is justified by
+        // *some* subset of operations) even though it is not linearizable.
+        let mut u = ObjectUniverse::new();
+        let x = u.add_object(FetchIncrement::new());
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .build();
+        assert!(is_weakly_consistent(&h, &u));
+        assert!(!crate::linearizability::is_linearizable(&h, &u));
+    }
+
+    #[test]
+    fn repeated_stale_zero_by_same_process_is_rejected() {
+        // A process that performs two fetch&inc operations cannot get 0 both
+        // times: its second operation must account for its own first one.
+        let mut u = ObjectUniverse::new();
+        let x = u.add_object(FetchIncrement::new());
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .build();
+        assert!(!is_weakly_consistent(&h, &u));
+    }
+
+    #[test]
+    fn consensus_must_return_some_invoked_proposal() {
+        let mut u = ObjectUniverse::new();
+        let c = u.add_object(Consensus::new());
+        let ok = HistoryBuilder::new()
+            .invoke(ProcessId(0), c, Consensus::propose(Value::from(4i64)))
+            .complete(ProcessId(1), c, Consensus::propose(Value::from(9i64)), Value::from(4i64))
+            .respond(ProcessId(0), c, Value::from(4i64))
+            .build();
+        assert!(is_weakly_consistent(&ok, &u));
+
+        let bad = HistoryBuilder::new()
+            .complete(ProcessId(1), c, Consensus::propose(Value::from(9i64)), Value::from(4i64))
+            .build();
+        // Nobody ever proposed 4 before this operation terminated.
+        assert!(!is_weakly_consistent(&bad, &u));
+    }
+
+    #[test]
+    fn pending_operations_are_not_checked() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let h = HistoryBuilder::new()
+            .invoke(ProcessId(0), r, Register::write(Value::from(1i64)))
+            .build();
+        assert!(is_weakly_consistent(&h, &u));
+        assert!(check_operation(&h, &u, OpId(0), WeakLimits::default()));
+    }
+
+    #[test]
+    fn empty_history_is_weakly_consistent() {
+        let u = ObjectUniverse::new();
+        assert!(is_weakly_consistent(&History::new(), &u));
+    }
+
+    #[test]
+    fn prefix_closure_smoke_check() {
+        // Lemma 10: weak consistency is a safety property, so every prefix of
+        // a weakly consistent history is weakly consistent.
+        let mut u = ObjectUniverse::new();
+        let x = u.add_object(FetchIncrement::new());
+        let h = HistoryBuilder::new()
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .build();
+        assert!(is_weakly_consistent(&h, &u));
+        for n in 0..=h.len() {
+            assert!(is_weakly_consistent(&h.prefix(n), &u));
+        }
+    }
+}

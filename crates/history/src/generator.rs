@@ -1,0 +1,283 @@
+//! Random history generation.
+//!
+//! The checkers in `evlin-checker` need three kinds of inputs:
+//!
+//! 1. **legal sequential histories** — produced by replaying random
+//!    invocations against the sequential specifications
+//!    ([`random_sequential_legal`]);
+//! 2. **linearizable-by-construction concurrent histories** — produced by
+//!    taking a legal sequential history as the intended linearization and
+//!    stretching operations so they overlap ([`concurrentize`]); by
+//!    construction the original sequential history is a witness
+//!    linearization, so a sound checker must accept the result;
+//! 3. **likely-violating histories** — produced by corrupting responses of a
+//!    linearizable history ([`perturb_responses`]), used as negative test
+//!    cases and for differential testing of the checkers.
+
+use crate::{Event, History, ObjectUniverse, ProcessId};
+use evlin_spec::Value;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`random_sequential_legal`].
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of processes issuing operations.
+    pub processes: usize,
+    /// Total number of operations to generate.
+    pub operations: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            processes: 2,
+            operations: 10,
+        }
+    }
+}
+
+/// Generates a random *legal sequential* history over the universe: each
+/// operation picks a random process, object and sampled invocation, and the
+/// response is obtained from the sequential specification (choosing uniformly
+/// among the transition relation's outcomes for non-deterministic types).
+pub fn random_sequential_legal<R: Rng>(
+    universe: &ObjectUniverse,
+    spec: &WorkloadSpec,
+    rng: &mut R,
+) -> History {
+    let mut history = History::new();
+    let mut states: Vec<Value> = universe
+        .object_ids()
+        .iter()
+        .map(|id| universe.initial_state(*id).clone())
+        .collect();
+    let object_ids = universe.object_ids();
+    if object_ids.is_empty() || spec.processes == 0 {
+        return history;
+    }
+    let mut generated = 0;
+    let mut attempts = 0;
+    while generated < spec.operations && attempts < spec.operations * 20 {
+        attempts += 1;
+        let process = ProcessId(rng.gen_range(0..spec.processes));
+        let object = *object_ids.choose(rng).expect("non-empty");
+        let ty = universe.object_type(object);
+        let invs = ty.sample_invocations();
+        let Some(inv) = invs.choose(rng) else {
+            continue;
+        };
+        let outcomes = ty.transitions(&states[object.index()], inv);
+        let Some(outcome) = outcomes.choose(rng) else {
+            continue; // invocation not enabled in the current state
+        };
+        history.push(Event::invoke(process, object, inv.clone()));
+        history.push(Event::respond(process, object, outcome.response.clone()));
+        states[object.index()] = outcome.next_state.clone();
+        generated += 1;
+    }
+    history
+}
+
+/// Turns a legal sequential history into a concurrent one that is
+/// linearizable by construction, using the sequential order as the witness
+/// linearization.
+///
+/// Each operation's response may be delayed past the invocations of up to
+/// `max_overlap` later operations (of other processes), which creates
+/// overlapping operations while preserving:
+///
+/// * per-process sequentiality (well-formedness), and
+/// * the property that the original sequential order respects the real-time
+///   order of the output (an operation's invocation is never moved later and
+///   its response never earlier than its slot).
+pub fn concurrentize<R: Rng>(sequential: &History, max_overlap: usize, rng: &mut R) -> History {
+    let ops = sequential.complete_operations();
+    let mut out = History::new();
+    // Pending responses: (remaining delay, event). A process with a pending
+    // response cannot invoke again until the response is flushed.
+    let mut pending: Vec<(usize, Event)> = Vec::new();
+
+    let flush_ready = |pending: &mut Vec<(usize, Event)>, out: &mut History| {
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 == 0 {
+                let (_, e) = pending.remove(i);
+                out.push(e);
+            } else {
+                i += 1;
+            }
+        }
+    };
+
+    for op in &ops {
+        // Decrement delays.
+        for entry in pending.iter_mut() {
+            entry.0 = entry.0.saturating_sub(1);
+        }
+        // The invoking process must not have a pending response.
+        if let Some(pos) = pending.iter().position(|(_, e)| e.process == op.process) {
+            let (_, e) = pending.remove(pos);
+            out.push(e);
+        }
+        flush_ready(&mut pending, &mut out);
+        out.push(Event::invoke(op.process, op.object, op.invocation.clone()));
+        let delay = if max_overlap == 0 {
+            0
+        } else {
+            rng.gen_range(0..=max_overlap)
+        };
+        let resp = Event::respond(
+            op.process,
+            op.object,
+            op.response.clone().expect("complete operation"),
+        );
+        if delay == 0 {
+            out.push(resp);
+        } else {
+            pending.push((delay, resp));
+        }
+    }
+    // Flush everything that is still pending, in order.
+    pending.sort_by_key(|(d, _)| *d);
+    for (_, e) in pending {
+        out.push(e);
+    }
+    out
+}
+
+/// Corrupts up to `count` responses of completed operations by replacing them
+/// with a different integer value, producing histories that are very likely
+/// not linearizable (and often not even weakly consistent).
+///
+/// Returns the corrupted history and the number of responses actually
+/// changed.
+pub fn perturb_responses<R: Rng>(history: &History, count: usize, rng: &mut R) -> (History, usize) {
+    let mut events: Vec<Event> = history.events().to_vec();
+    let respond_indices: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.is_respond())
+        .map(|(i, _)| i)
+        .collect();
+    if respond_indices.is_empty() {
+        return (history.clone(), 0);
+    }
+    let mut changed = 0;
+    for _ in 0..count {
+        let &idx = respond_indices.choose(rng).expect("non-empty");
+        if let crate::EventKind::Respond(v) = &events[idx].kind {
+            let new_value = Value::from(rng.gen_range(100..1_000) as i64);
+            if *v != new_value {
+                events[idx] = Event::respond(events[idx].process, events[idx].object, new_value);
+                changed += 1;
+            }
+        }
+    }
+    (History::from_events(events), changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legal::is_legal_sequential;
+    use evlin_spec::{FetchIncrement, Register};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn universe() -> ObjectUniverse {
+        let mut u = ObjectUniverse::new();
+        u.add_object(Register::new(Value::from(0i64)));
+        u.add_object(FetchIncrement::new());
+        u
+    }
+
+    #[test]
+    fn random_sequential_histories_are_legal() {
+        let u = universe();
+        let mut rng = StdRng::seed_from_u64(1);
+        for seed in 0..20u64 {
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let spec = WorkloadSpec {
+                processes: 3,
+                operations: 15,
+            };
+            let h = random_sequential_legal(&u, &spec, &mut rng2);
+            assert!(h.is_sequential());
+            assert!(h.is_well_formed());
+            assert!(is_legal_sequential(&h, &u));
+            let _ = &mut rng;
+        }
+    }
+
+    #[test]
+    fn concurrentize_preserves_well_formedness_and_ops() {
+        let u = universe();
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = WorkloadSpec {
+            processes: 4,
+            operations: 30,
+        };
+        let seq = random_sequential_legal(&u, &spec, &mut rng);
+        let conc = concurrentize(&seq, 3, &mut rng);
+        assert!(conc.is_well_formed());
+        assert_eq!(
+            conc.complete_operations().len(),
+            seq.complete_operations().len()
+        );
+        // Same multiset of (process, invocation, response).
+        let mut a: Vec<_> = seq
+            .complete_operations()
+            .iter()
+            .map(|o| (o.process, o.invocation.clone(), o.response.clone()))
+            .collect();
+        let mut b: Vec<_> = conc
+            .complete_operations()
+            .iter()
+            .map(|o| (o.process, o.invocation.clone(), o.response.clone()))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrentize_with_zero_overlap_is_identity_shape() {
+        let u = universe();
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = WorkloadSpec {
+            processes: 2,
+            operations: 10,
+        };
+        let seq = random_sequential_legal(&u, &spec, &mut rng);
+        let conc = concurrentize(&seq, 0, &mut rng);
+        assert!(conc.is_sequential());
+        assert_eq!(conc, seq);
+    }
+
+    #[test]
+    fn perturbation_changes_some_response() {
+        let u = universe();
+        let mut rng = StdRng::seed_from_u64(11);
+        let spec = WorkloadSpec {
+            processes: 2,
+            operations: 10,
+        };
+        let seq = random_sequential_legal(&u, &spec, &mut rng);
+        let (bad, changed) = perturb_responses(&seq, 3, &mut rng);
+        assert!(changed > 0);
+        assert_ne!(bad, seq);
+        assert_eq!(bad.len(), seq.len());
+    }
+
+    #[test]
+    fn empty_universe_and_empty_history_edge_cases() {
+        let empty = ObjectUniverse::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let h = random_sequential_legal(&empty, &WorkloadSpec::default(), &mut rng);
+        assert!(h.is_empty());
+        let (p, changed) = perturb_responses(&History::new(), 5, &mut rng);
+        assert!(p.is_empty());
+        assert_eq!(changed, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Spawning threads, running workloads, collecting histories and statistics.
+
+use crate::counter::ConcurrentCounter;
+use crate::recorder::Recorder;
+use evlin_history::{History, ObjectId, ProcessId};
+use evlin_spec::{FetchIncrement, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Options for [`run_counter_workload`].
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOptions {
+    /// Number of threads.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Whether to record a history (adds overhead; switch off for raw
+    /// throughput measurements).
+    pub record_history: bool,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            threads: 2,
+            ops_per_thread: 1_000,
+            record_history: true,
+        }
+    }
+}
+
+/// The outcome of one counter workload run.
+#[derive(Debug)]
+pub struct CounterRun {
+    /// The recorded history (if recording was enabled).
+    pub history: Option<History>,
+    /// Wall-clock duration of the measured section.
+    pub elapsed: Duration,
+    /// Total operations performed.
+    pub total_ops: usize,
+    /// Operations per second.
+    pub throughput: f64,
+    /// The counter's exact total after quiescence.
+    pub final_total: i64,
+    /// Number of operations whose returned value was stale, i.e. already
+    /// returned by an earlier-completing operation (0 for linearizable
+    /// counters).
+    pub duplicate_responses: usize,
+    /// The largest observed staleness: `exact-at-response − returned value`,
+    /// approximated as the difference between the operation's slot in
+    /// completion order and its returned value.  0 for linearizable counters.
+    pub max_staleness: i64,
+}
+
+impl CounterRun {
+    /// Convenience: whether every response was distinct (a cheap necessary
+    /// condition for linearizability of a fetch&increment history).
+    pub fn responses_distinct(&self) -> bool {
+        self.duplicate_responses == 0
+    }
+}
+
+/// Runs `options.threads` threads each performing
+/// `options.ops_per_thread` fetch&inc operations on `counter`.
+pub fn run_counter_workload(counter: &dyn ConcurrentCounter, options: HarnessOptions) -> CounterRun {
+    let recorder = options.record_history.then(Recorder::new).map(Arc::new);
+    let object = ObjectId(0);
+    let start_flag = AtomicBool::new(false);
+    // Per-thread response logs (always collected; cheap).
+    let responses: Vec<parking_lot::Mutex<Vec<i64>>> = (0..options.threads)
+        .map(|_| parking_lot::Mutex::new(Vec::with_capacity(options.ops_per_thread)))
+        .collect();
+
+    let started = Instant::now();
+    crossbeam::scope(|s| {
+        for t in 0..options.threads {
+            let recorder = recorder.clone();
+            let responses = &responses;
+            let start_flag = &start_flag;
+            s.spawn(move |_| {
+                // Spin until every thread is ready so the measured section is
+                // genuinely concurrent.
+                while !start_flag.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                let mut local = Vec::with_capacity(options.ops_per_thread);
+                for _ in 0..options.ops_per_thread {
+                    if let Some(r) = &recorder {
+                        r.invoke(ProcessId(t), object, FetchIncrement::fetch_inc());
+                    }
+                    let v = counter.fetch_inc(t);
+                    if let Some(r) = &recorder {
+                        r.respond(ProcessId(t), object, Value::from(v));
+                    }
+                    local.push(v);
+                }
+                *responses[t].lock() = local;
+            });
+        }
+        start_flag.store(true, Ordering::Release);
+    })
+    .expect("worker threads must not panic");
+    let elapsed = started.elapsed();
+
+    let total_ops = options.threads * options.ops_per_thread;
+    let all_responses: Vec<i64> = responses
+        .into_iter()
+        .flat_map(|m| m.into_inner())
+        .collect();
+    let mut sorted = all_responses.clone();
+    sorted.sort_unstable();
+    let duplicate_responses = sorted.windows(2).filter(|w| w[0] == w[1]).count();
+    // Staleness proxy: after sorting, a linearizable counter returns exactly
+    // 0..total_ops-1; the gap between the expected slot and the returned
+    // value bounds how far behind the stale responses were.
+    let max_staleness = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| i as i64 - v)
+        .max()
+        .unwrap_or(0)
+        .max(0);
+
+    CounterRun {
+        history: recorder.map(|r| {
+            Arc::try_unwrap(r)
+                .expect("all recording threads have joined")
+                .into_history()
+        }),
+        elapsed,
+        total_ops,
+        throughput: total_ops as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        final_total: counter.exact_total(),
+        duplicate_responses,
+        max_staleness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{CasCounter, FetchAddCounter, ShardedCounter};
+    use evlin_checker::fi;
+
+    fn options(threads: usize, ops: usize, record: bool) -> HarnessOptions {
+        HarnessOptions {
+            threads,
+            ops_per_thread: ops,
+            record_history: record,
+        }
+    }
+
+    #[test]
+    fn cas_counter_histories_are_linearizable() {
+        let counter = CasCounter::new();
+        let run = run_counter_workload(&counter, options(4, 200, true));
+        assert_eq!(run.total_ops, 800);
+        assert_eq!(run.final_total, 800);
+        assert!(run.responses_distinct());
+        assert_eq!(run.max_staleness, 0);
+        let history = run.history.expect("recording was enabled");
+        assert!(history.is_well_formed());
+        assert_eq!(fi::is_linearizable(&history, 0), Ok(true));
+    }
+
+    #[test]
+    fn fetch_add_counter_histories_are_linearizable() {
+        let counter = FetchAddCounter::new();
+        let run = run_counter_workload(&counter, options(4, 200, true));
+        assert!(run.responses_distinct());
+        let history = run.history.expect("recording was enabled");
+        assert_eq!(fi::is_linearizable(&history, 0), Ok(true));
+    }
+
+    #[test]
+    fn sharded_counter_converges_but_is_stale() {
+        let counter = ShardedCounter::new(4, 64);
+        let run = run_counter_workload(&counter, options(4, 500, true));
+        // No increment is lost…
+        assert_eq!(run.final_total, 2000);
+        // …but responses repeat under contention (staleness).  This is
+        // overwhelmingly likely with 4 threads and a refresh interval of 64;
+        // if the scheduler serialized the threads perfectly the run would be
+        // exact, so do not assert duplicates unconditionally — assert the
+        // weaker invariant that staleness never exceeds what the refresh
+        // interval allows.
+        assert!(run.max_staleness <= 64 * 4);
+        let history = run.history.expect("recording was enabled");
+        assert!(history.is_well_formed());
+        // The history is weakly consistent in the fetch&increment sense used
+        // by the experiments: every returned value is at most the true count
+        // at response time.  (Full weak-consistency checking on histories of
+        // this size is done with the specialized checker in the experiments.)
+        let t = fi::min_stabilization(&history, 0).expect("pure fetch&inc history");
+        assert!(t <= history.len());
+    }
+
+    #[test]
+    fn recording_can_be_disabled() {
+        let counter = FetchAddCounter::new();
+        let run = run_counter_workload(&counter, options(2, 100, false));
+        assert!(run.history.is_none());
+        assert_eq!(run.total_ops, 200);
+        assert!(run.throughput > 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # evlin-runtime
+//!
+//! Real multi-threaded shared objects with history recording.
+//!
+//! The simulator in `evlin-sim` is what makes the paper's *proofs*
+//! executable; this crate is what makes the paper's *motivation* measurable.
+//! The introduction argues that a fetch&increment counter used for reference
+//! counting is typically built from compare&swap and that, under contention,
+//! it can be acceptable to return a temporarily stale value as long as all
+//! increments are eventually counted.  The experiments of EXPERIMENTS.md
+//! (E8) compare, on real threads:
+//!
+//! * [`counter::CasCounter`] — the linearizable compare&swap retry loop;
+//! * [`counter::FetchAddCounter`] — the linearizable hardware `fetch_add`;
+//! * [`counter::ShardedCounter`] — an eventually consistent counter that
+//!   batches increments in per-thread shards and refreshes its view of other
+//!   shards only periodically, trading staleness for throughput.
+//!
+//! [`recorder::Recorder`] timestamps invocation and response events with a
+//! global atomic sequence number so that the histories produced by real
+//! threads can be checked offline with `evlin-checker` (the specialized
+//! fetch&increment checker handles hundreds of thousands of operations).
+//! [`harness`] ties it together: spawn threads, run a workload, collect the
+//! history and throughput statistics.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod consensus;
+pub mod counter;
+pub mod harness;
+pub mod recorder;
+
+pub use counter::{CasCounter, ConcurrentCounter, FetchAddCounter, ShardedCounter};
+pub use harness::{run_counter_workload, CounterRun, HarnessOptions};
+pub use recorder::Recorder;

@@ -1,0 +1,349 @@
+//! Configurations of the simulated system.
+//!
+//! A configuration bundles the state of every shared base object, the
+//! programme state of every process, each process's remaining workload, and
+//! the high-level history recorded so far.  Configurations are cheap to clone
+//! (everything is an owned value), which is what the execution-tree explorer,
+//! the valency analysis and the stable-configuration search rely on.
+
+use crate::base::BaseObject;
+use crate::program::{Implementation, ProcessLogic, TaskStep};
+use crate::workload::Workload;
+use evlin_history::{History, ObjectId, ProcessId};
+use evlin_spec::Value;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What happened when a process was given one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The process performed an internal or base-object step of its current
+    /// operation; the operation is still running.
+    Progressed,
+    /// The process completed its current high-level operation with the given
+    /// response.
+    Completed(Value),
+    /// The process has no operation to run (its workload is exhausted).
+    Idle,
+}
+
+#[derive(Clone, Debug)]
+struct ProcessState {
+    logic: Box<dyn ProcessLogic>,
+    /// Remaining high-level operations to perform.
+    remaining: VecDeque<evlin_spec::Invocation>,
+    /// Whether an operation is currently being executed, and the response of
+    /// the last base-object access to feed into the next step.
+    running: bool,
+    last_response: Option<Value>,
+    completed: usize,
+}
+
+/// A configuration of the simulated system.
+#[derive(Clone)]
+pub struct Config {
+    base: Vec<Box<dyn BaseObject>>,
+    processes: Vec<ProcessState>,
+    history: History,
+    steps: usize,
+    /// The single high-level object id used in the recorded history.
+    object_id: ObjectId,
+}
+
+impl Config {
+    /// Builds the initial configuration of `implementation` running
+    /// `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has more processes than the implementation was
+    /// instantiated for.
+    pub fn initial(implementation: &dyn Implementation, workload: &Workload) -> Self {
+        assert!(
+            workload.processes() <= implementation.processes(),
+            "workload has {} processes but the implementation supports {}",
+            workload.processes(),
+            implementation.processes()
+        );
+        let base = implementation.initial_base_objects();
+        let processes = (0..workload.processes())
+            .map(|i| ProcessState {
+                logic: implementation.new_process(ProcessId(i)),
+                remaining: workload.operations(i).iter().cloned().collect(),
+                running: false,
+                last_response: None,
+                completed: 0,
+            })
+            .collect();
+        Config {
+            base,
+            processes,
+            history: History::new(),
+            steps: 0,
+            object_id: ObjectId(0),
+        }
+    }
+
+    /// The number of processes.
+    pub fn processes(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The high-level history recorded so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Total number of steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of high-level operations completed by process `p`.
+    pub fn completed(&self, p: ProcessId) -> usize {
+        self.processes[p.index()].completed
+    }
+
+    /// Number of high-level operations completed by all processes.
+    pub fn total_completed(&self) -> usize {
+        self.processes.iter().map(|p| p.completed).sum()
+    }
+
+    /// Whether process `p` currently has an operation in progress.
+    pub fn is_running(&self, p: ProcessId) -> bool {
+        self.processes[p.index()].running
+    }
+
+    /// Whether process `p` can take a step (it has an operation in progress
+    /// or more workload to start).
+    pub fn is_enabled(&self, p: ProcessId) -> bool {
+        let st = &self.processes[p.index()];
+        st.running || !st.remaining.is_empty()
+    }
+
+    /// Whether every process has exhausted its workload and has no operation
+    /// in progress.
+    pub fn is_quiescent(&self) -> bool {
+        self.processes
+            .iter()
+            .all(|p| !p.running && p.remaining.is_empty())
+    }
+
+    /// The processes that can currently take a step.
+    pub fn enabled_processes(&self) -> Vec<ProcessId> {
+        (0..self.processes.len())
+            .map(ProcessId)
+            .filter(|&p| self.is_enabled(p))
+            .collect()
+    }
+
+    /// Appends an extra high-level operation to process `p`'s workload.
+    pub fn push_operation(&mut self, p: ProcessId, invocation: evlin_spec::Invocation) {
+        self.processes[p.index()].remaining.push_back(invocation);
+    }
+
+    /// The current states of the base objects (used by the Proposition 18
+    /// freezing machinery and by diagnostics).
+    pub fn base_states(&self) -> Vec<Value> {
+        self.base.iter().map(|b| b.state_value()).collect()
+    }
+
+    /// Clones the base objects (used to freeze a configuration into a new
+    /// implementation).
+    pub fn clone_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+        self.base.clone()
+    }
+
+    /// Clones process `p`'s programme state (used to freeze a configuration).
+    pub fn clone_process_logic(&self, p: ProcessId) -> Box<dyn ProcessLogic> {
+        self.processes[p.index()].logic.clone()
+    }
+
+    /// Gives one atomic step to process `p`.
+    ///
+    /// If `p` has no operation in progress and workload remains, the next
+    /// operation is started (its invocation event is recorded) and its first
+    /// programme step is executed; otherwise the programme of the operation
+    /// in progress advances by one step.  A step is either one base-object
+    /// access or the completion of the operation (whose response event is
+    /// recorded).
+    pub fn step(&mut self, p: ProcessId) -> StepOutcome {
+        let idx = p.index();
+        if !self.is_enabled(p) {
+            return StepOutcome::Idle;
+        }
+        self.steps += 1;
+        if !self.processes[idx].running {
+            let inv = self.processes[idx]
+                .remaining
+                .pop_front()
+                .expect("enabled non-running process must have workload");
+            self.history.push_invoke(p, self.object_id, inv.clone());
+            self.processes[idx].logic.begin(inv);
+            self.processes[idx].running = true;
+            self.processes[idx].last_response = None;
+        }
+        let prev = self.processes[idx].last_response.take();
+        match self.processes[idx].logic.step(prev) {
+            TaskStep::Access { object, invocation } => {
+                let response = self.base[object].invoke(p, &invocation);
+                self.processes[idx].last_response = Some(response);
+                StepOutcome::Progressed
+            }
+            TaskStep::Complete(value) => {
+                self.history.push_respond(p, self.object_id, value.clone());
+                self.processes[idx].running = false;
+                self.processes[idx].completed += 1;
+                StepOutcome::Completed(value)
+            }
+        }
+    }
+
+    /// Runs process `p` alone until it completes its current operation (or
+    /// its next one, if it is idle but has workload), up to `max_steps`
+    /// steps.  Returns the response if the operation completed.
+    ///
+    /// This is the "run solo" primitive used throughout the paper's proofs
+    /// (obstruction-freedom, the idle configuration of Proposition 18).
+    pub fn run_solo_until_complete(&mut self, p: ProcessId, max_steps: usize) -> Option<Value> {
+        for _ in 0..max_steps {
+            match self.step(p) {
+                StepOutcome::Completed(v) => return Some(v),
+                StepOutcome::Progressed => continue,
+                StepOutcome::Idle => return None,
+            }
+        }
+        None
+    }
+
+    /// Lets every process run solo (in process order) until it finishes its
+    /// in-progress operation, producing an *idle* configuration in the sense
+    /// of Proposition 18.  Returns `false` if some process failed to finish
+    /// within `max_steps_per_process`.
+    pub fn quiesce_pending(&mut self, max_steps_per_process: usize) -> bool {
+        for i in 0..self.processes.len() {
+            let p = ProcessId(i);
+            if self.is_running(p) {
+                let mut finished = false;
+                for _ in 0..max_steps_per_process {
+                    match self.step(p) {
+                        StepOutcome::Completed(_) => {
+                            finished = true;
+                            break;
+                        }
+                        StepOutcome::Progressed => continue,
+                        StepOutcome::Idle => break,
+                    }
+                }
+                if !finished {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Config")
+            .field("steps", &self.steps)
+            .field("base", &self.base)
+            .field("completed", &self.total_completed())
+            .field("history_len", &self.history.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::LocalSpecImplementation;
+    use evlin_spec::FetchIncrement;
+    use std::sync::Arc;
+
+    fn fi_local(processes: usize) -> LocalSpecImplementation {
+        LocalSpecImplementation::new(Arc::new(FetchIncrement::new()), processes)
+    }
+
+    #[test]
+    fn initial_configuration_is_idle_when_workload_empty() {
+        let imp = fi_local(2);
+        let w = Workload::new(vec![Vec::new(), Vec::new()]);
+        let mut c = Config::initial(&imp, &w);
+        assert!(c.is_quiescent());
+        assert_eq!(c.step(ProcessId(0)), StepOutcome::Idle);
+        assert_eq!(c.steps(), 0);
+        assert!(c.enabled_processes().is_empty());
+    }
+
+    #[test]
+    fn stepping_runs_operations_and_records_history() {
+        let imp = fi_local(2);
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 2);
+        let mut c = Config::initial(&imp, &w);
+        assert!(!c.is_quiescent());
+        assert_eq!(c.enabled_processes().len(), 2);
+        // The local-copy implementation completes each operation in one step.
+        assert_eq!(c.step(ProcessId(0)), StepOutcome::Completed(Value::from(0i64)));
+        assert_eq!(c.step(ProcessId(1)), StepOutcome::Completed(Value::from(0i64)));
+        assert_eq!(c.step(ProcessId(0)), StepOutcome::Completed(Value::from(1i64)));
+        assert_eq!(c.step(ProcessId(1)), StepOutcome::Completed(Value::from(1i64)));
+        assert!(c.is_quiescent());
+        assert_eq!(c.total_completed(), 4);
+        assert_eq!(c.completed(ProcessId(0)), 2);
+        let h = c.history();
+        assert_eq!(h.len(), 8);
+        assert!(h.is_well_formed());
+    }
+
+    #[test]
+    fn run_solo_and_push_operation() {
+        let imp = fi_local(1);
+        let w = Workload::new(vec![Vec::new()]);
+        let mut c = Config::initial(&imp, &w);
+        assert_eq!(c.run_solo_until_complete(ProcessId(0), 10), None);
+        c.push_operation(ProcessId(0), FetchIncrement::fetch_inc());
+        assert_eq!(
+            c.run_solo_until_complete(ProcessId(0), 10),
+            Some(Value::from(0i64))
+        );
+    }
+
+    #[test]
+    fn quiesce_pending_completes_in_progress_operations() {
+        let imp = fi_local(2);
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 1);
+        let mut c = Config::initial(&imp, &w);
+        // Nothing is mid-flight, so quiescing just reports success without
+        // forcing the workload to run.
+        assert!(c.quiesce_pending(10));
+        assert!(!c.is_quiescent()); // workload not yet started
+        c.step(ProcessId(0));
+        c.step(ProcessId(1));
+        assert!(c.is_quiescent());
+    }
+
+    #[test]
+    fn cloning_forks_the_execution() {
+        let imp = fi_local(1);
+        let w = Workload::uniform(1, FetchIncrement::fetch_inc(), 2);
+        let mut a = Config::initial(&imp, &w);
+        a.step(ProcessId(0));
+        let mut b = a.clone();
+        a.step(ProcessId(0));
+        assert_eq!(a.total_completed(), 2);
+        assert_eq!(b.total_completed(), 1);
+        b.step(ProcessId(0));
+        assert_eq!(b.total_completed(), 2);
+        assert_eq!(a.history().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "workload has")]
+    fn workload_larger_than_implementation_panics() {
+        let imp = fi_local(1);
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 1);
+        let _ = Config::initial(&imp, &w);
+    }
+}

@@ -1,0 +1,240 @@
+//! Schedulers: the adversary that chooses which process takes the next step.
+
+use crate::config::Config;
+use evlin_history::ProcessId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Chooses which enabled process takes the next atomic step.
+pub trait Scheduler {
+    /// Returns the process to step next, or `None` to stop the run (e.g. all
+    /// interesting processes are crashed or the configuration is quiescent).
+    fn next(&mut self, config: &Config) -> Option<ProcessId>;
+}
+
+/// Deterministic round-robin over the enabled processes.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinScheduler {
+    last: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobinScheduler { last: 0 }
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn next(&mut self, config: &Config) -> Option<ProcessId> {
+        let n = config.processes();
+        if n == 0 {
+            return None;
+        }
+        for offset in 1..=n {
+            let candidate = ProcessId((self.last + offset) % n);
+            if config.is_enabled(candidate) {
+                self.last = candidate.index();
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+/// Uniformly random choice among enabled processes, from a seeded generator
+/// so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn next(&mut self, config: &Config) -> Option<ProcessId> {
+        let enabled = config.enabled_processes();
+        enabled.choose(&mut self.rng).copied()
+    }
+}
+
+/// An adversarial scheduler that runs one process for a burst of steps before
+/// switching to the next — the "unusually high contention" / "swapped out"
+/// pattern the introduction of the paper describes, and the kind of schedule
+/// that maximizes staleness for eventually consistent implementations.
+#[derive(Debug, Clone)]
+pub struct SoloBurstScheduler {
+    burst: usize,
+    remaining_in_burst: usize,
+    current: usize,
+}
+
+impl SoloBurstScheduler {
+    /// Creates a scheduler that gives each process `burst` consecutive steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero.
+    pub fn new(burst: usize) -> Self {
+        assert!(burst > 0, "burst length must be positive");
+        SoloBurstScheduler {
+            burst,
+            remaining_in_burst: burst,
+            current: 0,
+        }
+    }
+}
+
+impl Scheduler for SoloBurstScheduler {
+    fn next(&mut self, config: &Config) -> Option<ProcessId> {
+        let n = config.processes();
+        if n == 0 {
+            return None;
+        }
+        for _ in 0..n {
+            let candidate = ProcessId(self.current % n);
+            if self.remaining_in_burst == 0 || !config.is_enabled(candidate) {
+                self.current = (self.current + 1) % n;
+                self.remaining_in_burst = self.burst;
+                continue;
+            }
+            self.remaining_in_burst -= 1;
+            return Some(candidate);
+        }
+        // Everyone was disabled at burst boundaries; fall back to any enabled
+        // process.
+        config.enabled_processes().first().copied()
+    }
+}
+
+/// Wraps another scheduler and permanently removes ("crashes") a set of
+/// processes: they are never scheduled again, modelling the wait-freedom
+/// adversary that stops a process at an arbitrary point.
+#[derive(Debug, Clone)]
+pub struct CrashScheduler<S> {
+    inner: S,
+    crashed: BTreeSet<ProcessId>,
+}
+
+impl<S: Scheduler> CrashScheduler<S> {
+    /// Creates a crash wrapper with an initially empty crash set.
+    pub fn new(inner: S) -> Self {
+        CrashScheduler {
+            inner,
+            crashed: BTreeSet::new(),
+        }
+    }
+
+    /// Crashes process `p`: it will never be scheduled again.
+    pub fn crash(&mut self, p: ProcessId) {
+        self.crashed.insert(p);
+    }
+
+    /// The set of crashed processes.
+    pub fn crashed(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.crashed.iter().copied()
+    }
+}
+
+impl<S: Scheduler> Scheduler for CrashScheduler<S> {
+    fn next(&mut self, config: &Config) -> Option<ProcessId> {
+        // Ask the inner scheduler repeatedly, skipping crashed processes; give
+        // up after a bounded number of attempts to avoid spinning forever when
+        // only crashed processes are enabled.
+        for _ in 0..(config.processes() * 4).max(4) {
+            match self.inner.next(config) {
+                Some(p) if self.crashed.contains(&p) => continue,
+                other => return other,
+            }
+        }
+        // Fall back to any enabled, non-crashed process.
+        config
+            .enabled_processes()
+            .into_iter()
+            .find(|p| !self.crashed.contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::LocalSpecImplementation;
+    use crate::workload::Workload;
+    use evlin_spec::FetchIncrement;
+    use std::sync::Arc;
+
+    fn config(processes: usize, ops: usize) -> Config {
+        let imp = LocalSpecImplementation::new(Arc::new(FetchIncrement::new()), processes);
+        let w = Workload::uniform(processes, FetchIncrement::fetch_inc(), ops);
+        Config::initial(&imp, &w)
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut c = config(3, 2);
+        let mut s = RoundRobinScheduler::new();
+        let picks: Vec<_> = (0..6)
+            .map(|_| {
+                let p = s.next(&c).unwrap();
+                c.step(p);
+                p.index()
+            })
+            .collect();
+        assert_eq!(picks, vec![1, 2, 0, 1, 2, 0]);
+        assert!(s.next(&c).is_none(), "everything completed");
+    }
+
+    #[test]
+    fn random_scheduler_is_reproducible() {
+        let c = config(4, 3);
+        let mut a = RandomScheduler::seeded(42);
+        let mut b = RandomScheduler::seeded(42);
+        for _ in 0..10 {
+            assert_eq!(a.next(&c), b.next(&c));
+        }
+    }
+
+    #[test]
+    fn solo_burst_gives_consecutive_steps() {
+        let mut c = config(2, 5);
+        let mut s = SoloBurstScheduler::new(3);
+        let picks: Vec<_> = (0..6)
+            .map(|_| {
+                let p = s.next(&c).unwrap();
+                c.step(p);
+                p.index()
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst length")]
+    fn zero_burst_is_rejected() {
+        let _ = SoloBurstScheduler::new(0);
+    }
+
+    #[test]
+    fn crash_scheduler_never_schedules_crashed_process() {
+        let mut c = config(2, 4);
+        let mut s = CrashScheduler::new(RoundRobinScheduler::new());
+        s.crash(ProcessId(0));
+        for _ in 0..4 {
+            let p = s.next(&c).unwrap();
+            assert_eq!(p, ProcessId(1));
+            c.step(p);
+        }
+        assert_eq!(s.crashed().collect::<Vec<_>>(), vec![ProcessId(0)]);
+        // Only the crashed process has work left.
+        assert!(s.next(&c).is_none());
+    }
+}

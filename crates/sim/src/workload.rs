@@ -1,0 +1,85 @@
+//! Workloads: the high-level operations each process is asked to perform.
+
+use evlin_spec::Invocation;
+
+/// The sequence of high-level operations each process performs in a run.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    per_process: Vec<Vec<Invocation>>,
+}
+
+impl Workload {
+    /// Creates a workload from an explicit per-process list of operations.
+    pub fn new(per_process: Vec<Vec<Invocation>>) -> Self {
+        Workload { per_process }
+    }
+
+    /// A uniform workload: every one of `processes` processes performs the
+    /// same invocation `repeat` times.
+    pub fn uniform(processes: usize, invocation: Invocation, repeat: usize) -> Self {
+        Workload {
+            per_process: (0..processes)
+                .map(|_| vec![invocation.clone(); repeat])
+                .collect(),
+        }
+    }
+
+    /// A workload where process `i` performs the single operation `ops[i]`.
+    pub fn one_shot(ops: Vec<Invocation>) -> Self {
+        Workload {
+            per_process: ops.into_iter().map(|op| vec![op]).collect(),
+        }
+    }
+
+    /// The number of processes.
+    pub fn processes(&self) -> usize {
+        self.per_process.len()
+    }
+
+    /// The operations of process `i`.
+    pub fn operations(&self, i: usize) -> &[Invocation] {
+        &self.per_process[i]
+    }
+
+    /// Total number of operations across all processes.
+    pub fn total_operations(&self) -> usize {
+        self.per_process.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlin_spec::{Consensus, FetchIncrement, Value};
+
+    #[test]
+    fn uniform_workload() {
+        let w = Workload::uniform(3, FetchIncrement::fetch_inc(), 4);
+        assert_eq!(w.processes(), 3);
+        assert_eq!(w.total_operations(), 12);
+        assert_eq!(w.operations(1).len(), 4);
+    }
+
+    #[test]
+    fn one_shot_workload() {
+        let w = Workload::one_shot(vec![
+            Consensus::propose(Value::from(0i64)),
+            Consensus::propose(Value::from(1i64)),
+        ]);
+        assert_eq!(w.processes(), 2);
+        assert_eq!(w.total_operations(), 2);
+        assert_eq!(w.operations(0), &[Consensus::propose(Value::from(0i64))]);
+    }
+
+    #[test]
+    fn explicit_workload_may_be_asymmetric() {
+        let w = Workload::new(vec![
+            vec![FetchIncrement::fetch_inc(); 2],
+            Vec::new(),
+            vec![FetchIncrement::fetch_inc()],
+        ]);
+        assert_eq!(w.processes(), 3);
+        assert_eq!(w.total_operations(), 3);
+        assert!(w.operations(1).is_empty());
+    }
+}

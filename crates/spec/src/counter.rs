@@ -1,0 +1,132 @@
+//! Plain counters (increment + read), weaker than fetch&increment.
+
+use crate::{Invocation, ObjectType, Transition, Value};
+
+/// A counter with separate `inc()` and `read()` operations.
+///
+/// Unlike [`crate::FetchIncrement`], an increment does not observe the
+/// counter value, so a counter is a strictly weaker synchronization object.
+/// It is the natural specification for the introduction's reference-counting
+/// scenario, where an eventually consistent implementation batches
+/// increments locally and lets reads return temporarily stale values.
+///
+/// Operations:
+/// * `inc()` → `Unit`, adds one to the state,
+/// * `add(k)` → `Unit`, adds `k` (used by batched implementations),
+/// * `read()` → the current value.
+///
+/// # Example
+///
+/// ```
+/// use evlin_spec::{Counter, ObjectType, Value};
+///
+/// let c = Counter::new();
+/// let (_, q) = c.apply_deterministic(&Value::from(0i64), &Counter::inc()).unwrap();
+/// let (r, _) = c.apply_deterministic(&q, &Counter::read()).unwrap();
+/// assert_eq!(r, Value::from(1i64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter {
+    initial: i64,
+}
+
+impl Counter {
+    /// Creates a counter initialized to zero.
+    pub fn new() -> Self {
+        Counter { initial: 0 }
+    }
+
+    /// Creates a counter with an arbitrary initial value.
+    pub fn starting_at(initial: i64) -> Self {
+        Counter { initial }
+    }
+
+    /// The `inc()` invocation.
+    pub fn inc() -> Invocation {
+        Invocation::nullary("inc")
+    }
+
+    /// The `add(k)` invocation.
+    pub fn add(k: i64) -> Invocation {
+        Invocation::unary("add", Value::from(k))
+    }
+
+    /// The `read()` invocation.
+    pub fn read() -> Invocation {
+        Invocation::nullary("read")
+    }
+}
+
+impl ObjectType for Counter {
+    fn name(&self) -> &str {
+        "counter"
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        vec![Value::from(self.initial)]
+    }
+
+    fn transitions(&self, state: &Value, invocation: &Invocation) -> Vec<Transition> {
+        let v = match state.as_int() {
+            Some(v) => v,
+            None => return Vec::new(),
+        };
+        match invocation.method() {
+            "inc" if invocation.args().is_empty() => {
+                vec![Transition::new(Value::Unit, Value::from(v + 1))]
+            }
+            "add" => match invocation.arg(0).and_then(Value::as_int) {
+                Some(k) => vec![Transition::new(Value::Unit, Value::from(v + k))],
+                None => Vec::new(),
+            },
+            "read" if invocation.args().is_empty() => {
+                vec![Transition::new(Value::from(v), Value::from(v))]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn sample_invocations(&self) -> Vec<Invocation> {
+        vec![Counter::inc(), Counter::read(), Counter::add(2)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_read_and_add() {
+        let c = Counter::new();
+        let mut state = Value::from(0i64);
+        for _ in 0..3 {
+            let (r, next) = c.apply_deterministic(&state, &Counter::inc()).unwrap();
+            assert_eq!(r, Value::Unit);
+            state = next;
+        }
+        let (r, state) = c.apply_deterministic(&state, &Counter::add(4)).unwrap();
+        assert_eq!(r, Value::Unit);
+        let (r, _) = c.apply_deterministic(&state, &Counter::read()).unwrap();
+        assert_eq!(r, Value::from(7i64));
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert!(Counter::new().is_deterministic());
+    }
+
+    #[test]
+    fn starting_at_sets_initial_state() {
+        assert_eq!(Counter::starting_at(-2).initial_states(), vec![Value::from(-2i64)]);
+    }
+
+    #[test]
+    fn malformed_invocations_rejected() {
+        let c = Counter::new();
+        assert!(c.transitions(&Value::Unit, &Counter::inc()).is_empty());
+        assert!(c.transitions(&Value::from(0i64), &Invocation::nullary("add")).is_empty());
+        assert!(c
+            .transitions(&Value::from(0i64), &Invocation::nullary("decrement"))
+            .is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Operation invocations.
+
+use crate::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An operation invocation: a method name together with its arguments.
+///
+/// Following the paper, "the name of an operation includes all of the
+/// operation's arguments" — an `Invocation` is exactly that pairing, kept
+/// structured so that specifications can pattern-match on the method name and
+/// inspect the arguments.
+///
+/// # Example
+///
+/// ```
+/// use evlin_spec::{Invocation, Value};
+///
+/// let write = Invocation::unary("write", Value::from(7i64));
+/// assert_eq!(write.method(), "write");
+/// assert_eq!(write.arg(0), Some(&Value::from(7i64)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Invocation {
+    method: String,
+    args: Vec<Value>,
+}
+
+impl Invocation {
+    /// Creates an invocation with an arbitrary argument list.
+    pub fn new<S: Into<String>>(method: S, args: Vec<Value>) -> Self {
+        Invocation {
+            method: method.into(),
+            args,
+        }
+    }
+
+    /// Creates an invocation with no arguments, e.g. `read()` or `fetch_inc()`.
+    pub fn nullary<S: Into<String>>(method: S) -> Self {
+        Invocation::new(method, Vec::new())
+    }
+
+    /// Creates an invocation with one argument, e.g. `write(v)` or `propose(v)`.
+    pub fn unary<S: Into<String>>(method: S, arg: Value) -> Self {
+        Invocation::new(method, vec![arg])
+    }
+
+    /// Creates an invocation with two arguments, e.g. `cas(expected, new)`.
+    pub fn binary<S: Into<String>>(method: S, a: Value, b: Value) -> Self {
+        Invocation::new(method, vec![a, b])
+    }
+
+    /// The method name, without arguments.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// All arguments, in order.
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// The `i`-th argument, if present.
+    pub fn arg(&self, i: usize) -> Option<&Value> {
+        self.args.get(i)
+    }
+}
+
+impl fmt::Display for Invocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.method)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_store_arguments() {
+        let i = Invocation::nullary("read");
+        assert_eq!(i.method(), "read");
+        assert!(i.args().is_empty());
+
+        let i = Invocation::unary("write", Value::from(3i64));
+        assert_eq!(i.args(), &[Value::from(3i64)]);
+
+        let i = Invocation::binary("cas", Value::from(0i64), Value::from(1i64));
+        assert_eq!(i.arg(0), Some(&Value::from(0i64)));
+        assert_eq!(i.arg(1), Some(&Value::from(1i64)));
+        assert_eq!(i.arg(2), None);
+    }
+
+    #[test]
+    fn display_formats_like_a_call() {
+        let i = Invocation::binary("cas", Value::from(0i64), Value::from(1i64));
+        assert_eq!(format!("{i}"), "cas(0, 1)");
+        assert_eq!(format!("{}", Invocation::nullary("fetch_inc")), "fetch_inc()");
+    }
+
+    #[test]
+    fn equality_includes_arguments() {
+        let a = Invocation::unary("write", Value::from(1i64));
+        let b = Invocation::unary("write", Value::from(2i64));
+        assert_ne!(a, b);
+        assert_eq!(a, Invocation::unary("write", Value::from(1i64)));
+    }
+}

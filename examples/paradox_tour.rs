@@ -1,0 +1,135 @@
+//! A guided tour of the paper's paradox, end to end:
+//!
+//! 1. eventually linearizable objects are *weak*: the Theorem 12 local-copy
+//!    argument shows they cannot implement a linearizable fetch&increment;
+//! 2. eventually linearizable objects can be *trivial to build*: test&set and
+//!    consensus get communication-free / register-only implementations;
+//! 3. and yet for fetch&increment, eventual linearizability is *as hard as*
+//!    linearizability: the Proposition 18 freeze turns an eventually
+//!    linearizable implementation into a linearizable one.
+//!
+//! Run with `cargo run --release --example paradox_tour`.
+
+use evlin::checker::{eventual, fi, linearizability};
+use evlin::prelude::*;
+use evlin::sim::explorer::{terminal_histories, ExploreOptions};
+use evlin::sim::stability::{stable_to_linearizable, StabilityOptions};
+
+fn main() {
+    // -----------------------------------------------------------------
+    // Act 1 — weakness (Theorem 12): replace the shared CAS of a correct
+    // fetch&increment by per-process local copies (which is how eventually
+    // linearizable base objects are allowed to behave forever in any finite
+    // execution) and watch linearizability disappear.
+    // -----------------------------------------------------------------
+    println!("Act 1 — Theorem 12: eventually linearizable base objects are weak");
+    let transformed = LocalCopy::new(CasFetchInc::new(2));
+    let workload = Workload::uniform(2, FetchIncrement::fetch_inc(), 2);
+    let mut universe = ObjectUniverse::new();
+    universe.add_object(FetchIncrement::new());
+    let histories = terminal_histories(&transformed, &workload, ExploreOptions::default());
+    let broken = histories
+        .iter()
+        .filter(|h| !linearizability::is_linearizable(h, &universe))
+        .count();
+    println!(
+        "  local-copy fetch&increment: {broken}/{} interleavings are NOT linearizable \
+         (all remain weakly consistent)\n",
+        histories.len()
+    );
+    assert!(broken > 0);
+
+    // -----------------------------------------------------------------
+    // Act 2 — cheapness (Section 4): an eventually linearizable test&set
+    // with no shared memory, and consensus from registers (Proposition 16).
+    // -----------------------------------------------------------------
+    println!("Act 2 — eventual linearizability can be (almost) free");
+    let tas = TestAndSetEv::new(2);
+    let mut scheduler = RoundRobinScheduler::new();
+    let out = run(
+        &tas,
+        &Workload::uniform(2, TestAndSet::test_and_set(), 1),
+        &mut scheduler,
+        1_000,
+    );
+    let mut tas_universe = ObjectUniverse::new();
+    tas_universe.add_object(TestAndSet::new());
+    let report = eventual::analyze(&out.history, &tas_universe);
+    println!(
+        "  test&set with no shared objects: linearizable = {}, eventually linearizable = {}",
+        report.is_linearizable(),
+        report.is_eventually_linearizable()
+    );
+    assert!(report.is_eventually_linearizable());
+
+    let consensus = Prop16Consensus::new(2);
+    let mut scheduler = SoloBurstScheduler::new(1);
+    let out = run(
+        &consensus,
+        &Workload::one_shot(vec![
+            Consensus::propose(Value::from(1i64)),
+            Consensus::propose(Value::from(2i64)),
+        ]),
+        &mut scheduler,
+        1_000,
+    );
+    let mut consensus_universe = ObjectUniverse::new();
+    consensus_universe.add_object(Consensus::new());
+    let report = eventual::analyze(&out.history, &consensus_universe);
+    println!(
+        "  consensus from registers (Prop 16): linearizable = {}, eventually linearizable = {}\n",
+        report.is_linearizable(),
+        report.is_eventually_linearizable()
+    );
+
+    // -----------------------------------------------------------------
+    // Act 3 — the paradox (Proposition 18): an eventually linearizable
+    // fetch&increment (stale responses during a warm-up) is frozen at a
+    // stable configuration and becomes a fully linearizable implementation.
+    // -----------------------------------------------------------------
+    println!("Act 3 — Proposition 18: eventual linearizability is hard where it matters");
+    let eventually_linearizable = NoisyPrefixFetchInc::new(2, 4);
+    let mut scheduler = RoundRobinScheduler::new();
+    let out = run(
+        &eventually_linearizable,
+        &Workload::uniform(2, FetchIncrement::fetch_inc(), 4),
+        &mut scheduler,
+        100_000,
+    );
+    println!(
+        "  noisy-prefix fetch&increment: linearizable = {:?}, min stabilization = {:?}",
+        fi::is_linearizable(&out.history, 0).unwrap(),
+        fi::min_stabilization(&out.history, 0).unwrap(),
+    );
+
+    let freeze = stable_to_linearizable(
+        &eventually_linearizable,
+        2,
+        4,
+        0,
+        &StabilityOptions::default(),
+    )
+    .expect("a stable configuration exists once the warm-up is over");
+    println!(
+        "  froze a stable configuration after {} events; offset v0 = {}",
+        freeze.stabilization_index, freeze.offset
+    );
+    let mut scheduler = RandomScheduler::seeded(7);
+    let out = run(
+        &freeze.implementation,
+        &Workload::uniform(2, FetchIncrement::fetch_inc(), 10),
+        &mut scheduler,
+        1_000_000,
+    );
+    let linearizable = fi::is_linearizable(&out.history, 0).unwrap();
+    println!(
+        "  the frozen implementation A' is linearizable on a fresh run: {linearizable}"
+    );
+    assert!(linearizable);
+
+    println!(
+        "\nThe paradox: the same base objects, the same algorithm, one change of initial \
+         state — and the 'cheaper' eventually linearizable counter was a linearizable \
+         counter all along."
+    );
+}

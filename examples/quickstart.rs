@@ -1,0 +1,83 @@
+//! Quick start: histories, consistency checkers, and a simulated algorithm.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use evlin::checker::eventual;
+use evlin::prelude::*;
+
+fn main() {
+    // -----------------------------------------------------------------
+    // 1. Histories and checkers.
+    // -----------------------------------------------------------------
+    let mut universe = ObjectUniverse::new();
+    let counter = universe.add_object(FetchIncrement::new());
+
+    // Two processes each perform one fetch&inc; both get 0 because the
+    // implementation they used was only eventually consistent.
+    let history = HistoryBuilder::new()
+        .complete(ProcessId(0), counter, FetchIncrement::fetch_inc(), Value::from(0i64))
+        .complete(ProcessId(1), counter, FetchIncrement::fetch_inc(), Value::from(0i64))
+        .build();
+
+    println!("history:\n{history}");
+    let report = eventual::analyze(&history, &universe);
+    println!("linearizable:             {}", report.is_linearizable());
+    println!("weakly consistent:        {}", report.weakly_consistent);
+    println!("eventually linearizable:  {}", report.is_eventually_linearizable());
+    println!("minimal stabilization t:  {:?}", report.min_stabilization);
+    assert!(!report.is_linearizable());
+    assert!(report.is_eventually_linearizable());
+
+    // -----------------------------------------------------------------
+    // 2. Running an algorithm on the simulator: the Proposition 16
+    //    eventually linearizable consensus from registers.
+    // -----------------------------------------------------------------
+    let mut consensus_universe = ObjectUniverse::new();
+    consensus_universe.add_object(Consensus::new());
+
+    let implementation = Prop16Consensus::new(3);
+    let workload = Workload::one_shot(vec![
+        Consensus::propose(Value::from(10i64)),
+        Consensus::propose(Value::from(20i64)),
+        Consensus::propose(Value::from(30i64)),
+    ]);
+    let mut scheduler = SoloBurstScheduler::new(2);
+    let outcome = run(&implementation, &workload, &mut scheduler, 10_000);
+
+    println!("\nProp 16 consensus under an adversarial schedule:");
+    for op in outcome.history.complete_operations() {
+        println!(
+            "  {} proposed {} and adopted {}",
+            op.process,
+            op.invocation.arg(0).unwrap(),
+            op.response.clone().unwrap()
+        );
+    }
+    let report = eventual::analyze(&outcome.history, &consensus_universe);
+    println!(
+        "weakly consistent: {}, min stabilization: {:?}",
+        report.weakly_consistent, report.min_stabilization
+    );
+    assert!(report.is_eventually_linearizable());
+
+    // -----------------------------------------------------------------
+    // 3. A real multi-threaded counter, checked offline.
+    // -----------------------------------------------------------------
+    let cas = CasCounter::new();
+    let run = evlin::runtime::run_counter_workload(
+        &cas,
+        evlin::runtime::HarnessOptions {
+            threads: 4,
+            ops_per_thread: 1_000,
+            record_history: true,
+        },
+    );
+    let recorded = run.history.expect("recording enabled");
+    let linearizable = evlin::checker::fi::is_linearizable(&recorded, 0).unwrap();
+    println!(
+        "\ncas-loop counter: {} ops, {:.2} Mops/s, linearizable: {linearizable}",
+        run.total_ops,
+        run.throughput / 1e6
+    );
+    assert!(linearizable);
+}

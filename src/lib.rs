@@ -1,0 +1,99 @@
+//! # evlin — eventual linearizability in shared memory
+//!
+//! An executable reproduction of Guerraoui & Ruppert, *"A Paradox of Eventual
+//! Linearizability in Shared Memory"* (PODC 2014).
+//!
+//! The paper compares the computational power of linearizable and eventually
+//! linearizable shared objects and finds a paradox: eventually linearizable
+//! objects are too weak to implement any non-trivial linearizable object or
+//! to boost the power of registers, yet for objects like fetch&increment an
+//! eventually linearizable implementation is already (after a change of
+//! initial state) a fully linearizable one.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`spec`] — sequential specifications of object types;
+//! * [`history`] — events, operations, histories and their projections;
+//! * [`checker`] — decision procedures for linearizability,
+//!   `t`-linearizability, weak consistency and eventual linearizability;
+//! * [`sim`] — the asynchronous shared-memory simulator (base objects,
+//!   schedulers, exhaustive exploration, valency and stability analysis);
+//! * [`algorithms`] — the paper's constructions (Proposition 16 consensus,
+//!   the Figure 1 wrapper, the Theorem 12 local-copy transformation,
+//!   fetch&increment implementations);
+//! * [`runtime`] — real multi-threaded counters and consensus objects with
+//!   history recording, for the introduction's motivating measurements.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use evlin::prelude::*;
+//!
+//! // Two concurrent fetch&inc operations both returning 0: weakly
+//! // consistent (each response is justified by *some* serialization of the
+//! // operations each process knows about) but not linearizable; it becomes
+//! // linearizable once the first two events are forgiven (t = 2).
+//! let mut universe = ObjectUniverse::new();
+//! let x = universe.add_object(FetchIncrement::new());
+//! let history = HistoryBuilder::new()
+//!     .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+//!     .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+//!     .build();
+//!
+//! let report = evlin::checker::eventual::analyze(&history, &universe);
+//! assert!(!report.is_linearizable());
+//! assert!(report.is_eventually_linearizable());
+//! assert_eq!(report.min_stabilization, Some(2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use evlin_algorithms as algorithms;
+pub use evlin_checker as checker;
+pub use evlin_history as history;
+pub use evlin_runtime as runtime;
+pub use evlin_sim as sim;
+pub use evlin_spec as spec;
+
+/// The most commonly used items from every sub-crate.
+pub mod prelude {
+    pub use evlin_algorithms::{
+        CasConsensusSim, CasFetchInc, Fig1Wrapper, GossipFetchInc, LocalCopy, NoisyPrefixFetchInc,
+        Prop16Consensus, TestAndSetEv,
+    };
+    pub use evlin_checker::{
+        eventual::EventualReport, is_eventually_linearizable, is_linearizable, is_t_linearizable,
+        is_weakly_consistent, min_stabilization,
+    };
+    pub use evlin_history::{
+        History, HistoryBuilder, ObjectId, ObjectUniverse, OperationRecord, ProcessId,
+    };
+    pub use evlin_runtime::{CasCounter, ConcurrentCounter, FetchAddCounter, ShardedCounter};
+    pub use evlin_sim::prelude::*;
+    pub use evlin_spec::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable_together() {
+        let mut universe = ObjectUniverse::new();
+        let x = universe.add_object(FetchIncrement::new());
+        let history = HistoryBuilder::new()
+            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .build();
+        assert!(crate::checker::is_linearizable(&history, &universe));
+        let imp = CasFetchInc::new(2);
+        let mut scheduler = RoundRobinScheduler::new();
+        let out = run(
+            &imp,
+            &Workload::uniform(2, FetchIncrement::fetch_inc(), 2),
+            &mut scheduler,
+            10_000,
+        );
+        assert!(out.completed_all);
+    }
+}

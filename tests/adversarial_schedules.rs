@@ -1,0 +1,131 @@
+//! Failure-injection and adversarial-schedule integration tests: crashes,
+//! solo bursts and starvation-style schedules against the paper's algorithms.
+
+use evlin::algorithms::UniversalConstruction;
+use evlin::checker::{eventual, fi, linearizability, weak_consistency};
+use evlin::prelude::*;
+use evlin::sim::scheduler::Scheduler;
+use std::sync::Arc;
+
+/// Wait-freedom of the Proposition 16 consensus: even if every other process
+/// crashes mid-operation, the surviving process finishes and the resulting
+/// history is eventually linearizable.
+#[test]
+fn prop16_survives_crashes_of_all_but_one_process() {
+    let n = 4;
+    let imp = Prop16Consensus::new(n);
+    let w = Workload::one_shot(
+        (0..n)
+            .map(|i| Consensus::propose(Value::from(i as i64)))
+            .collect(),
+    );
+    let mut u = ObjectUniverse::new();
+    u.add_object(Consensus::new());
+
+    // Let everyone take a couple of steps, then crash processes 1..n.
+    let mut config = evlin::sim::config::Config::initial(&imp, &w);
+    let mut warmup = RoundRobinScheduler::new();
+    for _ in 0..2 * n {
+        if let Some(p) = warmup.next(&config) {
+            config.step(p);
+        }
+    }
+    let mut scheduler = CrashScheduler::new(RoundRobinScheduler::new());
+    for i in 1..n {
+        scheduler.crash(ProcessId(i));
+    }
+    let out = evlin::sim::runner::run_from(config, &w, &mut scheduler, 10_000);
+    // The surviving process completed every one of its operations.
+    assert_eq!(out.config.completed(ProcessId(0)), 1);
+    // Its (partial) history is still weakly consistent and eventually
+    // linearizable — crashes only leave pending operations behind.
+    assert!(weak_consistency::is_weakly_consistent(&out.history, &u));
+    assert!(eventual::is_eventually_linearizable(&out.history, &u));
+}
+
+/// The CAS-loop fetch&increment is lock-free: under a starvation-prone
+/// solo-burst schedule every operation still completes, and the history is
+/// linearizable.
+#[test]
+fn cas_fetch_inc_is_lock_free_under_solo_bursts() {
+    for burst in [1usize, 2, 3, 5] {
+        let imp = CasFetchInc::new(3);
+        let w = Workload::uniform(3, FetchIncrement::fetch_inc(), 5);
+        let mut s = SoloBurstScheduler::new(burst);
+        let out = run(&imp, &w, &mut s, 1_000_000);
+        assert!(out.completed_all, "burst {burst}");
+        assert_eq!(fi::is_linearizable(&out.history, 0), Ok(true), "burst {burst}");
+    }
+}
+
+/// Crashing a process mid-operation of the CAS fetch&increment leaves a
+/// pending operation that the checker must be able to account for (the
+/// pending increment may or may not have taken effect).
+#[test]
+fn crashed_fetch_inc_operations_are_handled_as_pending() {
+    let imp = CasFetchInc::new(2);
+    let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 3);
+    let mut config = evlin::sim::config::Config::initial(&imp, &w);
+    // p1 performs its read and CAS but crashes before reporting the response.
+    config.step(ProcessId(1));
+    config.step(ProcessId(1));
+    let mut scheduler = CrashScheduler::new(RoundRobinScheduler::new());
+    scheduler.crash(ProcessId(1));
+    let out = evlin::sim::runner::run_from(config, &w, &mut scheduler, 10_000);
+    assert_eq!(out.config.completed(ProcessId(0)), 3);
+    let history = out.history;
+    assert_eq!(history.pending_operations().len(), 1);
+    // p0's responses skip the slot consumed by the crashed operation, and the
+    // history is still linearizable because the pending operation fills it.
+    assert_eq!(fi::is_linearizable(&history, 0), Ok(true));
+}
+
+/// The universal construction stays linearizable under crashes of a minority
+/// of processes (lock-freedom means the crash only removes that process's
+/// remaining operations).
+#[test]
+fn universal_construction_tolerates_crashes() {
+    let ty: Arc<dyn evlin::spec::ObjectType> = Arc::new(FetchIncrement::new());
+    let imp = UniversalConstruction::new(ty.clone(), 3, 32);
+    let mut u = ObjectUniverse::new();
+    u.add_shared(ty, Value::from(0i64));
+    let w = Workload::uniform(3, FetchIncrement::fetch_inc(), 2);
+
+    let mut config = evlin::sim::config::Config::initial(&imp, &w);
+    let mut warmup = RoundRobinScheduler::new();
+    for _ in 0..5 {
+        if let Some(p) = warmup.next(&config) {
+            config.step(p);
+        }
+    }
+    let mut scheduler = CrashScheduler::new(RoundRobinScheduler::new());
+    scheduler.crash(ProcessId(2));
+    let out = evlin::sim::runner::run_from(config, &w, &mut scheduler, 100_000);
+    assert_eq!(out.config.completed(ProcessId(0)), 2);
+    assert_eq!(out.config.completed(ProcessId(1)), 2);
+    assert!(linearizability::is_linearizable(&out.history, &u));
+}
+
+/// The eventually consistent gossip counter run under several different
+/// adversarial schedules stays weakly consistent (its defect is the liveness
+/// of stabilization, never safety).
+#[test]
+fn gossip_counter_is_weakly_consistent_under_every_schedule_tried() {
+    let imp = GossipFetchInc::new(3);
+    let w = Workload::uniform(3, FetchIncrement::fetch_inc(), 3);
+    let mut u = ObjectUniverse::new();
+    u.add_object(FetchIncrement::new());
+
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(RoundRobinScheduler::new()),
+        Box::new(SoloBurstScheduler::new(4)),
+    ];
+    for seed in 0..5 {
+        schedulers.push(Box::new(RandomScheduler::seeded(seed)));
+    }
+    for mut s in schedulers {
+        let out = run(&imp, &w, s.as_mut(), 1_000_000);
+        assert!(out.completed_all);
+        assert!(weak_consistency::is_weakly_consistent(&out.history, &u));
+    }
+}

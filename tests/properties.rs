@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) on the core invariants of the workspace.
+
+use evlin::checker::{fi, linearizability, t_linearizability, weak_consistency};
+use evlin::history::generator::{concurrentize, perturb_responses, random_sequential_legal, WorkloadSpec};
+use evlin::history::legal;
+use evlin::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mixed_universe() -> ObjectUniverse {
+    let mut u = ObjectUniverse::new();
+    u.add_object(Register::new(Value::from(0i64)));
+    u.add_object(FetchIncrement::new());
+    u.add_object(Counter::new());
+    u
+}
+
+fn fi_universe() -> ObjectUniverse {
+    let mut u = ObjectUniverse::new();
+    u.add_object(FetchIncrement::new());
+    u
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomly generated legal sequential histories are sequential, legal,
+    /// well-formed and linearizable.
+    #[test]
+    fn generated_sequential_histories_are_legal_and_linearizable(
+        seed in 0u64..10_000,
+        ops in 1usize..12,
+        processes in 1usize..4,
+    ) {
+        let u = mixed_universe();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random_sequential_legal(&u, &WorkloadSpec { processes, operations: ops }, &mut rng);
+        prop_assert!(h.is_sequential());
+        prop_assert!(h.is_well_formed());
+        prop_assert!(legal::is_legal_sequential(&h, &u));
+        prop_assert!(linearizability::is_linearizable(&h, &u));
+        prop_assert!(weak_consistency::is_weakly_consistent(&h, &u));
+    }
+
+    /// Concurrentized histories remain linearizable (the sequential original
+    /// is a witness) and weakly consistent, and their minimal stabilization
+    /// index is 0.
+    #[test]
+    fn concurrentized_histories_are_linearizable(
+        seed in 0u64..10_000,
+        ops in 1usize..10,
+        overlap in 0usize..4,
+    ) {
+        let u = mixed_universe();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seq = random_sequential_legal(&u, &WorkloadSpec { processes: 3, operations: ops }, &mut rng);
+        let conc = concurrentize(&seq, overlap, &mut rng);
+        prop_assert!(conc.is_well_formed());
+        prop_assert!(linearizability::is_linearizable(&conc, &u));
+        prop_assert_eq!(t_linearizability::min_stabilization(&conc, &u, None), Some(0));
+    }
+
+    /// Lemma 5 (monotonicity) and Lemma 6 (prefix closure) of
+    /// t-linearizability hold on arbitrary (possibly corrupted) histories.
+    #[test]
+    fn lemmas_5_and_6_on_random_histories(
+        seed in 0u64..10_000,
+        ops in 1usize..8,
+        corruptions in 0usize..3,
+    ) {
+        let u = fi_universe();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seq = random_sequential_legal(&u, &WorkloadSpec { processes: 2, operations: ops }, &mut rng);
+        let conc = concurrentize(&seq, 2, &mut rng);
+        let (h, _) = perturb_responses(&conc, corruptions, &mut rng);
+        if let Some(t0) = t_linearizability::min_stabilization(&h, &u, None) {
+            // Monotone above t0 (sample a few values instead of all of them).
+            for t in [t0, t0 + 1, h.len()] {
+                prop_assert!(t_linearizability::is_t_linearizable(&h, &u, t));
+            }
+            if t0 > 0 {
+                prop_assert!(!t_linearizability::is_t_linearizable(&h, &u, t0 - 1));
+            }
+            // Prefix closure at t0.
+            for n in (0..h.len()).step_by(2) {
+                prop_assert!(t_linearizability::is_t_linearizable(&h.prefix(n), &u, t0));
+            }
+        }
+    }
+
+    /// The specialized fetch&increment checker agrees with the generic one on
+    /// arbitrary fetch&increment histories (both verdict and stabilization).
+    #[test]
+    fn fi_checker_matches_generic_checker(
+        seed in 0u64..10_000,
+        ops in 1usize..7,
+        corruptions in 0usize..3,
+    ) {
+        let u = fi_universe();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seq = random_sequential_legal(&u, &WorkloadSpec { processes: 3, operations: ops }, &mut rng);
+        let conc = concurrentize(&seq, 2, &mut rng);
+        let (h, _) = perturb_responses(&conc, corruptions, &mut rng);
+        // Skip histories whose corrupted responses are not integers (cannot
+        // happen for fetch&inc perturbation, which only writes integers).
+        let generic_lin = linearizability::is_linearizable(&h, &u);
+        let fast_lin = fi::is_linearizable(&h, 0).unwrap();
+        prop_assert_eq!(generic_lin, fast_lin);
+        let generic_t = t_linearizability::min_stabilization(&h, &u, None);
+        let fast_t = fi::min_stabilization(&h, 0).ok();
+        prop_assert_eq!(generic_t, fast_t);
+    }
+
+    /// Weak consistency is prefix-closed (Lemma 10) on generated histories.
+    #[test]
+    fn weak_consistency_prefix_closed(
+        seed in 0u64..10_000,
+        ops in 1usize..8,
+    ) {
+        let u = mixed_universe();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seq = random_sequential_legal(&u, &WorkloadSpec { processes: 2, operations: ops }, &mut rng);
+        let conc = concurrentize(&seq, 2, &mut rng);
+        if weak_consistency::is_weakly_consistent(&conc, &u) {
+            for n in 0..conc.len() {
+                prop_assert!(weak_consistency::is_weakly_consistent(&conc.prefix(n), &u));
+            }
+        }
+    }
+
+    /// Every history produced by the Proposition 16 consensus algorithm under
+    /// a random schedule is weakly consistent and eventually linearizable.
+    #[test]
+    fn prop16_histories_are_eventually_linearizable(
+        seed in 0u64..5_000,
+        n in 2usize..5,
+    ) {
+        let mut u = ObjectUniverse::new();
+        u.add_object(Consensus::new());
+        let imp = Prop16Consensus::new(n);
+        let w = Workload::one_shot(
+            (0..n).map(|i| Consensus::propose(Value::from(i as i64))).collect(),
+        );
+        let mut s = RandomScheduler::seeded(seed);
+        let out = run(&imp, &w, &mut s, 100_000);
+        prop_assert!(out.completed_all);
+        prop_assert!(weak_consistency::is_weakly_consistent(&out.history, &u));
+        prop_assert!(evlin::checker::eventual::is_eventually_linearizable(&out.history, &u));
+    }
+
+    /// The CAS-loop fetch&increment is linearizable under random schedules
+    /// and workload shapes.
+    #[test]
+    fn cas_fetch_inc_linearizable_under_random_schedules(
+        seed in 0u64..5_000,
+        ops in 1usize..6,
+        processes in 1usize..4,
+    ) {
+        let imp = CasFetchInc::new(processes);
+        let w = Workload::uniform(processes, FetchIncrement::fetch_inc(), ops);
+        let mut s = RandomScheduler::seeded(seed);
+        let out = run(&imp, &w, &mut s, 1_000_000);
+        prop_assert!(out.completed_all);
+        prop_assert_eq!(fi::is_linearizable(&out.history, 0), Ok(true));
+    }
+
+    /// Projection identities: |H|p| summed over processes equals |H|, and the
+    /// object projections partition the events.
+    #[test]
+    fn projection_partition_identities(
+        seed in 0u64..10_000,
+        ops in 1usize..12,
+    ) {
+        let u = mixed_universe();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seq = random_sequential_legal(&u, &WorkloadSpec { processes: 3, operations: ops }, &mut rng);
+        let conc = concurrentize(&seq, 3, &mut rng);
+        let by_process: usize = conc
+            .processes()
+            .into_iter()
+            .map(|p| conc.project_process(p).len())
+            .sum();
+        prop_assert_eq!(by_process, conc.len());
+        let by_object: usize = conc
+            .objects()
+            .into_iter()
+            .map(|o| conc.project_object(o).len())
+            .sum();
+        prop_assert_eq!(by_object, conc.len());
+    }
+}

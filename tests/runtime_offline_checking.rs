@@ -1,0 +1,128 @@
+//! Integration tests spanning `evlin-runtime` (real threads) and
+//! `evlin-checker` (offline analysis of the recorded histories).
+
+use evlin::checker::fi;
+use evlin::prelude::*;
+use evlin::runtime::consensus::{CasConsensus, ConcurrentConsensus, RegisterConsensus};
+use evlin::runtime::{run_counter_workload, HarnessOptions};
+use std::collections::BTreeSet;
+
+#[test]
+fn linearizable_counters_pass_offline_checks() {
+    for counter in [
+        Box::new(CasCounter::new()) as Box<dyn ConcurrentCounter>,
+        Box::new(FetchAddCounter::new()),
+    ] {
+        let run = run_counter_workload(
+            counter.as_ref(),
+            HarnessOptions {
+                threads: 4,
+                ops_per_thread: 1_000,
+                record_history: true,
+            },
+        );
+        assert_eq!(run.final_total, 4_000);
+        assert!(run.responses_distinct());
+        let history = run.history.expect("recording enabled");
+        assert!(history.is_well_formed());
+        assert_eq!(history.complete_operations().len(), 4_000);
+        assert_eq!(fi::is_linearizable(&history, 0), Ok(true));
+        assert_eq!(fi::min_stabilization(&history, 0), Ok(0));
+    }
+}
+
+#[test]
+fn eventually_consistent_counter_converges_and_its_history_is_analyzable() {
+    let counter = ShardedCounter::new(4, 32);
+    let run = run_counter_workload(
+        &counter,
+        HarnessOptions {
+            threads: 4,
+            ops_per_thread: 2_000,
+            record_history: true,
+        },
+    );
+    // Convergence: no increment is ever lost.
+    assert_eq!(run.final_total, 8_000);
+    let history = run.history.expect("recording enabled");
+    assert!(history.is_well_formed());
+    // The minimal stabilization index exists (finite history) and the
+    // specialized checker handles the full 16k-event history.
+    let t = fi::min_stabilization(&history, 0).unwrap();
+    assert!(t <= history.len());
+}
+
+#[test]
+fn recorded_real_time_order_is_respected_by_the_checker() {
+    // A sanity check that the recorder's sequence numbers give a usable
+    // real-time order: a single-threaded run must be linearizable with
+    // responses 0, 1, 2, …
+    let counter = CasCounter::new();
+    let run = run_counter_workload(
+        &counter,
+        HarnessOptions {
+            threads: 1,
+            ops_per_thread: 500,
+            record_history: true,
+        },
+    );
+    let history = run.history.expect("recording enabled");
+    let responses: Vec<i64> = history
+        .complete_operations()
+        .iter()
+        .map(|op| op.response.clone().unwrap().as_int().unwrap())
+        .collect();
+    assert_eq!(responses, (0..500).collect::<Vec<_>>());
+    assert_eq!(fi::is_linearizable(&history, 0), Ok(true));
+}
+
+#[test]
+fn cas_consensus_threads_always_agree() {
+    for round in 0..20 {
+        let consensus = CasConsensus::new();
+        let proposals: Vec<i64> = (0..4).map(|i| (round * 10 + i) as i64 + 1).collect();
+        let results: Vec<std::sync::Mutex<i64>> =
+            proposals.iter().map(|_| std::sync::Mutex::new(0)).collect();
+        propose_concurrently(&consensus, &proposals, &results);
+        let decided: BTreeSet<i64> = results.iter().map(|m| *m.lock().unwrap()).collect();
+        assert_eq!(decided.len(), 1, "agreement violated: {decided:?}");
+        assert!(proposals.contains(decided.iter().next().unwrap()));
+    }
+}
+
+/// Runs one propose per thread and stores each thread's decision.
+fn propose_concurrently(
+    consensus: &dyn ConcurrentConsensus,
+    proposals: &[i64],
+    results: &[std::sync::Mutex<i64>],
+) {
+    crossbeam::scope(|s| {
+        for (t, &p) in proposals.iter().enumerate() {
+            let results = &results;
+            s.spawn(move |_| {
+                *results[t].lock().unwrap() = consensus.propose(t, p);
+            });
+        }
+    })
+    .expect("threads must not panic");
+}
+
+#[test]
+fn register_consensus_is_valid_and_eventually_agrees_after_quiescence() {
+    let consensus = RegisterConsensus::new(4);
+    let proposals = [11i64, 22, 33, 44];
+    let results: Vec<std::sync::Mutex<i64>> =
+        proposals.iter().map(|_| std::sync::Mutex::new(0)).collect();
+    propose_concurrently(&consensus, &proposals, &results);
+    let decided: Vec<i64> = results.iter().map(|m| *m.lock().unwrap()).collect();
+    // Validity: every decision is someone's proposal.
+    for d in &decided {
+        assert!(proposals.contains(d));
+    }
+    // Quiescent stabilization: once every announcement is visible, all later
+    // proposals adopt the same (leftmost) value — the operational face of the
+    // eventual linearizability of Proposition 16.
+    let late_a = consensus.propose(0, 99);
+    let late_b = consensus.propose(3, 77);
+    assert_eq!(late_a, late_b);
+}
