@@ -65,10 +65,7 @@ impl Implementation for CasConsensusSim {
 impl ProcessLogic for CasConsensusLogic {
     fn begin(&mut self, invocation: Invocation) {
         assert_eq!(invocation.method(), "propose");
-        self.proposal = invocation
-            .arg(0)
-            .cloned()
-            .expect("propose carries a value");
+        self.proposal = invocation.arg(0).cloned().expect("propose carries a value");
         self.phase = Phase::Cas;
     }
 

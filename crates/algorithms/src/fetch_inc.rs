@@ -386,7 +386,11 @@ mod tests {
             let mut s = RandomScheduler::seeded(seed);
             let out = run(&imp, &w, &mut s, 100_000);
             assert!(out.completed_all, "seed {seed}");
-            assert_eq!(fi::is_linearizable(&out.history, 0), Ok(true), "seed {seed}");
+            assert_eq!(
+                fi::is_linearizable(&out.history, 0),
+                Ok(true),
+                "seed {seed}"
+            );
         }
     }
 

@@ -327,8 +327,15 @@ impl Fig1Logic {
                 continue;
             }
             if let Ok((_, next)) = self.ty.apply_deterministic(&state, m) {
-                if self.dfs_justify(op, must, optional, next, must_mask | (1 << i), used.clone(), visited)
-                {
+                if self.dfs_justify(
+                    op,
+                    must,
+                    optional,
+                    next,
+                    must_mask | (1 << i),
+                    used.clone(),
+                    visited,
+                ) {
                     return true;
                 }
             }
@@ -535,10 +542,7 @@ mod tests {
             2,
         );
         let w = Workload::new(vec![
-            vec![
-                Register::write(Value::from(5i64)),
-                Register::read(),
-            ],
+            vec![Register::write(Value::from(5i64)), Register::read()],
             vec![Register::read(), Register::write(Value::from(6i64))],
         ]);
         let mut u = ObjectUniverse::new();

@@ -162,7 +162,10 @@ mod tests {
         u.add_object(Consensus::new());
         let mut s = RoundRobinScheduler::new();
         let out = run(&t, &w, &mut s, 10_000);
-        assert!(out.completed_all, "the transformation preserves wait-freedom");
+        assert!(
+            out.completed_all,
+            "the transformation preserves wait-freedom"
+        );
         // Each process decides its own value: agreement is violated, so the
         // history is not linearizable.
         assert!(!linearizability::is_linearizable(&out.history, &u));

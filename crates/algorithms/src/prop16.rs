@@ -86,12 +86,10 @@ impl Implementation for Prop16Consensus {
         (0..self.processes)
             .map(|_| match self.registers {
                 RegisterKind::Linearizable => objects::bottom_register(),
-                RegisterKind::EventuallyLinearizable(policy) => {
-                    Box::new(EventuallyLinearizable::new(
-                        Arc::new(Register::new_bottom()),
-                        policy,
-                    )) as Box<dyn BaseObject>
-                }
+                RegisterKind::EventuallyLinearizable(policy) => Box::new(
+                    EventuallyLinearizable::new(Arc::new(Register::new_bottom()), policy),
+                )
+                    as Box<dyn BaseObject>,
             })
             .collect()
     }
@@ -142,10 +140,7 @@ impl ProcessLogic for Prop16Logic {
             "propose",
             "Prop16 consensus only implements propose(v)"
         );
-        self.proposal = invocation
-            .arg(0)
-            .cloned()
-            .expect("propose carries a value");
+        self.proposal = invocation.arg(0).cloned().expect("propose carries a value");
         self.phase = Phase::ReadOwn;
         self.seen.clear();
     }
@@ -366,10 +361,7 @@ mod tests {
         // p0's second propose returns the same decision as its first: its own
         // register still holds 1 and registers are scanned left to right.
         let ops = out.history.complete_operations();
-        let p0_ops: Vec<_> = ops
-            .iter()
-            .filter(|o| o.process == ProcessId(0))
-            .collect();
+        let p0_ops: Vec<_> = ops.iter().filter(|o| o.process == ProcessId(0)).collect();
         assert_eq!(p0_ops.len(), 2);
         assert_eq!(p0_ops[0].response, p0_ops[1].response);
     }

@@ -82,7 +82,9 @@ impl Implementation for UniversalConstruction {
     }
 
     fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
-        (0..self.log_capacity).map(|_| objects::consensus()).collect()
+        (0..self.log_capacity)
+            .map(|_| objects::consensus())
+            .collect()
     }
 
     fn new_process(&self, process: ProcessId) -> Box<dyn ProcessLogic> {
@@ -166,10 +168,7 @@ impl UniversalLogic {
 impl ProcessLogic for UniversalLogic {
     fn begin(&mut self, invocation: Invocation) {
         self.current = Some(invocation);
-        self.current_tag = Value::pair(
-            Value::from(self.me.index()),
-            Value::from(self.next_seq),
-        );
+        self.current_tag = Value::pair(Value::from(self.me.index()), Value::from(self.next_seq));
         self.next_seq += 1;
         self.proposing_slot = self.known_log.len();
         self.awaiting = false;

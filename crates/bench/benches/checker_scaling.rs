@@ -4,9 +4,9 @@
 //! * specialized fetch&increment checker vs history length (much larger).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use evlin_checker::{fi, linearizability};
+use evlin_checker::{fi, linearizability, parallel};
 use evlin_history::generator::{concurrentize, random_sequential_legal, WorkloadSpec};
-use evlin_history::{HistoryBuilder, ObjectUniverse, ProcessId};
+use evlin_history::{History, HistoryBuilder, ObjectUniverse, ProcessId};
 use evlin_spec::{FetchIncrement, Register, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,5 +57,49 @@ fn bench_specialized(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(checker_scaling, bench_generic, bench_specialized);
+/// Sequential vs parallel batched checking of many independent histories:
+/// the speedup of `batch_par` over `batch_seq` at equal batch size is the
+/// multi-core scaling headroom (≈ the core count on a quiet machine; the
+/// worker count honours `RAYON_NUM_THREADS`).
+fn bench_batch(c: &mut Criterion) {
+    let mut universe = ObjectUniverse::new();
+    universe.add_object(Register::new(Value::from(0i64)));
+    universe.add_object(FetchIncrement::new());
+    let batch: Vec<History> = (0..64)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let seq = random_sequential_legal(
+                &universe,
+                &WorkloadSpec {
+                    processes: 3,
+                    operations: 14,
+                },
+                &mut rng,
+            );
+            concurrentize(&seq, 3, &mut rng)
+        })
+        .collect();
+    let mut group = c.benchmark_group("checker/batch");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_with_input(BenchmarkId::new("seq", batch.len()), &batch, |b, hs| {
+        b.iter(|| {
+            let verdicts = parallel::check_histories(hs, &universe);
+            assert!(verdicts.iter().all(|&ok| ok));
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("par", batch.len()), &batch, |b, hs| {
+        b.iter(|| {
+            let verdicts = parallel::check_histories_par(hs, &universe);
+            assert!(verdicts.iter().all(|&ok| ok));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    checker_scaling,
+    bench_generic,
+    bench_specialized,
+    bench_batch
+);
 criterion_main!(checker_scaling);

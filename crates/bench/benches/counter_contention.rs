@@ -9,24 +9,32 @@ use evlin_runtime::harness::{run_counter_workload, HarnessOptions};
 
 const OPS_PER_THREAD: usize = 20_000;
 
-fn bench_counter(c: &mut Criterion, name: &str, make: impl Fn(usize) -> Box<dyn ConcurrentCounter>) {
+fn bench_counter(
+    c: &mut Criterion,
+    name: &str,
+    make: impl Fn(usize) -> Box<dyn ConcurrentCounter>,
+) {
     let mut group = c.benchmark_group(format!("counter_contention/{name}"));
     for &threads in &[1usize, 2, 4] {
         group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let counter = make(threads);
-                let run = run_counter_workload(
-                    counter.as_ref(),
-                    HarnessOptions {
-                        threads,
-                        ops_per_thread: OPS_PER_THREAD,
-                        record_history: false,
-                    },
-                );
-                assert_eq!(run.final_total as usize, threads * OPS_PER_THREAD);
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let counter = make(threads);
+                    let run = run_counter_workload(
+                        counter.as_ref(),
+                        HarnessOptions {
+                            threads,
+                            ops_per_thread: OPS_PER_THREAD,
+                            record_history: false,
+                        },
+                    );
+                    assert_eq!(run.final_total as usize, threads * OPS_PER_THREAD);
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -10,20 +10,25 @@ fn bench_stability(c: &mut Criterion) {
     let mut group = c.benchmark_group("prop18/stable_to_linearizable");
     group.sample_size(10);
     for &warmup in &[0i64, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(warmup), &warmup, |b, &warmup| {
-            let imp = NoisyPrefixFetchInc::new(2, warmup);
-            let options = StabilityOptions {
-                extension_ops_per_process: 2,
-                extension_depth: 24,
-                max_configs: 100_000,
-                solo_step_budget: 10_000,
-            };
-            b.iter(|| {
-                let freeze = stable_to_linearizable(&imp, 2, warmup.max(1) as usize, 0, &options)
-                    .expect("a stable configuration exists");
-                freeze.offset
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(warmup),
+            &warmup,
+            |b, &warmup| {
+                let imp = NoisyPrefixFetchInc::new(2, warmup);
+                let options = StabilityOptions {
+                    extension_ops_per_process: 2,
+                    extension_depth: 24,
+                    max_configs: 100_000,
+                    solo_step_budget: 10_000,
+                };
+                b.iter(|| {
+                    let freeze =
+                        stable_to_linearizable(&imp, 2, warmup.max(1) as usize, 0, &options)
+                            .expect("a stable configuration exists");
+                    freeze.offset
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -15,10 +15,7 @@ use evlin_bench::experiments;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let requested: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .collect();
+    let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
 
     let ids: Vec<String> = if requested.is_empty() {
         vec!["all".to_string()]

@@ -54,8 +54,16 @@ fn summarize(history: &evlin_history::History, universe: &ObjectUniverse) -> Run
 /// Runs experiment E1 and returns its tables.
 pub fn run(quick: bool) -> Vec<Table> {
     let universe = consensus_universe();
-    let process_counts: Vec<usize> = if quick { vec![2, 3] } else { vec![2, 3, 4, 5, 6] };
-    let seeds: Vec<u64> = if quick { (0..5).collect() } else { (0..30).collect() };
+    let process_counts: Vec<usize> = if quick {
+        vec![2, 3]
+    } else {
+        vec![2, 3, 4, 5, 6]
+    };
+    let seeds: Vec<u64> = if quick {
+        (0..5).collect()
+    } else {
+        (0..30).collect()
+    };
 
     let mut per_scheduler = Table::new(
         "E1 — Prop 16 consensus from registers: eventual linearizability across schedulers",
@@ -131,7 +139,11 @@ pub fn run(quick: bool) -> Vec<Table> {
             "max stabilization t",
         ],
     );
-    let stabilizations = if quick { vec![0usize, 4] } else { vec![0usize, 2, 4, 8, 16] };
+    let stabilizations = if quick {
+        vec![0usize, 4]
+    } else {
+        vec![0usize, 2, 4, 8, 16]
+    };
     for &n in process_counts.iter().take(2) {
         for &k in &stabilizations {
             let imp = Prop16Consensus::with_eventually_linearizable_registers(

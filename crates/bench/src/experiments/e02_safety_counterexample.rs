@@ -70,27 +70,28 @@ pub fn run(quick: bool) -> Vec<Table> {
     let h = section_3_2_history(if quick { 6 } else { 20 });
     let mut classification = Table::new(
         "E2b — prefix closure of the consistency conditions on the counterexample",
-        &["property", "holds on full history", "prefix-closed on this history"],
+        &[
+            "property",
+            "holds on full history",
+            "prefix-closed on this history",
+        ],
     );
-    let wc_closure = safety::check_prefix_closure(&h, |p| {
-        weak_consistency::is_weakly_consistent(p, &u)
-    });
+    let wc_closure =
+        safety::check_prefix_closure(&h, |p| weak_consistency::is_weakly_consistent(p, &u));
     classification.push_row([
         "weak consistency".to_string(),
         weak_consistency::is_weakly_consistent(&h, &u).to_string(),
         format!("{wc_closure:?}"),
     ]);
-    let t2_closure = safety::check_prefix_closure(&h, |p| {
-        t_linearizability::is_t_linearizable(p, &u, 2)
-    });
+    let t2_closure =
+        safety::check_prefix_closure(&h, |p| t_linearizability::is_t_linearizable(p, &u, 2));
     classification.push_row([
         "2-linearizability".to_string(),
         t_linearizability::is_t_linearizable(&h, &u, 2).to_string(),
         format!("{t2_closure:?}"),
     ]);
-    let lin_closure = safety::check_prefix_closure(&h, |p| {
-        t_linearizability::is_t_linearizable(p, &u, 0)
-    });
+    let lin_closure =
+        safety::check_prefix_closure(&h, |p| t_linearizability::is_t_linearizable(p, &u, 0));
     classification.push_row([
         "linearizability".to_string(),
         t_linearizability::is_t_linearizable(&h, &u, 0).to_string(),

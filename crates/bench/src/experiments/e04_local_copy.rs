@@ -10,9 +10,11 @@
 
 use crate::Table;
 use evlin_algorithms::{CasFetchInc, LocalCopy, Prop16Consensus};
-use evlin_checker::{linearizability, weak_consistency};
+use evlin_checker::{linearizability, parallel, weak_consistency};
 use evlin_history::ObjectUniverse;
-use evlin_sim::explorer::{terminal_histories, ExploreOptions};
+use evlin_sim::explorer::{
+    terminal_histories, terminal_histories_par, ExploreOptions, ParExploreOptions,
+};
 use evlin_sim::program::LocalSpecImplementation;
 use evlin_sim::workload::Workload;
 use evlin_spec::trivial::{BlindRegister, StickyGate};
@@ -103,10 +105,19 @@ pub fn run(quick: bool) -> Vec<Table> {
         let mut universe = ObjectUniverse::new();
         universe.add_shared(case.ty.clone(), case.ty.initial_states()[0].clone());
         let implementation = LocalSpecImplementation::new(case.ty.clone(), 2);
-        let histories = terminal_histories(&implementation, &case.workload, options);
-        let all_lin = histories
-            .iter()
-            .all(|h| linearizability::is_linearizable(h, &universe));
+        // Explore all interleavings on every core, then batch-check the
+        // terminal histories in parallel too.
+        let histories = terminal_histories_par(
+            &implementation,
+            &case.workload,
+            ParExploreOptions {
+                base: options,
+                ..ParExploreOptions::default()
+            },
+        );
+        let all_lin = parallel::check_histories_par(&histories, &universe)
+            .into_iter()
+            .all(|ok| ok);
         let all_wc = histories
             .iter()
             .all(|h| weak_consistency::is_weakly_consistent(h, &universe));
@@ -195,8 +206,8 @@ mod tests {
         let tables = run(true);
         for row in &tables[0].rows {
             let trivial: bool = row[1].parse().unwrap();
-            let all_lin: bool = row[2].parse::<usize>().unwrap() > 0
-                && row[3].parse::<bool>().unwrap();
+            let all_lin: bool =
+                row[2].parse::<usize>().unwrap() > 0 && row[3].parse::<bool>().unwrap();
             let all_wc: bool = row[4].parse().unwrap();
             assert!(all_wc, "local copies are always weakly consistent: {row:?}");
             assert_eq!(

@@ -15,8 +15,7 @@ use evlin_sim::program::LocalSpecImplementation;
 use evlin_sim::workload::Workload;
 use evlin_spec::trivial::{analyze, BlindRegister, StickyGate, Triviality};
 use evlin_spec::{
-    Consensus, Counter, FetchIncrement, MaxRegister, ObjectType, Queue, Register, TestAndSet,
-    Value,
+    Consensus, Counter, FetchIncrement, MaxRegister, ObjectType, Queue, Register, TestAndSet, Value,
 };
 use std::sync::Arc;
 

@@ -18,7 +18,9 @@
 //!    eventually linearizable register-only fetch&increment exists.
 
 use crate::Table;
-use evlin_algorithms::{CasConsensusSim, CasFetchInc, GossipFetchInc, NoisyPrefixFetchInc, Prop16Consensus};
+use evlin_algorithms::{
+    CasConsensusSim, CasFetchInc, GossipFetchInc, NoisyPrefixFetchInc, Prop16Consensus,
+};
 use evlin_checker::fi;
 use evlin_sim::explorer::ExploreOptions;
 use evlin_sim::prelude::*;
@@ -81,7 +83,11 @@ pub fn run(quick: bool) -> Vec<Table> {
             "cas loop: min t",
         ],
     );
-    let sizes: Vec<usize> = if quick { vec![2, 4, 8] } else { vec![2, 4, 8, 16, 32, 64] };
+    let sizes: Vec<usize> = if quick {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 4, 8, 16, 32, 64]
+    };
     for &ops in &sizes {
         let w = Workload::uniform(2, FetchIncrement::fetch_inc(), ops);
         let run_one = |imp: &dyn evlin_sim::program::Implementation| {
@@ -97,7 +103,9 @@ pub fn run(quick: bool) -> Vec<Table> {
             gossip_history.len().to_string(),
             gossip_t.to_string(),
             format!("{:.2}", gossip_t as f64 / gossip_history.len() as f64),
-            fi::min_stabilization(&noisy_history, 0).unwrap().to_string(),
+            fi::min_stabilization(&noisy_history, 0)
+                .unwrap()
+                .to_string(),
             fi::min_stabilization(&cas_history, 0).unwrap().to_string(),
         ]);
     }

@@ -142,7 +142,10 @@ mod tests {
         // frozen implementation verified linearizable.
         for row in rows.iter().take(rows.len() - 1) {
             assert_eq!(row[1], "true", "stable configuration expected: {row:?}");
-            assert_eq!(row[4], "true", "frozen implementation must be linearizable: {row:?}");
+            assert_eq!(
+                row[4], "true",
+                "frozen implementation must be linearizable: {row:?}"
+            );
         }
         // The gossip implementation never certifies a stable configuration.
         let last = rows.last().unwrap();

@@ -47,7 +47,10 @@ struct GarbageLogic {
 
 impl Implementation for GarbagePrefixFetchInc {
     fn name(&self) -> String {
-        format!("garbage-prefix fetch&increment ({} garbage ops)", self.garbage)
+        format!(
+            "garbage-prefix fetch&increment ({} garbage ops)",
+            self.garbage
+        )
     }
     fn processes(&self) -> usize {
         self.inner.processes()
@@ -112,7 +115,10 @@ fn evaluate(imp: &dyn Implementation, seeds: &[u64], ops: usize) -> Summary {
     for &seed in seeds {
         let mut s = RandomScheduler::seeded(seed);
         let out = evlin_sim::runner::run(imp, &w, &mut s, 1_000_000);
-        assert!(out.completed_all, "non-blocking implementations must finish");
+        assert!(
+            out.completed_all,
+            "non-blocking implementations must finish"
+        );
         total_steps += out.steps;
         let report = eventual::analyze(&out.history, &u);
         if weak_consistency::is_weakly_consistent(&out.history, &u) {
@@ -131,7 +137,11 @@ fn evaluate(imp: &dyn Implementation, seeds: &[u64], ops: usize) -> Summary {
 
 /// Runs experiment E9 and returns its tables.
 pub fn run(quick: bool) -> Vec<Table> {
-    let seeds: Vec<u64> = if quick { (0..4).collect() } else { (0..20).collect() };
+    let seeds: Vec<u64> = if quick {
+        (0..4).collect()
+    } else {
+        (0..20).collect()
+    };
     let ops = if quick { 2 } else { 3 };
 
     let mut table = Table::new(
@@ -189,7 +199,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         "cas loop (Figure-1 wrapped)".to_string(),
         wrapped_plain_summary.total_runs.to_string(),
         wrapped_plain_summary.weakly_consistent_runs.to_string(),
-        wrapped_plain_summary.eventually_linearizable_runs.to_string(),
+        wrapped_plain_summary
+            .eventually_linearizable_runs
+            .to_string(),
         wrapped_plain_summary.linearizable_runs.to_string(),
         format!("{:.1}", wrapped_plain_summary.steps_per_op),
     ]);

@@ -7,7 +7,7 @@
 //! and cross-checks that the two agree wherever both are applicable.
 
 use crate::Table;
-use evlin_checker::{fi, linearizability, t_linearizability};
+use evlin_checker::{fi, linearizability, parallel, t_linearizability};
 use evlin_history::generator::{concurrentize, random_sequential_legal, WorkloadSpec};
 use evlin_history::ObjectUniverse;
 use evlin_runtime::counter::{CasCounter, ShardedCounter};
@@ -29,7 +29,11 @@ pub fn run(quick: bool) -> Vec<Table> {
             "mean check time (µs)",
         ],
     );
-    let sizes: Vec<usize> = if quick { vec![6, 10, 14] } else { vec![6, 10, 14, 18, 22] };
+    let sizes: Vec<usize> = if quick {
+        vec![6, 10, 14]
+    } else {
+        vec![6, 10, 14, 18, 22]
+    };
     let histories_per_size = if quick { 5 } else { 20 };
     for &ops in &sizes {
         let mut universe = ObjectUniverse::new();
@@ -57,7 +61,10 @@ pub fn run(quick: bool) -> Vec<Table> {
             "3".to_string(),
             histories_per_size.to_string(),
             all_ok.to_string(),
-            format!("{:.1}", total.as_micros() as f64 / histories_per_size as f64),
+            format!(
+                "{:.1}",
+                total.as_micros() as f64 / histories_per_size as f64
+            ),
         ]);
     }
 
@@ -120,7 +127,11 @@ pub fn run(quick: bool) -> Vec<Table> {
     // Agreement between the two checkers on small fetch&increment histories.
     let mut agreement = Table::new(
         "E10c — generic vs specialized checker agreement on small fetch&inc histories",
-        &["histories", "linearizability agreements", "stabilization agreements"],
+        &[
+            "histories",
+            "linearizability agreements",
+            "stabilization agreements",
+        ],
     );
     {
         let mut universe = ObjectUniverse::new();
@@ -150,10 +161,67 @@ pub fn run(quick: bool) -> Vec<Table> {
                 stab_agree += 1;
             }
         }
-        agreement.push_row([count.to_string(), lin_agree.to_string(), stab_agree.to_string()]);
+        agreement.push_row([
+            count.to_string(),
+            lin_agree.to_string(),
+            stab_agree.to_string(),
+        ]);
     }
 
-    vec![generic, specialized, agreement]
+    // Batched checking: one core vs all cores on the same batch.  Identical
+    // verdicts are asserted; the speedup column is the point of the table.
+    let mut batched = Table::new(
+        "E10d — batched linearizability checking, sequential vs all cores",
+        &[
+            "batch size",
+            "ops/history",
+            "threads",
+            "seq (ms)",
+            "par (ms)",
+            "speedup",
+            "verdicts agree",
+        ],
+    );
+    {
+        let mut universe = ObjectUniverse::new();
+        universe.add_object(Register::new(Value::from(0i64)));
+        universe.add_object(FetchIncrement::new());
+        let (batch_size, ops) = if quick { (16, 10) } else { (64, 14) };
+        let batch: Vec<evlin_history::History> = (0..batch_size)
+            .map(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed as u64);
+                let seq = random_sequential_legal(
+                    &universe,
+                    &WorkloadSpec {
+                        processes: 3,
+                        operations: ops,
+                    },
+                    &mut rng,
+                );
+                concurrentize(&seq, 3, &mut rng)
+            })
+            .collect();
+        let start = Instant::now();
+        let sequential = parallel::check_histories(&batch, &universe);
+        let seq_elapsed = start.elapsed();
+        let start = Instant::now();
+        let parallel_verdicts = parallel::check_histories_par(&batch, &universe);
+        let par_elapsed = start.elapsed();
+        batched.push_row([
+            batch_size.to_string(),
+            ops.to_string(),
+            rayon::current_num_threads().to_string(),
+            format!("{:.2}", seq_elapsed.as_secs_f64() * 1e3),
+            format!("{:.2}", par_elapsed.as_secs_f64() * 1e3),
+            format!(
+                "{:.2}×",
+                seq_elapsed.as_secs_f64() / par_elapsed.as_secs_f64().max(f64::EPSILON)
+            ),
+            (sequential == parallel_verdicts).to_string(),
+        ]);
+    }
+
+    vec![generic, specialized, agreement, batched]
 }
 
 #[cfg(test)]
@@ -164,7 +232,10 @@ mod tests {
     fn checkers_accept_linearizable_inputs_and_agree() {
         let tables = run(true);
         for row in &tables[0].rows {
-            assert_eq!(row[3], "true", "generated linearizable histories must be accepted");
+            assert_eq!(
+                row[3], "true",
+                "generated linearizable histories must be accepted"
+            );
         }
         // The CAS counter's recorded history is linearizable.
         assert_eq!(tables[1].rows[0][3], "true");
@@ -172,5 +243,7 @@ mod tests {
         let row = &tables[2].rows[0];
         assert_eq!(row[1], row[0]);
         assert_eq!(row[2], row[0]);
+        // Sequential and parallel batch verdicts agree.
+        assert_eq!(tables[3].rows[0][6], "true");
     }
 }

@@ -43,9 +43,7 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
 }
 
 /// The known experiment identifiers, in order.
-pub const IDS: [&str; 10] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-];
+pub const IDS: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 
 #[cfg(test)]
 mod tests {

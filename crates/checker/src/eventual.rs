@@ -93,8 +93,18 @@ mod tests {
         let mut u = ObjectUniverse::new();
         let x = u.add_object(FetchIncrement::new());
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .build();
         let r = analyze(&h, &u);
         assert!(r.is_linearizable());
@@ -109,8 +119,18 @@ mod tests {
         let mut u = ObjectUniverse::new();
         let x = u.add_object(FetchIncrement::new());
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
             .build();
         let r = analyze(&h, &u);
         assert!(!r.is_linearizable());

@@ -275,9 +275,24 @@ mod tests {
     fn rejects_duplicates_and_finds_stabilization() {
         let (_, x) = fi_universe();
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .build();
         assert_eq!(is_linearizable(&h, 0), Ok(false));
         assert_eq!(min_stabilization(&h, 0), Ok(2));
@@ -289,12 +304,22 @@ mod tests {
         // A pending fetch_inc accounts for the missing value 0.
         let h = HistoryBuilder::new()
             .invoke(ProcessId(0), x, FetchIncrement::fetch_inc())
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .build();
         assert_eq!(is_linearizable(&h, 0), Ok(true));
         // Without any pending operation the gap cannot be filled.
         let h2 = HistoryBuilder::new()
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .build();
         assert_eq!(is_linearizable(&h2, 0), Ok(false));
     }
@@ -306,7 +331,12 @@ mod tests {
         // operation begin.  The pending operation cannot be linearized before
         // A (A precedes it), so the gap at 0 cannot be filled.
         let h = HistoryBuilder::new()
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .invoke(ProcessId(0), x, FetchIncrement::fetch_inc())
             .build();
         assert_eq!(is_linearizable(&h, 0), Ok(false));
@@ -317,8 +347,18 @@ mod tests {
         let (_, x) = fi_universe();
         // First operation returns 1, the second (strictly later) returns 0.
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(1i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
             .invoke(ProcessId(2), x, FetchIncrement::fetch_inc())
             .build();
         assert_eq!(is_linearizable(&h, 0), Ok(false));
@@ -331,8 +371,18 @@ mod tests {
     fn nonzero_initial_value() {
         let (_, x) = fi_universe();
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(10i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(11i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(10i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(11i64),
+            )
             .build();
         assert_eq!(is_linearizable(&h, 10), Ok(true));
         assert_eq!(is_linearizable(&h, 0), Ok(false)); // gaps 0..9 unfillable
@@ -344,7 +394,12 @@ mod tests {
         let x = u.add_object(FetchIncrement::new());
         let r = u.add_object(Register::new(Value::from(0i64)));
         let multi = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
             .complete(ProcessId(0), r, Register::read(), Value::from(0i64))
             .build();
         assert_eq!(is_linearizable(&multi, 0), Err(FiError::MultipleObjects));
@@ -360,7 +415,10 @@ mod tests {
         let bad_resp = HistoryBuilder::new()
             .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::Unit)
             .build();
-        assert_eq!(is_linearizable(&bad_resp, 0), Err(FiError::NonIntegerResponse));
+        assert_eq!(
+            is_linearizable(&bad_resp, 0),
+            Err(FiError::NonIntegerResponse)
+        );
 
         let ill_formed = HistoryBuilder::new()
             .respond(ProcessId(0), x, Value::from(0i64))

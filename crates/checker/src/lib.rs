@@ -19,7 +19,10 @@
 //!   Proposition 9;
 //! * [`fi`] — specialized, near-linear-time checkers for fetch&increment
 //!   histories, used by the large-scale experiments (the generic search is
-//!   exponential in the worst case).
+//!   exponential in the worst case);
+//! * [`parallel`] — batched checking of many independent histories across
+//!   all cores ([`parallel::check_histories_par`] and friends), used by the
+//!   exhaustive experiments and the `checker_scaling` bench.
 //!
 //! ## Example
 //!
@@ -49,13 +52,15 @@ pub mod eventual;
 pub mod fi;
 pub mod linearizability;
 pub mod locality;
+pub mod parallel;
 pub mod safety;
 pub mod search;
 pub mod t_linearizability;
-pub mod weak_consistency;
 mod util;
+pub mod weak_consistency;
 
 pub use eventual::{is_eventually_linearizable, EventualReport};
 pub use linearizability::{is_linearizable, linearization_witness};
+pub use parallel::{check_histories_par, min_stabilizations_par};
 pub use t_linearizability::{is_t_linearizable, min_stabilization};
 pub use weak_consistency::is_weakly_consistent;

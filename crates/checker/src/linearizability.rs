@@ -47,8 +47,18 @@ mod tests {
         let mut u = ObjectUniverse::new();
         let q = u.add_object(Queue::new());
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), q, Queue::enqueue(Value::from(1i64)), Value::Unit)
-            .complete(ProcessId(1), q, Queue::enqueue(Value::from(2i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                q,
+                Queue::enqueue(Value::from(1i64)),
+                Value::Unit,
+            )
+            .complete(
+                ProcessId(1),
+                q,
+                Queue::enqueue(Value::from(2i64)),
+                Value::Unit,
+            )
             .complete(ProcessId(0), q, Queue::dequeue(), Value::from(1i64))
             .build();
         assert!(is_linearizable(&h, &u));
@@ -61,8 +71,18 @@ mod tests {
         // enqueue(1) then enqueue(2) strictly before any dequeue, yet the
         // first dequeue returns 2.
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), q, Queue::enqueue(Value::from(1i64)), Value::Unit)
-            .complete(ProcessId(0), q, Queue::enqueue(Value::from(2i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                q,
+                Queue::enqueue(Value::from(1i64)),
+                Value::Unit,
+            )
+            .complete(
+                ProcessId(0),
+                q,
+                Queue::enqueue(Value::from(2i64)),
+                Value::Unit,
+            )
             .complete(ProcessId(1), q, Queue::dequeue(), Value::from(2i64))
             .build();
         assert!(!is_linearizable(&h, &u));
@@ -89,8 +109,18 @@ mod tests {
         let mut u = ObjectUniverse::new();
         let c = u.add_object(Consensus::new());
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), c, Consensus::propose(Value::from(0i64)), Value::from(0i64))
-            .complete(ProcessId(1), c, Consensus::propose(Value::from(1i64)), Value::from(1i64))
+            .complete(
+                ProcessId(0),
+                c,
+                Consensus::propose(Value::from(0i64)),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                c,
+                Consensus::propose(Value::from(1i64)),
+                Value::from(1i64),
+            )
             .build();
         assert!(!is_linearizable(&h, &u));
     }
@@ -110,7 +140,10 @@ mod tests {
         assert!(legal::is_legal_sequential(&s, &u));
         // The write must be linearized before the read for the read of 3 to
         // be legal.
-        assert_eq!(s.complete_operations()[0].invocation, Register::write(Value::from(3i64)));
+        assert_eq!(
+            s.complete_operations()[0].invocation,
+            Register::write(Value::from(3i64))
+        );
     }
 
     #[test]
@@ -119,18 +152,48 @@ mod tests {
         let r = u.add_object(Register::new(Value::from(0i64)));
         let x = u.add_object(FetchIncrement::new());
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .complete(ProcessId(1), r, Register::read(), Value::from(1i64))
             .build();
         assert!(is_linearizable(&h, &u));
         // Break only the register part: the whole history becomes
         // non-linearizable (locality).
         let bad = HistoryBuilder::new()
-            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .complete(ProcessId(1), r, Register::read(), Value::from(0i64))
             .build();
         assert!(!is_linearizable(&bad, &u));

@@ -98,12 +98,27 @@ mod tests {
         let x = u.add_object(FetchIncrement::new());
         let h = HistoryBuilder::new()
             // Garbage-free counter operations.
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
             // A read that ignores the earlier write (needs t > 0).
-            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
             .complete(ProcessId(1), r, Register::read(), Value::from(0i64))
             .complete(ProcessId(1), r, Register::read(), Value::from(1i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .build();
         (u, h)
     }
@@ -161,7 +176,12 @@ mod tests {
         let mut b = HistoryBuilder::new();
         for &reg in &regs {
             b = b
-                .complete(ProcessId(0), reg, Register::write(Value::from(1i64)), Value::Unit)
+                .complete(
+                    ProcessId(0),
+                    reg,
+                    Register::write(Value::from(1i64)),
+                    Value::Unit,
+                )
                 .complete(ProcessId(1), reg, Register::read(), Value::from(0i64));
         }
         let h = b.build();

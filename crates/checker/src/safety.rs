@@ -67,7 +67,7 @@ where
     let Some(last) = chain.last() else {
         return Some(true);
     };
-    let all_hold = chain[..chain.len() - 1].iter().all(|h| property(h));
+    let all_hold = chain[..chain.len() - 1].iter().all(&mut property);
     if !all_hold {
         // The hypothesis of limit closure is not met; nothing is refuted.
         return Some(true);
@@ -147,17 +147,12 @@ mod tests {
         let chain: Vec<History> = (0..=h.len()).step_by(2).map(|n| h.prefix(n)).collect();
         // Weak consistency: holds along the chain and at the end.
         assert_eq!(
-            check_limit_closure_on_chain(&chain, |p| weak_consistency::is_weakly_consistent(
-                p, &u
-            )),
+            check_limit_closure_on_chain(&chain, |p| weak_consistency::is_weakly_consistent(p, &u)),
             Some(true)
         );
         // A non-chain input is rejected.
         let not_chain = vec![h.suffix(2), h.clone()];
-        assert_eq!(
-            check_limit_closure_on_chain(&not_chain, |_| true),
-            None
-        );
+        assert_eq!(check_limit_closure_on_chain(&not_chain, |_| true), None);
         // Empty chain is vacuously closed.
         assert_eq!(check_limit_closure_on_chain(&[], |_| true), Some(true));
     }
@@ -166,7 +161,12 @@ mod tests {
     fn prefix_closure_not_applicable_when_property_fails_at_the_end() {
         let (u, x) = fi_universe();
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(5i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(5i64),
+            )
             .build();
         assert_eq!(
             check_prefix_closure(&h, |p| weak_consistency::is_weakly_consistent(p, &u)),

@@ -97,6 +97,16 @@ impl SearchResult {
     }
 }
 
+/// Counters describing one search run (exposed by [`search_with_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Search nodes expanded.
+    pub nodes: usize,
+    /// Nodes cut off because their `(linearized-set, object-states)` pair had
+    /// already been visited — the Wing–Gong memoization at work.
+    pub memo_hits: usize,
+}
+
 struct Searcher<'a> {
     problem: &'a SearchProblem,
     universe: &'a ObjectUniverse,
@@ -106,6 +116,7 @@ struct Searcher<'a> {
     visited: HashSet<(BitSet, Vec<Value>)>,
     limits: SearchLimits,
     nodes: usize,
+    memo_hits: usize,
     exhausted: bool,
 }
 
@@ -125,6 +136,7 @@ impl<'a> Searcher<'a> {
             visited: HashSet::new(),
             limits,
             nodes: 0,
+            memo_hits: 0,
             exhausted: false,
         }
     }
@@ -166,6 +178,7 @@ impl<'a> Searcher<'a> {
             return false;
         }
         if !self.visited.insert((taken.clone(), states.clone())) {
+            self.memo_hits += 1;
             return false;
         }
         let n = self.problem.ops.len();
@@ -222,7 +235,25 @@ pub fn search(
     universe: &ObjectUniverse,
     limits: SearchLimits,
 ) -> SearchResult {
-    Searcher::new(problem, universe, limits).run()
+    search_with_stats(problem, universe, limits).0
+}
+
+/// Like [`search`], additionally returning node and memoization counters
+/// (used by tests and diagnostics to observe the Wing–Gong cache working).
+pub fn search_with_stats(
+    problem: &SearchProblem,
+    universe: &ObjectUniverse,
+    limits: SearchLimits,
+) -> (SearchResult, SearchStats) {
+    let mut searcher = Searcher::new(problem, universe, limits);
+    let result = searcher.run();
+    (
+        result,
+        SearchStats {
+            nodes: searcher.nodes,
+            memo_hits: searcher.memo_hits,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -266,7 +297,12 @@ mod tests {
         let mut u = ObjectUniverse::new();
         let r = u.add_object(Register::new(Value::from(0i64)));
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
             .complete(ProcessId(1), r, Register::read(), Value::from(1i64))
             .build();
         let (p, _) = problem_from(&h, true);
@@ -282,7 +318,12 @@ mod tests {
         let r = u.add_object(Register::new(Value::from(0i64)));
         // write(1) completes strictly before read() starts, yet read returns 0.
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
             .complete(ProcessId(1), r, Register::read(), Value::from(0i64))
             .build();
         let (p, _) = problem_from(&h, true);
@@ -311,12 +352,20 @@ mod tests {
         let mut u = ObjectUniverse::new();
         let r = u.add_object(Register::new(Value::from(0i64)));
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
             .complete(ProcessId(1), r, Register::read(), Value::from(99i64))
             .build();
         // With fixed responses the read of 99 is illegal...
         let (fixed, _) = problem_from(&h, true);
-        assert_eq!(search(&fixed, &u, SearchLimits::default()), SearchResult::No);
+        assert_eq!(
+            search(&fixed, &u, SearchLimits::default()),
+            SearchResult::No
+        );
         // ...but if responses are left free the operations can be arranged.
         let (free, _) = problem_from(&h, false);
         assert!(search(&free, &u, SearchLimits::default()).is_yes());
@@ -333,14 +382,79 @@ mod tests {
                 .invoke(ProcessId(i + 6), r, Register::read());
         }
         for i in 0..6 {
-            b = b
-                .respond(ProcessId(i), r, Value::Unit)
-                .respond(ProcessId(i + 6), r, Value::from(((i + 1) % 6) as i64));
+            b = b.respond(ProcessId(i), r, Value::Unit).respond(
+                ProcessId(i + 6),
+                r,
+                Value::from(((i + 1) % 6) as i64),
+            );
         }
         let h = b.build();
         let (p, _) = problem_from(&h, true);
         let result = search(&p, &u, SearchLimits { max_nodes: 3 });
         assert_eq!(result, SearchResult::Unknown);
+    }
+
+    #[test]
+    fn memoization_hits_on_revisited_set_and_states() {
+        // Four concurrent reads leave the register state unchanged, so the
+        // search reaches the same (linearized-set, object-states) pair along
+        // every permutation of the reads; together with an unsatisfiable
+        // fixed response (read of 7 that nothing wrote) the search must
+        // backtrack through all of them, and every arrival after the first
+        // at a given pair must be answered by the Wing–Gong cache.
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let mut b = HistoryBuilder::new();
+        for p in 0..4 {
+            b = b.invoke(ProcessId(p), r, Register::read());
+        }
+        for p in 0..4 {
+            b = b.respond(ProcessId(p), r, Value::from(0i64));
+        }
+        let h = b
+            .complete(ProcessId(4), r, Register::read(), Value::from(7i64))
+            .build();
+        let (p, _) = problem_from(&h, true);
+        let (result, stats) = search_with_stats(&p, &u, SearchLimits::default());
+        assert_eq!(result, SearchResult::No);
+        assert!(stats.nodes > 0);
+        assert!(
+            stats.memo_hits > 0,
+            "revisited (set, states) pairs must hit the cache: {stats:?}"
+        );
+        // With 4 interchangeable reads there are 2^4 distinct subsets but
+        // 4! orders of taking them; the cache must absorb the difference.
+        assert!(stats.memo_hits >= 4, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn memoization_is_cheaper_than_the_tree() {
+        // The number of *expanded* nodes with memoization is bounded by the
+        // number of distinct (subset, states) pairs, far below the plain
+        // permutation tree: for n interchangeable reads that is 2^n vs n!.
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let n = 7usize;
+        let mut b = HistoryBuilder::new();
+        for p in 0..n {
+            b = b.invoke(ProcessId(p), r, Register::read());
+        }
+        for p in 0..n {
+            b = b.respond(ProcessId(p), r, Value::from(0i64));
+        }
+        let h = b
+            .complete(ProcessId(n), r, Register::read(), Value::from(7i64))
+            .build();
+        let (p, _) = problem_from(&h, true);
+        let (result, stats) = search_with_stats(&p, &u, SearchLimits::default());
+        assert_eq!(result, SearchResult::No);
+        let factorial: usize = (1..=n).product();
+        assert!(
+            stats.nodes < factorial,
+            "memoized search expanded {} nodes, unmemoized would need ≥ {}",
+            stats.nodes,
+            factorial
+        );
     }
 
     #[test]
@@ -360,8 +474,18 @@ mod tests {
         let o = ObjectId(0);
         assert_eq!(r, o);
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
-            .complete(ProcessId(0), r, Register::write(Value::from(2i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(2i64)),
+                Value::Unit,
+            )
             .complete(ProcessId(1), r, Register::read(), Value::from(2i64))
             .build();
         let (p, precedence) = problem_from(&h, true);

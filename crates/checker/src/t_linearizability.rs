@@ -119,8 +119,18 @@ mod tests {
     fn duplicate_zero_returns_need_t_two() {
         let (u, x) = fi_universe();
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
             .build();
         assert!(!is_t_linearizable(&h, &u, 0));
         assert!(!is_t_linearizable(&h, &u, 1));
@@ -132,8 +142,18 @@ mod tests {
     fn linearizable_history_has_stabilization_zero() {
         let (u, x) = fi_universe();
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .build();
         assert_eq!(min_stabilization(&h, &u, None), Some(0));
     }
@@ -173,8 +193,18 @@ mod tests {
     fn witness_reassigns_early_responses() {
         let (u, x) = fi_universe();
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(7i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(7i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
             .build();
         // The nonsense response 7 lies in the first two events, so with t = 2
         // the witness may give that operation a different (legal) response.
@@ -190,13 +220,31 @@ mod tests {
     fn monotone_in_t_lemma_5() {
         let (u, x) = fi_universe();
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .build();
         let t0 = min_stabilization(&h, &u, None).unwrap();
         for t in t0..=h.len() {
-            assert!(is_t_linearizable(&h, &u, t), "monotonicity violated at t={t}");
+            assert!(
+                is_t_linearizable(&h, &u, t),
+                "monotonicity violated at t={t}"
+            );
         }
         for t in 0..t0 {
             assert!(!is_t_linearizable(&h, &u, t));
@@ -211,7 +259,12 @@ mod tests {
             // Garbage read (99 was never written) in the prefix...
             .complete(ProcessId(0), r, Register::read(), Value::from(99i64))
             // ...then well-behaved operations.
-            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
             .complete(ProcessId(1), r, Register::read(), Value::from(1i64))
             .build();
         assert!(!is_t_linearizable(&h, &u, 0));

@@ -68,4 +68,58 @@ mod tests {
         set.insert(a.clone());
         assert!(set.contains(&b));
     }
+
+    #[test]
+    fn word_boundaries_are_exact() {
+        // Bits 63 and 64 straddle the first word boundary; each must land in
+        // its own word without touching the neighbour.
+        let mut b = BitSet::with_capacity(128);
+        b.set(63);
+        assert!(b.contains(63));
+        assert!(!b.contains(64));
+        b.set(64);
+        assert!(b.contains(64));
+        b.clear(63);
+        assert!(!b.contains(63) && b.contains(64));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_whole_words() {
+        // 1 bit still allocates one word; 65 bits allocate two.
+        let a = BitSet::with_capacity(1);
+        assert!(!a.contains(0));
+        let mut b = BitSet::with_capacity(65);
+        b.set(64);
+        assert!(b.contains(64));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn set_is_idempotent_and_clear_of_unset_is_noop() {
+        let mut b = BitSet::with_capacity(16);
+        b.set(5);
+        b.set(5);
+        assert_eq!(b.count(), 1);
+        b.clear(6);
+        assert_eq!(b.count(), 1);
+        assert!(b.contains(5));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let b = BitSet::default();
+        assert_eq!(b.count(), 0);
+        assert_eq!(b, BitSet::with_capacity(0));
+    }
+
+    #[test]
+    fn differing_contents_are_unequal() {
+        let mut a = BitSet::with_capacity(70);
+        let mut b = BitSet::with_capacity(70);
+        a.set(0);
+        b.set(69);
+        assert_ne!(a, b);
+        assert_eq!(a.count(), b.count());
+    }
 }

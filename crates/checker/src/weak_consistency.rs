@@ -263,7 +263,12 @@ mod tests {
         // 7 is never written by anyone, so no legal sequential history can
         // justify the read of 7.
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
             .complete(ProcessId(1), r, Register::read(), Value::from(7i64))
             .build();
         assert!(!is_weakly_consistent(&h, &u));
@@ -281,7 +286,12 @@ mod tests {
         // read terminates.
         let h = HistoryBuilder::new()
             .complete(ProcessId(1), r, Register::read(), Value::from(5i64))
-            .complete(ProcessId(0), r, Register::write(Value::from(5i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(5i64)),
+                Value::Unit,
+            )
             .build();
         assert!(!is_weakly_consistent(&h, &u));
     }
@@ -298,7 +308,12 @@ mod tests {
         // ordered after the read, which Definition 1 forbids since S must end
         // with op).
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), r, Register::write(Value::from(3i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(3i64)),
+                Value::Unit,
+            )
             .complete(ProcessId(0), r, Register::read(), Value::from(0i64))
             .build();
         assert!(!is_weakly_consistent(&h, &u));
@@ -306,7 +321,12 @@ mod tests {
         // Whereas another process may still read 0 (it need not have seen the
         // write).
         let h2 = HistoryBuilder::new()
-            .complete(ProcessId(0), r, Register::write(Value::from(3i64)), Value::Unit)
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(3i64)),
+                Value::Unit,
+            )
             .complete(ProcessId(1), r, Register::read(), Value::from(0i64))
             .build();
         assert!(is_weakly_consistent(&h2, &u));
@@ -320,8 +340,18 @@ mod tests {
         let mut u = ObjectUniverse::new();
         let x = u.add_object(FetchIncrement::new());
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
             .build();
         assert!(is_weakly_consistent(&h, &u));
         assert!(!crate::linearizability::is_linearizable(&h, &u));
@@ -334,8 +364,18 @@ mod tests {
         let mut u = ObjectUniverse::new();
         let x = u.add_object(FetchIncrement::new());
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
             .build();
         assert!(!is_weakly_consistent(&h, &u));
     }
@@ -346,13 +386,23 @@ mod tests {
         let c = u.add_object(Consensus::new());
         let ok = HistoryBuilder::new()
             .invoke(ProcessId(0), c, Consensus::propose(Value::from(4i64)))
-            .complete(ProcessId(1), c, Consensus::propose(Value::from(9i64)), Value::from(4i64))
+            .complete(
+                ProcessId(1),
+                c,
+                Consensus::propose(Value::from(9i64)),
+                Value::from(4i64),
+            )
             .respond(ProcessId(0), c, Value::from(4i64))
             .build();
         assert!(is_weakly_consistent(&ok, &u));
 
         let bad = HistoryBuilder::new()
-            .complete(ProcessId(1), c, Consensus::propose(Value::from(9i64)), Value::from(4i64))
+            .complete(
+                ProcessId(1),
+                c,
+                Consensus::propose(Value::from(9i64)),
+                Value::from(4i64),
+            )
             .build();
         // Nobody ever proposed 4 before this operation terminated.
         assert!(!is_weakly_consistent(&bad, &u));
@@ -382,10 +432,30 @@ mod tests {
         let mut u = ObjectUniverse::new();
         let x = u.add_object(FetchIncrement::new());
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(1i64))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .build();
         assert!(is_weakly_consistent(&h, &u));
         for n in 0..=h.len() {

@@ -90,7 +90,11 @@ mod tests {
     #[test]
     fn builds_interleaved_history() {
         let h = HistoryBuilder::new()
-            .invoke(ProcessId(0), ObjectId(0), Register::write(Value::from(1i64)))
+            .invoke(
+                ProcessId(0),
+                ObjectId(0),
+                Register::write(Value::from(1i64)),
+            )
             .invoke(ProcessId(1), ObjectId(0), Register::read())
             .respond(ProcessId(1), ObjectId(0), Value::from(0i64))
             .respond(ProcessId(0), ObjectId(0), Value::Unit)
@@ -103,7 +107,12 @@ mod tests {
     #[test]
     fn complete_adds_two_events() {
         let h = HistoryBuilder::new()
-            .complete(ProcessId(0), ObjectId(0), Register::read(), Value::from(0i64))
+            .complete(
+                ProcessId(0),
+                ObjectId(0),
+                Register::read(),
+                Value::from(0i64),
+            )
             .build();
         assert_eq!(h.len(), 2);
         assert!(h.is_sequential());
@@ -112,9 +121,17 @@ mod tests {
     #[test]
     fn extend_from_concatenates() {
         let a = HistoryBuilder::new()
-            .complete(ProcessId(0), ObjectId(0), Register::read(), Value::from(0i64))
+            .complete(
+                ProcessId(0),
+                ObjectId(0),
+                Register::read(),
+                Value::from(0i64),
+            )
             .build();
-        let b = HistoryBuilder::new().extend_from(&a).extend_from(&a).build();
+        let b = HistoryBuilder::new()
+            .extend_from(&a)
+            .extend_from(&a)
+            .build();
         assert_eq!(b.len(), 4);
         let via_into: History = HistoryBuilder::new().extend_from(&a).into();
         assert_eq!(via_into, a);

@@ -189,8 +189,18 @@ mod tests {
         let (u, r, f) = universe();
         let good = HistoryBuilder::new()
             .complete(ProcessId(0), r, Register::read(), Value::from(0i64))
-            .complete(ProcessId(1), f, FetchIncrement::fetch_inc(), Value::from(0i64))
-            .complete(ProcessId(0), f, FetchIncrement::fetch_inc(), Value::from(1i64))
+            .complete(
+                ProcessId(1),
+                f,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(0),
+                f,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
             .build();
         assert!(is_legal_sequential(&good, &u));
 

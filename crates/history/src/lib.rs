@@ -61,7 +61,7 @@ pub use universe::ObjectUniverse;
 /// Commonly used items re-exported for glob import in downstream crates.
 pub mod prelude {
     pub use crate::{
-        Event, EventKind, History, HistoryBuilder, ObjectId, ObjectUniverse, OpId,
-        OperationRecord, ProcessId,
+        Event, EventKind, History, HistoryBuilder, ObjectId, ObjectUniverse, OpId, OperationRecord,
+        ProcessId,
     };
 }

@@ -125,17 +125,18 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn run_threads(c: &dyn ConcurrentConsensus, proposals: &[i64]) -> Vec<i64> {
-        let results: Vec<parking_lot::Mutex<i64>> =
-            proposals.iter().map(|_| parking_lot::Mutex::new(UNSET)).collect();
-        crossbeam::scope(|s| {
+        let results: Vec<parking_lot::Mutex<i64>> = proposals
+            .iter()
+            .map(|_| parking_lot::Mutex::new(UNSET))
+            .collect();
+        std::thread::scope(|s| {
             for (t, &p) in proposals.iter().enumerate() {
                 let results = &results;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     *results[t].lock() = c.propose(t, p);
                 });
             }
-        })
-        .expect("threads must not panic");
+        });
         results.into_iter().map(|m| m.into_inner()).collect()
     }
 

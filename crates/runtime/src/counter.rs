@@ -181,12 +181,13 @@ mod tests {
     use std::sync::Arc;
 
     fn hammer(counter: &dyn ConcurrentCounter, threads: usize, ops: usize) -> Vec<i64> {
-        let results: Vec<parking_lot::Mutex<Vec<i64>>> =
-            (0..threads).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
-        crossbeam::scope(|s| {
+        let results: Vec<parking_lot::Mutex<Vec<i64>>> = (0..threads)
+            .map(|_| parking_lot::Mutex::new(Vec::new()))
+            .collect();
+        std::thread::scope(|s| {
             for t in 0..threads {
                 let results = &results;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut local = Vec::with_capacity(ops);
                     for _ in 0..ops {
                         local.push(counter.fetch_inc(t));
@@ -194,8 +195,7 @@ mod tests {
                     *results[t].lock() = local;
                 });
             }
-        })
-        .expect("threads must not panic");
+        });
         results.into_iter().flat_map(|m| m.into_inner()).collect()
     }
 

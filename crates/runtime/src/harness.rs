@@ -63,7 +63,10 @@ impl CounterRun {
 
 /// Runs `options.threads` threads each performing
 /// `options.ops_per_thread` fetch&inc operations on `counter`.
-pub fn run_counter_workload(counter: &dyn ConcurrentCounter, options: HarnessOptions) -> CounterRun {
+pub fn run_counter_workload(
+    counter: &dyn ConcurrentCounter,
+    options: HarnessOptions,
+) -> CounterRun {
     let recorder = options.record_history.then(Recorder::new).map(Arc::new);
     let object = ObjectId(0);
     let start_flag = AtomicBool::new(false);
@@ -73,12 +76,13 @@ pub fn run_counter_workload(counter: &dyn ConcurrentCounter, options: HarnessOpt
         .collect();
 
     let started = Instant::now();
-    crossbeam::scope(|s| {
+    // Scoped threads: panics in workers propagate when the scope joins them.
+    std::thread::scope(|s| {
         for t in 0..options.threads {
             let recorder = recorder.clone();
             let responses = &responses;
             let start_flag = &start_flag;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 // Spin until every thread is ready so the measured section is
                 // genuinely concurrent.
                 while !start_flag.load(Ordering::Acquire) {
@@ -99,15 +103,11 @@ pub fn run_counter_workload(counter: &dyn ConcurrentCounter, options: HarnessOpt
             });
         }
         start_flag.store(true, Ordering::Release);
-    })
-    .expect("worker threads must not panic");
+    });
     let elapsed = started.elapsed();
 
     let total_ops = options.threads * options.ops_per_thread;
-    let all_responses: Vec<i64> = responses
-        .into_iter()
-        .flat_map(|m| m.into_inner())
-        .collect();
+    let all_responses: Vec<i64> = responses.into_iter().flat_map(|m| m.into_inner()).collect();
     let mut sorted = all_responses.clone();
     sorted.sort_unstable();
     let duplicate_responses = sorted.windows(2).filter(|w| w[0] == w[1]).count();

@@ -97,19 +97,20 @@ mod tests {
     fn concurrent_recording_produces_well_formed_histories() {
         let r = Arc::new(Recorder::new());
         let o = ObjectId(0);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4usize {
                 let r = Arc::clone(&r);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for k in 0..50i64 {
                         r.invoke(ProcessId(t), o, FetchIncrement::fetch_inc());
                         r.respond(ProcessId(t), o, Value::from(k));
                     }
                 });
             }
-        })
-        .expect("threads must not panic");
-        let h = Arc::try_unwrap(r).expect("all threads joined").into_history();
+        });
+        let h = Arc::try_unwrap(r)
+            .expect("all threads joined")
+            .into_history();
         assert_eq!(h.len(), 4 * 50 * 2);
         assert!(h.is_well_formed());
     }

@@ -13,7 +13,10 @@ use std::sync::Arc;
 /// expose their state (via [`BaseObject::state_value`]) so that the
 /// Proposition 18 freezing machinery can re-initialize an implementation from
 /// a captured configuration.
-pub trait BaseObject: fmt::Debug {
+///
+/// Base objects are also `Send`: configurations holding them migrate between
+/// worker threads during parallel exploration ([`crate::explorer::explore_par`]).
+pub trait BaseObject: fmt::Debug + Send + Sync {
     /// Atomically applies `invocation` on behalf of process `process` and
     /// returns the response.
     fn invoke(&mut self, process: ProcessId, invocation: &Invocation) -> Value;
@@ -233,11 +236,17 @@ mod tests {
     fn spec_object_cas_and_fetch_inc() {
         let mut c = objects::cas(Value::from(0i64));
         assert_eq!(
-            c.invoke(ProcessId(0), &CompareAndSwap::cas(Value::from(0i64), Value::from(1i64))),
+            c.invoke(
+                ProcessId(0),
+                &CompareAndSwap::cas(Value::from(0i64), Value::from(1i64))
+            ),
             Value::Bool(true)
         );
         assert_eq!(
-            c.invoke(ProcessId(1), &CompareAndSwap::cas(Value::from(0i64), Value::from(2i64))),
+            c.invoke(
+                ProcessId(1),
+                &CompareAndSwap::cas(Value::from(0i64), Value::from(2i64))
+            ),
             Value::Bool(false)
         );
 

@@ -159,6 +159,52 @@ impl Config {
         self.processes[p.index()].logic.clone()
     }
 
+    /// A structural fingerprint of the configuration, used by deduplicating
+    /// exploration ([`crate::explorer::explore_par`]).
+    ///
+    /// Two configurations with equal fingerprints have (with overwhelming
+    /// probability) identical base-object states, programme states, remaining
+    /// workloads, in-flight responses *and recorded histories*.  Keeping the
+    /// history in the key means only interleavings that differ in unrecorded
+    /// internal base-object steps ever merge — a deliberate choice so that
+    /// visitors which collect histories stay exact under deduplication.  The
+    /// step counter is excluded: configurations agreeing on everything else
+    /// have necessarily taken the same number of (non-idle) steps, so hashing
+    /// it would add nothing.  Programme and base-object states are folded in
+    /// through their `Debug` representations, which for the state-machine
+    /// structs in this workspace print every field.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        /// Streams `Debug` output straight into a hasher, so fingerprinting
+        /// allocates no intermediate strings (it runs once per explored
+        /// configuration on the dedup hot path).
+        struct HashWriter<'a, H: Hasher>(&'a mut H);
+
+        impl<H: Hasher> fmt::Write for HashWriter<'_, H> {
+            fn write_str(&mut self, s: &str) -> fmt::Result {
+                self.0.write(s.as_bytes());
+                Ok(())
+            }
+        }
+
+        use fmt::Write as _;
+        let mut hasher = DefaultHasher::new();
+        for b in &self.base {
+            write!(HashWriter(&mut hasher), "{b:?}").expect("hashing cannot fail");
+        }
+        for p in &self.processes {
+            write!(HashWriter(&mut hasher), "{:?}", p.logic).expect("hashing cannot fail");
+            p.running.hash(&mut hasher);
+            p.last_response.hash(&mut hasher);
+            p.completed.hash(&mut hasher);
+            p.remaining.hash(&mut hasher);
+        }
+        write!(HashWriter(&mut hasher), "{:?}", self.history).expect("hashing cannot fail");
+        hasher.finish()
+    }
+
     /// Gives one atomic step to process `p`.
     ///
     /// If `p` has no operation in progress and workload remains, the next
@@ -285,10 +331,22 @@ mod tests {
         assert!(!c.is_quiescent());
         assert_eq!(c.enabled_processes().len(), 2);
         // The local-copy implementation completes each operation in one step.
-        assert_eq!(c.step(ProcessId(0)), StepOutcome::Completed(Value::from(0i64)));
-        assert_eq!(c.step(ProcessId(1)), StepOutcome::Completed(Value::from(0i64)));
-        assert_eq!(c.step(ProcessId(0)), StepOutcome::Completed(Value::from(1i64)));
-        assert_eq!(c.step(ProcessId(1)), StepOutcome::Completed(Value::from(1i64)));
+        assert_eq!(
+            c.step(ProcessId(0)),
+            StepOutcome::Completed(Value::from(0i64))
+        );
+        assert_eq!(
+            c.step(ProcessId(1)),
+            StepOutcome::Completed(Value::from(0i64))
+        );
+        assert_eq!(
+            c.step(ProcessId(0)),
+            StepOutcome::Completed(Value::from(1i64))
+        );
+        assert_eq!(
+            c.step(ProcessId(1)),
+            StepOutcome::Completed(Value::from(1i64))
+        );
         assert!(c.is_quiescent());
         assert_eq!(c.total_completed(), 4);
         assert_eq!(c.completed(ProcessId(0)), 2);

@@ -112,14 +112,19 @@ impl EventuallyLinearizable {
 }
 
 impl fmt::Debug for EventuallyLinearizable {
+    // The full state (local copies, log, merged state) is printed because
+    // `Config::fingerprint` folds base objects in via their Debug output;
+    // omitting a field would make distinct configurations collide and let
+    // deduplicating exploration unsoundly prune subtrees.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "EventuallyLinearizable({}, stabilized: {}, accesses: {})",
-            self.ty.name(),
-            self.is_stabilized(),
-            self.accesses
-        )
+        f.debug_struct("EventuallyLinearizable")
+            .field("type", &self.ty.name())
+            .field("policy", &self.policy)
+            .field("accesses", &self.accesses)
+            .field("local", &self.local)
+            .field("log", &self.log)
+            .field("global", &self.global)
+            .finish()
     }
 }
 
@@ -172,6 +177,24 @@ impl BaseObject for EventuallyLinearizable {
 mod tests {
     use super::*;
     use evlin_spec::{Counter, FetchIncrement, Register};
+
+    #[test]
+    fn debug_distinguishes_internal_state() {
+        // Two objects with the same access count but different logged writes
+        // must have different Debug output: `Config::fingerprint` relies on
+        // Debug to expose the full state, and a collision here would let
+        // deduplicating exploration unsoundly merge distinct configurations.
+        let base = EventuallyLinearizable::new(
+            Arc::new(Register::new(Value::from(0i64))),
+            StabilizationPolicy::Never,
+        );
+        let mut wrote_seven = base.clone();
+        wrote_seven.invoke(ProcessId(0), &Register::write(Value::from(7i64)));
+        let mut wrote_eight = base.clone();
+        wrote_eight.invoke(ProcessId(0), &Register::write(Value::from(8i64)));
+        assert_eq!(wrote_seven.accesses(), wrote_eight.accesses());
+        assert_ne!(format!("{wrote_seven:?}"), format!("{wrote_eight:?}"));
+    }
 
     #[test]
     fn never_stabilizing_register_serves_local_copies() {

@@ -12,6 +12,10 @@ use crate::config::{Config, StepOutcome};
 use crate::program::Implementation;
 use crate::workload::Workload;
 use evlin_history::ProcessId;
+use rayon::prelude::*;
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Options controlling the exploration.
 #[derive(Debug, Clone, Copy)]
@@ -141,6 +145,323 @@ where
     violation
 }
 
+/// Options controlling parallel exploration (see [`explore_par`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ParExploreOptions {
+    /// The depth and size bounds shared with the sequential explorer.
+    pub base: ExploreOptions,
+    /// Assumed worker count used to size the stealable frontier; `None`
+    /// assumes `rayon::current_num_threads()`.
+    ///
+    /// Note this is a *sizing hint only*: the actual workers always come
+    /// from the global rayon pool (bounded by the `RAYON_NUM_THREADS`
+    /// environment variable), so `Some(1)` does **not** serialize the
+    /// exploration — it merely carves out a smaller frontier.
+    pub threads: Option<usize>,
+    /// How many independent subtrees to carve out per assumed worker.  The
+    /// root region is expanded breadth-first until at least
+    /// `threads × subtrees_per_thread` frontier nodes exist; workers then
+    /// steal whole subtrees from that frontier, so a larger factor smooths
+    /// out imbalanced subtree sizes at the cost of a longer sequential
+    /// prefix.
+    pub subtrees_per_thread: usize,
+    /// Deduplicate configurations: a configuration reached at the same depth
+    /// with identical state *and identical recorded history*
+    /// ([`Config::fingerprint`]) is visited only once, across *all* workers
+    /// (the dedup set is shared and merged).  Because the recorded history
+    /// is part of the key, only interleavings that differ in unrecorded
+    /// internal base-object steps merge — which keeps every
+    /// history-collecting visitor exact.  Off by default to match the
+    /// sequential explorer's pure-tree semantics.
+    pub dedup: bool,
+}
+
+impl Default for ParExploreOptions {
+    fn default() -> Self {
+        ParExploreOptions {
+            base: ExploreOptions::default(),
+            threads: None,
+            subtrees_per_thread: 8,
+            dedup: false,
+        }
+    }
+}
+
+/// The sharded `(fingerprint, depth)` dedup set shared by all workers.
+type DedupShards = [Mutex<HashSet<(u64, usize)>>];
+
+/// Shared mutable state of one parallel exploration.
+struct ParShared<'a> {
+    /// Configurations the whole exploration may still visit (`max_configs`
+    /// budget).  Decremented per visit; exhaustion marks truncation.
+    budget: AtomicUsize,
+    /// Set by `Visit::Stop` (and by budget exhaustion) to halt all workers.
+    stopped: AtomicBool,
+    /// Whether the budget ran out anywhere.
+    truncated: AtomicBool,
+    /// Sharded, merged dedup set over `(fingerprint, depth)` keys; `None`
+    /// when deduplication is off.
+    dedup: Option<&'a DedupShards>,
+}
+
+impl ParShared<'_> {
+    /// Attempts to claim one visit from the global budget.
+    fn claim_visit(&self) -> bool {
+        let mut current = self.budget.load(Ordering::Relaxed);
+        loop {
+            if current == 0 {
+                self.truncated.store(true, Ordering::Relaxed);
+                self.stopped.store(true, Ordering::Relaxed);
+                return false;
+            }
+            match self.budget.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Whether `config` at `depth` is seen for the first time (always true
+    /// when deduplication is off — the fingerprint is only computed when a
+    /// dedup set exists, since it costs a full state serialization).
+    fn first_visit(&self, config: &Config, depth: usize) -> bool {
+        match self.dedup {
+            None => true,
+            Some(shards) => {
+                let key = (config.fingerprint(), depth);
+                let shard = (key.0 % shards.len() as u64) as usize;
+                shards[shard]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .insert(key)
+            }
+        }
+    }
+}
+
+/// Exhaustively explores the executions of `implementation` on `workload`
+/// using multiple worker threads.
+///
+/// Semantics match [`explore`]: the `visitor` sees every reachable
+/// configuration with its depth, may prune or stop, and the returned
+/// statistics count visited and terminal configurations.  The interleaving
+/// tree is split into independent subtrees — the root region is expanded
+/// breadth-first, then workers *steal* whole subtrees from the shared
+/// frontier — so on a quiet machine with `N` cores the wall-clock time
+/// approaches `1/N` of the sequential explorer's.
+///
+/// Determinism: with the default options (no dedup) the visited and terminal
+/// counts equal the sequential explorer's exactly, for any thread count,
+/// because the interleaving tree's node count is independent of traversal
+/// order.  With `dedup` enabled the counts equal the number of unique
+/// `(state, history, depth)` triples, which is likewise traversal-order
+/// independent.
+/// Only `Visit::Stop` and `max_configs` truncation are inherently
+/// order-sensitive (the sequential explorer's "first" is meaningless under
+/// concurrency); in those cases the exploration still stops promptly but the
+/// exact counts may vary from run to run, just as they would between two
+/// different sequential visit orders.
+///
+/// The visitor is shared across workers, hence `Fn + Sync` (not `FnMut`);
+/// accumulate into a `Mutex` or atomics as [`terminal_histories_par`] does.
+pub fn explore_par<F>(
+    implementation: &dyn Implementation,
+    workload: &Workload,
+    options: ParExploreOptions,
+    visitor: F,
+) -> ExploreStats
+where
+    F: Fn(&Config, usize) -> Visit + Sync,
+{
+    let threads = options
+        .threads
+        .unwrap_or_else(rayon::current_num_threads)
+        .max(1);
+    let target_frontier = threads * options.subtrees_per_thread.max(1);
+
+    let shards: Vec<Mutex<HashSet<(u64, usize)>>> = if options.dedup {
+        (0..(threads * 4).max(16))
+            .map(|_| Mutex::new(HashSet::new()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let shared = ParShared {
+        budget: AtomicUsize::new(options.base.max_configs),
+        stopped: AtomicBool::new(false),
+        truncated: AtomicBool::new(false),
+        dedup: options.dedup.then_some(shards.as_slice()),
+    };
+
+    // Phase 1: sequential breadth-first expansion of the root region until
+    // enough independent subtree roots exist to keep every worker busy.
+    let mut stats = ExploreStats::default();
+    let mut frontier: VecDeque<(Config, usize)> = VecDeque::new();
+    let initial = Config::initial(implementation, workload);
+    if shared.first_visit(&initial, 0) {
+        frontier.push_back((initial, 0));
+    }
+    while frontier.len() < target_frontier {
+        let Some((config, depth)) = frontier.pop_front() else {
+            break;
+        };
+        if !visit_one(
+            &config,
+            depth,
+            &visitor,
+            &shared,
+            &mut stats,
+            options.base.max_depth,
+            |child, d| {
+                frontier.push_back((child, d));
+            },
+        ) {
+            break;
+        }
+    }
+
+    // Phase 2: workers steal subtree roots from the frontier and explore
+    // each subtree depth-first, all sharing the visitor, the visit budget
+    // and (when enabled) the merged dedup set.
+    let subtree_stats: Vec<ExploreStats> = frontier
+        .into_iter()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(config, depth)| {
+            let mut local = ExploreStats::default();
+            let mut stack: Vec<(Config, usize)> = vec![(config, depth)];
+            while let Some((config, depth)) = stack.pop() {
+                if shared.stopped.load(Ordering::Relaxed) {
+                    break;
+                }
+                if !visit_one(
+                    &config,
+                    depth,
+                    &visitor,
+                    &shared,
+                    &mut local,
+                    options.base.max_depth,
+                    |child, d| stack.push((child, d)),
+                ) {
+                    break;
+                }
+            }
+            local
+        })
+        .collect();
+
+    for s in subtree_stats {
+        stats.visited += s.visited;
+        stats.terminals += s.terminals;
+    }
+    stats.truncated = shared.truncated.load(Ordering::Relaxed);
+    stats
+}
+
+/// Visits one configuration on behalf of either phase of [`explore_par`]:
+/// claims budget, invokes the visitor, classifies terminals and hands
+/// non-deduplicated children to `emit`.  Returns `false` when exploration
+/// should halt (budget exhausted or `Visit::Stop`).
+fn visit_one<F, E>(
+    config: &Config,
+    depth: usize,
+    visitor: &F,
+    shared: &ParShared<'_>,
+    stats: &mut ExploreStats,
+    max_depth: usize,
+    mut emit: E,
+) -> bool
+where
+    F: Fn(&Config, usize) -> Visit + Sync,
+    E: FnMut(Config, usize),
+{
+    if !shared.claim_visit() {
+        return false;
+    }
+    stats.visited += 1;
+    match visitor(config, depth) {
+        Visit::Stop => {
+            shared.stopped.store(true, Ordering::Relaxed);
+            return false;
+        }
+        Visit::Prune => return true,
+        Visit::Continue => {}
+    }
+    let enabled = config.enabled_processes();
+    if enabled.is_empty() || depth >= max_depth {
+        stats.terminals += 1;
+        return true;
+    }
+    for p in enabled {
+        let mut child = config.clone();
+        match child.step(p) {
+            StepOutcome::Idle => continue,
+            _ => {
+                if shared.first_visit(&child, depth + 1) {
+                    emit(child, depth + 1);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Parallel counterpart of [`terminal_histories`]: collects the history of
+/// every terminal configuration using [`explore_par`].  The histories are
+/// returned in a deterministic order (sorted by their debug encoding), since
+/// parallel workers reach terminals in a nondeterministic sequence.
+pub fn terminal_histories_par(
+    implementation: &dyn Implementation,
+    workload: &Workload,
+    options: ParExploreOptions,
+) -> Vec<evlin_history::History> {
+    let histories = Mutex::new(Vec::new());
+    explore_par(implementation, workload, options, |config, depth| {
+        if config.enabled_processes().is_empty() || depth >= options.base.max_depth {
+            histories
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .push(config.history().clone());
+        }
+        Visit::Continue
+    });
+    let mut histories = histories.into_inner().unwrap_or_else(|p| p.into_inner());
+    histories.sort_by_cached_key(|h| format!("{h:?}"));
+    histories
+}
+
+/// Parallel counterpart of [`find_history_violation`]: checks `predicate`
+/// against the history of every reachable configuration on all cores and
+/// returns *a* violating history if any exists (under concurrency there is
+/// no meaningful "first").
+pub fn find_history_violation_par<F>(
+    implementation: &dyn Implementation,
+    workload: &Workload,
+    options: ParExploreOptions,
+    predicate: F,
+) -> Option<evlin_history::History>
+where
+    F: Fn(&evlin_history::History) -> bool + Sync,
+{
+    let violation = Mutex::new(None);
+    explore_par(implementation, workload, options, |config, _| {
+        if !predicate(config.history()) {
+            *violation
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(config.history().clone());
+            Visit::Stop
+        } else {
+            Visit::Continue
+        }
+    });
+    violation.into_inner().unwrap_or_else(|p| p.into_inner())
+}
+
 /// Runs every process solo from the given configuration, one at a time, and
 /// returns the resulting configurations (used by valency analysis).
 pub fn solo_extensions(config: &Config, max_steps: usize) -> Vec<(ProcessId, Config)> {
@@ -232,6 +553,120 @@ mod tests {
         // Stop at the root.
         let stats = explore(&imp, &w, ExploreOptions::default(), |_, _| Visit::Stop);
         assert_eq!(stats.visited, 1);
+    }
+
+    /// Forces the parallel code path regardless of the machine's core count
+    /// (the explorer itself accepts an explicit thread count, but the rayon
+    /// work queue is only exercised with >1 workers).
+    fn par_options(threads: usize, dedup: bool) -> ParExploreOptions {
+        ParExploreOptions {
+            base: ExploreOptions::default(),
+            threads: Some(threads),
+            subtrees_per_thread: 4,
+            dedup,
+        }
+    }
+
+    #[test]
+    fn parallel_counts_match_sequential_for_any_thread_count() {
+        let imp = LocalSpecImplementation::new(Arc::new(FetchIncrement::new()), 3);
+        let w = Workload::uniform(3, FetchIncrement::fetch_inc(), 2);
+        let sequential = explore(&imp, &w, ExploreOptions::default(), |_, _| Visit::Continue);
+        assert!(!sequential.truncated);
+        for threads in [1, 2, 4, 8] {
+            let parallel = explore_par(&imp, &w, par_options(threads, false), |_, _| {
+                Visit::Continue
+            });
+            assert_eq!(
+                (parallel.visited, parallel.terminals, parallel.truncated),
+                (sequential.visited, sequential.terminals, false),
+                "thread count {threads} diverged from the sequential explorer"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_dedup_counts_are_thread_count_independent() {
+        let imp = LocalSpecImplementation::new(Arc::new(FetchIncrement::new()), 3);
+        let w = Workload::uniform(3, FetchIncrement::fetch_inc(), 2);
+        let reference = explore_par(&imp, &w, par_options(1, true), |_, _| Visit::Continue);
+        let plain = explore_par(&imp, &w, par_options(1, false), |_, _| Visit::Continue);
+        // Deduplication merges states reached by several interleavings…
+        assert!(reference.visited <= plain.visited);
+        assert!(reference.visited > 0);
+        // …and the deduplicated counts are the number of unique
+        // (state, history, depth) triples — independent of the worker count.
+        for threads in [2, 4, 8] {
+            let parallel =
+                explore_par(&imp, &w, par_options(threads, true), |_, _| Visit::Continue);
+            assert_eq!(
+                (parallel.visited, parallel.terminals),
+                (reference.visited, reference.terminals),
+                "dedup counts diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_terminal_histories_match_sequential() {
+        let imp = LocalSpecImplementation::new(Arc::new(TestAndSet::new()), 2);
+        let w = Workload::uniform(2, TestAndSet::test_and_set(), 1);
+        let mut sequential = terminal_histories(&imp, &w, ExploreOptions::default());
+        sequential.sort_by_key(|h| format!("{h:?}"));
+        let parallel = terminal_histories_par(&imp, &w, par_options(4, false));
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn parallel_find_violation_finds_a_counterexample() {
+        let imp = LocalSpecImplementation::new(Arc::new(TestAndSet::new()), 2);
+        let w = Workload::uniform(2, TestAndSet::test_and_set(), 1);
+        let violation = find_history_violation_par(&imp, &w, par_options(4, false), |h| {
+            h.complete_operations()
+                .iter()
+                .filter(|o| o.response == Some(evlin_spec::Value::from(0i64)))
+                .count()
+                < 2
+        });
+        assert!(violation.is_some());
+        // And no violation is reported for a property that always holds.
+        let none =
+            find_history_violation_par(&imp, &w, par_options(4, false), |h| h.len() < usize::MAX);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn parallel_max_configs_truncates() {
+        let imp = LocalSpecImplementation::new(Arc::new(FetchIncrement::new()), 3);
+        let w = Workload::uniform(3, FetchIncrement::fetch_inc(), 3);
+        let stats = explore_par(
+            &imp,
+            &w,
+            ParExploreOptions {
+                base: ExploreOptions {
+                    max_depth: 64,
+                    max_configs: 10,
+                },
+                threads: Some(4),
+                subtrees_per_thread: 4,
+                dedup: false,
+            },
+            |_, _| Visit::Continue,
+        );
+        assert!(stats.truncated);
+        assert!(stats.visited <= 10);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_progress_and_merges_identical_states() {
+        let imp = LocalSpecImplementation::new(Arc::new(FetchIncrement::new()), 2);
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 1);
+        let initial = Config::initial(&imp, &w);
+        let mut stepped = initial.clone();
+        stepped.step(ProcessId(0));
+        assert_ne!(initial.fingerprint(), stepped.fingerprint());
+        // Cloning without stepping preserves the fingerprint.
+        assert_eq!(initial.fingerprint(), initial.clone().fingerprint());
     }
 
     #[test]

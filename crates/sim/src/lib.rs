@@ -24,7 +24,9 @@
 //!   schedulers;
 //! * [`runner`] — drives a configuration under a scheduler and returns the
 //!   recorded high-level history;
-//! * [`explorer`] — bounded exhaustive exploration of *all* interleavings;
+//! * [`explorer`] — bounded exhaustive exploration of *all* interleavings,
+//!   sequentially ([`explorer::explore`]) or on every core with work-stealing
+//!   over independent subtrees ([`explorer::explore_par`]);
 //! * [`valency`] — bivalence/critical-configuration analysis for two-process
 //!   consensus implementations (the engine behind the Proposition 15 and
 //!   Corollary 19 experiments);
@@ -75,7 +77,7 @@ pub mod prelude {
     pub use crate::base::{BaseObject, SpecObject};
     pub use crate::config::{Config, StepOutcome};
     pub use crate::eventually::{EventuallyLinearizable, StabilizationPolicy};
-    pub use crate::explorer::{explore, ExploreOptions};
+    pub use crate::explorer::{explore, explore_par, ExploreOptions, ParExploreOptions};
     pub use crate::program::{Implementation, ProcessLogic, TaskStep};
     pub use crate::runner::{run, RunOutcome};
     pub use crate::scheduler::{

@@ -32,7 +32,10 @@ pub enum TaskStep {
 /// The per-process programme state of an implementation: both the persistent
 /// local variables the process keeps across operations and the control state
 /// of the operation currently being executed.
-pub trait ProcessLogic: fmt::Debug {
+///
+/// Programme state is `Send` so that configurations can migrate between the
+/// worker threads of the parallel explorer.
+pub trait ProcessLogic: fmt::Debug + Send + Sync {
     /// Starts executing a new high-level operation.
     ///
     /// Called exactly once per operation, before the first [`ProcessLogic::step`]
@@ -59,10 +62,10 @@ impl Clone for Box<dyn ProcessLogic> {
 /// An implementation of a high-level object from base objects: a factory for
 /// the shared base objects and for each process's programme.
 ///
-/// Implementations are used by the single-threaded simulator; they do not
-/// need to be `Send`/`Sync` (frozen configurations — Proposition 18 — hold
-/// boxed base objects that are deliberately not shared across threads).
-pub trait Implementation: fmt::Debug {
+/// Implementations are `Sync` so that the parallel explorer can share one
+/// implementation by reference across its worker threads; the factory
+/// methods take `&self` and all provided implementations are plain data.
+pub trait Implementation: fmt::Debug + Sync {
     /// A short name of the implemented object / algorithm (diagnostics).
     fn name(&self) -> String;
 

@@ -48,7 +48,11 @@ impl ValencyClass {
 /// Collects every decision value reachable from `config` within `depth`
 /// steps.  Returns the set of decisions and whether the exploration hit the
 /// depth bound anywhere (in which case the set may be incomplete).
-fn reachable_decisions(config: &Config, depth: usize, max_configs: usize) -> (BTreeSet<Value>, bool) {
+fn reachable_decisions(
+    config: &Config,
+    depth: usize,
+    max_configs: usize,
+) -> (BTreeSet<Value>, bool) {
     let mut decisions = BTreeSet::new();
     let mut partial = false;
     // Iterative DFS over clones of the configuration.

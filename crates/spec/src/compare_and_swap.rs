@@ -127,7 +127,10 @@ mod tests {
             &Value::from(0i64),
             &CompareAndSwap::cas(Value::from(0i64), Value::from(7i64)),
         );
-        assert_eq!(ts, vec![Transition::new(Value::Bool(true), Value::from(7i64))]);
+        assert_eq!(
+            ts,
+            vec![Transition::new(Value::Bool(true), Value::from(7i64))]
+        );
     }
 
     #[test]
@@ -137,7 +140,10 @@ mod tests {
             &Value::from(5i64),
             &CompareAndSwap::cas(Value::from(0i64), Value::from(7i64)),
         );
-        assert_eq!(ts, vec![Transition::new(Value::Bool(false), Value::from(5i64))]);
+        assert_eq!(
+            ts,
+            vec![Transition::new(Value::Bool(false), Value::from(5i64))]
+        );
     }
 
     #[test]
@@ -148,7 +154,10 @@ mod tests {
             vec![Transition::new(Value::from(4i64), Value::from(4i64))]
         );
         assert_eq!(
-            c.transitions(&Value::from(4i64), &CompareAndSwap::write(Value::from(9i64))),
+            c.transitions(
+                &Value::from(4i64),
+                &CompareAndSwap::write(Value::from(9i64))
+            ),
             vec![Transition::new(Value::Unit, Value::from(9i64))]
         );
     }
@@ -161,10 +170,17 @@ mod tests {
     #[test]
     fn malformed_invocations_rejected() {
         let c = CompareAndSwap::default();
-        assert!(c.transitions(&Value::from(0i64), &Invocation::nullary("cas")).is_empty());
         assert!(c
-            .transitions(&Value::from(0i64), &Invocation::unary("cas", Value::from(0i64)))
+            .transitions(&Value::from(0i64), &Invocation::nullary("cas"))
             .is_empty());
-        assert!(c.transitions(&Value::from(0i64), &Invocation::nullary("swap")).is_empty());
+        assert!(c
+            .transitions(
+                &Value::from(0i64),
+                &Invocation::unary("cas", Value::from(0i64))
+            )
+            .is_empty());
+        assert!(c
+            .transitions(&Value::from(0i64), &Invocation::nullary("swap"))
+            .is_empty());
     }
 }

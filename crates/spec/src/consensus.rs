@@ -96,14 +96,20 @@ mod tests {
     fn first_proposal_decides() {
         let c = Consensus::new();
         let ts = c.transitions(&Value::Bottom, &Consensus::propose(Value::from(3i64)));
-        assert_eq!(ts, vec![Transition::new(Value::from(3i64), Value::from(3i64))]);
+        assert_eq!(
+            ts,
+            vec![Transition::new(Value::from(3i64), Value::from(3i64))]
+        );
     }
 
     #[test]
     fn later_proposals_adopt_decision() {
         let c = Consensus::new();
         let ts = c.transitions(&Value::from(3i64), &Consensus::propose(Value::from(8i64)));
-        assert_eq!(ts, vec![Transition::new(Value::from(3i64), Value::from(3i64))]);
+        assert_eq!(
+            ts,
+            vec![Transition::new(Value::from(3i64), Value::from(3i64))]
+        );
     }
 
     #[test]
@@ -114,8 +120,12 @@ mod tests {
     #[test]
     fn rejects_unknown_method_and_missing_argument() {
         let c = Consensus::new();
-        assert!(c.transitions(&Value::Bottom, &Invocation::nullary("decide")).is_empty());
-        assert!(c.transitions(&Value::Bottom, &Invocation::nullary("propose")).is_empty());
+        assert!(c
+            .transitions(&Value::Bottom, &Invocation::nullary("decide"))
+            .is_empty());
+        assert!(c
+            .transitions(&Value::Bottom, &Invocation::nullary("propose"))
+            .is_empty());
     }
 
     #[test]

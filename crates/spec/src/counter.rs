@@ -117,14 +117,19 @@ mod tests {
 
     #[test]
     fn starting_at_sets_initial_state() {
-        assert_eq!(Counter::starting_at(-2).initial_states(), vec![Value::from(-2i64)]);
+        assert_eq!(
+            Counter::starting_at(-2).initial_states(),
+            vec![Value::from(-2i64)]
+        );
     }
 
     #[test]
     fn malformed_invocations_rejected() {
         let c = Counter::new();
         assert!(c.transitions(&Value::Unit, &Counter::inc()).is_empty());
-        assert!(c.transitions(&Value::from(0i64), &Invocation::nullary("add")).is_empty());
+        assert!(c
+            .transitions(&Value::from(0i64), &Invocation::nullary("add"))
+            .is_empty());
         assert!(c
             .transitions(&Value::from(0i64), &Invocation::nullary("decrement"))
             .is_empty());

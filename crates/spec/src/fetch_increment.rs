@@ -87,7 +87,10 @@ mod tests {
     fn fetch_inc_returns_old_value() {
         let fi = FetchIncrement::new();
         let ts = fi.transitions(&Value::from(0i64), &FetchIncrement::fetch_inc());
-        assert_eq!(ts, vec![Transition::new(Value::from(0i64), Value::from(1i64))]);
+        assert_eq!(
+            ts,
+            vec![Transition::new(Value::from(0i64), Value::from(1i64))]
+        );
     }
 
     #[test]
@@ -105,7 +108,9 @@ mod tests {
     #[test]
     fn rejects_bad_state_and_method() {
         let fi = FetchIncrement::new();
-        assert!(fi.transitions(&Value::Unit, &FetchIncrement::fetch_inc()).is_empty());
+        assert!(fi
+            .transitions(&Value::Unit, &FetchIncrement::fetch_inc())
+            .is_empty());
         assert!(fi
             .transitions(&Value::from(0i64), &Invocation::nullary("read"))
             .is_empty());

@@ -102,7 +102,10 @@ mod tests {
     fn display_formats_like_a_call() {
         let i = Invocation::binary("cas", Value::from(0i64), Value::from(1i64));
         assert_eq!(format!("{i}"), "cas(0, 1)");
-        assert_eq!(format!("{}", Invocation::nullary("fetch_inc")), "fetch_inc()");
+        assert_eq!(
+            format!("{}", Invocation::nullary("fetch_inc")),
+            "fetch_inc()"
+        );
     }
 
     #[test]

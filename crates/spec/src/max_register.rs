@@ -92,9 +92,13 @@ mod tests {
     #[test]
     fn keeps_the_maximum() {
         let m = MaxRegister::new();
-        let (_, s) = m.apply_deterministic(&Value::from(4i64), &MaxRegister::write_max(2)).unwrap();
+        let (_, s) = m
+            .apply_deterministic(&Value::from(4i64), &MaxRegister::write_max(2))
+            .unwrap();
         assert_eq!(s, Value::from(4i64));
-        let (_, s) = m.apply_deterministic(&s, &MaxRegister::write_max(9)).unwrap();
+        let (_, s) = m
+            .apply_deterministic(&s, &MaxRegister::write_max(9))
+            .unwrap();
         assert_eq!(s, Value::from(9i64));
     }
 
@@ -102,7 +106,10 @@ mod tests {
     fn read_does_not_change_state() {
         let m = MaxRegister::new();
         let ts = m.transitions(&Value::from(6i64), &MaxRegister::read_max());
-        assert_eq!(ts, vec![Transition::new(Value::from(6i64), Value::from(6i64))]);
+        assert_eq!(
+            ts,
+            vec![Transition::new(Value::from(6i64), Value::from(6i64))]
+        );
     }
 
     #[test]
@@ -113,7 +120,9 @@ mod tests {
     #[test]
     fn malformed_invocations_rejected() {
         let m = MaxRegister::new();
-        assert!(m.transitions(&Value::Unit, &MaxRegister::read_max()).is_empty());
+        assert!(m
+            .transitions(&Value::Unit, &MaxRegister::read_max())
+            .is_empty());
         assert!(m
             .transitions(&Value::from(0i64), &Invocation::nullary("write_max"))
             .is_empty());

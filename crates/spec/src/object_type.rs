@@ -52,7 +52,10 @@ impl fmt::Display for SpecError {
             SpecError::InvalidInvocation {
                 type_name,
                 invocation,
-            } => write!(f, "invocation {invocation} is not valid for type {type_name}"),
+            } => write!(
+                f,
+                "invocation {invocation} is not valid for type {type_name}"
+            ),
             SpecError::NotDeterministic {
                 type_name,
                 outcomes,
@@ -286,7 +289,10 @@ mod tests {
         let err = Coin
             .apply_deterministic(&Value::Unit, &Invocation::nullary("flip"))
             .unwrap_err();
-        assert!(matches!(err, SpecError::NotDeterministic { outcomes: 2, .. }));
+        assert!(matches!(
+            err,
+            SpecError::NotDeterministic { outcomes: 2, .. }
+        ));
     }
 
     #[test]

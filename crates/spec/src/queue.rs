@@ -118,7 +118,9 @@ mod tests {
         let q = Queue::new();
         let mut s = Value::list([]);
         for v in 1..=3i64 {
-            let (_, next) = q.apply_deterministic(&s, &Queue::enqueue(Value::from(v))).unwrap();
+            let (_, next) = q
+                .apply_deterministic(&s, &Queue::enqueue(Value::from(v)))
+                .unwrap();
             s = next;
         }
         for v in 1..=3i64 {
@@ -141,8 +143,12 @@ mod tests {
     fn malformed_invocations_rejected() {
         let q = Queue::new();
         assert!(q.transitions(&Value::Unit, &Queue::dequeue()).is_empty());
-        assert!(q.transitions(&Value::list([]), &Invocation::nullary("enqueue")).is_empty());
-        assert!(q.transitions(&Value::list([]), &Invocation::nullary("peek")).is_empty());
+        assert!(q
+            .transitions(&Value::list([]), &Invocation::nullary("enqueue"))
+            .is_empty());
+        assert!(q
+            .transitions(&Value::list([]), &Invocation::nullary("peek"))
+            .is_empty());
     }
 
     #[test]

@@ -118,7 +118,10 @@ mod tests {
     fn read_returns_state_and_preserves_it() {
         let r = Register::new(Value::from(5i64));
         let ts = r.transitions(&Value::from(5i64), &Register::read());
-        assert_eq!(ts, vec![Transition::new(Value::from(5i64), Value::from(5i64))]);
+        assert_eq!(
+            ts,
+            vec![Transition::new(Value::from(5i64), Value::from(5i64))]
+        );
     }
 
     #[test]
@@ -131,8 +134,12 @@ mod tests {
     #[test]
     fn unknown_method_and_missing_arg_are_rejected() {
         let r = Register::default();
-        assert!(r.transitions(&Value::from(0i64), &Invocation::nullary("cas")).is_empty());
-        assert!(r.transitions(&Value::from(0i64), &Invocation::nullary("write")).is_empty());
+        assert!(r
+            .transitions(&Value::from(0i64), &Invocation::nullary("cas"))
+            .is_empty());
+        assert!(r
+            .transitions(&Value::from(0i64), &Invocation::nullary("write"))
+            .is_empty());
     }
 
     #[test]

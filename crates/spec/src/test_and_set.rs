@@ -94,7 +94,9 @@ mod tests {
     #[test]
     fn rejects_bad_state_and_method() {
         let t = TestAndSet::new();
-        assert!(t.transitions(&Value::Unit, &TestAndSet::test_and_set()).is_empty());
+        assert!(t
+            .transitions(&Value::Unit, &TestAndSet::test_and_set())
+            .is_empty());
         assert!(t
             .transitions(&Value::Bool(false), &Invocation::nullary("reset"))
             .is_empty());

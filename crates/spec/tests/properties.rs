@@ -1,0 +1,183 @@
+//! Property-based tests (proptest) for the sequential object specifications:
+//! on every reachable state, `apply_deterministic` is *total* (every
+//! generated invocation is enabled) and *deterministic* (exactly one
+//! transition, and re-applying it gives the identical outcome) for Register,
+//! FetchIncrement, CompareAndSwap, TestAndSet, Queue and MaxRegister.
+
+use evlin_spec::{
+    CompareAndSwap, FetchIncrement, Invocation, MaxRegister, ObjectType, Queue, Register,
+    TestAndSet, Value,
+};
+use proptest::prelude::*;
+
+/// Walks `ty` from its initial state, deriving each step's invocation from
+/// one code of `codes` via `invocation_for`, and checks at every step that
+/// the transition relation has exactly one outcome, that
+/// `apply_deterministic` accepts it, and that reapplication is reproducible.
+fn check_total_deterministic_walk(
+    ty: &dyn ObjectType,
+    codes: &[usize],
+    invocation_for: impl Fn(usize) -> Invocation,
+) {
+    let initial_states = ty.initial_states();
+    prop_assert_eq!(
+        initial_states.len(),
+        1,
+        "paper types have one initial state"
+    );
+    let mut state = initial_states[0].clone();
+    for &code in codes {
+        let invocation = invocation_for(code);
+        let transitions = ty.transitions(&state, &invocation);
+        prop_assert_eq!(
+            transitions.len(),
+            1,
+            "{} must have exactly one outcome for {:?} in state {:?}",
+            ty.name(),
+            invocation,
+            state
+        );
+        let (response, next) = ty
+            .apply_deterministic(&state, &invocation)
+            .unwrap_or_else(|e| panic!("{} not total on {invocation:?}: {e:?}", ty.name()));
+        // Determinism also means reproducibility: the same (state,
+        // invocation) pair yields the same (response, next state) again.
+        let (response2, next2) = ty.apply_deterministic(&state, &invocation).unwrap();
+        prop_assert_eq!(&response, &response2);
+        prop_assert_eq!(&next, &next2);
+        prop_assert_eq!(&transitions[0].response, &response);
+        prop_assert_eq!(&transitions[0].next_state, &next);
+        state = next;
+    }
+}
+
+/// A small signed value derived from an unbounded code, so that walks revisit
+/// states (making the determinism check meaningful) while still exercising
+/// negative and positive arguments.
+fn small_int(code: usize) -> i64 {
+    (code % 9) as i64 - 4
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn register_is_total_and_deterministic(codes in prop::collection::vec(0usize..1000, 1..60)) {
+        let ty = Register::new(Value::from(0i64));
+        check_total_deterministic_walk(&ty, &codes, |code| {
+            if code % 2 == 0 {
+                Register::read()
+            } else {
+                Register::write(Value::from(small_int(code)))
+            }
+        });
+    }
+
+    #[test]
+    fn fetch_increment_is_total_and_deterministic(codes in prop::collection::vec(0usize..1000, 1..60)) {
+        let ty = FetchIncrement::new();
+        check_total_deterministic_walk(&ty, &codes, |_| FetchIncrement::fetch_inc());
+    }
+
+    #[test]
+    fn compare_and_swap_is_total_and_deterministic(codes in prop::collection::vec(0usize..1000, 1..60)) {
+        let ty = CompareAndSwap::new(Value::from(0i64));
+        check_total_deterministic_walk(&ty, &codes, |code| match code % 4 {
+            0 => CompareAndSwap::read(),
+            1 => CompareAndSwap::write(Value::from(small_int(code))),
+            // Both hitting and missing cas: expected values from the same
+            // small domain the writes draw from.
+            _ => CompareAndSwap::cas(
+                Value::from(small_int(code / 4)),
+                Value::from(small_int(code / 16)),
+            ),
+        });
+    }
+
+    #[test]
+    fn test_and_set_is_total_and_deterministic(codes in prop::collection::vec(0usize..1000, 1..60)) {
+        let ty = TestAndSet::new();
+        check_total_deterministic_walk(&ty, &codes, |_| TestAndSet::test_and_set());
+    }
+
+    #[test]
+    fn queue_is_total_and_deterministic(codes in prop::collection::vec(0usize..1000, 1..60)) {
+        let ty = Queue::new();
+        check_total_deterministic_walk(&ty, &codes, |code| {
+            // Bias towards dequeue so walks regularly hit the empty queue
+            // (dequeue of the empty queue must be enabled and return ⊥).
+            if code % 3 == 0 {
+                Queue::enqueue(Value::from(small_int(code)))
+            } else {
+                Queue::dequeue()
+            }
+        });
+    }
+
+    #[test]
+    fn max_register_is_total_and_deterministic(codes in prop::collection::vec(0usize..1000, 1..60)) {
+        let ty = MaxRegister::new();
+        check_total_deterministic_walk(&ty, &codes, |code| {
+            if code % 2 == 0 {
+                MaxRegister::read_max()
+            } else {
+                MaxRegister::write_max(small_int(code))
+            }
+        });
+    }
+
+    /// `is_deterministic` (the bounded decision procedure) agrees with the
+    /// walk-level property on all six types.
+    #[test]
+    fn is_deterministic_agrees(_dummy in 0usize..2) {
+        prop_assert!(Register::new(Value::from(0i64)).is_deterministic());
+        prop_assert!(FetchIncrement::new().is_deterministic());
+        prop_assert!(CompareAndSwap::new(Value::from(0i64)).is_deterministic());
+        prop_assert!(TestAndSet::new().is_deterministic());
+        prop_assert!(Queue::new().is_deterministic());
+        prop_assert!(MaxRegister::new().is_deterministic());
+    }
+}
+
+/// Semantic spot-checks that the walks above cannot see (they only check
+/// shape, not values): each type's signature behaviour on a tiny script.
+#[test]
+fn signature_behaviours() {
+    let fi = FetchIncrement::new();
+    let s0 = fi.initial_states()[0].clone();
+    let (r0, s1) = fi
+        .apply_deterministic(&s0, &FetchIncrement::fetch_inc())
+        .unwrap();
+    let (r1, _) = fi
+        .apply_deterministic(&s1, &FetchIncrement::fetch_inc())
+        .unwrap();
+    assert_eq!((r0, r1), (Value::from(0i64), Value::from(1i64)));
+
+    let ts = TestAndSet::new();
+    let s0 = ts.initial_states()[0].clone();
+    let (first, s1) = ts
+        .apply_deterministic(&s0, &TestAndSet::test_and_set())
+        .unwrap();
+    let (second, _) = ts
+        .apply_deterministic(&s1, &TestAndSet::test_and_set())
+        .unwrap();
+    assert_eq!((first, second), (Value::from(0i64), Value::from(1i64)));
+
+    let q = Queue::new();
+    let s0 = q.initial_states()[0].clone();
+    let (empty, _) = q.apply_deterministic(&s0, &Queue::dequeue()).unwrap();
+    assert_eq!(empty, Value::Bottom);
+
+    let mr = MaxRegister::new();
+    let s0 = mr.initial_states()[0].clone();
+    let (_, s1) = mr
+        .apply_deterministic(&s0, &MaxRegister::write_max(5))
+        .unwrap();
+    let (_, s2) = mr
+        .apply_deterministic(&s1, &MaxRegister::write_max(3))
+        .unwrap();
+    let (top, _) = mr
+        .apply_deterministic(&s2, &MaxRegister::read_max())
+        .unwrap();
+    assert_eq!(top, Value::from(5i64));
+}

@@ -57,7 +57,9 @@ fn main() {
         }
     }
 
-    println!("\nSame algorithm over *eventually linearizable* registers (stabilize after 6 accesses):");
+    println!(
+        "\nSame algorithm over *eventually linearizable* registers (stabilize after 6 accesses):"
+    );
     {
         let implementation = Prop16Consensus::with_eventually_linearizable_registers(
             n,

@@ -122,9 +122,7 @@ fn main() {
         1_000_000,
     );
     let linearizable = fi::is_linearizable(&out.history, 0).unwrap();
-    println!(
-        "  the frozen implementation A' is linearizable on a fresh run: {linearizable}"
-    );
+    println!("  the frozen implementation A' is linearizable on a fresh run: {linearizable}");
     assert!(linearizable);
 
     println!(

@@ -15,15 +15,28 @@ fn main() {
     // Two processes each perform one fetch&inc; both get 0 because the
     // implementation they used was only eventually consistent.
     let history = HistoryBuilder::new()
-        .complete(ProcessId(0), counter, FetchIncrement::fetch_inc(), Value::from(0i64))
-        .complete(ProcessId(1), counter, FetchIncrement::fetch_inc(), Value::from(0i64))
+        .complete(
+            ProcessId(0),
+            counter,
+            FetchIncrement::fetch_inc(),
+            Value::from(0i64),
+        )
+        .complete(
+            ProcessId(1),
+            counter,
+            FetchIncrement::fetch_inc(),
+            Value::from(0i64),
+        )
         .build();
 
     println!("history:\n{history}");
     let report = eventual::analyze(&history, &universe);
     println!("linearizable:             {}", report.is_linearizable());
     println!("weakly consistent:        {}", report.weakly_consistent);
-    println!("eventually linearizable:  {}", report.is_eventually_linearizable());
+    println!(
+        "eventually linearizable:  {}",
+        report.is_eventually_linearizable()
+    );
     println!("minimal stabilization t:  {:?}", report.min_stabilization);
     assert!(!report.is_linearizable());
     assert!(report.is_eventually_linearizable());

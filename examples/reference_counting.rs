@@ -42,9 +42,15 @@ fn main() {
     // definitions with the offline checkers.
     println!("\noffline consistency checks on recorded runs (4 threads × 2000 ops):");
     for (name, counter) in [
-        ("cas-loop", Box::new(CasCounter::new()) as Box<dyn ConcurrentCounter>),
+        (
+            "cas-loop",
+            Box::new(CasCounter::new()) as Box<dyn ConcurrentCounter>,
+        ),
         ("fetch-add", Box::new(FetchAddCounter::new())),
-        ("sharded-eventual", Box::new(ShardedCounter::new(threads, 64))),
+        (
+            "sharded-eventual",
+            Box::new(ShardedCounter::new(threads, 64)),
+        ),
     ] {
         let run = run_counter_workload(
             counter.as_ref(),

@@ -1,0 +1,250 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! Supports the subset of the proptest 1.x authoring surface used by this
+//! workspace: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), `x in strategy` bindings over integer
+//! ranges, [`any`], `prop::collection::vec`, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!` assertions.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure seeds:
+//! inputs are drawn from a deterministic PRNG seeded from the test's name and
+//! case index, so every run of a given binary explores the same cases and a
+//! failure message always reports the exact inputs that triggered it.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng, Standard};
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A strategy producing uniform values of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// A strategy producing arbitrary values of `T`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Standard + std::fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// A strategy always producing a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod prop {
+    /// Strategies for collections.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// A strategy producing vectors whose length is drawn from `size`
+        /// and whose elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = if self.size.is_empty() {
+                    self.size.start
+                } else {
+                    rng.gen_range(self.size.clone())
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Derives the deterministic RNG for one test case.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Asserts a condition inside a property (reports the failing case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over many sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @munch ($cfg) $($rest)* }
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut prop_rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut prop_rng);)*
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest case {} of {} failed with inputs: {:?}",
+                        case,
+                        stringify!($name),
+                        ($(&$arg,)*)
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest! { @munch ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @munch ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, prop, Any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected(a in 3usize..9, b in -2i64..=2) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2..=2).contains(&b));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u8..5, 1..4)) {
+            prop_assert!((1..4).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_applies(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::Rng;
+        let mut a = super::case_rng("t", 1);
+        let mut b = super::case_rng("t", 1);
+        let mut c = super::case_rng("t", 2);
+        assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        let _ = c.gen_range(0u64..1000);
+    }
+}

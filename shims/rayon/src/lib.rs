@@ -1,0 +1,306 @@
+//! Offline stand-in for the crates.io `rayon` crate.
+//!
+//! The build environment has no registry access, so the subset of the rayon
+//! API used by the workspace is reimplemented on `std::thread::scope`:
+//!
+//! * [`prelude::IntoParallelIterator::into_par_iter`] /
+//!   [`prelude::IntoParallelRefIterator::par_iter`] producing a [`ParIter`]
+//!   with `map` / `filter` / `for_each` / `collect` / `count` / `sum`;
+//! * [`join`] and [`current_num_threads`].
+//!
+//! Scheduling is dynamic: worker threads repeatedly *steal* the next pending
+//! item from a shared queue, so imbalanced workloads (e.g. exploration
+//! subtrees of very different sizes) still keep all cores busy.  This is
+//! coarser than real rayon's per-worker deques with randomized stealing, but
+//! has the same load-balancing behaviour for the item counts used here.
+//!
+//! Thread count defaults to `std::thread::available_parallelism` and can be
+//! overridden with the `RAYON_NUM_THREADS` environment variable (same
+//! variable the real rayon honours), which is also how the test suite forces
+//! multi-threaded execution on single-core CI machines.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs the two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+/// A parallel iterator: a vector of base items plus the composed per-item
+/// transformation (filter-map) built up by `map`/`filter` calls.
+pub struct ParIter<'env, B, I> {
+    items: Vec<B>,
+    f: Box<dyn Fn(B) -> Option<I> + Sync + Send + 'env>,
+}
+
+impl<'env, B, I> ParIter<'env, B, I>
+where
+    B: Send + 'env,
+    I: Send + 'env,
+{
+    /// Applies `g` to every item.
+    pub fn map<U, G>(self, g: G) -> ParIter<'env, B, U>
+    where
+        U: Send + 'env,
+        G: Fn(I) -> U + Sync + Send + 'env,
+    {
+        let f = self.f;
+        ParIter {
+            items: self.items,
+            f: Box::new(move |b| f(b).map(&g)),
+        }
+    }
+
+    /// Keeps only items satisfying `pred`.
+    pub fn filter<G>(self, pred: G) -> ParIter<'env, B, I>
+    where
+        G: Fn(&I) -> bool + Sync + Send + 'env,
+    {
+        let f = self.f;
+        ParIter {
+            items: self.items,
+            f: Box::new(move |b| f(b).filter(|i| pred(i))),
+        }
+    }
+
+    /// Applies `g` to every item, discarding results.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(I) + Sync + Send + 'env,
+    {
+        let f = self.f;
+        let h: Box<dyn Fn(B) -> Option<()> + Sync + Send + 'env> = Box::new(move |b| {
+            if let Some(i) = f(b) {
+                g(i);
+            }
+            Some(())
+        });
+        drive(self.items, &h);
+    }
+
+    /// Evaluates the iterator in parallel, preserving item order.
+    fn run(self) -> Vec<I> {
+        drive(self.items, &self.f)
+    }
+
+    /// Collects the results (in the original item order).
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Number of items surviving the filters.
+    pub fn count(self) -> usize {
+        self.run().len()
+    }
+
+    /// Sum of the produced items.
+    pub fn sum<S: std::iter::Sum<I>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Reduces the produced items with `op` starting from `identity`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I
+    where
+        ID: Fn() -> I + Sync + Send,
+        OP: Fn(I, I) -> I + Sync + Send,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+}
+
+/// The shared work queue driver: workers steal the next `(index, item)` pair
+/// until the queue drains, then results are merged back into item order.
+fn drive<'env, B, I>(items: Vec<B>, f: &(dyn Fn(B) -> Option<I> + Sync + Send + 'env)) -> Vec<I>
+where
+    B: Send,
+    I: Send,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().filter_map(f).collect();
+    }
+    // The queue is popped from the back; reverse so stealing proceeds in
+    // submission order (earlier items first), which keeps long-running heads
+    // from being scheduled last.
+    let mut indexed: Vec<(usize, B)> = items.into_iter().enumerate().collect();
+    indexed.reverse();
+    let queue = Mutex::new(indexed);
+    let mut merged: Vec<(usize, I)> = Vec::new();
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let next = queue.lock().unwrap_or_else(|p| p.into_inner()).pop();
+                        match next {
+                            Some((i, b)) => {
+                                if let Some(v) = f(b) {
+                                    local.push((i, v));
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for w in workers {
+            match w.join() {
+                Ok(local) => merged.extend(local),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    merged.sort_by_key(|(i, _)| *i);
+    merged.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator<'env> {
+    /// The produced item type.
+    type Item: Send + 'env;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<'env, Self::Item, Self::Item>;
+}
+
+impl<'env, T: Send + 'env> IntoParallelIterator<'env> for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<'env, T, T> {
+        ParIter {
+            items: self,
+            f: Box::new(Some),
+        }
+    }
+}
+
+impl<'env> IntoParallelIterator<'env> for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<'env, usize, usize> {
+        ParIter {
+            items: self.collect(),
+            f: Box::new(Some),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'env> {
+    /// The reference item type.
+    type Item: Send + 'env;
+
+    /// Returns a parallel iterator over references to the elements.
+    fn par_iter(&'env self) -> ParIter<'env, Self::Item, Self::Item>;
+}
+
+impl<'env, T: Sync + 'env> IntoParallelRefIterator<'env> for [T] {
+    type Item = &'env T;
+
+    fn par_iter(&'env self) -> ParIter<'env, &'env T, &'env T> {
+        ParIter {
+            items: self.iter().collect(),
+            f: Box::new(Some),
+        }
+    }
+}
+
+impl<'env, T: Sync + 'env> IntoParallelRefIterator<'env> for Vec<T> {
+    type Item = &'env T;
+
+    fn par_iter(&'env self) -> ParIter<'env, &'env T, &'env T> {
+        ParIter {
+            items: self.iter().collect(),
+            f: Box::new(Some),
+        }
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_filter_count() {
+        let n = (0..100usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .filter(|&x| x % 3 == 0)
+            .count();
+        assert_eq!(n, 34);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..257).collect();
+        v.par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!((a, b.as_str()), (2, "xxx"));
+    }
+
+    #[test]
+    fn honors_env_thread_override() {
+        // Just exercises the parsing path; the actual thread count is
+        // whatever the environment says at test time.
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the crates.io `serde` crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker on
+//! plain data types; nothing actually serializes values (there is no
+//! `serde_json` in the tree).  Since the build environment has no registry
+//! access, this proc-macro crate provides the two derives as no-ops so that
+//! the annotations compile unchanged.  If real serialization is ever needed,
+//! replace this shim with the genuine `serde` dependency.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -83,7 +83,12 @@ mod tests {
         let mut universe = ObjectUniverse::new();
         let x = universe.add_object(FetchIncrement::new());
         let history = HistoryBuilder::new()
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
             .build();
         assert!(crate::checker::is_linearizable(&history, &universe));
         let imp = CasFetchInc::new(2);

@@ -54,7 +54,11 @@ fn cas_fetch_inc_is_lock_free_under_solo_bursts() {
         let mut s = SoloBurstScheduler::new(burst);
         let out = run(&imp, &w, &mut s, 1_000_000);
         assert!(out.completed_all, "burst {burst}");
-        assert_eq!(fi::is_linearizable(&out.history, 0), Ok(true), "burst {burst}");
+        assert_eq!(
+            fi::is_linearizable(&out.history, 0),
+            Ok(true),
+            "burst {burst}"
+        );
     }
 }
 

@@ -19,9 +19,24 @@ fn fi_universe() -> (ObjectUniverse, ObjectId) {
 fn lemma_5_monotonicity() {
     let (u, x) = fi_universe();
     let h = HistoryBuilder::new()
-        .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-        .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-        .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+        .complete(
+            ProcessId(0),
+            x,
+            FetchIncrement::fetch_inc(),
+            Value::from(0i64),
+        )
+        .complete(
+            ProcessId(1),
+            x,
+            FetchIncrement::fetch_inc(),
+            Value::from(0i64),
+        )
+        .complete(
+            ProcessId(0),
+            x,
+            FetchIncrement::fetch_inc(),
+            Value::from(1i64),
+        )
         .build();
     let t0 = t_linearizability::min_stabilization(&h, &u, None).unwrap();
     for t in 0..=h.len() {
@@ -36,8 +51,18 @@ fn lemma_6_prefix_closure() {
     let mut b = HistoryBuilder::new();
     for k in 0..5i64 {
         b = b
-            .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(2 * k))
-            .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(2 * k + 1));
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(2 * k),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(2 * k + 1),
+            );
     }
     let h = b.build();
     let t = 4;
@@ -55,10 +80,25 @@ fn lemmas_7_to_9_locality() {
     let r = u.add_object(Register::new(Value::from(0i64)));
     let x = u.add_object(FetchIncrement::new());
     let h = HistoryBuilder::new()
-        .complete(ProcessId(0), r, Register::write(Value::from(1i64)), Value::Unit)
+        .complete(
+            ProcessId(0),
+            r,
+            Register::write(Value::from(1i64)),
+            Value::Unit,
+        )
         .complete(ProcessId(1), r, Register::read(), Value::from(0i64))
-        .complete(ProcessId(0), x, FetchIncrement::fetch_inc(), Value::from(0i64))
-        .complete(ProcessId(1), x, FetchIncrement::fetch_inc(), Value::from(1i64))
+        .complete(
+            ProcessId(0),
+            x,
+            FetchIncrement::fetch_inc(),
+            Value::from(0i64),
+        )
+        .complete(
+            ProcessId(1),
+            x,
+            FetchIncrement::fetch_inc(),
+            Value::from(1i64),
+        )
         .build();
     // Weak consistency is local (Lemma 8 / Proposition 9).
     assert_eq!(
@@ -224,7 +264,11 @@ fn proposition_18_freeze() {
             1_000_000,
         );
         assert!(out.completed_all);
-        assert_eq!(fi::is_linearizable(&out.history, 0), Ok(true), "seed {seed}");
+        assert_eq!(
+            fi::is_linearizable(&out.history, 0),
+            Ok(true),
+            "seed {seed}"
+        );
     }
 }
 
@@ -244,7 +288,10 @@ fn corollary_19_gossip_never_stabilizes() {
         );
         let t = fi::min_stabilization(&out.history, 0).unwrap();
         let ratio = t as f64 / out.history.len() as f64;
-        assert!(ratio > 0.4, "stabilization must chase the end of the history");
+        assert!(
+            ratio > 0.4,
+            "stabilization must chase the end of the history"
+        );
         last_ratio = ratio;
     }
     assert!(last_ratio > 0.4);

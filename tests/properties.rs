@@ -1,7 +1,9 @@
 //! Property-based tests (proptest) on the core invariants of the workspace.
 
 use evlin::checker::{fi, linearizability, t_linearizability, weak_consistency};
-use evlin::history::generator::{concurrentize, perturb_responses, random_sequential_legal, WorkloadSpec};
+use evlin::history::generator::{
+    concurrentize, perturb_responses, random_sequential_legal, WorkloadSpec,
+};
 use evlin::history::legal;
 use evlin::prelude::*;
 use proptest::prelude::*;
