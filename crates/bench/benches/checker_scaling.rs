@@ -1,10 +1,16 @@
 //! E10 bench: checker scalability.
 //!
-//! * generic constrained-linearization search vs history length;
-//! * specialized fetch&increment checker vs history length (much larger).
+//! * generic kernel (constrained-linearization search) vs history length;
+//! * specialized fetch&increment checker vs history length (much larger);
+//! * batched sequential vs parallel checking;
+//! * the kernel's locality pre-pass vs the whole-history search on
+//!   multi-object histories (the algorithmic payoff of the Herlihy–Wing
+//!   locality theorem — per-object subproblems are exponentially smaller).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use evlin_checker::{fi, linearizability, parallel};
+use evlin_bench::histories;
+use evlin_checker::kernel::{self, SearchLimits};
+use evlin_checker::{fi, linearizability, parallel, Linearizability};
 use evlin_history::generator::{concurrentize, random_sequential_legal, WorkloadSpec};
 use evlin_history::{History, HistoryBuilder, ObjectUniverse, ProcessId};
 use evlin_spec::{FetchIncrement, Register, Value};
@@ -96,10 +102,46 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Whole-history kernel search vs the locality pre-pass on the same
+/// multi-object histories: `local` splits each history into per-object
+/// subproblems (checked in parallel and recomposed), `global` feeds the
+/// kernel the undecomposed problem.  The `easy` family (random linearizable)
+/// bounds the pre-pass overhead; the `hard` family (every projection
+/// refuted) shows the product-vs-sum blowup the decomposition removes.
+fn bench_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/locality");
+    let limits = SearchLimits::default();
+    for &objects in &[2usize, 4] {
+        let universe = histories::mixed_universe(objects);
+        let conc = histories::random_linearizable(&universe, 5 * objects, objects as u64);
+        group.bench_with_input(BenchmarkId::new("easy-global", objects), &conc, |b, h| {
+            b.iter(|| assert!(kernel::check(&Linearizability, h, &universe, limits).is_yes()));
+        });
+        group.bench_with_input(BenchmarkId::new("easy-local", objects), &conc, |b, h| {
+            b.iter(
+                || assert!(kernel::check_local(&Linearizability, h, &universe, limits).is_yes()),
+            );
+        });
+    }
+    for &objects in &[2usize, 3, 4] {
+        let (universe, conc) = histories::broken_per_object(objects, 3);
+        group.bench_with_input(BenchmarkId::new("hard-global", objects), &conc, |b, h| {
+            b.iter(|| assert!(!kernel::check(&Linearizability, h, &universe, limits).is_yes()));
+        });
+        group.bench_with_input(BenchmarkId::new("hard-local", objects), &conc, |b, h| {
+            b.iter(|| {
+                assert!(!kernel::check_local(&Linearizability, h, &universe, limits).is_yes())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     checker_scaling,
     bench_generic,
     bench_specialized,
-    bench_batch
+    bench_batch,
+    bench_locality
 );
 criterion_main!(checker_scaling);

@@ -51,10 +51,20 @@ pub fn run(quick: bool) -> Vec<Table> {
             "2-linearizable",
             "weakly consistent",
             "min stabilization t",
+            "kernel nodes (t=2)",
         ],
     );
     for q_ops in (1..=max_q).step_by(if quick { 1 } else { 4 }) {
         let h = section_3_2_history(q_ops);
+        // Search effort of the generic kernel at t = 2 (the verdict itself is
+        // cross-checked against the specialized fetch&inc decision procedure).
+        let (witness, stats) = t_linearizability::t_linearization_with_stats(&h, &u, 2);
+        assert_eq!(
+            witness.is_some(),
+            fi::is_t_linearizable(&h, 0, 2).unwrap(),
+            "kernel and specialized checker disagree at {} events",
+            h.len()
+        );
         growth.push_row([
             h.len().to_string(),
             fi::is_t_linearizable(&h, 0, 0).unwrap().to_string(),
@@ -62,6 +72,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             fi::is_t_linearizable(&h, 0, 2).unwrap().to_string(),
             weak_consistency::is_weakly_consistent(&h, &u).to_string(),
             fi::min_stabilization(&h, 0).unwrap().to_string(),
+            stats.nodes.to_string(),
         ]);
     }
 

@@ -11,7 +11,7 @@
 
 use crate::Table;
 use evlin_algorithms::{CasFetchInc, GossipFetchInc, NoisyPrefixFetchInc};
-use evlin_checker::fi;
+use evlin_checker::{fi, parallel};
 use evlin_sim::explorer::{terminal_histories, ExploreOptions};
 use evlin_sim::prelude::*;
 use evlin_sim::program::Implementation;
@@ -27,9 +27,8 @@ fn verify_frozen(implementation: &dyn Implementation, quick: bool) -> (bool, usi
     let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 2);
     let histories = terminal_histories(implementation, &w, explore);
     let mut checked = histories.len();
-    let mut all_linearizable = histories
-        .iter()
-        .all(|h| fi::is_linearizable(h, 0) == Ok(true));
+    // Batched, multi-core verdict over all terminal interleavings.
+    let mut all_linearizable = parallel::fi_all_t_linearizable_par(&histories, 0, 0);
     // …plus longer random runs.
     let long_ops = if quick { 10 } else { 50 };
     for seed in 0..if quick { 5 } else { 20 } {

@@ -7,7 +7,8 @@
 //! and cross-checks that the two agree wherever both are applicable.
 
 use crate::Table;
-use evlin_checker::{fi, linearizability, parallel, t_linearizability};
+use evlin_checker::kernel::{self, SearchLimits};
+use evlin_checker::{fi, linearizability, parallel, t_linearizability, Linearizability};
 use evlin_history::generator::{concurrentize, random_sequential_legal, WorkloadSpec};
 use evlin_history::ObjectUniverse;
 use evlin_runtime::counter::{CasCounter, ShardedCounter};
@@ -221,7 +222,82 @@ pub fn run(quick: bool) -> Vec<Table> {
         ]);
     }
 
-    vec![generic, specialized, agreement, batched]
+    // Locality pre-pass: the same multi-object histories checked whole vs
+    // decomposed per object.  Two families: "easy" random linearizable
+    // histories (a greedy witness exists, so the pre-pass can only add
+    // overhead) and "hard" histories whose every projection is refuted (the
+    // whole-history search must exhaust the *product* of the per-object
+    // subset spaces, the decomposed one only the sum — the algorithmic
+    // payoff of the Herlihy–Wing locality theorem).
+    let mut locality = Table::new(
+        "E10e — kernel locality pre-pass vs whole-history search on multi-object histories",
+        &[
+            "family",
+            "objects",
+            "ops/history",
+            "histories",
+            "global (ms)",
+            "local (ms)",
+            "speedup",
+            "verdicts agree",
+        ],
+    );
+    {
+        let limits = SearchLimits::default();
+        let mut push_family = |name: &str,
+                               objects: usize,
+                               universe: &ObjectUniverse,
+                               batch: &[evlin_history::History]| {
+            let start = Instant::now();
+            let global: Vec<bool> = batch
+                .iter()
+                .map(|h| kernel::check(&Linearizability, h, universe, limits).is_yes())
+                .collect();
+            let global_elapsed = start.elapsed();
+            let start = Instant::now();
+            let local: Vec<bool> = batch
+                .iter()
+                .map(|h| kernel::check_local(&Linearizability, h, universe, limits).is_yes())
+                .collect();
+            let local_elapsed = start.elapsed();
+            locality.push_row([
+                name.to_string(),
+                objects.to_string(),
+                batch.first().map(|h| h.len() / 2).unwrap_or(0).to_string(),
+                batch.len().to_string(),
+                format!("{:.2}", global_elapsed.as_secs_f64() * 1e3),
+                format!("{:.2}", local_elapsed.as_secs_f64() * 1e3),
+                format!(
+                    "{:.2}x",
+                    global_elapsed.as_secs_f64() / local_elapsed.as_secs_f64().max(f64::EPSILON)
+                ),
+                (global == local).to_string(),
+            ]);
+        };
+        let object_counts: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 6] };
+        let histories_per = if quick { 6 } else { 20 };
+        for &objects in &object_counts {
+            let universe = crate::histories::mixed_universe(objects);
+            let batch: Vec<evlin_history::History> = (0..histories_per)
+                .map(|seed| {
+                    crate::histories::random_linearizable(&universe, 5 * objects, seed as u64)
+                })
+                .collect();
+            push_family("easy (random linearizable)", objects, &universe, &batch);
+        }
+        let broken_counts: Vec<usize> = if quick { vec![2, 3] } else { vec![2, 3, 4] };
+        for &objects in &broken_counts {
+            let (universe, history) = crate::histories::broken_per_object(objects, 3);
+            push_family(
+                "hard (every object refuted)",
+                objects,
+                &universe,
+                &[history],
+            );
+        }
+    }
+
+    vec![generic, specialized, agreement, batched, locality]
 }
 
 #[cfg(test)]
@@ -245,5 +321,9 @@ mod tests {
         assert_eq!(row[2], row[0]);
         // Sequential and parallel batch verdicts agree.
         assert_eq!(tables[3].rows[0][6], "true");
+        // Locality decomposition never changes a verdict.
+        for row in &tables[4].rows {
+            assert_eq!(row[7], "true", "locality verdicts must agree: {row:?}");
+        }
     }
 }

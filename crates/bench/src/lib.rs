@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod histories;
 pub mod table;
 
 pub use table::Table;

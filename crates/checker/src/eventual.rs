@@ -9,10 +9,46 @@
 //! use that index to decide whether an implementation's executions actually
 //! stabilize or whether the index keeps chasing the end of the history (the
 //! tell-tale of an implementation that is not eventually linearizable).
+//!
+//! Both halves run through the shared Wing–Gong kernel: the safety half is
+//! the [`crate::weak_consistency::WeakOperation`] condition per completed
+//! operation, the liveness half is [`StabilizesEventually`] (equivalently,
+//! the `t`-sweep of [`crate::t_linearizability::TLinearizability`] that
+//! computes the minimal stabilization index).  This module contains no
+//! search logic of its own.
 
+use crate::kernel::{ConsistencyCondition, ConstrainedOp};
+use crate::t_linearizability::TLinearizability;
 use crate::{t_linearizability, weak_consistency};
 use evlin_history::{History, ObjectUniverse, OpId};
 use serde::{Deserialize, Serialize};
+
+/// The liveness half of eventual linearizability as a kernel condition:
+/// "`t`-linearizable for *some* `t`", which for a finite history is
+/// `|H|`-linearizability — every completed operation must be arrangeable
+/// into *some* legal sequential order, with all responses and the real-time
+/// order forgiven.
+///
+/// The safety half (weak consistency) and the quantitative refinement (the
+/// *minimal* such `t`) are obtained from the other kernel conditions; this
+/// type exists so that all four of the paper's conditions are expressible as
+/// [`ConsistencyCondition`] values over the same searcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StabilizesEventually;
+
+impl ConsistencyCondition for StabilizesEventually {
+    fn name(&self) -> &'static str {
+        "eventual linearizability (liveness half)"
+    }
+
+    fn candidates(&self, history: &History) -> Vec<ConstrainedOp> {
+        TLinearizability::new(history.len()).candidates(history)
+    }
+
+    fn precedence(&self, history: &History, candidates: &[ConstrainedOp]) -> Vec<(usize, usize)> {
+        TLinearizability::new(history.len()).precedence(history, candidates)
+    }
+}
 
 /// The outcome of the eventual-linearizability analysis of a (finite)
 /// history.
@@ -159,5 +195,34 @@ mod tests {
         let r = analyze(&History::new(), &u);
         assert!(r.is_eventually_linearizable());
         assert!(r.is_linearizable());
+    }
+
+    #[test]
+    fn liveness_condition_agrees_with_min_stabilization() {
+        use crate::kernel::{self, SearchLimits};
+        let mut u = ObjectUniverse::new();
+        let x = u.add_object(FetchIncrement::new());
+        // Stale duplicate zeros: stabilizes (t = 2), so the liveness-half
+        // condition accepts even though the history is not linearizable.
+        let h = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .build();
+        let verdict = kernel::check(&StabilizesEventually, &h, &u, SearchLimits::default());
+        assert!(verdict.is_yes());
+        assert_eq!(
+            t_linearizability::min_stabilization(&h, &u, None).is_some(),
+            verdict.is_yes()
+        );
     }
 }

@@ -1,0 +1,1060 @@
+//! The unified Wing–Gong check kernel.
+//!
+//! Every consistency condition of the paper reduces to the same question:
+//! *is there a legal sequential arrangement of a set of operations that
+//! (a) includes every required operation, (b) assigns each operation a legal
+//! response, matching the fixed response where one is imposed, and
+//! (c) respects a given precedence relation between operations?*
+//!
+//! This module is the single decision procedure behind all of them:
+//!
+//! * [`ConsistencyCondition`] — how a condition turns a history into that
+//!   question: candidate-operation enumeration ([`candidates`]), per-operation
+//!   constraints ([`ConstrainedOp`]), precedence edges ([`precedence`]) and an
+//!   acceptance predicate ([`accepted`]).  `linearizability`,
+//!   `t_linearizability`, `weak_consistency` and `eventual` are all thin
+//!   implementations of this trait;
+//! * [`solve`] — one iterative (non-recursive) Wing–Gong searcher over
+//!   partial linearizations.  Object states and responses are interned to
+//!   dense `u32` identifiers, transition lookups are memoized per
+//!   `(invocation, state)` pair, interchangeable operations are merged into
+//!   classes, and visited `(linearized-multiset, object-states)` keys are
+//!   stored as compact boxed `u32` slices;
+//! * [`check_local`] — the locality pre-pass: for conditions whose
+//!   decomposition is [`Locality::Exact`] (the Herlihy–Wing locality theorem
+//!   for linearizability, Lemma 8 for weak consistency), a multi-object
+//!   history is split into independent per-object subproblems, checked in
+//!   parallel via [`crate::parallel`], and the per-object witnesses are
+//!   composed back into a global one;
+//! * [`KernelScratch`] — reusable search state (visited cache, taken-set)
+//!   so that e.g. the binary search of `min_stabilization` does not
+//!   reallocate per probe.
+//!
+//! [`candidates`]: ConsistencyCondition::candidates
+//! [`precedence`]: ConsistencyCondition::precedence
+//! [`accepted`]: ConsistencyCondition::accepted
+
+use crate::parallel;
+use crate::util::{BitSet, FxHashMap, FxHashSet};
+use evlin_history::{History, ObjectId, ObjectUniverse, OperationRecord};
+use evlin_spec::{Invocation, Value};
+
+// ---------------------------------------------------------------------------
+// Problem statement types
+// ---------------------------------------------------------------------------
+
+/// One operation of a search problem, together with its constraints.
+#[derive(Debug, Clone)]
+pub struct ConstrainedOp {
+    /// The underlying operation (object, invocation, original indices).
+    pub record: OperationRecord,
+    /// Whether the operation must appear in the sequential witness.
+    /// Operations that completed in the history are required; pending
+    /// operations are optional.
+    pub required: bool,
+    /// The response the witness must assign, or `None` if any legal response
+    /// is acceptable (pending operations, and operations whose response fell
+    /// in the unconstrained prefix for `t`-linearizability).
+    pub fixed_response: Option<Value>,
+}
+
+/// A constrained-linearization problem.
+#[derive(Debug, Clone)]
+pub struct SearchProblem {
+    /// The operations, with their constraints.
+    pub ops: Vec<ConstrainedOp>,
+    /// Precedence edges `(i, j)`: if both operations appear in the witness,
+    /// operation `i` must be placed before operation `j`.
+    ///
+    /// All reductions in this crate only create edges whose source is a
+    /// *required* operation, which lets the search treat an edge as "source
+    /// must already be linearized before the target can be taken".
+    pub precedence: Vec<(usize, usize)>,
+}
+
+/// A successful search outcome: a witness linearization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Indices (into [`SearchProblem::ops`]) of the operations included in
+    /// the witness, in linearization order.
+    pub order: Vec<usize>,
+    /// The response assigned to each included operation, in the same order.
+    pub responses: Vec<Value>,
+}
+
+/// Limits placed on the search to keep worst-case behaviour under control.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchLimits {
+    /// Maximum number of search nodes to expand before giving up.
+    pub max_nodes: usize,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits {
+            max_nodes: 2_000_000,
+        }
+    }
+}
+
+/// The verdict of a search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchResult {
+    /// A witness linearization exists.
+    Yes(Witness),
+    /// No witness linearization exists.
+    No,
+    /// The search gave up after expanding [`SearchLimits::max_nodes`] nodes.
+    Unknown,
+}
+
+impl SearchResult {
+    /// `true` iff the result is [`SearchResult::Yes`].
+    pub fn is_yes(&self) -> bool {
+        matches!(self, SearchResult::Yes(_))
+    }
+
+    /// Extracts the witness, if any.
+    pub fn witness(self) -> Option<Witness> {
+        match self {
+            SearchResult::Yes(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Counters describing one search run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Search nodes expanded (summed over subproblems when the locality
+    /// pre-pass decomposed the history).
+    pub nodes: usize,
+    /// Nodes cut off because their `(linearized-multiset, object-states)`
+    /// key had already been visited — the Wing–Gong memoization at work.
+    pub memo_hits: usize,
+}
+
+impl SearchStats {
+    fn absorb(&mut self, other: SearchStats) {
+        self.nodes += other.nodes;
+        self.memo_hits += other.memo_hits;
+    }
+}
+
+/// Progress snapshot handed to [`ConsistencyCondition::accepted`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchProgress {
+    /// Required operations linearized so far.
+    pub required_taken: usize,
+    /// Total number of required operations in the problem.
+    pub required_total: usize,
+    /// Operations (required or optional) linearized so far.
+    pub taken_total: usize,
+}
+
+// ---------------------------------------------------------------------------
+// The condition trait
+// ---------------------------------------------------------------------------
+
+/// How a condition decomposes across objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locality {
+    /// The condition holds of a history iff it holds of every per-object
+    /// projection, *and* the condition's [`ConsistencyCondition::candidates`]
+    /// returns exactly one candidate per operation of the history, in
+    /// [`History::operations`] order (needed to map per-object witnesses back
+    /// to global operation indices).  Linearizability is the canonical
+    /// example (the Herlihy–Wing locality theorem).
+    Exact,
+    /// No sound per-object decomposition; the history must be checked whole.
+    /// `t`-linearizability for a fixed `t > 0` is the canonical example:
+    /// Lemma 7 only decomposes "`t`-linearizable for *some* `t`", and the
+    /// composed index is not tight.
+    Global,
+}
+
+/// A consistency condition, expressed as the ingredients of a
+/// constrained-linearization search: which operations may appear in the
+/// sequential witness and under which constraints, which precedence edges
+/// the witness must respect, and when a partial linearization is accepted.
+pub trait ConsistencyCondition: Sync {
+    /// Human-readable name (used in diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Enumerates the candidate operations of the search, with their
+    /// constraints.
+    fn candidates(&self, history: &History) -> Vec<ConstrainedOp>;
+
+    /// Precedence edges `(i, j)` over `candidates`: if both appear in the
+    /// witness, `i` must precede `j`.  Sources must be required candidates.
+    fn precedence(&self, history: &History, candidates: &[ConstrainedOp]) -> Vec<(usize, usize)>;
+
+    /// Acceptance predicate: when is a partial linearization a witness?
+    /// The default — every required candidate has been linearized — is what
+    /// all the paper's conditions use.
+    fn accepted(&self, progress: &SearchProgress) -> bool {
+        progress.required_taken == progress.required_total
+    }
+
+    /// Whether the condition admits the exact per-object decomposition used
+    /// by [`check_local`].
+    fn locality(&self) -> Locality {
+        Locality::Global
+    }
+
+    /// Builds the full search problem for a history.
+    fn problem(&self, history: &History) -> SearchProblem {
+        let ops = self.candidates(history);
+        let precedence = self.precedence(history, &ops);
+        SearchProblem { ops, precedence }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reusable scratch state
+// ---------------------------------------------------------------------------
+
+/// Reusable search state: the visited cache and the taken-set.
+///
+/// Allocations (the hash table and the bit set) survive across searches, so
+/// repeated probes over the same history — the binary search of
+/// `min_stabilization`, the per-operation loop of the weak-consistency
+/// checker — reuse them instead of reallocating.  `BitSet::clear` and
+/// `BitSet::count` keep the taken-set sound across reuses: bits left set by
+/// a successful search are cleared one by one, and the emptiness invariant is
+/// asserted before the next run.
+#[derive(Default)]
+pub struct KernelScratch {
+    visited: FxHashSet<Box<[u32]>>,
+    taken: BitSet,
+    capacity: usize,
+}
+
+impl KernelScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        KernelScratch::default()
+    }
+
+    /// Prepares the scratch for a problem with `n` operations: clears the
+    /// visited cache (keeping its allocation) and ensures the taken-set has
+    /// capacity for `n` bits and is empty.
+    fn prepare(&mut self, n: usize) {
+        self.visited.clear();
+        if self.capacity < n || self.capacity == 0 {
+            self.taken = BitSet::with_capacity(n.max(1));
+            self.capacity = n.max(1);
+        }
+        debug_assert_eq!(
+            self.taken.count(),
+            0,
+            "taken-set must be empty between searches"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The iterative searcher
+// ---------------------------------------------------------------------------
+
+const INVALID: u32 = u32::MAX;
+
+/// One level of the explicit DFS stack: which candidate operation is being
+/// explored and which of its transitions comes next, plus the undo record of
+/// the step that produced this level.
+struct Frame {
+    /// Candidate operation currently being enumerated at this level.
+    i: usize,
+    /// Next transition index for operation `i`.
+    k: usize,
+    /// Index into `Searcher::trans_lists` of operation `i`'s transitions at
+    /// this level's entry state, or `INVALID` before it is computed.
+    trans: u32,
+    /// How this level's node was produced (`None` only for the root).
+    undo: Option<Undo>,
+}
+
+/// Everything needed to retract one linearization step.
+struct Undo {
+    op: usize,
+    class: usize,
+    slot: usize,
+    prev_state: u32,
+    required: bool,
+}
+
+struct Searcher<'a> {
+    universe: &'a ObjectUniverse,
+    limits: SearchLimits,
+    // --- interned problem ---
+    n: usize,
+    /// Interned `Value` table (object states and responses).
+    values: Vec<Value>,
+    value_ids: FxHashMap<Value, u32>,
+    /// Interned `(object, invocation)` table.
+    inv_table: Vec<(usize, ObjectId, Invocation)>,
+    /// Per-operation interned data.
+    op_inv: Vec<u32>,
+    op_slot: Vec<usize>,
+    op_required: Vec<bool>,
+    op_fixed: Vec<Option<u32>>,
+    /// Required predecessors of each operation.
+    preds: Vec<Vec<usize>>,
+    /// Interchangeability classes: `class_of[i]` and the members of each
+    /// class in ascending operation order.
+    class_of: Vec<usize>,
+    class_members: Vec<Vec<usize>>,
+    required_count: usize,
+    // --- memoized transitions ---
+    /// `trans_cache[invocation id][state id]` -> `trans_lists` index, or
+    /// `INVALID` when not yet computed (dense: both id spaces are small).
+    trans_cache: Vec<Vec<u32>>,
+    trans_lists: Vec<Vec<(u32, u32)>>,
+    // --- mutable search state ---
+    class_counts: Vec<u16>,
+    states: Vec<u32>,
+    order: Vec<usize>,
+    responses: Vec<u32>,
+    required_taken: usize,
+    nodes: usize,
+    memo_hits: usize,
+    exhausted: bool,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(problem: &SearchProblem, universe: &'a ObjectUniverse, limits: SearchLimits) -> Self {
+        let n = problem.ops.len();
+
+        // Active objects -> slots.
+        let mut slot_of: FxHashMap<usize, usize> = FxHashMap::default();
+        let mut slots: Vec<ObjectId> = Vec::new();
+        for cop in &problem.ops {
+            slot_of.entry(cop.record.object.index()).or_insert_with(|| {
+                slots.push(cop.record.object);
+                slots.len() - 1
+            });
+        }
+
+        // Interners.
+        let mut values: Vec<Value> = Vec::new();
+        let mut value_ids: FxHashMap<Value, u32> = FxHashMap::default();
+        let mut intern_value = |v: &Value, values: &mut Vec<Value>| -> u32 {
+            if let Some(&id) = value_ids.get(v) {
+                return id;
+            }
+            let id = values.len() as u32;
+            values.push(v.clone());
+            value_ids.insert(v.clone(), id);
+            id
+        };
+        let mut inv_table: Vec<(usize, ObjectId, Invocation)> = Vec::new();
+        let mut inv_ids: FxHashMap<(usize, Invocation), u32> = FxHashMap::default();
+
+        let mut op_inv = Vec::with_capacity(n);
+        let mut op_slot = Vec::with_capacity(n);
+        let mut op_required = Vec::with_capacity(n);
+        let mut op_fixed = Vec::with_capacity(n);
+        for cop in &problem.ops {
+            let slot = slot_of[&cop.record.object.index()];
+            let key = (slot, cop.record.invocation.clone());
+            let inv = *inv_ids.entry(key).or_insert_with(|| {
+                inv_table.push((slot, cop.record.object, cop.record.invocation.clone()));
+                (inv_table.len() - 1) as u32
+            });
+            op_inv.push(inv);
+            op_slot.push(slot);
+            op_required.push(cop.required);
+            op_fixed.push(
+                cop.fixed_response
+                    .as_ref()
+                    .map(|v| intern_value(v, &mut values)),
+            );
+        }
+
+        // Required predecessors (edges with optional sources impose nothing,
+        // matching the reductions in this crate, which only create edges with
+        // required sources).
+        let mut preds = vec![Vec::new(); n];
+        let mut incident = vec![false; n];
+        for &(i, j) in &problem.precedence {
+            incident[i] = true;
+            incident[j] = true;
+            if problem.ops[i].required {
+                preds[j].push(i);
+            }
+        }
+
+        // Interchangeability classes: operations with the same interned
+        // invocation, the same constraints and no incident precedence edge
+        // are indistinguishable, so the search only ever takes the first
+        // untaken member of a class and the visited cache keys on per-class
+        // counts instead of exact subsets.
+        let mut class_of = vec![usize::MAX; n];
+        let mut class_members: Vec<Vec<usize>> = Vec::new();
+        let mut class_ids: FxHashMap<(u32, bool, Option<u32>), usize> = FxHashMap::default();
+        for i in 0..n {
+            let class = if incident[i] {
+                class_members.push(vec![i]);
+                class_members.len() - 1
+            } else {
+                let key = (op_inv[i], op_required[i], op_fixed[i]);
+                match class_ids.get(&key) {
+                    Some(&c) => {
+                        class_members[c].push(i);
+                        c
+                    }
+                    None => {
+                        class_members.push(vec![i]);
+                        let c = class_members.len() - 1;
+                        class_ids.insert(key, c);
+                        c
+                    }
+                }
+            };
+            class_of[i] = class;
+        }
+
+        let states: Vec<u32> = slots
+            .iter()
+            .map(|id| intern_value(universe.initial_state(*id), &mut values))
+            .collect();
+
+        let required_count = problem.ops.iter().filter(|o| o.required).count();
+        let class_count = class_members.len();
+        let inv_count = inv_table.len();
+        Searcher {
+            universe,
+            limits,
+            n,
+            values,
+            value_ids,
+            inv_table,
+            op_inv,
+            op_slot,
+            op_required,
+            op_fixed,
+            preds,
+            class_of,
+            class_members,
+            required_count,
+            trans_cache: vec![Vec::new(); inv_count],
+            trans_lists: Vec::new(),
+            class_counts: vec![0; class_count],
+            states,
+            order: Vec::new(),
+            responses: Vec::new(),
+            required_taken: 0,
+            nodes: 0,
+            memo_hits: 0,
+            exhausted: false,
+        }
+    }
+
+    fn intern_value(&mut self, v: Value) -> u32 {
+        if let Some(&id) = self.value_ids.get(&v) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        self.values.push(v.clone());
+        self.value_ids.insert(v, id);
+        id
+    }
+
+    /// The transitions of invocation `inv` in state `state`, memoized.
+    fn transitions(&mut self, inv: u32, state: u32) -> u32 {
+        let row = &self.trans_cache[inv as usize];
+        if let Some(&idx) = row.get(state as usize) {
+            if idx != INVALID {
+                return idx;
+            }
+        }
+        let (_, object, invocation) = self.inv_table[inv as usize].clone();
+        let raw = self
+            .universe
+            .object_type(object)
+            .transitions(&self.values[state as usize], &invocation);
+        let list: Vec<(u32, u32)> = raw
+            .into_iter()
+            .map(|t| {
+                let r = self.intern_value(t.response);
+                let s = self.intern_value(t.next_state);
+                (r, s)
+            })
+            .collect();
+        let idx = self.trans_lists.len() as u32;
+        self.trans_lists.push(list);
+        let row = &mut self.trans_cache[inv as usize];
+        if row.len() <= state as usize {
+            row.resize(state as usize + 1, INVALID);
+        }
+        row[state as usize] = idx;
+        idx
+    }
+
+    /// Whether `i` is the first untaken member of its class (the canonical
+    /// representative tried by the search).
+    fn canonical(&self, i: usize, taken: &BitSet) -> bool {
+        self.class_members[self.class_of[i]]
+            .iter()
+            .find(|&&m| !taken.contains(m))
+            == Some(&i)
+    }
+
+    fn preds_taken(&self, i: usize, taken: &BitSet) -> bool {
+        self.preds[i].iter().all(|&p| taken.contains(p))
+    }
+
+    /// The compact visited key: per-class taken counts, then object states.
+    fn visit_key(&self) -> Box<[u32]> {
+        let mut key = Vec::with_capacity(self.class_counts.len() + self.states.len());
+        key.extend(self.class_counts.iter().map(|&c| c as u32));
+        key.extend_from_slice(&self.states);
+        key.into_boxed_slice()
+    }
+
+    fn progress(&self) -> SearchProgress {
+        SearchProgress {
+            required_taken: self.required_taken,
+            required_total: self.required_count,
+            taken_total: self.order.len(),
+        }
+    }
+
+    fn apply(&mut self, i: usize, resp: u32, next_state: u32, taken: &mut BitSet) -> Undo {
+        let slot = self.op_slot[i];
+        let undo = Undo {
+            op: i,
+            class: self.class_of[i],
+            slot,
+            prev_state: self.states[slot],
+            required: self.op_required[i],
+        };
+        taken.set(i);
+        self.class_counts[undo.class] += 1;
+        self.states[slot] = next_state;
+        self.order.push(i);
+        self.responses.push(resp);
+        if undo.required {
+            self.required_taken += 1;
+        }
+        undo
+    }
+
+    fn retract(&mut self, undo: Undo, taken: &mut BitSet) {
+        taken.clear(undo.op);
+        self.class_counts[undo.class] -= 1;
+        self.states[undo.slot] = undo.prev_state;
+        self.order.pop();
+        self.responses.pop();
+        if undo.required {
+            self.required_taken -= 1;
+        }
+    }
+
+    fn witness(&self) -> Witness {
+        Witness {
+            order: self.order.clone(),
+            responses: self
+                .responses
+                .iter()
+                .map(|&r| self.values[r as usize].clone())
+                .collect(),
+        }
+    }
+
+    /// The iterative Wing–Gong search.
+    fn run(
+        &mut self,
+        scratch: &mut KernelScratch,
+        accept: &dyn Fn(&SearchProgress) -> bool,
+    ) -> SearchResult {
+        scratch.prepare(self.n);
+        if accept(&self.progress()) {
+            return SearchResult::Yes(self.witness());
+        }
+        self.nodes += 1;
+        if self.nodes > self.limits.max_nodes {
+            return SearchResult::Unknown;
+        }
+        scratch.visited.insert(self.visit_key());
+
+        let mut frames: Vec<Frame> = vec![Frame {
+            i: 0,
+            k: 0,
+            trans: INVALID,
+            undo: None,
+        }];
+        // Split `taken` out of the scratch so `self` methods can borrow
+        // freely; it is put back (empty) before returning.
+        let mut taken = std::mem::take(&mut scratch.taken);
+
+        let result = 'outer: loop {
+            let Some(mut f) = frames.pop() else {
+                break if self.exhausted {
+                    SearchResult::Unknown
+                } else {
+                    SearchResult::No
+                };
+            };
+            loop {
+                if f.i >= self.n {
+                    // This level is exhausted: retract the step that
+                    // produced it and resume the parent.
+                    if let Some(undo) = f.undo.take() {
+                        self.retract(undo, &mut taken);
+                    }
+                    continue 'outer;
+                }
+                let i = f.i;
+                if taken.contains(i) || !self.canonical(i, &taken) || !self.preds_taken(i, &taken) {
+                    f.i += 1;
+                    f.k = 0;
+                    f.trans = INVALID;
+                    continue;
+                }
+                if f.trans == INVALID {
+                    f.trans = self.transitions(self.op_inv[i], self.states[self.op_slot[i]]);
+                    f.k = 0;
+                }
+                while f.k < self.trans_lists[f.trans as usize].len() {
+                    let (resp, next_state) = self.trans_lists[f.trans as usize][f.k];
+                    f.k += 1;
+                    if let Some(fixed) = self.op_fixed[i] {
+                        if resp != fixed {
+                            continue;
+                        }
+                    }
+                    let undo = self.apply(i, resp, next_state, &mut taken);
+                    if accept(&self.progress()) {
+                        let witness = self.witness();
+                        // Leave the taken-set empty for the next reuse of
+                        // the scratch.
+                        for &op in &self.order {
+                            taken.clear(op);
+                        }
+                        break 'outer SearchResult::Yes(witness);
+                    }
+                    self.nodes += 1;
+                    if self.nodes > self.limits.max_nodes {
+                        self.exhausted = true;
+                        self.retract(undo, &mut taken);
+                        continue;
+                    }
+                    if !scratch.visited.insert(self.visit_key()) {
+                        self.memo_hits += 1;
+                        self.retract(undo, &mut taken);
+                        continue;
+                    }
+                    frames.push(f);
+                    frames.push(Frame {
+                        i: 0,
+                        k: 0,
+                        trans: INVALID,
+                        undo: Some(undo),
+                    });
+                    continue 'outer;
+                }
+                f.i += 1;
+                f.k = 0;
+                f.trans = INVALID;
+            }
+        };
+        // Either every step was retracted on the way out (No/Unknown) or the
+        // witness path cleared its bits explicitly; put the empty taken-set
+        // back for the next reuse of the scratch.
+        debug_assert_eq!(taken.count(), 0, "taken-set must be released empty");
+        scratch.taken = taken;
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Solves a prebuilt constrained-linearization problem with the default
+/// acceptance predicate (all required operations linearized).
+pub fn solve(
+    problem: &SearchProblem,
+    universe: &ObjectUniverse,
+    limits: SearchLimits,
+) -> (SearchResult, SearchStats) {
+    let mut scratch = KernelScratch::new();
+    solve_with_scratch(problem, universe, limits, &mut scratch)
+}
+
+/// Like [`solve`], reusing a caller-provided [`KernelScratch`] so repeated
+/// solves over same-sized problems share their allocations.
+pub fn solve_with_scratch(
+    problem: &SearchProblem,
+    universe: &ObjectUniverse,
+    limits: SearchLimits,
+    scratch: &mut KernelScratch,
+) -> (SearchResult, SearchStats) {
+    let mut searcher = Searcher::new(problem, universe, limits);
+    let result = searcher.run(scratch, &|p| p.required_taken == p.required_total);
+    (
+        result,
+        SearchStats {
+            nodes: searcher.nodes,
+            memo_hits: searcher.memo_hits,
+        },
+    )
+}
+
+/// Checks `condition` on the whole history (no locality decomposition).
+pub fn check(
+    condition: &dyn ConsistencyCondition,
+    history: &History,
+    universe: &ObjectUniverse,
+    limits: SearchLimits,
+) -> SearchResult {
+    check_with_stats(condition, history, universe, limits).0
+}
+
+/// Like [`check`], additionally returning the search counters.
+pub fn check_with_stats(
+    condition: &dyn ConsistencyCondition,
+    history: &History,
+    universe: &ObjectUniverse,
+    limits: SearchLimits,
+) -> (SearchResult, SearchStats) {
+    let mut scratch = KernelScratch::new();
+    check_with_scratch(condition, history, universe, limits, &mut scratch)
+}
+
+/// Like [`check_with_stats`], reusing a caller-provided [`KernelScratch`]
+/// (the per-operation loop of the weak-consistency checker runs one search
+/// per completed operation over the same history and shares one scratch
+/// across them).
+pub fn check_with_scratch(
+    condition: &dyn ConsistencyCondition,
+    history: &History,
+    universe: &ObjectUniverse,
+    limits: SearchLimits,
+    scratch: &mut KernelScratch,
+) -> (SearchResult, SearchStats) {
+    let problem = condition.problem(history);
+    let mut searcher = Searcher::new(&problem, universe, limits);
+    let result = searcher.run(scratch, &|p| condition.accepted(p));
+    (
+        result,
+        SearchStats {
+            nodes: searcher.nodes,
+            memo_hits: searcher.memo_hits,
+        },
+    )
+}
+
+/// Checks `condition` with the locality pre-pass: a multi-object history is
+/// split into per-object projections, each checked independently (in
+/// parallel across objects via [`crate::parallel`]), and — when every
+/// subproblem has a witness — the per-object witnesses are composed into a
+/// global one.
+///
+/// For conditions whose [`ConsistencyCondition::locality`] is
+/// [`Locality::Global`], and for histories touching at most one object, this
+/// is exactly [`check`].
+pub fn check_local(
+    condition: &dyn ConsistencyCondition,
+    history: &History,
+    universe: &ObjectUniverse,
+    limits: SearchLimits,
+) -> SearchResult {
+    check_local_with_stats(condition, history, universe, limits).0
+}
+
+/// Like [`check_local`], additionally returning the search counters (summed
+/// over the per-object subproblems when the history was decomposed).
+pub fn check_local_with_stats(
+    condition: &dyn ConsistencyCondition,
+    history: &History,
+    universe: &ObjectUniverse,
+    limits: SearchLimits,
+) -> (SearchResult, SearchStats) {
+    let objects = history.objects();
+    if condition.locality() != Locality::Exact || objects.len() <= 1 {
+        return check_with_stats(condition, history, universe, limits);
+    }
+    // Greedy probe: most histories produced by generators and recorders are
+    // satisfiable and the depth-first searcher resolves them in roughly one
+    // descent, where projecting and recomposing would only add overhead.
+    // Give the whole-history search a budget linear in the operation count;
+    // any definitive answer within it is final, and only a blown budget —
+    // the signature of a combinatorial (product-space) search — pays for the
+    // per-object decomposition.
+    let probe_budget = (4 * history.operations().len() + 16).min(limits.max_nodes);
+    let probe_limits = SearchLimits {
+        max_nodes: probe_budget,
+    };
+    let (probe_result, mut stats) = check_with_stats(condition, history, universe, probe_limits);
+    if !matches!(probe_result, SearchResult::Unknown) {
+        return (probe_result, stats);
+    }
+    // Per-object subproblems, checked independently across all cores.
+    let sub: Vec<(ObjectId, SearchResult, SearchStats)> = parallel::map_par(&objects, |&object| {
+        let projection = history.project_object(object);
+        let (result, stats) = check_with_stats(condition, &projection, universe, limits);
+        (object, result, stats)
+    });
+    let mut unknown = false;
+    for (_, result, s) in &sub {
+        stats.absorb(*s);
+        match result {
+            SearchResult::No => return (SearchResult::No, stats),
+            SearchResult::Unknown => unknown = true,
+            SearchResult::Yes(_) => {}
+        }
+    }
+    if unknown {
+        return (SearchResult::Unknown, stats);
+    }
+    match compose_witnesses(condition, history, &sub) {
+        Some(witness) => (SearchResult::Yes(witness), stats),
+        None => {
+            // Composition found a cycle, which the locality theorem rules
+            // out for Locality::Exact conditions; fall back to the global
+            // search rather than give a wrong answer.
+            let (result, global_stats) = check_with_stats(condition, history, universe, limits);
+            stats.absorb(global_stats);
+            (result, stats)
+        }
+    }
+}
+
+/// Composes per-object witnesses into a global witness: the union of the
+/// per-object linearization orders and the real-time precedence between the
+/// included operations is acyclic (Herlihy–Wing locality), so a topological
+/// sort interleaves them.  Ties are broken by smallest operation index, which
+/// makes the composed witness deterministic.
+fn compose_witnesses(
+    condition: &dyn ConsistencyCondition,
+    history: &History,
+    sub: &[(ObjectId, SearchResult, SearchStats)],
+) -> Option<Witness> {
+    let candidates = condition.candidates(history);
+    // Global candidate indices of each object's operations, in order — the
+    // j-th operation of the projection is the j-th candidate on that object
+    // (Locality::Exact guarantees the 1:1, order-preserving alignment).
+    let mut included: Vec<(usize, Value)> = Vec::new();
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    for (object, result, _) in sub {
+        let SearchResult::Yes(w) = result else {
+            return None;
+        };
+        let on_object: Vec<usize> = (0..candidates.len())
+            .filter(|&i| candidates[i].record.object == *object)
+            .collect();
+        let mut chain = Vec::with_capacity(w.order.len());
+        for (j, &local) in w.order.iter().enumerate() {
+            let global = *on_object.get(local)?;
+            chain.push(global);
+            included.push((global, w.responses[j].clone()));
+        }
+        chains.push(chain);
+    }
+    // Edges: consecutive pairs of each per-object chain, plus real-time
+    // precedence between included operations.
+    let mut position: FxHashMap<usize, usize> = FxHashMap::default();
+    for (pos, (global, _)) in included.iter().enumerate() {
+        position.insert(*global, pos);
+    }
+    let m = included.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut indegree = vec![0usize; m];
+    let add_edge = |a: usize, b: usize, succs: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>| {
+        succs[a].push(b);
+        indeg[b] += 1;
+    };
+    for chain in &chains {
+        for w in chain.windows(2) {
+            add_edge(position[&w[0]], position[&w[1]], &mut succs, &mut indegree);
+        }
+    }
+    for (pa, (a, _)) in included.iter().enumerate() {
+        for (pb, (b, _)) in included.iter().enumerate() {
+            if a != b
+                && candidates[*a].record.object != candidates[*b].record.object
+                && candidates[*a].record.precedes(&candidates[*b].record)
+            {
+                add_edge(pa, pb, &mut succs, &mut indegree);
+            }
+        }
+    }
+    // Kahn's algorithm with smallest-global-index tie-break.
+    let mut order = Vec::with_capacity(m);
+    let mut responses = Vec::with_capacity(m);
+    let mut done = vec![false; m];
+    for _ in 0..m {
+        let next = (0..m)
+            .filter(|&p| !done[p] && indegree[p] == 0)
+            .min_by_key(|&p| included[p].0)?;
+        done[next] = true;
+        order.push(included[next].0);
+        responses.push(included[next].1.clone());
+        for &s in &succs[next] {
+            indegree[s] -= 1;
+        }
+    }
+    Some(Witness { order, responses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linearizability::Linearizability;
+    use evlin_history::{HistoryBuilder, ProcessId};
+    use evlin_spec::{FetchIncrement, Register, Value};
+
+    fn two_object_history() -> (ObjectUniverse, History) {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let x = u.add_object(FetchIncrement::new());
+        let h = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(ProcessId(0), r, Register::read(), Value::from(1i64))
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
+            .build();
+        (u, h)
+    }
+
+    #[test]
+    fn local_and_global_checks_agree() {
+        let (u, h) = two_object_history();
+        let limits = SearchLimits::default();
+        let global = check(&Linearizability, &h, &u, limits);
+        let local = check_local(&Linearizability, &h, &u, limits);
+        assert!(global.is_yes());
+        assert!(local.is_yes());
+    }
+
+    #[test]
+    fn composed_witness_respects_real_time_and_legality() {
+        let (u, h) = two_object_history();
+        let w = check_local(&Linearizability, &h, &u, SearchLimits::default())
+            .witness()
+            .expect("linearizable");
+        assert_eq!(w.order.len(), 4);
+        // Real-time precedence between the included operations must hold in
+        // the composed order.
+        let candidates = Linearizability.candidates(&h);
+        let pos = |i: usize| w.order.iter().position(|&x| x == i).unwrap();
+        for a in 0..candidates.len() {
+            for b in 0..candidates.len() {
+                if a != b && candidates[a].record.precedes(&candidates[b].record) {
+                    assert!(pos(a) < pos(b), "edge ({a},{b}) violated in {:?}", w.order);
+                }
+            }
+        }
+        // And the rendered sequential history is legal.
+        let s = crate::linearizability::witness_to_history(&h, &w);
+        assert!(s.is_sequential());
+        assert!(evlin_history::legal::is_legal_sequential(&s, &u));
+    }
+
+    #[test]
+    fn locality_rejects_when_one_object_is_broken() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let x = u.add_object(FetchIncrement::new());
+        let h = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
+            // Stale read strictly after the write: the register projection is
+            // not linearizable.
+            .complete(ProcessId(0), r, Register::read(), Value::from(0i64))
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .build();
+        assert_eq!(
+            check_local(&Linearizability, &h, &u, SearchLimits::default()),
+            SearchResult::No
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_is_sound_across_outcomes() {
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let good = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
+            .complete(ProcessId(1), r, Register::read(), Value::from(1i64))
+            .build();
+        let bad = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
+            .complete(ProcessId(1), r, Register::read(), Value::from(7i64))
+            .build();
+        let mut scratch = KernelScratch::new();
+        let limits = SearchLimits::default();
+        for _ in 0..3 {
+            let p = Linearizability.problem(&good);
+            assert!(solve_with_scratch(&p, &u, limits, &mut scratch).0.is_yes());
+            let p = Linearizability.problem(&bad);
+            assert_eq!(
+                solve_with_scratch(&p, &u, limits, &mut scratch).0,
+                SearchResult::No
+            );
+        }
+    }
+
+    #[test]
+    fn interchangeable_operations_are_merged_not_permuted() {
+        // n identical concurrent reads: the canonical-representative rule
+        // explores each multiset once, so the node count stays linear in n
+        // instead of exponential (and far below n!).
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let n = 7usize;
+        // The impossible read overlaps all the others, so there are no
+        // precedence edges and the identical reads share one class.
+        let mut b = HistoryBuilder::new().invoke(ProcessId(n), r, Register::read());
+        for p in 0..n {
+            b = b.invoke(ProcessId(p), r, Register::read());
+        }
+        for p in 0..n {
+            b = b.respond(ProcessId(p), r, Value::from(0i64));
+        }
+        let h = b.respond(ProcessId(n), r, Value::from(7i64)).build();
+        let p = Linearizability.problem(&h);
+        let (result, stats) = solve(&p, &u, SearchLimits::default());
+        assert_eq!(result, SearchResult::No);
+        assert!(
+            stats.nodes <= 2 * (n + 1),
+            "interchangeable reads must collapse into one chain: {stats:?}"
+        );
+    }
+}

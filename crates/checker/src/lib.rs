@@ -1,28 +1,65 @@
 //! # evlin-checker
 //!
 //! Decision procedures for the consistency conditions of Guerraoui & Ruppert
-//! (PODC 2014), Section 3:
+//! (PODC 2014), Section 3 — all driven by **one** pluggable Wing–Gong search
+//! kernel.
 //!
+//! ## Architecture: conditions over a shared kernel
+//!
+//! Every condition reduces to a *constrained-linearization* question: is
+//! there a legal sequential arrangement of a set of candidate operations
+//! that includes every required one, assigns legal (possibly fixed)
+//! responses, and respects a precedence relation?  The [`kernel`] module
+//! owns the one searcher that answers it; each condition is a thin
+//! [`kernel::ConsistencyCondition`] implementation that only says *which*
+//! question to ask:
+//!
+//! ```text
+//!            ConsistencyCondition (candidates + precedence + acceptance)
+//!    ┌───────────────┬────────────────────┬─────────────────────────┐
+//!    │ Linearizability│ TLinearizability  │ WeakOperation           │
+//!    │ (t = 0, local) │ (Definition 2)    │ (Definition 1, per op)  │
+//!    └───────┬───────┴─────────┬──────────┴──────────┬──────────────┘
+//!            │   StabilizesEventually (liveness half, Definition 3/4)
+//!            ▼                 ▼                     ▼
+//!    kernel::check_local ──► locality pre-pass ──► kernel::solve
+//!    (per-object split,      (Herlihy–Wing /       (iterative Wing–Gong,
+//!     parallel, witness       Lemma 8, exact        interned states,
+//!     composition)            conditions only)      compact visited cache)
+//! ```
+//!
+//! The kernel interns object states and responses to dense integers, merges
+//! interchangeable operations into classes, memoizes transition lookups, and
+//! keys its visited cache on compact `(linearized-multiset, object-states)`
+//! slices; [`kernel::KernelScratch`] lets repeated probes (the binary search
+//! for the minimal stabilization index, the per-operation weak-consistency
+//! loop) reuse the cache and taken-set allocations.
+//!
+//! ## Modules
+//!
+//! * [`kernel`] — the condition trait, the iterative searcher, the locality
+//!   pre-pass and witness composition;
 //! * [`linearizability`] — classical linearizability (= 0-linearizability),
-//!   decided by a constrained-linearization search in the style of Wing &
-//!   Gong with memoization;
+//!   decomposed per object by the locality theorem;
 //! * [`t_linearizability`] — Definition 2: linearizability "after the first
 //!   `t` events", including [`t_linearizability::min_stabilization`] which
 //!   finds the smallest such `t`;
 //! * [`weak_consistency`] — Definition 1: responses are never "out of left
-//!   field" even before stabilization;
+//!   field" even before stabilization (split per object by Lemma 8);
 //! * [`eventual`] — Definition 3/4: weak consistency plus `t`-linearizability
 //!   for some `t`;
 //! * [`safety`] — prefix- and limit-closure test harnesses used to reproduce
 //!   the paper's observations about which conditions are safety properties;
-//! * [`locality`] — the per-object decompositions of Lemmas 7–9 and
-//!   Proposition 9;
+//! * [`locality`] — the per-object diagnostic decompositions of Lemmas 7–9
+//!   and Proposition 9;
 //! * [`fi`] — specialized, near-linear-time checkers for fetch&increment
 //!   histories, used by the large-scale experiments (the generic search is
 //!   exponential in the worst case);
+//! * [`search`] — the legacy facade over [`kernel::solve`] for callers
+//!   holding a prebuilt [`search::SearchProblem`];
 //! * [`parallel`] — batched checking of many independent histories across
-//!   all cores ([`parallel::check_histories_par`] and friends), used by the
-//!   exhaustive experiments and the `checker_scaling` bench.
+//!   all cores ([`parallel::check_histories_par`] and friends); the same
+//!   fan-out primitive powers the kernel's per-object pre-pass.
 //!
 //! ## Example
 //!
@@ -50,6 +87,7 @@
 
 pub mod eventual;
 pub mod fi;
+pub mod kernel;
 pub mod linearizability;
 pub mod locality;
 pub mod parallel;
@@ -59,8 +97,11 @@ pub mod t_linearizability;
 mod util;
 pub mod weak_consistency;
 
-pub use eventual::{is_eventually_linearizable, EventualReport};
-pub use linearizability::{is_linearizable, linearization_witness};
+pub use eventual::{is_eventually_linearizable, EventualReport, StabilizesEventually};
+pub use kernel::{
+    ConsistencyCondition, KernelScratch, Locality, SearchLimits, SearchResult, SearchStats,
+};
+pub use linearizability::{is_linearizable, linearization_witness, Linearizability};
 pub use parallel::{check_histories_par, min_stabilizations_par};
-pub use t_linearizability::{is_t_linearizable, min_stabilization};
-pub use weak_consistency::is_weakly_consistent;
+pub use t_linearizability::{is_t_linearizable, min_stabilization, TLinearizability};
+pub use weak_consistency::{is_weakly_consistent, WeakOperation};

@@ -1,13 +1,40 @@
 //! Classical linearizability (Herlihy & Wing), i.e. `0`-linearizability.
 //!
 //! "0-linearizability is equivalent to linearizability" (paper, Section 3.2),
-//! so this module is a thin, well-named wrapper around the
-//! [`crate::t_linearizability`] machinery with `t = 0`, plus helpers for
-//! obtaining a witness linearization as a legal sequential [`History`].
+//! so [`Linearizability`] is a thin [`ConsistencyCondition`] delegating to
+//! [`crate::t_linearizability::TLinearizability`] with `t = 0`, plus helpers
+//! for obtaining a witness linearization as a legal sequential [`History`].
+//!
+//! Linearizability is *local* (the Herlihy–Wing locality theorem), so the
+//! kernel's pre-pass splits multi-object histories into independent
+//! per-object subproblems — the single biggest algorithmic speedup available
+//! to the checker — and composes the per-object witnesses back together.
 
-use crate::search::Witness;
-use crate::t_linearizability;
+use crate::kernel::{ConsistencyCondition, ConstrainedOp, Locality, Witness};
+use crate::t_linearizability::{self, TLinearizability};
 use evlin_history::{History, ObjectUniverse};
+
+/// Linearizability as a kernel condition: `t`-linearizability with `t = 0`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Linearizability;
+
+impl ConsistencyCondition for Linearizability {
+    fn name(&self) -> &'static str {
+        "linearizability"
+    }
+
+    fn candidates(&self, history: &History) -> Vec<ConstrainedOp> {
+        TLinearizability::new(0).candidates(history)
+    }
+
+    fn precedence(&self, history: &History, candidates: &[ConstrainedOp]) -> Vec<(usize, usize)> {
+        TLinearizability::new(0).precedence(history, candidates)
+    }
+
+    fn locality(&self) -> Locality {
+        Locality::Exact
+    }
+}
 
 /// Decides whether `history` is linearizable with respect to `universe`.
 ///

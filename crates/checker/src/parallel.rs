@@ -11,9 +11,17 @@
 //! E10 experiment can measure the speedup honestly, and so that determinism
 //! tests can compare the two outputs element for element.
 
-use crate::{eventual, linearizability, t_linearizability};
+use crate::{eventual, fi, linearizability, t_linearizability};
 use evlin_history::{History, ObjectUniverse};
 use rayon::prelude::*;
+
+/// The one fan-out primitive shared by every batch entry point in this
+/// module *and* by the kernel's locality pre-pass (per-object subproblems)
+/// and the weak-consistency projection split: map `f` over `items` on all
+/// cores, preserving input order.
+pub(crate) fn map_par<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync + Send) -> Vec<R> {
+    items.par_iter().map(f).collect()
+}
 
 /// Sequential baseline of [`check_histories_par`].
 pub fn check_histories(histories: &[History], universe: &ObjectUniverse) -> Vec<bool> {
@@ -29,10 +37,7 @@ pub fn check_histories(histories: &[History], universe: &ObjectUniverse) -> Vec<
 /// [`check_histories`] on the same input — parallelism never changes a
 /// verdict, only wall-clock time.
 pub fn check_histories_par(histories: &[History], universe: &ObjectUniverse) -> Vec<bool> {
-    histories
-        .par_iter()
-        .map(|h| linearizability::is_linearizable(h, universe))
-        .collect()
+    map_par(histories, |h| linearizability::is_linearizable(h, universe))
 }
 
 /// Sequential baseline of [`min_stabilizations_par`].
@@ -54,10 +59,9 @@ pub fn min_stabilizations_par(
     universe: &ObjectUniverse,
     limit: Option<usize>,
 ) -> Vec<Option<usize>> {
-    histories
-        .par_iter()
-        .map(|h| t_linearizability::min_stabilization(h, universe, limit))
-        .collect()
+    map_par(histories, |h| {
+        t_linearizability::min_stabilization(h, universe, limit)
+    })
 }
 
 /// Runs the full eventual-linearizability analysis on every history in the
@@ -66,10 +70,21 @@ pub fn analyze_par(
     histories: &[History],
     universe: &ObjectUniverse,
 ) -> Vec<eventual::EventualReport> {
-    histories
-        .par_iter()
-        .map(|h| eventual::analyze(h, universe))
-        .collect()
+    map_par(histories, |h| eventual::analyze(h, universe))
+}
+
+/// Decides whether *every* history in the batch is `t`-linearizable
+/// according to the specialized fetch&increment checker, in parallel.
+///
+/// A history the specialized checker cannot handle (see
+/// [`crate::fi::FiError`]) counts as *not* `t`-linearizable, matching the
+/// conservative treatment used by the stability search in `evlin-sim`.
+pub fn fi_all_t_linearizable_par(histories: &[History], initial: i64, t: usize) -> bool {
+    map_par(histories, |h| {
+        fi::is_t_linearizable(h, initial, t).unwrap_or(false)
+    })
+    .into_iter()
+    .all(|ok| ok)
 }
 
 #[cfg(test)]
@@ -141,5 +156,47 @@ mod tests {
         let u = universe();
         assert!(check_histories_par(&[], &u).is_empty());
         assert!(min_stabilizations_par(&[], &u, None).is_empty());
+        assert!(fi_all_t_linearizable_par(&[], 0, 0));
+    }
+
+    #[test]
+    fn fi_batch_matches_per_history_verdicts() {
+        use evlin_history::{HistoryBuilder, ProcessId};
+        let x = evlin_history::ObjectId(0);
+        let good: Vec<History> = (0..4)
+            .map(|_| {
+                let mut b = HistoryBuilder::new();
+                for k in 0..6i64 {
+                    b = b.complete(
+                        ProcessId((k % 2) as usize),
+                        x,
+                        FetchIncrement::fetch_inc(),
+                        Value::from(k),
+                    );
+                }
+                b.build()
+            })
+            .collect();
+        assert!(fi_all_t_linearizable_par(&good, 0, 0));
+        let mut with_bad = good.clone();
+        with_bad.push(
+            HistoryBuilder::new()
+                .complete(
+                    ProcessId(0),
+                    x,
+                    FetchIncrement::fetch_inc(),
+                    Value::from(0i64),
+                )
+                .complete(
+                    ProcessId(1),
+                    x,
+                    FetchIncrement::fetch_inc(),
+                    Value::from(0i64),
+                )
+                .build(),
+        );
+        assert!(!fi_all_t_linearizable_par(&with_bad, 0, 0));
+        // …but the duplicate zeros are forgiven at t = 2.
+        assert!(fi_all_t_linearizable_par(&with_bad, 0, 2));
     }
 }

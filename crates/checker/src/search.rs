@@ -1,4 +1,4 @@
-//! The constrained-linearization search engine.
+//! The legacy entry point of the constrained-linearization search.
 //!
 //! Linearizability (Definition in [Herlihy & Wing 1990]) and
 //! `t`-linearizability (Definition 2 of the paper) both reduce to the same
@@ -7,223 +7,17 @@
 //! legal response, matching the fixed response where one is imposed, and
 //! (c) respects a given precedence relation between operations?*
 //!
-//! [`SearchProblem`] captures that question and [`search`] answers it with a
-//! depth-first search over partial linearizations, memoizing visited
-//! (linearized-set, object-states) pairs — the classic Wing–Gong approach
-//! generalized to per-operation constraints.
+//! [`SearchProblem`] captures that question.  Since the kernel refactor the
+//! actual searcher lives in [`crate::kernel`] — one iterative Wing–Gong
+//! engine shared by every consistency condition — and this module is a thin
+//! facade kept for callers that already hold a prebuilt [`SearchProblem`]:
+//! [`search`] and [`search_with_stats`] delegate to [`kernel::solve`].
 
-use crate::util::BitSet;
-use evlin_history::{ObjectUniverse, OperationRecord};
-use evlin_spec::Value;
-use std::collections::HashSet;
-
-/// One operation of a search problem, together with its constraints.
-#[derive(Debug, Clone)]
-pub struct ConstrainedOp {
-    /// The underlying operation (object, invocation, original indices).
-    pub record: OperationRecord,
-    /// Whether the operation must appear in the sequential witness.
-    /// Operations that completed in the history are required; pending
-    /// operations are optional.
-    pub required: bool,
-    /// The response the witness must assign, or `None` if any legal response
-    /// is acceptable (pending operations, and operations whose response fell
-    /// in the unconstrained prefix for `t`-linearizability).
-    pub fixed_response: Option<Value>,
-}
-
-/// A constrained-linearization problem.
-#[derive(Debug, Clone)]
-pub struct SearchProblem {
-    /// The operations, with their constraints.
-    pub ops: Vec<ConstrainedOp>,
-    /// Precedence edges `(i, j)`: if both operations appear in the witness,
-    /// operation `i` must be placed before operation `j`.
-    ///
-    /// All reductions in this crate only create edges whose source is a
-    /// *required* operation, which lets the search treat an edge as "source
-    /// must already be linearized before the target can be taken".
-    pub precedence: Vec<(usize, usize)>,
-}
-
-/// A successful search outcome: a witness linearization.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Witness {
-    /// Indices (into [`SearchProblem::ops`]) of the operations included in
-    /// the witness, in linearization order.
-    pub order: Vec<usize>,
-    /// The response assigned to each included operation, in the same order.
-    pub responses: Vec<Value>,
-}
-
-/// Limits placed on the search to keep worst-case behaviour under control.
-#[derive(Debug, Clone, Copy)]
-pub struct SearchLimits {
-    /// Maximum number of search nodes to expand before giving up.
-    pub max_nodes: usize,
-}
-
-impl Default for SearchLimits {
-    fn default() -> Self {
-        SearchLimits {
-            max_nodes: 2_000_000,
-        }
-    }
-}
-
-/// The verdict of a search.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SearchResult {
-    /// A witness linearization exists.
-    Yes(Witness),
-    /// No witness linearization exists.
-    No,
-    /// The search gave up after expanding [`SearchLimits::max_nodes`] nodes.
-    Unknown,
-}
-
-impl SearchResult {
-    /// `true` iff the result is [`SearchResult::Yes`].
-    pub fn is_yes(&self) -> bool {
-        matches!(self, SearchResult::Yes(_))
-    }
-
-    /// Extracts the witness, if any.
-    pub fn witness(self) -> Option<Witness> {
-        match self {
-            SearchResult::Yes(w) => Some(w),
-            _ => None,
-        }
-    }
-}
-
-/// Counters describing one search run (exposed by [`search_with_stats`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SearchStats {
-    /// Search nodes expanded.
-    pub nodes: usize,
-    /// Nodes cut off because their `(linearized-set, object-states)` pair had
-    /// already been visited — the Wing–Gong memoization at work.
-    pub memo_hits: usize,
-}
-
-struct Searcher<'a> {
-    problem: &'a SearchProblem,
-    universe: &'a ObjectUniverse,
-    /// predecessors[j] = indices i with an edge (i, j).
-    predecessors: Vec<Vec<usize>>,
-    required_count: usize,
-    visited: HashSet<(BitSet, Vec<Value>)>,
-    limits: SearchLimits,
-    nodes: usize,
-    memo_hits: usize,
-    exhausted: bool,
-}
-
-impl<'a> Searcher<'a> {
-    fn new(problem: &'a SearchProblem, universe: &'a ObjectUniverse, limits: SearchLimits) -> Self {
-        let n = problem.ops.len();
-        let mut predecessors = vec![Vec::new(); n];
-        for &(i, j) in &problem.precedence {
-            predecessors[j].push(i);
-        }
-        let required_count = problem.ops.iter().filter(|o| o.required).count();
-        Searcher {
-            problem,
-            universe,
-            predecessors,
-            required_count,
-            visited: HashSet::new(),
-            limits,
-            nodes: 0,
-            memo_hits: 0,
-            exhausted: false,
-        }
-    }
-
-    fn run(&mut self) -> SearchResult {
-        let n = self.problem.ops.len();
-        let taken = BitSet::with_capacity(n.max(1));
-        let states: Vec<Value> = self
-            .universe
-            .object_ids()
-            .iter()
-            .map(|id| self.universe.initial_state(*id).clone())
-            .collect();
-        let mut order = Vec::new();
-        let mut responses = Vec::new();
-        if self.dfs(taken, states, 0, &mut order, &mut responses) {
-            SearchResult::Yes(Witness { order, responses })
-        } else if self.exhausted {
-            SearchResult::Unknown
-        } else {
-            SearchResult::No
-        }
-    }
-
-    fn dfs(
-        &mut self,
-        taken: BitSet,
-        states: Vec<Value>,
-        required_taken: usize,
-        order: &mut Vec<usize>,
-        responses: &mut Vec<Value>,
-    ) -> bool {
-        if required_taken == self.required_count {
-            return true;
-        }
-        self.nodes += 1;
-        if self.nodes > self.limits.max_nodes {
-            self.exhausted = true;
-            return false;
-        }
-        if !self.visited.insert((taken.clone(), states.clone())) {
-            self.memo_hits += 1;
-            return false;
-        }
-        let n = self.problem.ops.len();
-        for i in 0..n {
-            if taken.contains(i) {
-                continue;
-            }
-            // All (required) predecessors must already be linearized.
-            if self.predecessors[i]
-                .iter()
-                .any(|&p| self.problem.ops[p].required && !taken.contains(p))
-            {
-                continue;
-            }
-            let cop = &self.problem.ops[i];
-            // Greedy pruning: linearizing an *optional* operation only helps
-            // if some required operation is still missing, which is always
-            // the case here (required_taken < required_count), so we try it.
-            let object = cop.record.object;
-            let state = &states[object.index()];
-            let ty = self.universe.object_type(object);
-            let transitions = ty.transitions(state, &cop.record.invocation);
-            for tr in transitions {
-                if let Some(fixed) = &cop.fixed_response {
-                    if &tr.response != fixed {
-                        continue;
-                    }
-                }
-                let mut new_taken = taken.clone();
-                new_taken.set(i);
-                let mut new_states = states.clone();
-                new_states[object.index()] = tr.next_state.clone();
-                order.push(i);
-                responses.push(tr.response.clone());
-                let new_required = required_taken + usize::from(cop.required);
-                if self.dfs(new_taken, new_states, new_required, order, responses) {
-                    return true;
-                }
-                order.pop();
-                responses.pop();
-            }
-        }
-        false
-    }
-}
+use crate::kernel;
+pub use crate::kernel::{
+    ConstrainedOp, SearchLimits, SearchProblem, SearchResult, SearchStats, Witness,
+};
+use evlin_history::ObjectUniverse;
 
 /// Runs the constrained-linearization search.
 ///
@@ -235,7 +29,7 @@ pub fn search(
     universe: &ObjectUniverse,
     limits: SearchLimits,
 ) -> SearchResult {
-    search_with_stats(problem, universe, limits).0
+    kernel::solve(problem, universe, limits).0
 }
 
 /// Like [`search`], additionally returning node and memoization counters
@@ -245,15 +39,7 @@ pub fn search_with_stats(
     universe: &ObjectUniverse,
     limits: SearchLimits,
 ) -> (SearchResult, SearchStats) {
-    let mut searcher = Searcher::new(problem, universe, limits);
-    let result = searcher.run();
-    (
-        result,
-        SearchStats {
-            nodes: searcher.nodes,
-            memo_hits: searcher.memo_hits,
-        },
-    )
+    kernel::solve(problem, universe, limits)
 }
 
 #[cfg(test)]
@@ -396,42 +182,46 @@ mod tests {
 
     #[test]
     fn memoization_hits_on_revisited_set_and_states() {
-        // Four concurrent reads leave the register state unchanged, so the
-        // search reaches the same (linearized-set, object-states) pair along
-        // every permutation of the reads; together with an unsatisfiable
-        // fixed response (read of 7 that nothing wrote) the search must
-        // backtrack through all of them, and every arrival after the first
-        // at a given pair must be answered by the Wing–Gong cache.
+        // Three concurrent writes on three *distinct* registers, plus an
+        // unsatisfiable fixed response (a read of 7 that nothing wrote): the
+        // search must explore every subset of the writes, and different
+        // interleavings of distinct operations reach the same
+        // (linearized-multiset, object-states) key — every arrival after the
+        // first must be answered by the Wing–Gong cache.  (Identical
+        // operations no longer produce cache hits: the kernel merges them
+        // into one interchangeability class up front.)
         let mut u = ObjectUniverse::new();
-        let r = u.add_object(Register::new(Value::from(0i64)));
+        let regs: Vec<_> = (0..3)
+            .map(|_| u.add_object(Register::new(Value::from(0i64))))
+            .collect();
+        let bad = u.add_object(Register::new(Value::from(0i64)));
         let mut b = HistoryBuilder::new();
-        for p in 0..4 {
-            b = b.invoke(ProcessId(p), r, Register::read());
+        for (p, &r) in regs.iter().enumerate() {
+            b = b.invoke(ProcessId(p), r, Register::write(Value::from(1i64)));
         }
-        for p in 0..4 {
-            b = b.respond(ProcessId(p), r, Value::from(0i64));
+        for (p, &r) in regs.iter().enumerate() {
+            b = b.respond(ProcessId(p), r, Value::Unit);
         }
         let h = b
-            .complete(ProcessId(4), r, Register::read(), Value::from(7i64))
+            .complete(ProcessId(3), bad, Register::read(), Value::from(7i64))
             .build();
         let (p, _) = problem_from(&h, true);
         let (result, stats) = search_with_stats(&p, &u, SearchLimits::default());
         assert_eq!(result, SearchResult::No);
         assert!(stats.nodes > 0);
+        // 2^3 subsets of the writes, reachable along 3! orders: the cache
+        // must absorb the difference (3 * 2^2 - (2^3 - 1) = 5 hits).
         assert!(
-            stats.memo_hits > 0,
-            "revisited (set, states) pairs must hit the cache: {stats:?}"
+            stats.memo_hits >= 4,
+            "revisited (multiset, states) keys must hit the cache: {stats:?}"
         );
-        // With 4 interchangeable reads there are 2^4 distinct subsets but
-        // 4! orders of taking them; the cache must absorb the difference.
-        assert!(stats.memo_hits >= 4, "stats: {stats:?}");
     }
 
     #[test]
     fn memoization_is_cheaper_than_the_tree() {
-        // The number of *expanded* nodes with memoization is bounded by the
-        // number of distinct (subset, states) pairs, far below the plain
-        // permutation tree: for n interchangeable reads that is 2^n vs n!.
+        // The number of *expanded* nodes with memoization and class merging
+        // is far below the plain permutation tree: for n interchangeable
+        // reads it is linear in n, vs n! without.
         let mut u = ObjectUniverse::new();
         let r = u.add_object(Register::new(Value::from(0i64)));
         let n = 7usize;

@@ -14,46 +14,94 @@
 //! still appear in `S`, but their responses and their ordering are
 //! unconstrained — that is how the definition forgives an arbitrarily bad
 //! finite prefix.
+//!
+//! The decision procedure is the shared Wing–Gong kernel:
+//! [`TLinearizability`] is a [`ConsistencyCondition`] translating the four
+//! clauses above into candidate-operation constraints and precedence edges.
+//! For `t = 0` the condition is exactly linearizability and admits the
+//! per-object locality decomposition; for `t > 0` it must be checked on the
+//! whole history (Lemma 7 only decomposes "`t`-linearizable for *some* `t`").
 
-use crate::search::{search, ConstrainedOp, SearchLimits, SearchProblem, SearchResult, Witness};
+use crate::kernel::{
+    self, ConsistencyCondition, ConstrainedOp, KernelScratch, Locality, SearchLimits,
+    SearchProblem, SearchResult, SearchStats, Witness,
+};
 use evlin_history::{History, ObjectUniverse};
+
+/// The `t`-linearizability condition (Definition 2) as a kernel condition.
+#[derive(Debug, Clone, Copy)]
+pub struct TLinearizability {
+    /// The number of initial events forgiven.
+    pub t: usize,
+}
+
+impl TLinearizability {
+    /// The condition for a given stabilization index.
+    pub fn new(t: usize) -> Self {
+        TLinearizability { t }
+    }
+}
+
+impl ConsistencyCondition for TLinearizability {
+    fn name(&self) -> &'static str {
+        "t-linearizability"
+    }
+
+    fn candidates(&self, history: &History) -> Vec<ConstrainedOp> {
+        let ops = history.operations();
+        let mut cops = Vec::with_capacity(ops.len());
+        for op in ops {
+            let responds_in_suffix = op.respond_index.map(|r| r >= self.t).unwrap_or(false);
+            cops.push(ConstrainedOp {
+                required: op.is_complete(),
+                fixed_response: if responds_in_suffix {
+                    op.response.clone()
+                } else {
+                    None
+                },
+                record: op,
+            });
+        }
+        cops
+    }
+
+    fn precedence(&self, _history: &History, candidates: &[ConstrainedOp]) -> Vec<(usize, usize)> {
+        let t = self.t;
+        let mut precedence = Vec::new();
+        for (i, a) in candidates.iter().enumerate() {
+            let Some(ra) = a.record.respond_index else {
+                continue;
+            };
+            if ra < t {
+                continue; // a's response is not in H'
+            }
+            for (j, b) in candidates.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if b.record.invoke_index >= t && ra < b.record.invoke_index {
+                    precedence.push((i, j));
+                }
+            }
+        }
+        precedence
+    }
+
+    fn locality(&self) -> Locality {
+        if self.t == 0 {
+            // 0-linearizability is linearizability, which is local
+            // (Herlihy & Wing's locality theorem).
+            Locality::Exact
+        } else {
+            Locality::Global
+        }
+    }
+}
 
 /// Builds the constrained-linearization problem corresponding to
 /// `t`-linearizability of `history`.
 pub fn problem_for(history: &History, t: usize) -> SearchProblem {
-    let ops = history.operations();
-    let mut cops = Vec::with_capacity(ops.len());
-    for op in &ops {
-        let responds_in_suffix = op.respond_index.map(|r| r >= t).unwrap_or(false);
-        cops.push(ConstrainedOp {
-            required: op.is_complete(),
-            fixed_response: if responds_in_suffix {
-                op.response.clone()
-            } else {
-                None
-            },
-            record: op.clone(),
-        });
-    }
-    let mut precedence = Vec::new();
-    for (i, a) in ops.iter().enumerate() {
-        let Some(ra) = a.respond_index else { continue };
-        if ra < t {
-            continue; // a's response is not in H'
-        }
-        for (j, b) in ops.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            if b.invoke_index >= t && ra < b.invoke_index {
-                precedence.push((i, j));
-            }
-        }
-    }
-    SearchProblem {
-        ops: cops,
-        precedence,
-    }
+    TLinearizability::new(t).problem(history)
 }
 
 /// Decides whether `history` is `t`-linearizable.
@@ -66,35 +114,67 @@ pub fn is_t_linearizable(history: &History, universe: &ObjectUniverse, t: usize)
 }
 
 /// Like [`is_t_linearizable`] but returns the witness `t`-linearization.
+///
+/// For `t = 0` the kernel's locality pre-pass decomposes multi-object
+/// histories into per-object subproblems.
 pub fn t_linearization(history: &History, universe: &ObjectUniverse, t: usize) -> Option<Witness> {
-    let problem = problem_for(history, t);
-    match search(&problem, universe, SearchLimits::default()) {
-        SearchResult::Yes(w) => Some(w),
-        _ => None,
-    }
+    kernel::check_local(
+        &TLinearizability::new(t),
+        history,
+        universe,
+        SearchLimits::default(),
+    )
+    .witness()
+}
+
+/// Like [`t_linearization`], additionally returning the kernel's search
+/// counters (used by the experiments to report search effort).
+pub fn t_linearization_with_stats(
+    history: &History,
+    universe: &ObjectUniverse,
+    t: usize,
+) -> (Option<Witness>, SearchStats) {
+    let (result, stats) = kernel::check_local_with_stats(
+        &TLinearizability::new(t),
+        history,
+        universe,
+        SearchLimits::default(),
+    );
+    (result.witness(), stats)
 }
 
 /// Finds the smallest `t` such that `history` is `t`-linearizable, searching
 /// `t ∈ [0, limit]` (where `limit` defaults to the history length).
 ///
 /// By Lemma 5 of the paper, `t`-linearizability is monotone in `t`, so a
-/// binary search is sound.  Returns `None` if the history is not even
-/// `limit`-linearizable (which cannot happen for total types when `limit`
-/// is the history length).
+/// binary search is sound.  Every probe runs through the shared kernel with
+/// a reused [`KernelScratch`], so the visited cache and taken-set are
+/// allocated once per history, not once per probe.  Returns `None` if the
+/// history is not even `limit`-linearizable (which cannot happen for total
+/// types when `limit` is the history length).
 pub fn min_stabilization(
     history: &History,
     universe: &ObjectUniverse,
     limit: Option<usize>,
 ) -> Option<usize> {
     let hi_bound = limit.unwrap_or(history.len());
-    if !is_t_linearizable(history, universe, hi_bound) {
+    let mut scratch = KernelScratch::new();
+    let limits = SearchLimits::default();
+    let mut probe = |t: usize| -> bool {
+        let problem = problem_for(history, t);
+        matches!(
+            kernel::solve_with_scratch(&problem, universe, limits, &mut scratch).0,
+            SearchResult::Yes(_)
+        )
+    };
+    if !probe(hi_bound) {
         return None;
     }
     let mut lo = 0usize; // candidate answer space: [lo, hi], hi known-good
     let mut hi = hi_bound;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if is_t_linearizable(history, universe, mid) {
+        if probe(mid) {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -277,5 +357,27 @@ mod tests {
         let h = History::new();
         assert!(is_t_linearizable(&h, &u, 0));
         assert_eq!(min_stabilization(&h, &u, None), Some(0));
+    }
+
+    #[test]
+    fn stats_report_search_effort() {
+        let (u, x) = fi_universe();
+        let h = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
+            .build();
+        let (w, stats) = t_linearization_with_stats(&h, &u, 0);
+        assert!(w.is_some());
+        assert!(stats.nodes > 0);
     }
 }

@@ -1,13 +1,75 @@
 //! Small utilities shared by the checkers.
 
-/// A dynamically sized bit set used to memoize which operations have already
-/// been linearized in a search state.
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx hash function (as used by rustc): a fast, non-cryptographic hasher
+/// for the kernel's hot-path tables, where SipHash's per-hash setup cost
+/// dominates on the small keys (interned ids, boxed `u32` slices) the
+/// searcher produces at every node.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A hash map using [`FxHasher`].
+pub(crate) type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A hash set using [`FxHasher`].
+pub(crate) type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// A dynamically sized bit set used by the kernel to track which operations
+/// have already been linearized in a search state.  The kernel's
+/// backtracking and scratch-reuse paths rely on [`BitSet::clear`] (retract
+/// one step, release a witness's bits) and [`BitSet::count`] (the emptiness
+/// invariant between reused searches).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub(crate) struct BitSet {
     words: Vec<u64>,
 }
 
-#[allow(dead_code)] // `clear`/`count` are exercised by unit tests only.
 impl BitSet {
     /// Creates a bit set able to hold `n` bits, all clear.
     pub fn with_capacity(n: usize) -> Self {

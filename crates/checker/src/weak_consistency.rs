@@ -9,37 +9,135 @@
 //! * ends with the same response to `op` as in `H`.
 //!
 //! Only the *response of `op` itself* is constrained — the other operations
-//! of `S` merely have to be arrangeable legally.  The checker therefore
-//! searches over sequences of **invocations** (grouping interchangeable
-//! optional invocations into multisets) and asks whether some arrangement
-//! makes the final application of `op`'s invocation return `op`'s response.
+//! of `S` merely have to be arrangeable legally.  [`WeakOperation`] encodes
+//! exactly that as a [`ConsistencyCondition`] for the shared Wing–Gong
+//! kernel: the same-process predecessors are *required* candidates with free
+//! responses, same-object operations invoked before `op` terminates are
+//! *optional* candidates (restricting the optional pool to `op`'s object is
+//! sound by Lemma 8 and keeps the search small), and `op` itself is required
+//! with its response fixed and a precedence edge from every predecessor so
+//! that the witness ends with it.  The kernel's interchangeability classes
+//! subsume the old multiset grouping of identical optional invocations.
+//!
+//! Whole-history checks additionally exploit Lemma 8 (weak consistency is
+//! local): [`is_weakly_consistent`] splits a multi-object history into
+//! per-object projections and checks them independently, in parallel via
+//! [`crate::parallel`].
 
-use evlin_history::{History, ObjectUniverse, OpId, OperationRecord};
-use evlin_spec::{Invocation, Value};
-use std::collections::{BTreeMap, HashSet};
+use crate::kernel::{
+    self, ConsistencyCondition, ConstrainedOp, KernelScratch, SearchLimits, SearchResult,
+};
+use crate::parallel;
+use evlin_history::{History, ObjectUniverse, OpId};
 
-/// Limits on the per-operation search.
-#[derive(Debug, Clone, Copy)]
-pub struct WeakLimits {
-    /// Maximum number of search states explored per checked operation.
-    pub max_nodes: usize,
+/// The default node budget of one per-operation search: Definition 1
+/// problems are much smaller than whole-history linearizations, so the
+/// budget is a tenth of [`SearchLimits::default`].
+pub fn default_limits() -> SearchLimits {
+    SearchLimits { max_nodes: 200_000 }
 }
 
-impl Default for WeakLimits {
-    fn default() -> Self {
-        WeakLimits { max_nodes: 200_000 }
+/// Definition 1 for a single completed operation, as a kernel condition.
+#[derive(Debug, Clone, Copy)]
+pub struct WeakOperation {
+    /// The completed operation whose response must be justified.
+    pub op: OpId,
+}
+
+impl ConsistencyCondition for WeakOperation {
+    fn name(&self) -> &'static str {
+        "weak consistency (Definition 1, one operation)"
+    }
+
+    fn candidates(&self, history: &History) -> Vec<ConstrainedOp> {
+        let ops = history.operations();
+        let Some(op) = ops.iter().find(|o| o.id == self.op) else {
+            return Vec::new();
+        };
+        let Some(respond_index) = op.respond_index else {
+            // Definition 1 only constrains operations that have a response;
+            // an empty problem is trivially satisfiable.
+            return Vec::new();
+        };
+        let mut cops = Vec::new();
+        // Operations by the same process that precede `op` in H (program
+        // order): required, with unconstrained responses.
+        for o in ops
+            .iter()
+            .filter(|o| o.process == op.process && o.invoke_index < op.invoke_index)
+        {
+            cops.push(ConstrainedOp {
+                record: o.clone(),
+                required: true,
+                fixed_response: None,
+            });
+        }
+        let must_len = cops.len();
+        // Optional operations: invoked before `op` terminates.  Only
+        // operations on the same object can influence the legality of `op`'s
+        // response (Lemma 8), so restricting the optional pool to them is
+        // sound and keeps the search small.
+        for o in ops.iter().filter(|o| {
+            o.id != op.id
+                && !(o.process == op.process && o.invoke_index < op.invoke_index)
+                && o.object == op.object
+                && o.invoke_index < respond_index
+        }) {
+            cops.push(ConstrainedOp {
+                record: o.clone(),
+                required: false,
+                fixed_response: None,
+            });
+        }
+        debug_assert!(cops.len() >= must_len);
+        // `op` itself, last: required, with its response fixed.
+        cops.push(ConstrainedOp {
+            record: op.clone(),
+            required: true,
+            fixed_response: op.response.clone(),
+        });
+        cops
+    }
+
+    fn precedence(&self, history: &History, candidates: &[ConstrainedOp]) -> Vec<(usize, usize)> {
+        // S must *end* with `op`: every required predecessor is ordered
+        // before it.  (Optional candidates need no edge — the search accepts
+        // as soon as all required operations are linearized, so nothing is
+        // ever placed after `op`.)
+        let _ = history;
+        let Some(last) = candidates.len().checked_sub(1) else {
+            return Vec::new();
+        };
+        (0..last)
+            .filter(|&i| candidates[i].required)
+            .map(|i| (i, last))
+            .collect()
     }
 }
 
 /// Decides whether the whole history is weakly consistent.
+///
+/// Multi-object histories are decomposed per object first (Lemma 8) and the
+/// projections are checked in parallel.
 pub fn is_weakly_consistent(history: &History, universe: &ObjectUniverse) -> bool {
-    violations_with_limits(history, universe, WeakLimits::default()).is_empty()
+    let objects = history.objects();
+    if objects.len() > 1 {
+        // Locality pre-pass: H is weakly consistent iff every H|o is.
+        parallel::map_par(&objects, |&o| {
+            let projection = history.project_object(o);
+            violations_with_limits(&projection, universe, default_limits()).is_empty()
+        })
+        .into_iter()
+        .all(|ok| ok)
+    } else {
+        violations_with_limits(history, universe, default_limits()).is_empty()
+    }
 }
 
 /// Returns the identifiers of all completed operations that violate
 /// Definition 1 (empty when the history is weakly consistent).
 pub fn violations(history: &History, universe: &ObjectUniverse) -> Vec<OpId> {
-    violations_with_limits(history, universe, WeakLimits::default())
+    violations_with_limits(history, universe, default_limits())
 }
 
 /// [`violations`] with explicit search limits.  An operation whose search
@@ -47,24 +145,39 @@ pub fn violations(history: &History, universe: &ObjectUniverse) -> Vec<OpId> {
 pub fn violations_with_limits(
     history: &History,
     universe: &ObjectUniverse,
-    limits: WeakLimits,
+    limits: SearchLimits,
 ) -> Vec<OpId> {
-    let ops = history.operations();
-    let mut bad = Vec::new();
-    for op in ops.iter().filter(|op| op.is_complete()) {
-        if !operation_satisfies_definition(op, &ops, universe, limits) {
-            bad.push(op.id);
-        }
-    }
-    bad
+    // One search per completed operation, all sharing one scratch so the
+    // visited cache and taken-set are allocated once per history.
+    let mut scratch = KernelScratch::new();
+    history
+        .operations()
+        .iter()
+        .filter(|op| op.is_complete())
+        .filter(|op| {
+            !kernel::check_with_scratch(
+                &WeakOperation { op: op.id },
+                history,
+                universe,
+                limits,
+                &mut scratch,
+            )
+            .0
+            .is_yes()
+        })
+        .map(|op| op.id)
+        .collect()
 }
 
-/// Checks Definition 1 for a single completed operation.
+/// Checks Definition 1 for a single operation of the history.
+///
+/// Pending operations satisfy the definition vacuously; an unknown
+/// identifier is reported as a violation.
 pub fn check_operation(
     history: &History,
     universe: &ObjectUniverse,
     op_id: OpId,
-    limits: WeakLimits,
+    limits: SearchLimits,
 ) -> bool {
     let ops = history.operations();
     let Some(op) = ops.iter().find(|o| o.id == op_id) else {
@@ -74,167 +187,10 @@ pub fn check_operation(
         // Definition 1 only constrains operations that have a response.
         return true;
     }
-    operation_satisfies_definition(op, &ops, universe, limits)
-}
-
-fn operation_satisfies_definition(
-    op: &OperationRecord,
-    all_ops: &[OperationRecord],
-    universe: &ObjectUniverse,
-    limits: WeakLimits,
-) -> bool {
-    let respond_index = op
-        .respond_index
-        .expect("only completed operations are checked");
-    let target_response = op.response.clone().expect("completed");
-
-    // Operations by the same process that precede `op` in H (program order).
-    let must: Vec<&OperationRecord> = all_ops
-        .iter()
-        .filter(|o| o.process == op.process && o.invoke_index < op.invoke_index)
-        .collect();
-
-    // Optional operations: invoked before `op` terminates.  Only operations
-    // on the same object can influence the legality of `op`'s response, so
-    // restricting the optional pool to them is sound (cf. Lemma 8) and keeps
-    // the search small.
-    let mut optional_counts: BTreeMap<(usize, Invocation), usize> = BTreeMap::new();
-    let must_ids: HashSet<OpId> = must.iter().map(|o| o.id).collect();
-    for o in all_ops {
-        if o.id == op.id || must_ids.contains(&o.id) {
-            continue;
-        }
-        if o.object == op.object && o.invoke_index < respond_index {
-            *optional_counts
-                .entry((o.object.index(), o.invocation.clone()))
-                .or_insert(0) += 1;
-        }
-    }
-    let optional: Vec<((usize, Invocation), usize)> = optional_counts.into_iter().collect();
-
-    // Search state: object states + which must-ops have been applied + how
-    // many of each optional invocation group have been applied.
-    let initial_states: Vec<Value> = universe
-        .object_ids()
-        .iter()
-        .map(|id| universe.initial_state(*id).clone())
-        .collect();
-
-    let mut visited: HashSet<(Vec<Value>, u64, Vec<usize>)> = HashSet::new();
-    let mut nodes = 0usize;
-    let optional_used = vec![0usize; optional.len()];
-    dfs(
-        op,
-        &target_response,
-        &must,
-        &optional,
-        universe,
-        initial_states,
-        0,
-        optional_used,
-        &mut visited,
-        &mut nodes,
-        limits,
+    matches!(
+        kernel::check(&WeakOperation { op: op_id }, history, universe, limits),
+        SearchResult::Yes(_)
     )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn dfs(
-    op: &OperationRecord,
-    target_response: &Value,
-    must: &[&OperationRecord],
-    optional: &[((usize, Invocation), usize)],
-    universe: &ObjectUniverse,
-    states: Vec<Value>,
-    must_mask: u64,
-    optional_used: Vec<usize>,
-    visited: &mut HashSet<(Vec<Value>, u64, Vec<usize>)>,
-    nodes: &mut usize,
-    limits: WeakLimits,
-) -> bool {
-    *nodes += 1;
-    if *nodes > limits.max_nodes {
-        return false;
-    }
-    if !visited.insert((states.clone(), must_mask, optional_used.clone())) {
-        return false;
-    }
-
-    // Try to finish: all must-ops applied and applying `op` yields the target
-    // response.
-    let all_must_applied = must_mask.count_ones() as usize == must.len();
-    if all_must_applied {
-        let ty = universe.object_type(op.object);
-        let state = &states[op.object.index()];
-        if ty
-            .transitions(state, &op.invocation)
-            .iter()
-            .any(|t| &t.response == target_response)
-        {
-            return true;
-        }
-    }
-
-    // Apply an unused must-operation (its response is unconstrained).
-    for (i, m) in must.iter().enumerate() {
-        if must_mask & (1 << i) != 0 {
-            continue;
-        }
-        let ty = universe.object_type(m.object);
-        let state = &states[m.object.index()];
-        for tr in ty.transitions(state, &m.invocation) {
-            let mut next_states = states.clone();
-            next_states[m.object.index()] = tr.next_state;
-            if dfs(
-                op,
-                target_response,
-                must,
-                optional,
-                universe,
-                next_states,
-                must_mask | (1 << i),
-                optional_used.clone(),
-                visited,
-                nodes,
-                limits,
-            ) {
-                return true;
-            }
-        }
-    }
-
-    // Apply one more instance of an optional invocation group.
-    for (gi, ((obj_idx, inv), avail)) in optional.iter().enumerate() {
-        if optional_used[gi] >= *avail {
-            continue;
-        }
-        let object = evlin_history::ObjectId(*obj_idx);
-        let ty = universe.object_type(object);
-        let state = &states[*obj_idx];
-        for tr in ty.transitions(state, inv) {
-            let mut next_states = states.clone();
-            next_states[*obj_idx] = tr.next_state;
-            let mut next_used = optional_used.clone();
-            next_used[gi] += 1;
-            if dfs(
-                op,
-                target_response,
-                must,
-                optional,
-                universe,
-                next_states,
-                must_mask,
-                next_used,
-                visited,
-                nodes,
-                limits,
-            ) {
-                return true;
-            }
-        }
-    }
-
-    false
 }
 
 #[cfg(test)]
@@ -416,13 +372,55 @@ mod tests {
             .invoke(ProcessId(0), r, Register::write(Value::from(1i64)))
             .build();
         assert!(is_weakly_consistent(&h, &u));
-        assert!(check_operation(&h, &u, OpId(0), WeakLimits::default()));
+        assert!(check_operation(&h, &u, OpId(0), default_limits()));
     }
 
     #[test]
     fn empty_history_is_weakly_consistent() {
         let u = ObjectUniverse::new();
         assert!(is_weakly_consistent(&History::new(), &u));
+    }
+
+    #[test]
+    fn multi_object_histories_use_the_locality_pre_pass() {
+        // Cross-object verdicts must agree with the per-operation checks on
+        // the unprojected history (Lemma 8).
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let x = u.add_object(FetchIncrement::new());
+        let good = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(ProcessId(1), r, Register::read(), Value::from(0i64))
+            .build();
+        assert!(is_weakly_consistent(&good, &u));
+        assert!(violations(&good, &u).is_empty());
+        let bad = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                r,
+                Register::write(Value::from(1i64)),
+                Value::Unit,
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(9i64),
+            )
+            .build();
+        assert!(!is_weakly_consistent(&bad, &u));
+        assert_eq!(violations(&bad, &u), vec![OpId(1)]);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Differential tests: the unified Wing–Gong kernel must agree with a
+//! brute-force permutation checker on random small histories, for all four
+//! consistency conditions (linearizability, `t`-linearizability, weak
+//! consistency, eventual linearizability).
+//!
+//! The brute-force checker is a direct transcription of the
+//! constrained-linearization question — enumerate every subset of the
+//! optional operations, every permutation of the chosen operations, check
+//! the precedence pairs, and replay the sequence against the (deterministic)
+//! sequential specifications — with none of the kernel's machinery: no
+//! memoization, no interning, no interchangeability classes, no locality
+//! decomposition.  Seeded and deterministic.
+
+use evlin_checker::kernel::{self, ConsistencyCondition, SearchLimits, SearchProblem};
+use evlin_checker::weak_consistency::{self, WeakOperation};
+use evlin_checker::{eventual, linearizability, t_linearizability};
+use evlin_history::{History, HistoryBuilder, ObjectUniverse, ProcessId};
+use evlin_spec::{FetchIncrement, Register, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Brute-force decision of a [`SearchProblem`] over deterministic object
+/// types: try every subset of optional operations and every permutation of
+/// the chosen operations.
+fn brute_force(problem: &SearchProblem, universe: &ObjectUniverse) -> bool {
+    let n = problem.ops.len();
+    let optional: Vec<usize> = (0..n).filter(|&i| !problem.ops[i].required).collect();
+    let required: Vec<usize> = (0..n).filter(|&i| problem.ops[i].required).collect();
+    for mask in 0..(1usize << optional.len()) {
+        let mut chosen = required.clone();
+        for (bit, &op) in optional.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                chosen.push(op);
+            }
+        }
+        if some_permutation_is_legal(&mut chosen, 0, problem, universe) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Recursively enumerates every permutation of `chosen[at..]` (plain
+/// swap-based enumeration) and checks each complete arrangement.
+fn some_permutation_is_legal(
+    chosen: &mut Vec<usize>,
+    at: usize,
+    problem: &SearchProblem,
+    universe: &ObjectUniverse,
+) -> bool {
+    if at == chosen.len() {
+        return arrangement_is_legal(chosen, problem, universe);
+    }
+    for swap in at..chosen.len() {
+        chosen.swap(at, swap);
+        if some_permutation_is_legal(chosen, at + 1, problem, universe) {
+            chosen.swap(at, swap);
+            return true;
+        }
+        chosen.swap(at, swap);
+    }
+    false
+}
+
+/// Checks one arrangement: every precedence pair with both ends present must
+/// be ordered accordingly, and replaying the operations against the
+/// deterministic specifications must produce every fixed response.
+fn arrangement_is_legal(
+    arrangement: &[usize],
+    problem: &SearchProblem,
+    universe: &ObjectUniverse,
+) -> bool {
+    let pos = |op: usize| arrangement.iter().position(|&x| x == op);
+    for &(i, j) in &problem.precedence {
+        if let (Some(pi), Some(pj)) = (pos(i), pos(j)) {
+            if pi >= pj {
+                return false;
+            }
+        }
+    }
+    let mut states: Vec<Value> = universe
+        .object_ids()
+        .iter()
+        .map(|id| universe.initial_state(*id).clone())
+        .collect();
+    for &op in arrangement {
+        let cop = &problem.ops[op];
+        let object = cop.record.object;
+        let ty = universe.object_type(object);
+        assert!(
+            ty.is_deterministic(),
+            "the brute-force replay assumes deterministic types"
+        );
+        let (response, next) = ty
+            .apply_deterministic(&states[object.index()], &cop.record.invocation)
+            .expect("valid invocation on a deterministic type");
+        if let Some(fixed) = &cop.fixed_response {
+            if &response != fixed {
+                return false;
+            }
+        }
+        states[object.index()] = next;
+    }
+    true
+}
+
+/// Generates a random well-formed history over a register and a
+/// fetch&increment object: random interleaving, noisy responses, possibly
+/// pending operations.
+fn random_history(seed: u64, max_ops: usize) -> History {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = evlin_history::ObjectId(0);
+    let x = evlin_history::ObjectId(1);
+    let processes = rng.gen_range(2..4usize);
+    let total_ops = rng.gen_range(2..=max_ops);
+    // Plan per-process invocation lists.
+    let mut plans: Vec<Vec<evlin_spec::Invocation>> = vec![Vec::new(); processes];
+    for _ in 0..total_ops {
+        let p = rng.gen_range(0..processes);
+        let inv = match rng.gen_range(0..3u32) {
+            0 => Register::write(Value::from(rng.gen_range(1..4i64))),
+            1 => Register::read(),
+            _ => FetchIncrement::fetch_inc(),
+        };
+        plans[p].push(inv);
+    }
+    // Interleave invocations and (noisy) responses at random; operations
+    // still pending when the step budget runs out stay pending.
+    let mut b = HistoryBuilder::new();
+    let mut next_op: Vec<usize> = vec![0; processes];
+    let mut pending: Vec<Option<evlin_spec::Invocation>> = vec![None; processes];
+    let object_of = |inv: &evlin_spec::Invocation| if inv.method() == "fetch_inc" { x } else { r };
+    for _ in 0..total_ops * 8 {
+        let p = rng.gen_range(0..processes);
+        if let Some(inv) = pending[p].clone() {
+            if rng.gen_bool(0.7) {
+                let response = if inv.method() == "write" {
+                    Value::Unit
+                } else {
+                    Value::from(rng.gen_range(0..4i64))
+                };
+                b = b.respond(ProcessId(p), object_of(&inv), response);
+                pending[p] = None;
+            }
+        } else if next_op[p] < plans[p].len() {
+            let inv = plans[p][next_op[p]].clone();
+            next_op[p] += 1;
+            b = b.invoke(ProcessId(p), object_of(&inv), inv.clone());
+            pending[p] = Some(inv);
+        }
+    }
+    b.build()
+}
+
+fn differential_universe() -> ObjectUniverse {
+    let mut u = ObjectUniverse::new();
+    u.add_object(Register::new(Value::from(0i64)));
+    u.add_object(FetchIncrement::new());
+    u
+}
+
+const SEEDS: u64 = 40;
+const MAX_OPS: usize = 6;
+
+#[test]
+fn kernel_agrees_with_brute_force_on_linearizability() {
+    let u = differential_universe();
+    for seed in 0..SEEDS {
+        let h = random_history(seed, MAX_OPS);
+        let problem = linearizability::Linearizability.problem(&h);
+        let brute = brute_force(&problem, &u);
+        let fast = linearizability::is_linearizable(&h, &u);
+        assert_eq!(fast, brute, "linearizability mismatch (seed {seed})\n{h}");
+        // The locality pre-pass and the undecomposed kernel must agree too.
+        let global = kernel::check(
+            &linearizability::Linearizability,
+            &h,
+            &u,
+            SearchLimits::default(),
+        );
+        assert_eq!(
+            global.is_yes(),
+            brute,
+            "global kernel mismatch (seed {seed})\n{h}"
+        );
+    }
+}
+
+#[test]
+fn kernel_agrees_with_brute_force_on_t_linearizability() {
+    let u = differential_universe();
+    for seed in 0..SEEDS {
+        let h = random_history(seed, MAX_OPS);
+        for t in 0..=h.len() {
+            let problem = t_linearizability::problem_for(&h, t);
+            let brute = brute_force(&problem, &u);
+            let fast = t_linearizability::is_t_linearizable(&h, &u, t);
+            assert_eq!(
+                fast, brute,
+                "t-linearizability mismatch (seed {seed}, t {t})\n{h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernel_agrees_with_brute_force_on_min_stabilization() {
+    let u = differential_universe();
+    for seed in 0..SEEDS {
+        let h = random_history(seed, MAX_OPS);
+        let brute_min =
+            (0..=h.len()).find(|&t| brute_force(&t_linearizability::problem_for(&h, t), &u));
+        let fast_min = t_linearizability::min_stabilization(&h, &u, None);
+        assert_eq!(
+            fast_min, brute_min,
+            "stabilization mismatch (seed {seed})\n{h}"
+        );
+    }
+}
+
+#[test]
+fn kernel_agrees_with_brute_force_on_weak_consistency() {
+    let u = differential_universe();
+    for seed in 0..SEEDS {
+        let h = random_history(seed, MAX_OPS);
+        let mut brute_violations = Vec::new();
+        for op in h.operations().iter().filter(|op| op.is_complete()) {
+            let problem = WeakOperation { op: op.id }.problem(&h);
+            if !brute_force(&problem, &u) {
+                brute_violations.push(op.id);
+            }
+        }
+        let fast_violations = weak_consistency::violations(&h, &u);
+        assert_eq!(
+            fast_violations, brute_violations,
+            "weak-consistency mismatch (seed {seed})\n{h}"
+        );
+        assert_eq!(
+            weak_consistency::is_weakly_consistent(&h, &u),
+            brute_violations.is_empty(),
+            "locality pre-pass mismatch (seed {seed})\n{h}"
+        );
+    }
+}
+
+#[test]
+fn kernel_agrees_with_brute_force_on_eventual_linearizability() {
+    let u = differential_universe();
+    for seed in 0..SEEDS {
+        let h = random_history(seed, MAX_OPS);
+        let brute_weak = h
+            .operations()
+            .iter()
+            .filter(|op| op.is_complete())
+            .all(|op| brute_force(&WeakOperation { op: op.id }.problem(&h), &u));
+        let brute_liveness = brute_force(&eventual::StabilizesEventually.problem(&h), &u);
+        let report = eventual::analyze(&h, &u);
+        assert_eq!(
+            report.is_eventually_linearizable(),
+            brute_weak && brute_liveness,
+            "eventual-linearizability mismatch (seed {seed})\n{h}"
+        );
+    }
+}

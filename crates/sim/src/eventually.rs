@@ -282,6 +282,34 @@ mod tests {
     }
 
     #[test]
+    fn recorded_behaviour_matches_the_kernel_checkers() {
+        // The adversarial object's pre-stabilization behaviour must be
+        // weakly consistent but not linearizable, and must stabilize exactly
+        // where the paper says (t = the pre-stabilization events) — verified
+        // against the unified checker kernel rather than by construction.
+        use evlin_checker::{is_linearizable, is_weakly_consistent, min_stabilization};
+        use evlin_history::{HistoryBuilder, ObjectUniverse};
+
+        let mut x = EventuallyLinearizable::new(
+            Arc::new(FetchIncrement::new()),
+            StabilizationPolicy::Never,
+        );
+        let mut universe = ObjectUniverse::new();
+        let o = universe.add_object(FetchIncrement::new());
+        let mut b = HistoryBuilder::new();
+        for p in 0..2usize {
+            let response = x.invoke(ProcessId(p), &FetchIncrement::fetch_inc());
+            b = b.complete(ProcessId(p), o, FetchIncrement::fetch_inc(), response);
+        }
+        let h = b.build();
+        assert!(is_weakly_consistent(&h, &universe));
+        assert!(!is_linearizable(&h, &universe));
+        // Both local copies answered 0; forgiving the first operation's two
+        // events makes the remainder linearizable.
+        assert_eq!(min_stabilization(&h, &universe, None), Some(2));
+    }
+
+    #[test]
     fn cloning_preserves_adversary_state() {
         let mut a = EventuallyLinearizable::new(
             Arc::new(Register::new(Value::from(0i64))),

@@ -25,9 +25,14 @@ use crate::base::BaseObject;
 use crate::config::Config;
 use crate::program::{Implementation, ProcessLogic, TaskStep};
 use crate::workload::Workload;
-use evlin_checker::fi;
-use evlin_history::ProcessId;
+use evlin_checker::{fi, parallel};
+use evlin_history::{History, ProcessId};
 use evlin_spec::{FetchIncrement, Invocation, Value};
+
+/// Number of terminal histories accumulated before they are handed to the
+/// batched checker: large enough to amortize the fan-out, small enough to
+/// keep the early exit on a violating extension responsive.
+const CHECK_BATCH: usize = 64;
 
 /// Options for the bounded stability check and stable-configuration search.
 #[derive(Debug, Clone, Copy)]
@@ -61,8 +66,14 @@ impl Default for StabilityOptions {
 /// The check enumerates all interleavings in which each process performs up
 /// to `extension_ops_per_process` further fetch&inc operations and verifies
 /// `t`-linearizability of every terminal history with the specialized
-/// fetch&increment checker.  A `true` answer is therefore "stable up to the
-/// bound"; a `false` answer is definitive (a violating extension was found).
+/// fetch&increment checker.  With more than one rayon worker available,
+/// terminal histories are accumulated into batches of 64 and handed to
+/// [`evlin_checker::parallel::fi_all_t_linearizable_par`], so the
+/// checking half of the search uses every core; on a single worker the
+/// histories are checked inline (batching would only pay a cloning tax).
+/// The verdict is identical either way.  A `true` answer is therefore
+/// "stable up to the bound"; a `false` answer is definitive (a violating
+/// extension was found).
 pub fn is_stable(config: &Config, initial_value: i64, options: &StabilityOptions) -> bool {
     let t = config.history().len();
     // Give every process extra fetch&inc operations to perform.
@@ -74,8 +85,10 @@ pub fn is_stable(config: &Config, initial_value: i64, options: &StabilityOptions
     }
     // DFS over interleavings; check t-linearizability at terminal nodes
     // (prefix closure, Lemma 6, makes checking interior nodes redundant).
+    let batched = rayon::current_num_threads() > 1;
     let mut stack: Vec<(Config, usize)> = vec![(extended, 0)];
     let mut visited = 0usize;
+    let mut terminal: Vec<History> = Vec::new();
     while let Some((c, depth)) = stack.pop() {
         visited += 1;
         if visited > options.max_configs {
@@ -85,7 +98,15 @@ pub fn is_stable(config: &Config, initial_value: i64, options: &StabilityOptions
         }
         let enabled = c.enabled_processes();
         if enabled.is_empty() || depth >= options.extension_depth {
-            if !fi::is_t_linearizable(c.history(), initial_value, t).unwrap_or(false) {
+            if batched {
+                terminal.push(c.history().clone());
+                if terminal.len() == CHECK_BATCH {
+                    if !parallel::fi_all_t_linearizable_par(&terminal, initial_value, t) {
+                        return false;
+                    }
+                    terminal.clear();
+                }
+            } else if !fi::is_t_linearizable(c.history(), initial_value, t).unwrap_or(false) {
                 return false;
             }
             continue;
@@ -96,7 +117,7 @@ pub fn is_stable(config: &Config, initial_value: i64, options: &StabilityOptions
             stack.push((child, depth + 1));
         }
     }
-    true
+    parallel::fi_all_t_linearizable_par(&terminal, initial_value, t)
 }
 
 /// The result of a successful stable-configuration search and freeze.
@@ -316,6 +337,7 @@ mod tests {
     use crate::base::objects;
     use crate::explorer::{terminal_histories, ExploreOptions};
     use crate::program::LocalSpecImplementation;
+    use evlin_checker::fi;
     use std::sync::Arc;
 
     /// A linearizable fetch&increment implementation that defers to a
