@@ -11,7 +11,11 @@
 //!   all`) prints every experiment table;
 //! * the Criterion benches (`cargo bench -p evlin-bench`) measure the
 //!   timing-sensitive experiments (counter contention, consensus
-//!   stabilization, checker scaling, Figure-1 overhead, stability search).
+//!   stabilization, checker scaling, online-monitor throughput, Figure-1
+//!   overhead, stability search);
+//! * the `bench_gate` binary compares captured bench output against the
+//!   baselines committed in `BENCH_checker.json` (see [`baseline`]) — the
+//!   CI perf-regression gate.
 //!
 //! Each experiment lives in its own module under [`experiments`] and returns
 //! [`table::Table`]s so the binary, the tests and EXPERIMENTS.md all agree on
@@ -20,6 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod histories;
 pub mod table;

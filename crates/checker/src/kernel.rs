@@ -135,7 +135,9 @@ pub struct SearchStats {
 }
 
 impl SearchStats {
-    fn absorb(&mut self, other: SearchStats) {
+    /// Accumulates another run's counters into this one (used when a check
+    /// is split into subproblems — per object, per segment, per probe).
+    pub fn absorb(&mut self, other: SearchStats) {
         self.nodes += other.nodes;
         self.memo_hits += other.memo_hits;
     }
@@ -259,6 +261,10 @@ impl KernelScratch {
 
 const INVALID: u32 = u32::MAX;
 
+/// Raw frontier as collected by the searcher: interned per-slot final states
+/// plus the taken-flags of the tracked operations.
+type RawFrontier = (Vec<u32>, Vec<bool>);
+
 /// One level of the explicit DFS stack: which candidate operation is being
 /// explored and which of its transitions comes next, plus the undo record of
 /// the step that produced this level.
@@ -288,6 +294,8 @@ struct Searcher<'a> {
     limits: SearchLimits,
     // --- interned problem ---
     n: usize,
+    /// The object of each slot (active objects, in first-appearance order).
+    slots: Vec<ObjectId>,
     /// Interned `Value` table (object states and responses).
     values: Vec<Value>,
     value_ids: FxHashMap<Value, u32>,
@@ -426,6 +434,7 @@ impl<'a> Searcher<'a> {
             universe,
             limits,
             n,
+            slots,
             values,
             value_ids,
             inv_table,
@@ -666,6 +675,120 @@ impl<'a> Searcher<'a> {
         scratch.taken = taken;
         result
     }
+
+    /// Exhaustive variant of [`Searcher::run`]: instead of stopping at the
+    /// first accepting node, explore the whole (memoized) space and collect
+    /// every *distinct accepting frontier* — the interned object-state vector
+    /// together with which of the `tracked` operations were linearized.
+    ///
+    /// Returns `(frontiers, complete)`; `complete` is `false` when the node
+    /// budget was exhausted, in which case the collection may be missing
+    /// entries (but every returned entry is genuinely reachable).
+    fn run_frontiers(
+        &mut self,
+        scratch: &mut KernelScratch,
+        accept: &dyn Fn(&SearchProgress) -> bool,
+        tracked: &[usize],
+    ) -> (Vec<RawFrontier>, bool) {
+        scratch.prepare(self.n);
+        let mut seen: FxHashSet<Box<[u32]>> = FxHashSet::default();
+        let mut out: Vec<RawFrontier> = Vec::new();
+        let mut frames: Vec<Frame> = vec![Frame {
+            i: 0,
+            k: 0,
+            trans: INVALID,
+            undo: None,
+        }];
+        let mut taken = std::mem::take(&mut scratch.taken);
+        // Records the current node's frontier if it is accepting and new.
+        // (A node reached twice is pruned by the visited cache before this
+        // runs again, so `seen` only guards against distinct accepting nodes
+        // that share a frontier.)
+        fn record(
+            searcher: &Searcher<'_>,
+            taken: &BitSet,
+            tracked: &[usize],
+            seen: &mut FxHashSet<Box<[u32]>>,
+            out: &mut Vec<(Vec<u32>, Vec<bool>)>,
+        ) {
+            let placed: Vec<bool> = tracked.iter().map(|&op| taken.contains(op)).collect();
+            let mut key = Vec::with_capacity(searcher.states.len() + placed.len());
+            key.extend_from_slice(&searcher.states);
+            key.extend(placed.iter().map(|&b| b as u32));
+            if seen.insert(key.into_boxed_slice()) {
+                out.push((searcher.states.clone(), placed));
+            }
+        }
+
+        self.nodes += 1;
+        scratch.visited.insert(self.visit_key());
+        if accept(&self.progress()) {
+            record(self, &taken, tracked, &mut seen, &mut out);
+        }
+        'outer: while let Some(mut f) = frames.pop() {
+            loop {
+                if f.i >= self.n {
+                    if let Some(undo) = f.undo.take() {
+                        self.retract(undo, &mut taken);
+                    }
+                    continue 'outer;
+                }
+                let i = f.i;
+                if taken.contains(i) || !self.canonical(i, &taken) || !self.preds_taken(i, &taken) {
+                    f.i += 1;
+                    f.k = 0;
+                    f.trans = INVALID;
+                    continue;
+                }
+                if f.trans == INVALID {
+                    f.trans = self.transitions(self.op_inv[i], self.states[self.op_slot[i]]);
+                    f.k = 0;
+                }
+                while f.k < self.trans_lists[f.trans as usize].len() {
+                    let (resp, next_state) = self.trans_lists[f.trans as usize][f.k];
+                    f.k += 1;
+                    if let Some(fixed) = self.op_fixed[i] {
+                        if resp != fixed {
+                            continue;
+                        }
+                    }
+                    let undo = self.apply(i, resp, next_state, &mut taken);
+                    self.nodes += 1;
+                    if self.nodes > self.limits.max_nodes {
+                        self.exhausted = true;
+                        self.retract(undo, &mut taken);
+                        continue;
+                    }
+                    if !scratch.visited.insert(self.visit_key()) {
+                        self.memo_hits += 1;
+                        self.retract(undo, &mut taken);
+                        continue;
+                    }
+                    // A new node: record its frontier if accepting, then keep
+                    // exploring below it — unlike `run`, acceptance is not a
+                    // stopping condition, because deeper nodes (more optional
+                    // operations linearized) reach *different* frontiers.
+                    if accept(&self.progress()) {
+                        record(self, &taken, tracked, &mut seen, &mut out);
+                    }
+                    frames.push(f);
+                    frames.push(Frame {
+                        i: 0,
+                        k: 0,
+                        trans: INVALID,
+                        undo: Some(undo),
+                    });
+                    continue 'outer;
+                }
+                f.i += 1;
+                f.k = 0;
+                f.trans = INVALID;
+            }
+        }
+        debug_assert_eq!(taken.count(), 0, "taken-set must be released empty");
+        scratch.taken = taken;
+        (out, !self.exhausted)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -695,6 +818,80 @@ pub fn solve_with_scratch(
     let result = searcher.run(scratch, &|p| p.required_taken == p.required_total);
     (
         result,
+        SearchStats {
+            nodes: searcher.nodes,
+            memo_hits: searcher.memo_hits,
+        },
+    )
+}
+
+/// One distinct *accepting frontier* of a search problem: the final state of
+/// every active object under some accepting linearization, together with
+/// which of the caller's tracked operations that linearization included.
+///
+/// The online monitor ([`crate::monitor`]) threads these through a stream of
+/// quiescent-cut segments: the frontiers of segment `k` become the candidate
+/// initial states of segment `k + 1`, and the tracked operations are the
+/// "floaters" of `t`-linearizability — forgiven-prefix operations that may be
+/// linearized in any later segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frontier {
+    /// Final state of each object that appears in the problem.
+    pub states: Vec<(ObjectId, Value)>,
+    /// For each tracked operation (in the caller's order), whether it was
+    /// linearized by the accepting linearization reaching this frontier.
+    pub placed: Vec<bool>,
+}
+
+/// The collection of accepting frontiers of a problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierSet {
+    /// The distinct frontiers, in discovery order.
+    pub entries: Vec<Frontier>,
+    /// `false` when the node budget was exhausted before the search space was
+    /// covered: the entries are all reachable, but some may be missing.
+    pub complete: bool,
+}
+
+impl FrontierSet {
+    /// Whether at least one accepting linearization exists (and the
+    /// collection can be trusted to witness it).
+    pub fn is_satisfiable(&self) -> bool {
+        !self.entries.is_empty()
+    }
+}
+
+/// Exhaustively solves a constrained-linearization problem, returning every
+/// distinct accepting frontier instead of the first witness.
+///
+/// `tracked` lists problem operation indices whose inclusion the caller wants
+/// reported per frontier (see [`Frontier::placed`]); pass `&[]` when only the
+/// final states matter.  Unlike [`solve`], acceptance does not stop the
+/// search: nodes below an accepting node are still explored, because
+/// linearizing further optional operations reaches different frontiers.
+pub fn solve_frontiers(
+    problem: &SearchProblem,
+    universe: &ObjectUniverse,
+    limits: SearchLimits,
+    tracked: &[usize],
+    scratch: &mut KernelScratch,
+) -> (FrontierSet, SearchStats) {
+    let mut searcher = Searcher::new(problem, universe, limits);
+    let (raw, complete) =
+        searcher.run_frontiers(scratch, &|p| p.required_taken == p.required_total, tracked);
+    let entries = raw
+        .into_iter()
+        .map(|(states, placed)| Frontier {
+            states: states
+                .iter()
+                .enumerate()
+                .map(|(slot, &id)| (searcher.slots[slot], searcher.values[id as usize].clone()))
+                .collect(),
+            placed,
+        })
+        .collect();
+    (
+        FrontierSet { entries, complete },
         SearchStats {
             nodes: searcher.nodes,
             memo_hits: searcher.memo_hits,

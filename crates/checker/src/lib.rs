@@ -90,6 +90,7 @@ pub mod fi;
 pub mod kernel;
 pub mod linearizability;
 pub mod locality;
+pub mod monitor;
 pub mod parallel;
 pub mod safety;
 pub mod search;
@@ -102,6 +103,7 @@ pub use kernel::{
     ConsistencyCondition, KernelScratch, Locality, SearchLimits, SearchResult, SearchStats,
 };
 pub use linearizability::{is_linearizable, linearization_witness, Linearizability};
+pub use monitor::{Monitor, MonitorCondition, MonitorConfig, MonitorReport, MonitorVerdict};
 pub use parallel::{check_histories_par, min_stabilizations_par};
 pub use t_linearizability::{is_t_linearizable, min_stabilization, TLinearizability};
 pub use weak_consistency::{is_weakly_consistent, WeakOperation};

@@ -1,0 +1,1543 @@
+//! The streaming online consistency monitor.
+//!
+//! Every checker in this crate so far is *offline*: it needs the whole
+//! history in hand before the kernel sees a single operation.  This module
+//! checks a history *while it is being produced* — events are ingested one at
+//! a time, verified prefixes are garbage-collected, and resident memory is
+//! bounded by the width of the concurrency window (plus the per-object state
+//! frontier), not by the length of the history.
+//!
+//! ## Quiescent-cut segmentation
+//!
+//! The stream is partitioned at *quiescent cut points*: moments at which no
+//! operation is pending.  A cut at event index `c` has two properties that
+//! make the segments on either side independently checkable:
+//!
+//! 1. every operation invoked before `c` also responds before `c`, and every
+//!    operation of the later segment is invoked after `c`, so the real-time
+//!    order forces **all** earlier-segment operations before **all**
+//!    later-segment operations in any witness linearization;
+//! 2. consequently a witness for the whole history is exactly a chain of
+//!    per-segment witnesses, where segment `k + 1` is checked against the
+//!    object states *left behind* by segment `k`'s witness.
+//!
+//! Different witnesses of a segment can leave different final states (two
+//! concurrent writes can be ordered either way), so the monitor threads a
+//! *frontier set* — every final state vector reachable by some accepting
+//! linearization, computed exhaustively by [`kernel::solve_frontiers`] — and
+//! a segment is consistent iff it is satisfiable from at least one incoming
+//! frontier state.  This is an exact decision procedure, not an
+//! approximation: the verdict equals the offline kernel's verdict on the
+//! concatenated history (the differential proptests in
+//! `tests/monitor_differential.rs` pit one against the other event for
+//! event).
+//!
+//! ## Locality
+//!
+//! Within a segment the monitor exploits the same Herlihy–Wing locality the
+//! offline [`kernel::check_local`] pre-pass uses, but one step earlier: for
+//! linearizability the per-object *frontiers* are independent (witness
+//! composition never couples the states of distinct objects), so the monitor
+//! keeps one frontier set per object and checks the per-object projections of
+//! each segment independently — fanned out across objects via
+//! [`crate::parallel`].  Segments of pure fetch&increment traffic take the
+//! near-linear [`crate::fi`] fast path instead of the kernel, which is what
+//! lets the monitor keep up with millions of real-thread counter operations
+//! (experiment E11, the `monitor_throughput` bench).
+//!
+//! ## The four conditions
+//!
+//! * [`MonitorCondition::Linearizability`] — per-object frontier threading as
+//!   above.
+//! * [`MonitorCondition::TLinearizability`] — Definition 2 with a fixed `t`.
+//!   Operations whose response falls inside the forgiven prefix (the first
+//!   `t` events) have no precedence constraints at all, so they may be
+//!   linearized in *any* later segment; the monitor carries them across cuts
+//!   as "floaters" (optional in every segment, mandatory by the end) and the
+//!   frontier entries additionally record which floaters are still unplaced.
+//!   The first cut is deferred until the stream has passed event `t`, so all
+//!   floaters are discovered inside the first segment.
+//! * [`MonitorCondition::WeakConsistency`] — Definition 1 is checked per
+//!   completed operation, and its justification may reach arbitrarily far
+//!   back in the history; but it only sees past operations through their
+//!   *invocation multiset* (identities never matter to the kernel), so the
+//!   monitor summarizes the past as bounded per-object and per-process
+//!   invocation counters and rebuilds each operation's search problem from
+//!   the counters — exact, with O(distinct invocations) resident memory.
+//!   The per-operation checks of a segment are independent and are fanned
+//!   out via [`crate::parallel`].
+//! * [`MonitorCondition::StabilizesEventually`] — the liveness half of
+//!   eventual linearizability (`t`-linearizable for *some* `t`, i.e. all
+//!   responses and real-time order forgiven) likewise only depends on the
+//!   multiset of invocations; the monitor accumulates counters and decides at
+//!   [`Monitor::finish`].
+//!
+//! ## Example
+//!
+//! ```
+//! use evlin_checker::monitor::{Monitor, MonitorConfig, MonitorVerdict};
+//! use evlin_history::{ObjectUniverse, ObjectId, ProcessId};
+//! use evlin_spec::{FetchIncrement, Value};
+//!
+//! let mut universe = ObjectUniverse::new();
+//! let x = universe.add_object(FetchIncrement::new());
+//! let mut monitor = Monitor::new(universe, MonitorConfig::default());
+//!
+//! // Feed a live stream of events; the monitor checks closed segments as it
+//! // goes and drops them afterwards.
+//! monitor.invoke(ProcessId(0), x, FetchIncrement::fetch_inc()).unwrap();
+//! monitor.respond(ProcessId(0), x, Value::from(0i64)).unwrap();
+//! monitor.invoke(ProcessId(1), x, FetchIncrement::fetch_inc()).unwrap();
+//! monitor.respond(ProcessId(1), x, Value::from(1i64)).unwrap();
+//!
+//! let report = monitor.finish();
+//! assert!(matches!(report.verdict, MonitorVerdict::Ok));
+//! ```
+
+use crate::kernel::{
+    self, ConsistencyCondition, ConstrainedOp, KernelScratch, SearchLimits, SearchProblem,
+    SearchResult, SearchStats,
+};
+use crate::t_linearizability::TLinearizability;
+use crate::{fi, parallel};
+use evlin_history::{
+    Event, EventKind, History, ObjectId, ObjectUniverse, OpId, OperationRecord, ProcessId,
+};
+use evlin_spec::{Invocation, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Configuration and reporting types
+// ---------------------------------------------------------------------------
+
+/// Which consistency condition the monitor enforces on the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorCondition {
+    /// Classical linearizability (`t = 0`), with per-object frontier
+    /// threading and the fetch&increment fast path.
+    Linearizability,
+    /// `t`-linearizability (Definition 2) for a fixed `t`.
+    TLinearizability {
+        /// The number of initial events forgiven.
+        t: usize,
+    },
+    /// Weak consistency (Definition 1), one check per completed operation.
+    WeakConsistency,
+    /// The liveness half of eventual linearizability: `t`-linearizable for
+    /// some `t` (decided at [`Monitor::finish`]).
+    StabilizesEventually,
+}
+
+/// Tuning knobs for a [`Monitor`].
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// The condition to enforce.
+    pub condition: MonitorCondition,
+    /// Node budget per kernel search.
+    pub limits: SearchLimits,
+    /// Do not cut before the open window holds at least this many events
+    /// (delaying a cut is always sound; larger segments amortize per-segment
+    /// overhead at the price of a larger resident window).
+    pub min_segment_events: usize,
+    /// Check-and-GC automatically once this many closed segments queue up.
+    pub segment_batch: usize,
+    /// Upper bound on tracked frontier entries; exceeding it makes the
+    /// verdict [`MonitorVerdict::Unknown`] instead of exhausting memory.
+    pub max_frontiers: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            condition: MonitorCondition::Linearizability,
+            limits: SearchLimits::default(),
+            min_segment_events: 1,
+            segment_batch: 64,
+            max_frontiers: 4096,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// A default configuration for the given condition.
+    pub fn for_condition(condition: MonitorCondition) -> Self {
+        MonitorConfig {
+            condition,
+            ..MonitorConfig::default()
+        }
+    }
+}
+
+/// A consistency violation detected by the monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorViolation {
+    /// Global index of the first event of the offending segment.
+    pub segment_start: usize,
+    /// Number of events in the offending segment.
+    pub segment_len: usize,
+    /// The object on which the violation was localized, if the check was
+    /// per-object.
+    pub object: Option<ObjectId>,
+    /// The violating operation (weak-consistency mode), numbered by global
+    /// invocation order exactly like [`History::operations`].
+    pub op: Option<OpId>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for MonitorViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "violation in events [{}, {}): {}",
+            self.segment_start,
+            self.segment_start + self.segment_len,
+            self.detail
+        )
+    }
+}
+
+/// The monitor's verdict over everything ingested so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorVerdict {
+    /// Every closed segment (and, after [`Monitor::finish`], the whole
+    /// stream) satisfies the condition.
+    Ok,
+    /// A definite violation was found.
+    Violation(MonitorViolation),
+    /// A search exhausted its node budget or the frontier cap was hit; the
+    /// stream could not be fully verified.
+    Unknown,
+}
+
+impl MonitorVerdict {
+    /// `true` iff the verdict is [`MonitorVerdict::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, MonitorVerdict::Ok)
+    }
+}
+
+/// Counters describing a monitoring run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Events ingested.
+    pub events: usize,
+    /// Completed operations whose verdict has been established.
+    pub checked_ops: usize,
+    /// Segments closed at quiescent cut points (including the final one).
+    pub segments: usize,
+    /// Largest number of events resident at once (open window plus queued
+    /// closed segments) — the monitor's memory high-water mark, which stays
+    /// bounded by the concurrency window rather than the history length.
+    pub peak_window_events: usize,
+    /// Segments decided by the near-linear fetch&increment fast path.
+    pub fast_path_segments: usize,
+    /// Kernel search counters summed over all segment checks.
+    pub search: SearchStats,
+}
+
+/// The final report of a monitoring run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorReport {
+    /// The verdict.
+    pub verdict: MonitorVerdict,
+    /// The counters.
+    pub stats: MonitorStats,
+}
+
+/// An ill-formed input stream (the online analogue of
+/// [`History::is_well_formed`] failing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// A process invoked an operation while it already had one pending.
+    InvokeWhilePending {
+        /// The offending process.
+        process: ProcessId,
+        /// Global index of the offending event.
+        global_index: usize,
+    },
+    /// A response arrived with no matching pending invocation (or on a
+    /// different object than the pending invocation).
+    OrphanResponse {
+        /// The offending process.
+        process: ProcessId,
+        /// Global index of the offending event.
+        global_index: usize,
+    },
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::InvokeWhilePending {
+                process,
+                global_index,
+            } => write!(
+                f,
+                "event {global_index}: {process} invoked while an operation was pending"
+            ),
+            MonitorError::OrphanResponse {
+                process,
+                global_index,
+            } => write!(
+                f,
+                "event {global_index}: response by {process} matches no pending invocation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+/// A closed segment awaiting its check.
+struct Segment {
+    /// Global index of the segment's first event.
+    start: usize,
+    /// The events.
+    history: History,
+}
+
+/// A `t`-linearizability frontier: object-state overrides left behind by an
+/// accepting chain of segment witnesses, plus the floaters that chain has not
+/// yet linearized.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct TlFrontier {
+    /// Final states of the objects touched so far (sorted by object).
+    states: Vec<(ObjectId, Value)>,
+    /// Forgiven-prefix operations not yet placed (sorted multiset).
+    unplaced: Vec<(ObjectId, Invocation)>,
+}
+
+/// Per-condition incremental state.
+enum ModeState {
+    Lin {
+        /// Per-object frontier state sets (absent object ⇒ still at its
+        /// initial state).
+        frontiers: BTreeMap<ObjectId, Vec<Value>>,
+    },
+    TLin {
+        t: usize,
+        frontiers: Vec<TlFrontier>,
+    },
+    Weak {
+        /// Per object: how many operations with each invocation have been
+        /// *invoked* so far (the optional pool of Definition 1).
+        invoked: BTreeMap<ObjectId, BTreeMap<Invocation, u64>>,
+        /// Per (process, object): how many operations with each invocation
+        /// have *completed* (the required same-process predecessors).
+        preds: BTreeMap<(ProcessId, ObjectId), BTreeMap<Invocation, u64>>,
+        /// Global operation counter (invocation order), so reported [`OpId`]s
+        /// match [`History::operations`] numbering.
+        next_op: usize,
+    },
+    Stab {
+        /// Per object: invocation multiset of completed operations.
+        completed: BTreeMap<ObjectId, BTreeMap<Invocation, u64>>,
+    },
+}
+
+/// The streaming online consistency monitor.  See the module documentation
+/// for the segmentation argument and the per-condition strategies.
+pub struct Monitor {
+    universe: ObjectUniverse,
+    limits: SearchLimits,
+    min_segment_events: usize,
+    segment_batch: usize,
+    max_frontiers: usize,
+    mode: ModeState,
+    /// The open window: events since the last cut.
+    window: Vec<Event>,
+    /// Global index of the first window event.
+    window_start: usize,
+    /// Pending operation per process: `(object, invocation)`.
+    pending: BTreeMap<ProcessId, (ObjectId, Invocation)>,
+    /// Closed segments awaiting [`Monitor::pump`].
+    closed: Vec<Segment>,
+    /// Total events in `closed`.
+    queued_events: usize,
+    violation: Option<MonitorViolation>,
+    /// Some search was cut off; a subsequent "no" cannot be trusted.
+    incomplete: bool,
+    stats: MonitorStats,
+}
+
+impl fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Monitor")
+            .field("window", &self.window.len())
+            .field("window_start", &self.window_start)
+            .field("pending", &self.pending.len())
+            .field("queued_segments", &self.closed.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// A fabricated operation record for summarized (count-based) candidates.
+/// The kernel only reads the object and the invocation; the indices are
+/// chosen so no condition ever derives a precedence edge from them.
+fn synth_record(object: ObjectId, invocation: Invocation, id: usize) -> OperationRecord {
+    OperationRecord {
+        id: OpId(id),
+        process: ProcessId(usize::MAX),
+        object,
+        invocation,
+        response: None,
+        invoke_index: 0,
+        respond_index: None,
+    }
+}
+
+impl Monitor {
+    /// Creates a monitor over `universe` with the given configuration.
+    pub fn new(universe: ObjectUniverse, config: MonitorConfig) -> Self {
+        let mode = match config.condition {
+            MonitorCondition::Linearizability => ModeState::Lin {
+                frontiers: BTreeMap::new(),
+            },
+            MonitorCondition::TLinearizability { t } => ModeState::TLin {
+                t,
+                frontiers: vec![TlFrontier {
+                    states: Vec::new(),
+                    unplaced: Vec::new(),
+                }],
+            },
+            MonitorCondition::WeakConsistency => ModeState::Weak {
+                invoked: BTreeMap::new(),
+                preds: BTreeMap::new(),
+                next_op: 0,
+            },
+            MonitorCondition::StabilizesEventually => ModeState::Stab {
+                completed: BTreeMap::new(),
+            },
+        };
+        Monitor {
+            universe,
+            limits: config.limits,
+            min_segment_events: config.min_segment_events.max(1),
+            segment_batch: config.segment_batch.max(1),
+            max_frontiers: config.max_frontiers.max(1),
+            mode,
+            window: Vec::new(),
+            window_start: 0,
+            pending: BTreeMap::new(),
+            closed: Vec::new(),
+            queued_events: 0,
+            violation: None,
+            incomplete: false,
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// The universe the monitor checks against.
+    pub fn universe(&self) -> &ObjectUniverse {
+        &self.universe
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &MonitorStats {
+        &self.stats
+    }
+
+    /// The verdict over everything *checked* so far (closed segments only;
+    /// call [`Monitor::finish`] for the verdict over the whole stream).
+    pub fn verdict_so_far(&self) -> MonitorVerdict {
+        match &self.violation {
+            Some(v) => MonitorVerdict::Violation(v.clone()),
+            None if self.incomplete => MonitorVerdict::Unknown,
+            None => MonitorVerdict::Ok,
+        }
+    }
+
+    /// Ingests an invocation event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonitorError`] if the event makes the stream ill-formed.
+    pub fn invoke(
+        &mut self,
+        process: ProcessId,
+        object: ObjectId,
+        invocation: Invocation,
+    ) -> Result<(), MonitorError> {
+        self.ingest(Event::invoke(process, object, invocation))
+    }
+
+    /// Ingests a response event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonitorError`] if the event makes the stream ill-formed.
+    pub fn respond(
+        &mut self,
+        process: ProcessId,
+        object: ObjectId,
+        value: Value,
+    ) -> Result<(), MonitorError> {
+        self.ingest(Event::respond(process, object, value))
+    }
+
+    /// Ingests one event.  Closed segments are checked (and their memory
+    /// reclaimed) automatically every [`MonitorConfig::segment_batch`] cuts;
+    /// call [`Monitor::pump`] to force a check earlier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonitorError`] if the event makes the stream ill-formed
+    /// (the event is not ingested; the monitor remains usable).
+    pub fn ingest(&mut self, event: Event) -> Result<(), MonitorError> {
+        let global_index = self.window_start + self.window.len();
+        match &event.kind {
+            EventKind::Invoke(invocation) => {
+                if self.pending.contains_key(&event.process) {
+                    return Err(MonitorError::InvokeWhilePending {
+                        process: event.process,
+                        global_index,
+                    });
+                }
+                self.pending
+                    .insert(event.process, (event.object, invocation.clone()));
+            }
+            EventKind::Respond(_) => match self.pending.get(&event.process) {
+                Some((object, _)) if *object == event.object => {
+                    self.pending.remove(&event.process);
+                }
+                _ => {
+                    return Err(MonitorError::OrphanResponse {
+                        process: event.process,
+                        global_index,
+                    });
+                }
+            },
+        }
+        self.window.push(event);
+        self.stats.events += 1;
+        self.note_resident();
+        if self.pending.is_empty() && self.window.len() >= self.min_segment_events && self.cut_ok()
+        {
+            self.close_window();
+            if self.closed.len() >= self.segment_batch {
+                self.pump();
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingests a batch of events (stopping at the first error).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MonitorError`] encountered, if any.
+    pub fn ingest_all<I: IntoIterator<Item = Event>>(
+        &mut self,
+        events: I,
+    ) -> Result<(), MonitorError> {
+        for event in events {
+            self.ingest(event)?;
+        }
+        Ok(())
+    }
+
+    /// Checks every closed segment queued so far and reclaims its memory.
+    /// Returns the verdict over everything checked.
+    pub fn pump(&mut self) -> MonitorVerdict {
+        let segments = std::mem::take(&mut self.closed);
+        self.queued_events = 0;
+        if !segments.is_empty() && self.violation.is_none() {
+            self.stats.segments += segments.len();
+            match &self.mode {
+                ModeState::Lin { .. } => self.drain_lin(&segments, false),
+                ModeState::TLin { .. } => self.drain_tlin(&segments, false),
+                ModeState::Weak { .. } => self.drain_weak(&segments),
+                ModeState::Stab { .. } => self.drain_stab(&segments),
+            }
+        }
+        self.verdict_so_far()
+    }
+
+    /// Closes the remaining tail (which may contain pending operations),
+    /// checks everything still queued and returns the final report.
+    ///
+    /// The verdict equals the corresponding offline checker's verdict on the
+    /// concatenation of every ingested event.
+    pub fn finish(mut self) -> MonitorReport {
+        // Check all quiescent segments first.
+        self.pump();
+        // Then the tail: a final segment that may end non-quiescently.
+        let tail = Segment {
+            start: self.window_start,
+            history: History::from_events(std::mem::take(&mut self.window)),
+        };
+        if self.violation.is_none() {
+            let segments = [tail];
+            if !segments[0].history.is_empty() {
+                self.stats.segments += 1;
+            }
+            match &self.mode {
+                ModeState::Lin { .. } => self.drain_lin(&segments, true),
+                ModeState::TLin { .. } => self.drain_tlin(&segments, true),
+                ModeState::Weak { .. } => self.drain_weak(&segments),
+                ModeState::Stab { .. } => self.drain_stab(&segments),
+            }
+        }
+        // Mode-specific wrap-up for the summarized conditions.
+        if self.violation.is_none() {
+            if let ModeState::Stab { .. } = &self.mode {
+                self.finish_stab();
+            }
+        }
+        MonitorReport {
+            verdict: self.verdict_so_far(),
+            stats: self.stats,
+        }
+    }
+
+    // -- segmentation ------------------------------------------------------
+
+    /// Whether the (quiescent) stream position is a legal cut point for the
+    /// condition.  `t`-linearizability defers the first cut past event `t`
+    /// so every forgiven-prefix operation is discovered inside the first
+    /// segment.
+    fn cut_ok(&self) -> bool {
+        match &self.mode {
+            ModeState::TLin { t, .. } => self.window_start + self.window.len() >= *t,
+            _ => true,
+        }
+    }
+
+    fn close_window(&mut self) {
+        let events = std::mem::take(&mut self.window);
+        let start = self.window_start;
+        self.window_start = start + events.len();
+        self.queued_events += events.len();
+        self.closed.push(Segment {
+            start,
+            history: History::from_events(events),
+        });
+    }
+
+    fn note_resident(&mut self) {
+        let resident = self.window.len() + self.queued_events;
+        if resident > self.stats.peak_window_events {
+            self.stats.peak_window_events = resident;
+        }
+    }
+
+    /// A copy of the universe re-rooted at the given state overrides.
+    fn override_universe(&self, overrides: &[(ObjectId, Value)]) -> ObjectUniverse {
+        let mut u = self.universe.clone();
+        for (object, state) in overrides {
+            u.set_initial_state(*object, state.clone());
+        }
+        u
+    }
+
+    // -- linearizability ---------------------------------------------------
+
+    /// Checks a batch of segments under linearizability: per-object frontier
+    /// threading, fanned out across objects, with the fetch&increment fast
+    /// path per projection.
+    fn drain_lin(&mut self, segments: &[Segment], is_final: bool) {
+        let ModeState::Lin { frontiers } = &self.mode else {
+            unreachable!("drain_lin requires Lin mode");
+        };
+        let mut objects: BTreeSet<ObjectId> = BTreeSet::new();
+        for segment in segments {
+            objects.extend(segment.history.objects());
+        }
+        let objects: Vec<ObjectId> = objects.into_iter().collect();
+        let universe = &self.universe;
+        let limits = self.limits;
+        let max_frontiers = self.max_frontiers;
+        let outcomes = parallel::map_par(&objects, |&object| {
+            let incoming = frontiers
+                .get(&object)
+                .cloned()
+                .unwrap_or_else(|| vec![universe.initial_state(object).clone()]);
+            chase_object_chain(
+                universe,
+                limits,
+                max_frontiers,
+                object,
+                incoming,
+                segments,
+                is_final,
+            )
+        });
+        // Merge: earliest violating segment wins (deterministically).
+        let mut best: Option<(usize, ObjectId, String)> = None;
+        let mut new_frontiers: Vec<(ObjectId, Vec<Value>)> = Vec::new();
+        for (object, outcome) in objects.iter().zip(outcomes) {
+            self.stats.search.absorb(outcome.stats);
+            self.stats.fast_path_segments += outcome.fast_segments;
+            if outcome.incomplete {
+                self.incomplete = true;
+            }
+            if let Some((segment_index, detail)) = outcome.violation {
+                let replace = match &best {
+                    Some((s, _, _)) => segment_index < *s,
+                    None => true,
+                };
+                if replace {
+                    best = Some((segment_index, *object, detail));
+                }
+            }
+            new_frontiers.push((*object, outcome.frontier));
+        }
+        if let Some((segment_index, object, detail)) = best {
+            if self.incomplete {
+                // The refutation may have relied on a truncated frontier.
+                return;
+            }
+            // Segments before the violating one were verified.
+            for segment in &segments[..segment_index] {
+                self.stats.checked_ops += segment.history.complete_operations().len();
+            }
+            let segment = &segments[segment_index];
+            self.violation = Some(MonitorViolation {
+                segment_start: segment.start,
+                segment_len: segment.history.len(),
+                object: Some(object),
+                op: None,
+                detail,
+            });
+            return;
+        }
+        let ModeState::Lin { frontiers } = &mut self.mode else {
+            unreachable!();
+        };
+        for (object, frontier) in new_frontiers {
+            frontiers.insert(object, frontier);
+        }
+        for segment in segments {
+            self.stats.checked_ops += segment.history.complete_operations().len();
+        }
+    }
+
+    // -- t-linearizability -------------------------------------------------
+
+    /// Checks a batch of segments under `t`-linearizability, threading
+    /// `(states, unplaced floaters)` frontiers sequentially.
+    fn drain_tlin(&mut self, segments: &[Segment], is_final: bool) {
+        let ModeState::TLin { t, frontiers } = &self.mode else {
+            unreachable!("drain_tlin requires TLin mode");
+        };
+        let t = *t;
+        let mut current: Vec<TlFrontier> = frontiers.clone();
+        let mut scratch = KernelScratch::new();
+        for (index, segment) in segments.iter().enumerate() {
+            let final_segment = is_final && index + 1 == segments.len();
+            if segment.history.is_empty() && !final_segment {
+                continue;
+            }
+            if segment.history.is_empty() {
+                // Empty tail: any frontier with no unplaced floaters is a
+                // complete witness chain; otherwise the floaters must still
+                // be placeable from some frontier's states.
+                let placeable = current.iter().any(|fr| {
+                    if fr.unplaced.is_empty() {
+                        return true;
+                    }
+                    let ops: Vec<ConstrainedOp> = fr
+                        .unplaced
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (object, invocation))| ConstrainedOp {
+                            record: synth_record(*object, invocation.clone(), i),
+                            required: true,
+                            fixed_response: None,
+                        })
+                        .collect();
+                    let problem = SearchProblem {
+                        ops,
+                        precedence: Vec::new(),
+                    };
+                    let uni = self.override_universe(&fr.states);
+                    let (result, stats) =
+                        kernel::solve_with_scratch(&problem, &uni, self.limits, &mut scratch);
+                    self.stats.search.absorb(stats);
+                    if matches!(result, SearchResult::Unknown) {
+                        self.incomplete = true;
+                    }
+                    result.is_yes()
+                });
+                if !placeable && !self.incomplete {
+                    self.violation = Some(MonitorViolation {
+                        segment_start: segment.start,
+                        segment_len: 0,
+                        object: None,
+                        op: None,
+                        detail: "forgiven-prefix operations cannot be completed \
+                                 by the end of the stream"
+                            .to_string(),
+                    });
+                }
+                continue;
+            }
+            let local_t = t.saturating_sub(segment.start);
+            let condition = TLinearizability::new(local_t);
+            let mut base = condition.candidates(&segment.history);
+            // Forgiven-prefix operations ("floaters") may be linearized in
+            // any later segment; demote them to optional-but-tracked unless
+            // this is the last segment (nothing to defer to).
+            let mut tracked_base: Vec<usize> = Vec::new();
+            if local_t > 0 && !final_segment {
+                for (i, cop) in base.iter_mut().enumerate() {
+                    if cop.required
+                        && cop
+                            .record
+                            .respond_index
+                            .map(|r| r < local_t)
+                            .unwrap_or(false)
+                    {
+                        cop.required = false;
+                        tracked_base.push(i);
+                    }
+                }
+            }
+            let precedence = condition.precedence(&segment.history, &base);
+            let base_len = base.len();
+            let mut outgoing: BTreeSet<TlFrontier> = BTreeSet::new();
+            let mut any_yes = false;
+            for fr in &current {
+                let mut ops = base.clone();
+                let mut tracked = tracked_base.clone();
+                for (j, (object, invocation)) in fr.unplaced.iter().enumerate() {
+                    tracked.push(ops.len());
+                    ops.push(ConstrainedOp {
+                        record: synth_record(*object, invocation.clone(), base_len + j),
+                        // Carried floaters must finally be placed in the last
+                        // segment; before that they may keep floating.
+                        required: final_segment,
+                        fixed_response: None,
+                    });
+                }
+                let problem = SearchProblem {
+                    ops,
+                    precedence: precedence.clone(),
+                };
+                let uni = self.override_universe(&fr.states);
+                let (set, stats) =
+                    kernel::solve_frontiers(&problem, &uni, self.limits, &tracked, &mut scratch);
+                self.stats.search.absorb(stats);
+                if !set.complete {
+                    self.incomplete = true;
+                }
+                for entry in set.entries {
+                    any_yes = true;
+                    if final_segment {
+                        continue; // nothing consumes the outgoing frontier
+                    }
+                    let mut states: BTreeMap<ObjectId, Value> = fr.states.iter().cloned().collect();
+                    for (object, state) in entry.states {
+                        states.insert(object, state);
+                    }
+                    let mut unplaced: Vec<(ObjectId, Invocation)> = Vec::new();
+                    for (k, &op_index) in tracked.iter().enumerate() {
+                        if !entry.placed[k] {
+                            let record = &problem.ops[op_index].record;
+                            unplaced.push((record.object, record.invocation.clone()));
+                        }
+                    }
+                    unplaced.sort();
+                    outgoing.insert(TlFrontier {
+                        states: states.into_iter().collect(),
+                        unplaced,
+                    });
+                }
+            }
+            if !any_yes {
+                if !self.incomplete {
+                    self.violation = Some(MonitorViolation {
+                        segment_start: segment.start,
+                        segment_len: segment.history.len(),
+                        object: None,
+                        op: None,
+                        detail: format!(
+                            "no {local_t}-linearization of the segment extends any \
+                             verified frontier"
+                        ),
+                    });
+                }
+                return;
+            }
+            self.stats.checked_ops += segment.history.complete_operations().len();
+            if final_segment {
+                break;
+            }
+            if outgoing.len() > self.max_frontiers {
+                self.incomplete = true;
+                return;
+            }
+            current = outgoing.into_iter().collect();
+        }
+        let ModeState::TLin { frontiers, .. } = &mut self.mode else {
+            unreachable!();
+        };
+        *frontiers = current;
+    }
+
+    // -- weak consistency --------------------------------------------------
+
+    /// Checks a batch of segments under weak consistency: replay the events
+    /// against the invocation counters, emit one search problem per
+    /// completed operation, and solve them all in parallel.
+    fn drain_weak(&mut self, segments: &[Segment]) {
+        let ModeState::Weak {
+            invoked,
+            preds,
+            next_op,
+        } = &mut self.mode
+        else {
+            unreachable!("drain_weak requires Weak mode");
+        };
+        // (op id, segment index, problem) per completed operation.
+        let mut checks: Vec<(OpId, usize, SearchProblem)> = Vec::new();
+        for (segment_index, segment) in segments.iter().enumerate() {
+            let mut live: BTreeMap<ProcessId, (ObjectId, Invocation, usize)> = BTreeMap::new();
+            for event in segment.history.events() {
+                match &event.kind {
+                    EventKind::Invoke(invocation) => {
+                        let id = *next_op;
+                        *next_op += 1;
+                        live.insert(event.process, (event.object, invocation.clone(), id));
+                        *invoked
+                            .entry(event.object)
+                            .or_default()
+                            .entry(invocation.clone())
+                            .or_insert(0) += 1;
+                    }
+                    EventKind::Respond(value) => {
+                        let Some((object, invocation, id)) = live.remove(&event.process) else {
+                            continue; // well-formedness was enforced at ingest
+                        };
+                        let problem = weak_problem(
+                            invoked.get(&object),
+                            preds.get(&(event.process, object)),
+                            object,
+                            &invocation,
+                            value,
+                        );
+                        checks.push((OpId(id), segment_index, problem));
+                        *preds
+                            .entry((event.process, object))
+                            .or_default()
+                            .entry(invocation)
+                            .or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let universe = &self.universe;
+        let limits = self.limits;
+        let results = parallel::map_par(&checks, |(_, _, problem)| {
+            kernel::solve(problem, universe, limits)
+        });
+        self.stats.checked_ops += checks.len();
+        let mut first: Option<(OpId, usize)> = None;
+        for ((op, segment_index, _), (result, stats)) in checks.iter().zip(results) {
+            self.stats.search.absorb(stats);
+            match result {
+                SearchResult::Yes(_) => {}
+                SearchResult::Unknown => self.incomplete = true,
+                SearchResult::No => {
+                    if first.map(|(o, _)| *op < o).unwrap_or(true) {
+                        first = Some((*op, *segment_index));
+                    }
+                }
+            }
+        }
+        if let Some((op, segment_index)) = first {
+            let segment = &segments[segment_index];
+            self.violation = Some(MonitorViolation {
+                segment_start: segment.start,
+                segment_len: segment.history.len(),
+                object: None,
+                op: Some(op),
+                detail: format!("{op} has no Definition-1 justification"),
+            });
+        }
+    }
+
+    // -- eventual stabilization (liveness half) ----------------------------
+
+    /// Accumulates the invocation multisets; the decision happens in
+    /// [`Monitor::finish_stab`].
+    fn drain_stab(&mut self, segments: &[Segment]) {
+        let ModeState::Stab { completed } = &mut self.mode else {
+            unreachable!("drain_stab requires Stab mode");
+        };
+        for segment in segments {
+            let mut live: BTreeMap<ProcessId, (ObjectId, Invocation)> = BTreeMap::new();
+            for event in segment.history.events() {
+                match &event.kind {
+                    EventKind::Invoke(invocation) => {
+                        live.insert(event.process, (event.object, invocation.clone()));
+                    }
+                    EventKind::Respond(_) => {
+                        if let Some((object, invocation)) = live.remove(&event.process) {
+                            *completed
+                                .entry(object)
+                                .or_default()
+                                .entry(invocation)
+                                .or_insert(0) += 1;
+                            self.stats.checked_ops += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decides "stabilizes eventually": with every response and the whole
+    /// real-time order forgiven, is there a legal arrangement of all
+    /// completed operations (plus any subset of the pending ones)?  There
+    /// are no cross-object constraints, so the objects are decided
+    /// independently, in parallel.
+    fn finish_stab(&mut self) {
+        let ModeState::Stab { completed } = &self.mode else {
+            unreachable!("finish_stab requires Stab mode");
+        };
+        // Pending operations may optionally be completed by the witness.
+        let mut pending_by_object: BTreeMap<ObjectId, BTreeMap<Invocation, u64>> = BTreeMap::new();
+        for (object, invocation) in self.pending.values() {
+            *pending_by_object
+                .entry(*object)
+                .or_default()
+                .entry(invocation.clone())
+                .or_insert(0) += 1;
+        }
+        let mut objects: BTreeSet<ObjectId> = completed.keys().copied().collect();
+        objects.extend(pending_by_object.keys().copied());
+        let objects: Vec<ObjectId> = objects.into_iter().collect();
+        let empty = BTreeMap::new();
+        let universe = &self.universe;
+        let limits = self.limits;
+        let verdicts = parallel::map_par(&objects, |&object| {
+            let mut ops: Vec<ConstrainedOp> = Vec::new();
+            let groups = [
+                (completed.get(&object).unwrap_or(&empty), true),
+                (pending_by_object.get(&object).unwrap_or(&empty), false),
+            ];
+            for (counts, required) in groups {
+                for (invocation, &count) in counts {
+                    for _ in 0..count {
+                        ops.push(ConstrainedOp {
+                            record: synth_record(object, invocation.clone(), ops.len()),
+                            required,
+                            fixed_response: None,
+                        });
+                    }
+                }
+            }
+            let problem = SearchProblem {
+                ops,
+                precedence: Vec::new(),
+            };
+            kernel::solve(&problem, universe, limits)
+        });
+        for (object, (result, stats)) in objects.iter().zip(verdicts) {
+            self.stats.search.absorb(stats);
+            match result {
+                SearchResult::Yes(_) => {}
+                SearchResult::Unknown => self.incomplete = true,
+                SearchResult::No => {
+                    if self.violation.is_none() {
+                        self.violation = Some(MonitorViolation {
+                            segment_start: 0,
+                            segment_len: self.stats.events,
+                            object: Some(*object),
+                            op: None,
+                            detail: format!(
+                                "no legal arrangement of the completed operations on {object} \
+                                 exists even with all responses forgiven"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-object linearizability chain (free function so map_par can use it)
+// ---------------------------------------------------------------------------
+
+struct ObjectOutcome {
+    frontier: Vec<Value>,
+    /// `(index into the segment batch, detail)`.
+    violation: Option<(usize, String)>,
+    incomplete: bool,
+    stats: SearchStats,
+    fast_segments: usize,
+}
+
+/// Threads one object's frontier set through its projections of a segment
+/// batch.
+fn chase_object_chain(
+    universe: &ObjectUniverse,
+    limits: SearchLimits,
+    max_frontiers: usize,
+    object: ObjectId,
+    mut frontier: Vec<Value>,
+    segments: &[Segment],
+    is_final: bool,
+) -> ObjectOutcome {
+    let mut outcome = ObjectOutcome {
+        frontier: Vec::new(),
+        violation: None,
+        incomplete: false,
+        stats: SearchStats::default(),
+        fast_segments: 0,
+    };
+    let fast_eligible = universe.object_type(object).name() == "fetch&increment";
+    let mut scratch = KernelScratch::new();
+    for (segment_index, segment) in segments.iter().enumerate() {
+        let final_segment = is_final && segment_index + 1 == segments.len();
+        let projection = segment.history.project_object(object);
+        if projection.is_empty() {
+            continue;
+        }
+        // Fast path: a pure fetch&increment projection from an integer state
+        // has a unique outgoing state (initial + operation count), so the
+        // near-linear specialized checker replaces the kernel search.
+        if fast_eligible && frontier.iter().all(|s| s.as_int().is_some()) {
+            match fi_step(&projection, &frontier, final_segment) {
+                Ok(Some(next)) => {
+                    outcome.fast_segments += 1;
+                    if next.is_empty() {
+                        outcome.violation = Some((
+                            segment_index,
+                            format!(
+                                "{object}: fetch&increment projection is not linearizable \
+                                 from any frontier state"
+                            ),
+                        ));
+                        outcome.frontier = frontier;
+                        return outcome;
+                    }
+                    frontier = next;
+                    continue;
+                }
+                Ok(None) => {} // not a pure fetch&inc segment: fall through
+                Err(()) => {}  // ditto
+            }
+        }
+        let condition = TLinearizability::new(0);
+        let problem = condition.problem(&projection);
+        let mut outgoing: BTreeSet<Value> = BTreeSet::new();
+        let mut any_yes = false;
+        for state in &frontier {
+            let mut uni = universe.clone();
+            uni.set_initial_state(object, state.clone());
+            if final_segment {
+                // Nothing consumes the outgoing frontier: a plain witness
+                // search decides the tail (pending operations included).
+                let (result, stats) =
+                    kernel::solve_with_scratch(&problem, &uni, limits, &mut scratch);
+                outcome.stats.absorb(stats);
+                match result {
+                    SearchResult::Yes(_) => {
+                        any_yes = true;
+                        break;
+                    }
+                    SearchResult::Unknown => outcome.incomplete = true,
+                    SearchResult::No => {}
+                }
+            } else {
+                let (set, stats) =
+                    kernel::solve_frontiers(&problem, &uni, limits, &[], &mut scratch);
+                outcome.stats.absorb(stats);
+                if !set.complete {
+                    outcome.incomplete = true;
+                }
+                for entry in set.entries {
+                    any_yes = true;
+                    for (o, v) in entry.states {
+                        if o == object {
+                            outgoing.insert(v);
+                        }
+                    }
+                }
+            }
+        }
+        if !any_yes {
+            outcome.violation = Some((
+                segment_index,
+                format!("{object}: segment has no linearization from any frontier state"),
+            ));
+            outcome.frontier = frontier;
+            return outcome;
+        }
+        if final_segment {
+            break;
+        }
+        if outgoing.len() > max_frontiers {
+            outcome.incomplete = true;
+            outcome.frontier = frontier;
+            return outcome;
+        }
+        frontier = outgoing.into_iter().collect();
+    }
+    outcome.frontier = frontier;
+    outcome
+}
+
+/// Fast-path step: decides a pure fetch&increment projection from every
+/// frontier state with [`crate::fi`] and returns the outgoing frontier.
+///
+/// `Ok(None)`/`Err(())` mean "not eligible — use the kernel".  For the final
+/// segment the outgoing frontier is unused; a singleton dummy is returned on
+/// success.
+fn fi_step(
+    projection: &History,
+    frontier: &[Value],
+    is_final: bool,
+) -> Result<Option<Vec<Value>>, ()> {
+    let completed = projection.complete_operations().len();
+    let pending = projection.pending_operations().len();
+    if !is_final && pending > 0 {
+        // Mid-stream segments are quiescent by construction; be safe.
+        return Ok(None);
+    }
+    let mut outgoing = Vec::new();
+    for state in frontier {
+        let initial = state.as_int().ok_or(())?;
+        match fi::is_linearizable(projection, initial) {
+            Ok(true) => {
+                if is_final {
+                    return Ok(Some(vec![Value::from(initial)]));
+                }
+                // All operations are complete, so every witness linearizes
+                // exactly `completed` operations: the outgoing state is
+                // unique per incoming state.
+                outgoing.push(Value::from(initial + completed as i64));
+            }
+            Ok(false) => {}
+            Err(_) => return Ok(None), // not a pure fetch&inc projection
+        }
+    }
+    Ok(Some(outgoing))
+}
+
+/// Builds the Definition-1 problem for one completed operation from the
+/// summarized invocation counters.
+fn weak_problem(
+    invoked: Option<&BTreeMap<Invocation, u64>>,
+    preds: Option<&BTreeMap<Invocation, u64>>,
+    object: ObjectId,
+    invocation: &Invocation,
+    response: &Value,
+) -> SearchProblem {
+    let empty = BTreeMap::new();
+    let invoked = invoked.unwrap_or(&empty);
+    let preds = preds.unwrap_or(&empty);
+    let mut ops: Vec<ConstrainedOp> = Vec::new();
+    // Required same-process predecessors, with free responses.
+    for (inv, &count) in preds {
+        for _ in 0..count {
+            ops.push(ConstrainedOp {
+                record: synth_record(object, inv.clone(), ops.len()),
+                required: true,
+                fixed_response: None,
+            });
+        }
+    }
+    let required_len = ops.len();
+    // Optional pool: every other operation on the object invoked before this
+    // one's response (the counters are snapshots at exactly that moment),
+    // minus the required predecessors and the operation itself.
+    for (inv, &count) in invoked {
+        let mut optional = count - preds.get(inv).copied().unwrap_or(0);
+        if inv == invocation {
+            optional = optional.saturating_sub(1);
+        }
+        for _ in 0..optional {
+            ops.push(ConstrainedOp {
+                record: synth_record(object, inv.clone(), ops.len()),
+                required: false,
+                fixed_response: None,
+            });
+        }
+    }
+    // The operation itself, last, with its response fixed; the witness must
+    // end with it, so every required predecessor precedes it.
+    let last = ops.len();
+    ops.push(ConstrainedOp {
+        record: synth_record(object, invocation.clone(), last),
+        required: true,
+        fixed_response: Some(response.clone()),
+    });
+    let precedence = (0..required_len).map(|i| (i, last)).collect();
+    SearchProblem { ops, precedence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eventual, linearizability, t_linearizability, weak_consistency};
+    use evlin_history::HistoryBuilder;
+    use evlin_spec::{FetchIncrement, Register};
+
+    fn fi_universe() -> (ObjectUniverse, ObjectId) {
+        let mut u = ObjectUniverse::new();
+        let x = u.add_object(FetchIncrement::new());
+        (u, x)
+    }
+
+    fn run_monitor(
+        universe: &ObjectUniverse,
+        history: &History,
+        condition: MonitorCondition,
+    ) -> MonitorReport {
+        let mut m = Monitor::new(universe.clone(), MonitorConfig::for_condition(condition));
+        m.ingest_all(history.iter().cloned()).expect("well-formed");
+        m.finish()
+    }
+
+    #[test]
+    fn sequential_counting_is_ok_and_gcs_the_window() {
+        let (u, x) = fi_universe();
+        let mut b = HistoryBuilder::new();
+        for k in 0..50i64 {
+            b = b.complete(
+                ProcessId((k % 3) as usize),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(k),
+            );
+        }
+        let h = b.build();
+        let report = run_monitor(&u, &h, MonitorCondition::Linearizability);
+        assert!(report.verdict.is_ok(), "{report:?}");
+        assert_eq!(report.stats.events, 100);
+        assert_eq!(report.stats.checked_ops, 50);
+        // Each op closes its own segment: the resident window never exceeds
+        // one batch of tiny segments.
+        assert!(report.stats.peak_window_events <= 2 * 64);
+        assert!(report.stats.fast_path_segments > 0);
+    }
+
+    #[test]
+    fn duplicate_zero_is_flagged_online() {
+        let (u, x) = fi_universe();
+        let h = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .build();
+        let report = run_monitor(&u, &h, MonitorCondition::Linearizability);
+        assert!(matches!(report.verdict, MonitorVerdict::Violation(_)));
+        // ...but the duplicate is forgiven with t = 2 and weakly consistent.
+        let report = run_monitor(&u, &h, MonitorCondition::TLinearizability { t: 2 });
+        assert!(report.verdict.is_ok(), "{report:?}");
+        let report = run_monitor(&u, &h, MonitorCondition::WeakConsistency);
+        assert!(report.verdict.is_ok(), "{report:?}");
+    }
+
+    #[test]
+    fn floaters_cross_segment_boundaries() {
+        // op0 returns 0 and completes; a quiescent cut follows; then op1 also
+        // returns 0.  With t = 2 the offline witness linearizes op0 *after*
+        // op1 — the monitor must let op0 float across the cut.
+        let (u, x) = fi_universe();
+        let h = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
+            .build();
+        assert!(t_linearizability::is_t_linearizable(&h, &u, 2));
+        let report = run_monitor(&u, &h, MonitorCondition::TLinearizability { t: 2 });
+        assert!(report.verdict.is_ok(), "{report:?}");
+        assert!(!t_linearizability::is_t_linearizable(&h, &u, 1));
+        let report = run_monitor(&u, &h, MonitorCondition::TLinearizability { t: 1 });
+        assert!(matches!(report.verdict, MonitorVerdict::Violation(_)));
+    }
+
+    #[test]
+    fn register_frontiers_keep_both_write_orders() {
+        // Two concurrent writes can be ordered either way; a later read of
+        // either value must be accepted, a read of a third value rejected.
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        for (read_value, ok) in [(1i64, true), (2i64, true), (7i64, false)] {
+            let h = HistoryBuilder::new()
+                .invoke(ProcessId(0), r, Register::write(Value::from(1i64)))
+                .invoke(ProcessId(1), r, Register::write(Value::from(2i64)))
+                .respond(ProcessId(0), r, Value::Unit)
+                .respond(ProcessId(1), r, Value::Unit)
+                .complete(ProcessId(0), r, Register::read(), Value::from(read_value))
+                .build();
+            assert_eq!(linearizability::is_linearizable(&h, &u), ok);
+            let report = run_monitor(&u, &h, MonitorCondition::Linearizability);
+            assert_eq!(report.verdict.is_ok(), ok, "read {read_value}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn pending_tail_is_treated_like_offline() {
+        let (u, x) = fi_universe();
+        // A pending fetch&inc justifies the gap at 0.
+        let h = HistoryBuilder::new()
+            .invoke(ProcessId(0), x, FetchIncrement::fetch_inc())
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
+            .build();
+        assert!(linearizability::is_linearizable(&h, &u));
+        let report = run_monitor(&u, &h, MonitorCondition::Linearizability);
+        assert!(report.verdict.is_ok(), "{report:?}");
+    }
+
+    #[test]
+    fn weak_mode_matches_offline_on_the_key_distinction() {
+        let (u, x) = fi_universe();
+        // Same process returning 0 twice: weakly inconsistent.
+        let h = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .build();
+        assert!(!weak_consistency::is_weakly_consistent(&h, &u));
+        let report = run_monitor(&u, &h, MonitorCondition::WeakConsistency);
+        let MonitorVerdict::Violation(v) = &report.verdict else {
+            panic!("expected violation: {report:?}");
+        };
+        assert_eq!(v.op, Some(OpId(1)));
+    }
+
+    #[test]
+    fn stabilizes_eventually_matches_offline() {
+        let (u, x) = fi_universe();
+        let h = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(41i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(7i64),
+            )
+            .build();
+        // Nonsense responses are forgiven by the liveness half.
+        assert!(eventual::analyze(&h, &u).min_stabilization.is_some());
+        let report = run_monitor(&u, &h, MonitorCondition::StabilizesEventually);
+        assert!(report.verdict.is_ok(), "{report:?}");
+    }
+
+    #[test]
+    fn ill_formed_streams_are_rejected() {
+        let (_, x) = fi_universe();
+        let mut m = Monitor::new(fi_universe().0, MonitorConfig::default());
+        m.invoke(ProcessId(0), x, FetchIncrement::fetch_inc())
+            .unwrap();
+        assert!(matches!(
+            m.invoke(ProcessId(0), x, FetchIncrement::fetch_inc()),
+            Err(MonitorError::InvokeWhilePending { .. })
+        ));
+        assert!(matches!(
+            m.respond(ProcessId(1), x, Value::from(0i64)),
+            Err(MonitorError::OrphanResponse { .. })
+        ));
+        // The rejected events were not ingested; the stream stays usable.
+        m.respond(ProcessId(0), x, Value::from(0i64)).unwrap();
+        assert!(m.finish().verdict.is_ok());
+    }
+
+    #[test]
+    fn chunked_feeding_matches_offline_regardless_of_boundaries() {
+        // The monitor's verdict may not depend on how the caller batches its
+        // ingest calls — quiescent cuts are found by the monitor itself.
+        let (u, x) = fi_universe();
+        let h = HistoryBuilder::new()
+            .invoke(ProcessId(0), x, FetchIncrement::fetch_inc())
+            .invoke(ProcessId(1), x, FetchIncrement::fetch_inc())
+            .respond(ProcessId(0), x, Value::from(0i64))
+            .respond(ProcessId(1), x, Value::from(1i64))
+            .complete(
+                ProcessId(2),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(2i64),
+            )
+            .build();
+        for chunk in 1..=h.len() {
+            let mut m = Monitor::new(u.clone(), MonitorConfig::default());
+            for events in h.events().chunks(chunk) {
+                m.ingest_all(events.iter().cloned()).unwrap();
+                m.pump();
+            }
+            assert!(m.finish().verdict.is_ok(), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn min_segment_events_delays_cuts_but_not_verdicts() {
+        let (u, x) = fi_universe();
+        let mut b = HistoryBuilder::new();
+        for k in 0..40i64 {
+            b = b.complete(
+                ProcessId((k % 2) as usize),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(k),
+            );
+        }
+        let h = b.build();
+        let config = MonitorConfig {
+            min_segment_events: 16,
+            ..MonitorConfig::default()
+        };
+        let mut m = Monitor::new(u.clone(), config);
+        m.ingest_all(h.iter().cloned()).unwrap();
+        let report = m.finish();
+        assert!(report.verdict.is_ok());
+        assert!(report.stats.segments < 40, "{report:?}");
+    }
+}

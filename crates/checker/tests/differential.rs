@@ -162,27 +162,100 @@ fn differential_universe() -> ObjectUniverse {
 const SEEDS: u64 = 40;
 const MAX_OPS: usize = 6;
 
+/// Number of cases for the `#[ignore]`d extended (nightly-fuzz) tests, from
+/// `EVLIN_DIFF_CASES` (default 2000).
+fn extended_cases() -> u64 {
+    std::env::var("EVLIN_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+fn assert_linearizability_agrees(u: &ObjectUniverse, seed: u64) {
+    let h = random_history(seed, MAX_OPS);
+    let problem = linearizability::Linearizability.problem(&h);
+    let brute = brute_force(&problem, u);
+    let fast = linearizability::is_linearizable(&h, u);
+    assert_eq!(fast, brute, "linearizability mismatch (seed {seed})\n{h}");
+    // The locality pre-pass and the undecomposed kernel must agree too.
+    let global = kernel::check(
+        &linearizability::Linearizability,
+        &h,
+        u,
+        SearchLimits::default(),
+    );
+    assert_eq!(
+        global.is_yes(),
+        brute,
+        "global kernel mismatch (seed {seed})\n{h}"
+    );
+}
+
+fn assert_t_linearizability_agrees(u: &ObjectUniverse, seed: u64) {
+    let h = random_history(seed, MAX_OPS);
+    for t in 0..=h.len() {
+        let problem = t_linearizability::problem_for(&h, t);
+        let brute = brute_force(&problem, u);
+        let fast = t_linearizability::is_t_linearizable(&h, u, t);
+        assert_eq!(
+            fast, brute,
+            "t-linearizability mismatch (seed {seed}, t {t})\n{h}"
+        );
+    }
+}
+
+fn assert_min_stabilization_agrees(u: &ObjectUniverse, seed: u64) {
+    let h = random_history(seed, MAX_OPS);
+    let brute_min = (0..=h.len()).find(|&t| brute_force(&t_linearizability::problem_for(&h, t), u));
+    let fast_min = t_linearizability::min_stabilization(&h, u, None);
+    assert_eq!(
+        fast_min, brute_min,
+        "stabilization mismatch (seed {seed})\n{h}"
+    );
+}
+
+fn assert_weak_consistency_agrees(u: &ObjectUniverse, seed: u64) {
+    let h = random_history(seed, MAX_OPS);
+    let mut brute_violations = Vec::new();
+    for op in h.operations().iter().filter(|op| op.is_complete()) {
+        let problem = WeakOperation { op: op.id }.problem(&h);
+        if !brute_force(&problem, u) {
+            brute_violations.push(op.id);
+        }
+    }
+    let fast_violations = weak_consistency::violations(&h, u);
+    assert_eq!(
+        fast_violations, brute_violations,
+        "weak-consistency mismatch (seed {seed})\n{h}"
+    );
+    assert_eq!(
+        weak_consistency::is_weakly_consistent(&h, u),
+        brute_violations.is_empty(),
+        "locality pre-pass mismatch (seed {seed})\n{h}"
+    );
+}
+
+fn assert_eventual_agrees(u: &ObjectUniverse, seed: u64) {
+    let h = random_history(seed, MAX_OPS);
+    let brute_weak = h
+        .operations()
+        .iter()
+        .filter(|op| op.is_complete())
+        .all(|op| brute_force(&WeakOperation { op: op.id }.problem(&h), u));
+    let brute_liveness = brute_force(&eventual::StabilizesEventually.problem(&h), u);
+    let report = eventual::analyze(&h, u);
+    assert_eq!(
+        report.is_eventually_linearizable(),
+        brute_weak && brute_liveness,
+        "eventual-linearizability mismatch (seed {seed})\n{h}"
+    );
+}
+
 #[test]
 fn kernel_agrees_with_brute_force_on_linearizability() {
     let u = differential_universe();
     for seed in 0..SEEDS {
-        let h = random_history(seed, MAX_OPS);
-        let problem = linearizability::Linearizability.problem(&h);
-        let brute = brute_force(&problem, &u);
-        let fast = linearizability::is_linearizable(&h, &u);
-        assert_eq!(fast, brute, "linearizability mismatch (seed {seed})\n{h}");
-        // The locality pre-pass and the undecomposed kernel must agree too.
-        let global = kernel::check(
-            &linearizability::Linearizability,
-            &h,
-            &u,
-            SearchLimits::default(),
-        );
-        assert_eq!(
-            global.is_yes(),
-            brute,
-            "global kernel mismatch (seed {seed})\n{h}"
-        );
+        assert_linearizability_agrees(&u, seed);
     }
 }
 
@@ -190,16 +263,7 @@ fn kernel_agrees_with_brute_force_on_linearizability() {
 fn kernel_agrees_with_brute_force_on_t_linearizability() {
     let u = differential_universe();
     for seed in 0..SEEDS {
-        let h = random_history(seed, MAX_OPS);
-        for t in 0..=h.len() {
-            let problem = t_linearizability::problem_for(&h, t);
-            let brute = brute_force(&problem, &u);
-            let fast = t_linearizability::is_t_linearizable(&h, &u, t);
-            assert_eq!(
-                fast, brute,
-                "t-linearizability mismatch (seed {seed}, t {t})\n{h}"
-            );
-        }
+        assert_t_linearizability_agrees(&u, seed);
     }
 }
 
@@ -207,14 +271,7 @@ fn kernel_agrees_with_brute_force_on_t_linearizability() {
 fn kernel_agrees_with_brute_force_on_min_stabilization() {
     let u = differential_universe();
     for seed in 0..SEEDS {
-        let h = random_history(seed, MAX_OPS);
-        let brute_min =
-            (0..=h.len()).find(|&t| brute_force(&t_linearizability::problem_for(&h, t), &u));
-        let fast_min = t_linearizability::min_stabilization(&h, &u, None);
-        assert_eq!(
-            fast_min, brute_min,
-            "stabilization mismatch (seed {seed})\n{h}"
-        );
+        assert_min_stabilization_agrees(&u, seed);
     }
 }
 
@@ -222,24 +279,7 @@ fn kernel_agrees_with_brute_force_on_min_stabilization() {
 fn kernel_agrees_with_brute_force_on_weak_consistency() {
     let u = differential_universe();
     for seed in 0..SEEDS {
-        let h = random_history(seed, MAX_OPS);
-        let mut brute_violations = Vec::new();
-        for op in h.operations().iter().filter(|op| op.is_complete()) {
-            let problem = WeakOperation { op: op.id }.problem(&h);
-            if !brute_force(&problem, &u) {
-                brute_violations.push(op.id);
-            }
-        }
-        let fast_violations = weak_consistency::violations(&h, &u);
-        assert_eq!(
-            fast_violations, brute_violations,
-            "weak-consistency mismatch (seed {seed})\n{h}"
-        );
-        assert_eq!(
-            weak_consistency::is_weakly_consistent(&h, &u),
-            brute_violations.is_empty(),
-            "locality pre-pass mismatch (seed {seed})\n{h}"
-        );
+        assert_weak_consistency_agrees(&u, seed);
     }
 }
 
@@ -247,18 +287,22 @@ fn kernel_agrees_with_brute_force_on_weak_consistency() {
 fn kernel_agrees_with_brute_force_on_eventual_linearizability() {
     let u = differential_universe();
     for seed in 0..SEEDS {
-        let h = random_history(seed, MAX_OPS);
-        let brute_weak = h
-            .operations()
-            .iter()
-            .filter(|op| op.is_complete())
-            .all(|op| brute_force(&WeakOperation { op: op.id }.problem(&h), &u));
-        let brute_liveness = brute_force(&eventual::StabilizesEventually.problem(&h), &u);
-        let report = eventual::analyze(&h, &u);
-        assert_eq!(
-            report.is_eventually_linearizable(),
-            brute_weak && brute_liveness,
-            "eventual-linearizability mismatch (seed {seed})\n{h}"
-        );
+        assert_eventual_agrees(&u, seed);
+    }
+}
+
+/// The nightly-fuzz version: `EVLIN_DIFF_CASES` fresh seeds (disjoint from
+/// the PR-build range) through every condition's brute-force comparison.
+#[test]
+#[ignore = "extended fuzz: run via the nightly CI job or with --ignored"]
+fn extended_kernel_vs_brute_force_all_conditions() {
+    let u = differential_universe();
+    for i in 0..extended_cases() {
+        let seed = SEEDS + i.wrapping_mul(0x9e37_79b9);
+        assert_linearizability_agrees(&u, seed);
+        assert_t_linearizability_agrees(&u, seed);
+        assert_min_stabilization_agrees(&u, seed);
+        assert_weak_consistency_agrees(&u, seed);
+        assert_eventual_agrees(&u, seed);
     }
 }

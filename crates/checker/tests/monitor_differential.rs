@@ -1,0 +1,237 @@
+//! Differential tests: the streaming monitor's verdict must equal the
+//! offline kernel's verdict on the concatenated history, for all four
+//! consistency conditions — no matter how adversarially the stream is
+//! chopped.
+//!
+//! Each property draws a seeded random history over a register and a
+//! fetch&increment object (noisy responses, overlap, pending tails), then
+//! feeds it to a [`Monitor`] in chunks whose boundaries are *not* aligned
+//! with quiescent cuts — chunk sizes, forced [`Monitor::pump`] calls,
+//! `min_segment_events` and `segment_batch` all vary with the seed — and
+//! asserts the final report equals the offline answer.
+//!
+//! The PR-sized runs use the default case count; the nightly fuzz job runs
+//! the `#[ignore]`d extended tests with `EVLIN_DIFF_CASES` (default 2000)
+//! seeds for deep coverage.
+
+use evlin_checker::kernel::{self, SearchLimits};
+use evlin_checker::monitor::{Monitor, MonitorCondition, MonitorConfig, MonitorVerdict};
+use evlin_checker::{eventual, linearizability, t_linearizability, weak_consistency};
+use evlin_history::{History, HistoryBuilder, ObjectUniverse, ProcessId};
+use evlin_spec::{FetchIncrement, Register, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn universe() -> ObjectUniverse {
+    let mut u = ObjectUniverse::new();
+    u.add_object(Register::new(Value::from(0i64)));
+    u.add_object(FetchIncrement::new());
+    u
+}
+
+/// Random well-formed history: same shape as the kernel-vs-brute-force
+/// suite's generator (random interleaving, noisy responses, pendings).
+fn random_history(seed: u64, max_ops: usize) -> History {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = evlin_history::ObjectId(0);
+    let x = evlin_history::ObjectId(1);
+    let processes = rng.gen_range(2..4usize);
+    let total_ops = rng.gen_range(2..=max_ops);
+    let mut plans: Vec<Vec<evlin_spec::Invocation>> = vec![Vec::new(); processes];
+    for _ in 0..total_ops {
+        let p = rng.gen_range(0..processes);
+        let inv = match rng.gen_range(0..3u32) {
+            0 => Register::write(Value::from(rng.gen_range(1..4i64))),
+            1 => Register::read(),
+            _ => FetchIncrement::fetch_inc(),
+        };
+        plans[p].push(inv);
+    }
+    let mut b = HistoryBuilder::new();
+    let mut next_op: Vec<usize> = vec![0; processes];
+    let mut pending: Vec<Option<evlin_spec::Invocation>> = vec![None; processes];
+    let object_of = |inv: &evlin_spec::Invocation| if inv.method() == "fetch_inc" { x } else { r };
+    for _ in 0..total_ops * 8 {
+        let p = rng.gen_range(0..processes);
+        if let Some(inv) = pending[p].clone() {
+            if rng.gen_bool(0.7) {
+                let response = if inv.method() == "write" {
+                    Value::Unit
+                } else {
+                    Value::from(rng.gen_range(0..4i64))
+                };
+                b = b.respond(ProcessId(p), object_of(&inv), response);
+                pending[p] = None;
+            }
+        } else if next_op[p] < plans[p].len() {
+            let inv = plans[p][next_op[p]].clone();
+            next_op[p] += 1;
+            b = b.invoke(ProcessId(p), object_of(&inv), inv.clone());
+            pending[p] = Some(inv);
+        }
+    }
+    b.build()
+}
+
+/// Feeds `history` to a fresh monitor in seed-dependent adversarial chunks
+/// (pumping at every chunk boundary, i.e. at non-quiescent points too) and
+/// returns the final verdict.
+fn monitor_verdict(history: &History, condition: MonitorCondition, seed: u64) -> MonitorVerdict {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe);
+    let config = MonitorConfig {
+        condition,
+        min_segment_events: rng.gen_range(1..5usize),
+        segment_batch: rng.gen_range(1..4usize),
+        ..MonitorConfig::default()
+    };
+    let mut monitor = Monitor::new(universe(), config);
+    let mut fed = 0usize;
+    while fed < history.len() {
+        let chunk = rng.gen_range(1..=4usize).min(history.len() - fed);
+        monitor
+            .ingest_all(history.events()[fed..fed + chunk].iter().cloned())
+            .expect("generated streams are well-formed");
+        fed += chunk;
+        if rng.gen_bool(0.5) {
+            monitor.pump();
+        }
+    }
+    let report = monitor.finish();
+    assert_ne!(
+        report.verdict,
+        MonitorVerdict::Unknown,
+        "budgets must not be exhausted at test sizes\n{history}"
+    );
+    report.verdict
+}
+
+fn check_linearizability(seed: u64, max_ops: usize) {
+    let h = random_history(seed, max_ops);
+    let offline = linearizability::is_linearizable(&h, &universe());
+    let online = monitor_verdict(&h, MonitorCondition::Linearizability, seed);
+    assert_eq!(
+        online.is_ok(),
+        offline,
+        "linearizability mismatch (seed {seed})\n{h}"
+    );
+}
+
+fn check_t_linearizability(seed: u64, max_ops: usize) {
+    let h = random_history(seed, max_ops);
+    let u = universe();
+    for t in 0..=h.len() {
+        let offline = t_linearizability::is_t_linearizable(&h, &u, t);
+        let online = monitor_verdict(&h, MonitorCondition::TLinearizability { t }, seed);
+        assert_eq!(
+            online.is_ok(),
+            offline,
+            "t-linearizability mismatch (seed {seed}, t {t})\n{h}"
+        );
+    }
+}
+
+fn check_weak_consistency(seed: u64, max_ops: usize) {
+    let h = random_history(seed, max_ops);
+    let u = universe();
+    let offline = weak_consistency::violations(&h, &u);
+    let online = monitor_verdict(&h, MonitorCondition::WeakConsistency, seed);
+    match online {
+        MonitorVerdict::Ok => {
+            assert!(
+                offline.is_empty(),
+                "monitor missed violations {offline:?} (seed {seed})\n{h}"
+            );
+        }
+        MonitorVerdict::Violation(v) => {
+            assert_eq!(
+                v.op,
+                offline.first().copied(),
+                "monitor flagged the wrong operation (seed {seed})\n{h}"
+            );
+        }
+        MonitorVerdict::Unknown => unreachable!(),
+    }
+}
+
+fn check_stabilizes_eventually(seed: u64, max_ops: usize) {
+    let h = random_history(seed, max_ops);
+    let u = universe();
+    let offline = kernel::check(
+        &eventual::StabilizesEventually,
+        &h,
+        &u,
+        SearchLimits::default(),
+    )
+    .is_yes();
+    let online = monitor_verdict(&h, MonitorCondition::StabilizesEventually, seed);
+    assert_eq!(
+        online.is_ok(),
+        offline,
+        "stabilizes-eventually mismatch (seed {seed})\n{h}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn monitor_matches_offline_linearizability(seed in 0u64..u64::MAX / 2) {
+        check_linearizability(seed, 7);
+    }
+
+    #[test]
+    fn monitor_matches_offline_t_linearizability(seed in 0u64..u64::MAX / 2) {
+        check_t_linearizability(seed, 6);
+    }
+
+    #[test]
+    fn monitor_matches_offline_weak_consistency(seed in 0u64..u64::MAX / 2) {
+        check_weak_consistency(seed, 7);
+    }
+
+    #[test]
+    fn monitor_matches_offline_stabilizes_eventually(seed in 0u64..u64::MAX / 2) {
+        check_stabilizes_eventually(seed, 7);
+    }
+}
+
+/// Number of cases for the `#[ignore]`d extended (nightly-fuzz) tests.
+fn extended_cases() -> u64 {
+    std::env::var("EVLIN_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+#[test]
+#[ignore = "extended fuzz: run via the nightly CI job or with --ignored"]
+fn extended_monitor_vs_offline_linearizability() {
+    for seed in 0..extended_cases() {
+        check_linearizability(seed.wrapping_mul(0x9e37_79b9), 8);
+    }
+}
+
+#[test]
+#[ignore = "extended fuzz: run via the nightly CI job or with --ignored"]
+fn extended_monitor_vs_offline_t_linearizability() {
+    for seed in 0..extended_cases() / 4 {
+        check_t_linearizability(seed.wrapping_mul(0x9e37_79b9), 6);
+    }
+}
+
+#[test]
+#[ignore = "extended fuzz: run via the nightly CI job or with --ignored"]
+fn extended_monitor_vs_offline_weak_consistency() {
+    for seed in 0..extended_cases() {
+        check_weak_consistency(seed.wrapping_mul(0x9e37_79b9), 8);
+    }
+}
+
+#[test]
+#[ignore = "extended fuzz: run via the nightly CI job or with --ignored"]
+fn extended_monitor_vs_offline_stabilizes_eventually() {
+    for seed in 0..extended_cases() {
+        check_stabilizes_eventually(seed.wrapping_mul(0x9e37_79b9), 8);
+    }
+}

@@ -1,0 +1,194 @@
+//! A small bounded SPSC channel for streaming recorded events.
+//!
+//! The live-monitoring pipeline is a single producer (the [`crate::Recorder`]
+//! emitting events in sequence order) feeding a single consumer (the monitor
+//! thread ingesting them into `evlin_checker::monitor::Monitor`).  The
+//! channel is *bounded*: when the monitor falls behind, `send` blocks, which
+//! back-pressures the recording threads instead of letting the event queue
+//! grow without bound — the whole point of the online monitor is that memory
+//! stays independent of history length.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` only (the workspace has no external
+//! concurrency dependencies).  The implementation is safe for any number of
+//! senders/receivers; "SPSC" describes the intended and tested usage, not an
+//! unsafe fast path.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<Inner<T>>,
+    /// Signalled when the queue gains an item or the sender hangs up.
+    not_empty: Condvar,
+    /// Signalled when the queue loses an item or the receiver hangs up.
+    not_full: Condvar,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+/// The sending half of a bounded channel (see [`bounded`]).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a bounded channel (see [`bounded`]).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel with room for `capacity` in-flight items
+/// (`capacity` is clamped to at least 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(Inner {
+            items: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends an item, blocking while the channel is full.  Returns the item
+    /// back if the receiver has hung up.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let mut inner = self.shared.queue.lock().expect("channel mutex");
+        loop {
+            if inner.receivers == 0 {
+                return Err(item);
+            }
+            if inner.items.len() < inner.capacity {
+                inner.items.push_back(item);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.shared.not_full.wait(inner).expect("channel mutex");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel mutex").senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.queue.lock().expect("channel mutex");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next item, blocking while the channel is empty.  Returns
+    /// `None` once every sender has hung up and the queue is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut inner = self.shared.queue.lock().expect("channel mutex");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.senders == 0 {
+                return None;
+            }
+            inner = self.shared.not_empty.wait(inner).expect("channel mutex");
+        }
+    }
+
+    /// Receives without blocking; `None` means "currently empty", which is
+    /// indistinguishable here from "closed" — use [`Receiver::recv`] for
+    /// shutdown-aware draining.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut inner = self.shared.queue.lock().expect("channel mutex");
+        let item = inner.items.pop_front();
+        if item.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        item
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.queue.lock().expect("channel mutex");
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_arrive_in_order() {
+        let (tx, rx) = bounded(4);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100usize {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            for i in 0..100usize {
+                assert_eq!(rx.recv(), Some(i));
+            }
+            assert_eq!(rx.recv(), None);
+        });
+    }
+
+    #[test]
+    fn bounded_capacity_backpressures_without_deadlock() {
+        let (tx, rx) = bounded(1);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..1000usize {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            let mut received = 0usize;
+            while rx.recv().is_some() {
+                received += 1;
+            }
+            assert_eq!(received, 1000);
+        });
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        assert_eq!(tx.send(7usize), Err(7));
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(rx.try_recv(), None);
+        tx.send(1usize).unwrap();
+        assert_eq!(rx.try_recv(), Some(1));
+    }
+}

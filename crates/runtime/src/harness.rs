@@ -1,8 +1,10 @@
 //! Spawning threads, running workloads, collecting histories and statistics.
 
+use crate::channel;
 use crate::counter::ConcurrentCounter;
-use crate::recorder::Recorder;
-use evlin_history::{History, ObjectId, ProcessId};
+use crate::recorder::{Recorder, SinkStats};
+use evlin_checker::monitor::{Monitor, MonitorConfig, MonitorReport};
+use evlin_history::{History, ObjectId, ObjectUniverse, ProcessId};
 use evlin_spec::{FetchIncrement, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -68,6 +70,90 @@ pub fn run_counter_workload(
     options: HarnessOptions,
 ) -> CounterRun {
     let recorder = options.record_history.then(Recorder::new).map(Arc::new);
+    run_workload_with_recorder(counter, options, recorder)
+}
+
+/// The outcome of one *live-monitored* counter workload run: the raw run
+/// statistics plus the online monitor's report and sink counters.
+#[derive(Debug)]
+pub struct MonitoredRun {
+    /// The workload-side statistics (history is `None`: the events streamed
+    /// to the monitor instead of being retained).
+    pub run: CounterRun,
+    /// The online monitor's verdict and counters.
+    pub report: MonitorReport,
+    /// What the streaming recorder delivered to the channel.
+    pub sink: SinkStats,
+    /// Wall-clock time from workload start until the monitor finished
+    /// checking the last event (≥ `run.elapsed`; the basis for checked-ops/s).
+    pub total_elapsed: Duration,
+}
+
+impl MonitoredRun {
+    /// Completed operations verified per second, end to end (workload +
+    /// online checking overlap).
+    pub fn checked_ops_per_sec(&self) -> f64 {
+        self.report.stats.checked_ops as f64 / self.total_elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// Runs a counter workload with *live* online checking: a streaming
+/// [`Recorder`] feeds invocation/response events through a bounded SPSC
+/// [`channel`] (capacity `channel_capacity`) into an
+/// [`evlin_checker::monitor::Monitor`] running on its own thread, which
+/// checks quiescent-cut segments and discards them as the run proceeds —
+/// the whole pipeline holds a bounded number of events regardless of
+/// `options.ops_per_thread`.
+///
+/// `options.record_history` is ignored (events always stream; none are
+/// retained).
+pub fn run_counter_workload_monitored(
+    counter: &dyn ConcurrentCounter,
+    options: HarnessOptions,
+    monitor_config: MonitorConfig,
+    channel_capacity: usize,
+) -> MonitoredRun {
+    let mut universe = ObjectUniverse::new();
+    let object = universe.add_object(FetchIncrement::new());
+    debug_assert_eq!(object, ObjectId(0), "the harness records on ObjectId(0)");
+    let mut monitor = Monitor::new(universe, monitor_config);
+    let (sender, receiver) = channel::bounded(channel_capacity);
+    let recorder = Arc::new(Recorder::with_sink(sender, false));
+
+    let started = Instant::now();
+    let consumer = std::thread::spawn(move || {
+        while let Some(event) = receiver.recv() {
+            // The recorder's well-formedness filter makes errors impossible
+            // here; a violation verdict is carried in the report instead.
+            let _ = monitor.ingest(event);
+        }
+        monitor.finish()
+    });
+    let run = run_workload_with_recorder(counter, options, Some(Arc::clone(&recorder)));
+    let sink_recorder = Arc::try_unwrap(recorder).expect("all recording threads have joined");
+    let sink = sink_recorder
+        .sink_stats()
+        .expect("streaming recorder has a sink");
+    // Dropping the recorder flushes the reorder buffer and hangs up the
+    // channel, letting the monitor thread drain and finish.
+    drop(sink_recorder);
+    let report = consumer.join().expect("monitor thread");
+    let total_elapsed = started.elapsed();
+    MonitoredRun {
+        run,
+        report,
+        sink,
+        total_elapsed,
+    }
+}
+
+/// Shared worker loop of [`run_counter_workload`] and
+/// [`run_counter_workload_monitored`].
+fn run_workload_with_recorder(
+    counter: &dyn ConcurrentCounter,
+    options: HarnessOptions,
+    recorder: Option<Arc<Recorder>>,
+) -> CounterRun {
     let object = ObjectId(0);
     let start_flag = AtomicBool::new(false);
     // Per-thread response logs (always collected; cheap).
@@ -123,11 +209,9 @@ pub fn run_counter_workload(
         .max(0);
 
     CounterRun {
-        history: recorder.map(|r| {
-            Arc::try_unwrap(r)
-                .expect("all recording threads have joined")
-                .into_history()
-        }),
+        // The monitored path keeps its own handle on the recorder (to flush
+        // the sink after the run); it retains no events, so `None` is right.
+        history: recorder.and_then(|r| Arc::try_unwrap(r).ok().map(Recorder::into_history)),
         elapsed,
         total_ops,
         throughput: total_ops as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
@@ -203,5 +287,58 @@ mod tests {
         assert!(run.history.is_none());
         assert_eq!(run.total_ops, 200);
         assert!(run.throughput > 0.0);
+    }
+
+    #[test]
+    fn live_monitor_verifies_linearizable_counters() {
+        use evlin_checker::monitor::MonitorConfig;
+        for counter in [
+            Box::new(CasCounter::new()) as Box<dyn crate::counter::ConcurrentCounter>,
+            Box::new(FetchAddCounter::new()),
+        ] {
+            let out = run_counter_workload_monitored(
+                counter.as_ref(),
+                options(4, 300, true),
+                MonitorConfig::default(),
+                1024,
+            );
+            assert!(
+                out.report.verdict.is_ok(),
+                "{}: {:?}",
+                counter.name(),
+                out.report
+            );
+            assert_eq!(out.report.stats.checked_ops, 1200);
+            assert_eq!(out.sink.emitted, 2400);
+            assert_eq!(out.sink.dropped_malformed, 0);
+            assert!(!out.sink.disconnected);
+            assert!(out.run.history.is_none(), "events stream, not buffer");
+            assert!(out.checked_ops_per_sec() > 0.0);
+            // Online checking is windowed: the peak resident event count
+            // stays far below the full history length.
+            assert!(out.report.stats.peak_window_events < 2400);
+        }
+    }
+
+    #[test]
+    fn live_monitor_flags_the_stale_sharded_counter_or_verifies_it() {
+        use evlin_checker::monitor::{MonitorConfig, MonitorVerdict};
+        // Under contention the sharded counter repeats responses, which the
+        // online monitor must flag; a perfectly serialized run (possible on
+        // a quiet machine) is genuinely linearizable, so accept both — what
+        // is *not* acceptable is an Unknown.
+        let counter = ShardedCounter::new(4, 16);
+        let out = run_counter_workload_monitored(
+            &counter,
+            options(4, 500, true),
+            MonitorConfig::default(),
+            1024,
+        );
+        let duplicates = out.run.duplicate_responses;
+        match out.report.verdict {
+            MonitorVerdict::Ok => assert_eq!(duplicates, 0, "stale run must be flagged"),
+            MonitorVerdict::Violation(_) => assert!(duplicates > 0),
+            MonitorVerdict::Unknown => panic!("monitor gave up: {:?}", out.report),
+        }
     }
 }

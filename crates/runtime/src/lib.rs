@@ -19,18 +19,27 @@
 //! [`recorder::Recorder`] timestamps invocation and response events with a
 //! global atomic sequence number so that the histories produced by real
 //! threads can be checked offline with `evlin-checker` (the specialized
-//! fetch&increment checker handles hundreds of thousands of operations).
+//! fetch&increment checker handles hundreds of thousands of operations) —
+//! or *online*: a streaming recorder ([`Recorder::with_sink`]) feeds the
+//! events, in sequence order, through a bounded SPSC [`channel`] into the
+//! incremental monitor (`evlin_checker::monitor`), which verifies the run
+//! *while it executes* with memory bounded by the concurrency window.
 //! [`harness`] ties it together: spawn threads, run a workload, collect the
-//! history and throughput statistics.
+//! history and throughput statistics ([`harness::run_counter_workload`]), or
+//! check the stream live ([`harness::run_counter_workload_monitored`], used
+//! by experiment E11 and the `monitor_throughput` bench).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod channel;
 pub mod consensus;
 pub mod counter;
 pub mod harness;
 pub mod recorder;
 
 pub use counter::{CasCounter, ConcurrentCounter, FetchAddCounter, ShardedCounter};
-pub use harness::{run_counter_workload, CounterRun, HarnessOptions};
-pub use recorder::Recorder;
+pub use harness::{
+    run_counter_workload, run_counter_workload_monitored, CounterRun, HarnessOptions, MonitoredRun,
+};
+pub use recorder::{Recorder, SinkStats};
