@@ -87,6 +87,13 @@ impl Implementation for CasFetchInc {
             phase: CasPhase::Idle,
         })
     }
+
+    // Symmetric: every process runs the identical retry loop and no process
+    // id ever enters the programme state, so the engine's symmetry reduction
+    // may merge configurations that differ only by a process renaming.
+    fn process_symmetric_hint(&self) -> Option<bool> {
+        Some(true)
+    }
 }
 
 impl ProcessLogic for CasLogic {
@@ -204,6 +211,12 @@ impl Implementation for NoisyPrefixFetchInc {
             local_count: 0,
         })
     }
+
+    // Symmetric: the per-process local count is data, not an identity — the
+    // programme never branches on *which* process it is.
+    fn process_symmetric_hint(&self) -> Option<bool> {
+        Some(true)
+    }
 }
 
 impl ProcessLogic for NoisyLogic {
@@ -301,6 +314,13 @@ impl Implementation for GossipFetchInc {
             sum_others: 0,
             phase: GossipPhase::Idle,
         })
+    }
+
+    // Asymmetric: each programme writes to *its own* single-writer register
+    // (`me` is baked into the logic), so process renamings do not map
+    // executions to executions.
+    fn process_symmetric_hint(&self) -> Option<bool> {
+        Some(false)
     }
 }
 
@@ -482,6 +502,59 @@ mod tests {
                 out.history.len()
             );
             previous_t = t;
+        }
+    }
+
+    #[test]
+    fn symmetry_markers_drive_the_reduction_engine() {
+        use evlin_sim::engine::{self, EngineOptions, Reduction, Visit};
+        let imp = CasFetchInc::new(3);
+        assert_eq!(imp.process_symmetric_hint(), Some(true));
+        assert_eq!(GossipFetchInc::new(2).process_symmetric_hint(), Some(false));
+        let w = Workload::uniform(3, FetchIncrement::fetch_inc(), 1);
+        let run = |reduction| {
+            engine::explore(
+                &imp,
+                &w,
+                &EngineOptions {
+                    reduction,
+                    workers: Some(1),
+                    ..EngineOptions::default()
+                },
+                |_, _| Visit::Continue,
+            )
+        };
+        let raw = run(Reduction::None);
+        let reduced = run(Reduction::SleepSetSymmetry);
+        assert!(!raw.truncated && !reduced.truncated);
+        assert!(
+            reduced.visited < raw.visited,
+            "marker-enabled reduction must shrink the CAS state space: {raw:?} vs {reduced:?}"
+        );
+        // And the verdict is untouched: no interleaving ever duplicates a
+        // fetch&inc response (the compare&swap loop is linearizable).
+        for reduction in [Reduction::None, Reduction::SleepSetSymmetry] {
+            let violation = engine::find_history_violation(
+                &imp,
+                &w,
+                &EngineOptions {
+                    reduction,
+                    workers: Some(1),
+                    ..EngineOptions::default()
+                },
+                |h| {
+                    let responses: Vec<i64> = h
+                        .complete_operations()
+                        .iter()
+                        .filter_map(|o| o.response.as_ref().and_then(|v| v.as_int()))
+                        .collect();
+                    let mut distinct = responses.clone();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    distinct.len() == responses.len()
+                },
+            );
+            assert!(violation.is_none(), "{reduction:?}");
         }
     }
 

@@ -102,6 +102,13 @@ impl<I: Implementation> Implementation for Fig1Wrapper<I> {
             announced: Vec::new(),
         })
     }
+
+    // Asymmetric: the wrapper announces through per-process logs and the
+    // programme state carries its own id (`me`), so the engine's symmetry
+    // reduction must not merge process renamings.
+    fn process_symmetric_hint(&self) -> Option<bool> {
+        Some(false)
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]

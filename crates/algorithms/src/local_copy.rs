@@ -63,6 +63,14 @@ impl<I: Implementation> Implementation for LocalCopy<I> {
             process,
         })
     }
+
+    // Conservatively asymmetric: the transformed programme stores its own
+    // process id (it must pass *some* identity to its private copies, and
+    // those copies may be pid-dependent, e.g. eventually linearizable), so a
+    // renaming cannot reach every occurrence.
+    fn process_symmetric_hint(&self) -> Option<bool> {
+        Some(false)
+    }
 }
 
 /// Programme state of the transformed implementation: the original

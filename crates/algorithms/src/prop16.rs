@@ -103,6 +103,12 @@ impl Implementation for Prop16Consensus {
             seen: Vec::new(),
         })
     }
+
+    // Asymmetric: single-writer registers indexed by process id, and the
+    // deterministic tie-break scans them in id order.
+    fn process_symmetric_hint(&self) -> Option<bool> {
+        Some(false)
+    }
 }
 
 mod phase {

@@ -100,6 +100,12 @@ impl Implementation for UniversalConstruction {
             awaiting: false,
         })
     }
+
+    // Asymmetric: operations are tagged `(me, seq)` to deduplicate log
+    // entries, so the process id is data the programme depends on.
+    fn process_symmetric_hint(&self) -> Option<bool> {
+        Some(false)
+    }
 }
 
 /// Programme state for [`UniversalConstruction`].

@@ -1,0 +1,92 @@
+//! E12 bench: exhaustive-exploration scaling under the reduction engine.
+//!
+//! Measures the `sim::engine` strategies (none / sleep-set /
+//! sleep-set+symmetry) on the two symmetric families of experiment E12, by
+//! process count:
+//!
+//! * the one-step local-copy fetch&increment (symmetry carries the
+//!   reduction — the raw tree grows with the multinomial of the schedule,
+//!   the reduced one with the partition count);
+//! * the compare&swap fetch&increment (multi-step, one shared object,
+//!   commuting read/failed-cas steps).
+//!
+//! The `explore/…` means recorded in BENCH_checker.json's `gate` object are
+//! enforced by CI's bench-gate job: a regression here means the engine (or a
+//! strategy) got slower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evlin_algorithms::CasFetchInc;
+use evlin_sim::engine::{self, EngineOptions, ExploreOptions, Reduction, Visit};
+use evlin_sim::program::{Implementation, LocalSpecImplementation};
+use evlin_sim::workload::Workload;
+use evlin_spec::FetchIncrement;
+use std::sync::Arc;
+
+fn explore_once(
+    implementation: &dyn Implementation,
+    workload: &Workload,
+    limits: ExploreOptions,
+    reduction: Reduction,
+) -> usize {
+    let stats = engine::explore(
+        implementation,
+        workload,
+        &EngineOptions {
+            limits,
+            workers: Some(1),
+            reduction,
+            ..EngineOptions::default()
+        },
+        |_, _| Visit::Continue,
+    );
+    assert!(!stats.truncated);
+    stats.visited
+}
+
+const STRATEGIES: [(&str, Reduction); 3] = [
+    ("none", Reduction::None),
+    ("sleep", Reduction::SleepSet),
+    ("sleepsym", Reduction::SleepSetSymmetry),
+];
+
+/// Local-copy fetch&increment, 2 ops per process, by process count.
+fn bench_local_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore/local");
+    for &n in &[3usize, 4] {
+        let implementation = LocalSpecImplementation::new(Arc::new(FetchIncrement::new()), n);
+        let workload = Workload::uniform(n, FetchIncrement::fetch_inc(), 2);
+        let limits = ExploreOptions {
+            max_depth: 2 * n,
+            max_configs: 4_000_000,
+        };
+        for (label, reduction) in STRATEGIES {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| explore_once(&implementation, &workload, limits, reduction));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Compare&swap fetch&increment, one op per process, by process count.
+fn bench_cas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore/cas");
+    group.sample_size(10);
+    for &n in &[2usize, 3] {
+        let implementation = CasFetchInc::new(n);
+        let workload = Workload::uniform(n, FetchIncrement::fetch_inc(), 1);
+        let limits = ExploreOptions {
+            max_depth: 4 + 4 * n,
+            max_configs: 4_000_000,
+        };
+        for (label, reduction) in STRATEGIES {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| explore_once(&implementation, &workload, limits, reduction));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(exploration_scaling, bench_local_copy, bench_cas);
+criterion_main!(exploration_scaling);

@@ -25,6 +25,7 @@ fn bench_stability(c: &mut Criterion) {
                     extension_depth: 24,
                     max_configs: 100_000,
                     solo_step_budget: 10_000,
+                    ..StabilityOptions::default()
                 };
                 b.iter(|| {
                     let freeze =

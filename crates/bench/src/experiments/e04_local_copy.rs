@@ -12,6 +12,7 @@ use crate::Table;
 use evlin_algorithms::{CasFetchInc, LocalCopy, Prop16Consensus};
 use evlin_checker::{linearizability, parallel, weak_consistency};
 use evlin_history::ObjectUniverse;
+use evlin_sim::engine::{self, EngineOptions, Reduction, Visit};
 use evlin_sim::explorer::{
     terminal_histories, terminal_histories_par, ExploreOptions, ParExploreOptions,
 };
@@ -99,6 +100,8 @@ pub fn run(quick: bool) -> Vec<Table> {
             "terminal histories",
             "all linearizable",
             "all weakly consistent",
+            "states (raw)",
+            "states (sleep+sym)",
         ],
     );
     for case in cases() {
@@ -121,12 +124,39 @@ pub fn run(quick: bool) -> Vec<Table> {
         let all_wc = histories
             .iter()
             .all(|h| weak_consistency::is_weakly_consistent(h, &universe));
+        // How much of that tree the reduction engine skips (symmetry applies
+        // to the uniform workloads; the one-shot consensus proposals differ,
+        // so that row degrades to plain state deduplication).
+        let count_states = |reduction| {
+            let stats = engine::explore(
+                &implementation,
+                &case.workload,
+                &EngineOptions {
+                    limits: options,
+                    workers: Some(1),
+                    reduction,
+                    ..EngineOptions::default()
+                },
+                |_, _| Visit::Continue,
+            );
+            // A truncated count is not comparable across strategies; the E4
+            // workloads are tiny, so treat hitting the budget as a bug.
+            assert!(!stats.truncated, "E4 exploration truncated: {}", case.name);
+            stats.visited
+        };
+        let raw_states = count_states(Reduction::None);
+        let reduced_states = count_states(Reduction::SleepSetSymmetry);
         per_type.push_row([
             case.name.to_string(),
             case.trivial.to_string(),
             histories.len().to_string(),
             all_lin.to_string(),
             all_wc.to_string(),
+            raw_states.to_string(),
+            format!(
+                "{reduced_states} ({:.1}×)",
+                raw_states as f64 / reduced_states.max(1) as f64
+            ),
         ]);
     }
 

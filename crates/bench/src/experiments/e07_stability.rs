@@ -48,6 +48,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         extension_depth: if quick { 24 } else { 32 },
         max_configs: if quick { 80_000 } else { 400_000 },
         solo_step_budget: 10_000,
+        // Sleep sets shrink the extension trees without touching verdicts —
+        // the compare&swap protocol's read steps commute across processes.
+        reduction: Reduction::SleepSet,
     };
 
     let mut table = Table::new(

@@ -297,7 +297,80 @@ pub fn run(quick: bool) -> Vec<Table> {
         }
     }
 
-    vec![generic, specialized, agreement, batched, locality]
+    // Reduced exploration feeding the batched checker: the engine's
+    // sleep-set + symmetry strategies shrink the terminal-history batch the
+    // checker has to grind through, with identical batch verdicts — the
+    // exploration-side counterpart of the locality decomposition above.
+    let mut reduced = Table::new(
+        "E10f — reduction engine feeding the batched checker (cas fetch&inc, 2 processes)",
+        &[
+            "strategy",
+            "states visited",
+            "distinct terminal histories",
+            "check time (ms)",
+            "all linearizable",
+        ],
+    );
+    {
+        use evlin_algorithms::CasFetchInc;
+        use evlin_sim::engine::{self, EngineOptions, ExploreOptions, Reduction};
+        use evlin_sim::workload::Workload;
+
+        let mut universe = ObjectUniverse::new();
+        universe.add_object(FetchIncrement::new());
+        let implementation = CasFetchInc::new(2);
+        let ops = if quick { 2 } else { 3 };
+        let workload = Workload::uniform(2, FetchIncrement::fetch_inc(), ops);
+        let mut verdicts: Vec<bool> = Vec::new();
+        for (label, reduction) in [
+            ("none", Reduction::None),
+            ("sleep-set", Reduction::SleepSet),
+            ("sleep-set+symmetry", Reduction::SleepSetSymmetry),
+        ] {
+            let options = EngineOptions {
+                limits: ExploreOptions {
+                    max_depth: 6 * ops,
+                    max_configs: 4_000_000,
+                },
+                reduction,
+                ..EngineOptions::default()
+            };
+            let mut batch: Vec<evlin_history::History> = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            let max_depth = options.limits.max_depth;
+            let stats = engine::explore(&implementation, &workload, &options, |c, d| {
+                if c.enabled_processes().is_empty() || d >= max_depth {
+                    let h = c.history().clone();
+                    if seen.insert(format!("{h:?}")) {
+                        batch.push(h);
+                    }
+                }
+                evlin_sim::engine::Visit::Continue
+            });
+            // Truncated explorations are shape-sensitive and must never be
+            // compared across strategies.
+            assert!(!stats.truncated, "E10f exploration truncated ({label})");
+            let start = Instant::now();
+            let all_lin = parallel::check_histories_par(&batch, &universe)
+                .into_iter()
+                .all(|ok| ok);
+            let elapsed = start.elapsed();
+            verdicts.push(all_lin);
+            reduced.push_row([
+                label.to_string(),
+                stats.visited.to_string(),
+                batch.len().to_string(),
+                format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+                all_lin.to_string(),
+            ]);
+        }
+        assert!(
+            verdicts.windows(2).all(|w| w[0] == w[1]),
+            "reduction changed a batch verdict"
+        );
+    }
+
+    vec![generic, specialized, agreement, batched, locality, reduced]
 }
 
 #[cfg(test)]
@@ -325,5 +398,14 @@ mod tests {
         for row in &tables[4].rows {
             assert_eq!(row[7], "true", "locality verdicts must agree: {row:?}");
         }
+        // The reduction engine shrinks the batch without changing verdicts.
+        let reduced = &tables[5];
+        assert_eq!(reduced.rows.len(), 3);
+        for row in &reduced.rows {
+            assert_eq!(row[4], "true", "cas fetch&inc stays linearizable: {row:?}");
+        }
+        let raw: usize = reduced.rows[0][1].parse().unwrap();
+        let combined: usize = reduced.rows[2][1].parse().unwrap();
+        assert!(combined < raw, "reduction must shrink the exploration");
     }
 }

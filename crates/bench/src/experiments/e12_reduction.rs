@@ -1,0 +1,257 @@
+//! E12 — exploration reduction: sleep sets + process-symmetry
+//! canonicalization vs the raw interleaving tree.
+//!
+//! Every exhaustive result in this repository (E4's Theorem 12 tables, the
+//! Proposition 16/18 explorations, …) pays the combinatorial price of the
+//! schedule tree.  This experiment measures what the `sim::engine` reduction
+//! strategies buy on three families — the one-step local-copy
+//! transformation (symmetry-heavy), the compare&swap fetch&increment
+//! (symmetric with commuting reads) and the register-only gossip counter
+//! (asymmetric but access-disjoint, sleep-set-heavy) — while asserting that
+//! the verdicts (all/none of the terminal histories linearizable, all weakly
+//! consistent) never change.  The hard family (4–5 symmetric processes) was
+//! previously infeasible at full depth; with sleep sets + symmetry the
+//! engine visits ≥ 5× fewer states (the acceptance bar; the measured factors
+//! are far larger — see EXPERIMENTS.md for a reference run).
+
+use crate::Table;
+use evlin_algorithms::{CasFetchInc, GossipFetchInc};
+use evlin_checker::{linearizability, weak_consistency};
+use evlin_history::ObjectUniverse;
+use evlin_sim::engine::{self, EngineOptions, ExploreOptions, Reduction, Visit};
+use evlin_sim::program::{Implementation, LocalSpecImplementation};
+use evlin_sim::workload::Workload;
+use evlin_spec::{FetchIncrement, ObjectType};
+use std::sync::Arc;
+
+const STRATEGIES: [Reduction; 4] = [
+    Reduction::None,
+    Reduction::SleepSet,
+    Reduction::Symmetry,
+    Reduction::SleepSetSymmetry,
+];
+
+struct Family {
+    name: String,
+    implementation: Box<dyn Implementation>,
+    workload: Workload,
+    limits: ExploreOptions,
+    /// Whether this row belongs to the "hard" ≥4-symmetric-process family
+    /// the acceptance criterion quantifies over.
+    hard: bool,
+}
+
+fn families(quick: bool) -> Vec<Family> {
+    let fi: Arc<dyn ObjectType> = Arc::new(FetchIncrement::new());
+    let mut out = Vec::new();
+    // Local-copy fetch&increment: one-step operations, fully symmetric — the
+    // n! orbit merging carries the reduction.
+    let local_sizes: &[usize] = if quick { &[3, 4] } else { &[3, 4, 5] };
+    for &n in local_sizes {
+        out.push(Family {
+            name: format!("local-copy fetch&inc ({n}p × 2 ops)"),
+            implementation: Box::new(LocalSpecImplementation::new(fi.clone(), n)),
+            workload: Workload::uniform(n, FetchIncrement::fetch_inc(), 2),
+            limits: ExploreOptions {
+                max_depth: 2 * n,
+                max_configs: 4_000_000,
+            },
+            hard: n >= 4,
+        });
+    }
+    // Compare&swap fetch&increment: symmetric, multi-step, one shared CAS
+    // object whose read steps commute.  The 4-process full-depth row is the
+    // previously-infeasible config this PR exists for: the raw tree has
+    // ~29M states (its terminal histories are far past collecting), the
+    // reduced engine visits ~16k.
+    let cas_sizes: &[(usize, usize)] = if quick {
+        &[(2, 2), (3, 1)]
+    } else {
+        &[(2, 2), (3, 1), (4, 1)]
+    };
+    for &(n, ops) in cas_sizes {
+        out.push(Family {
+            name: format!("cas fetch&inc ({n}p × {ops} ops)"),
+            implementation: Box::new(CasFetchInc::new(n)),
+            workload: Workload::uniform(n, FetchIncrement::fetch_inc(), ops),
+            limits: ExploreOptions {
+                max_depth: if n >= 4 { 14 } else { 16 },
+                max_configs: 40_000_000,
+            },
+            hard: n >= 4,
+        });
+    }
+    // Gossip fetch&increment: asymmetric (vetoed by its symmetry marker) but
+    // register-per-process, so sleep sets prune the commuting scans.
+    let gossip_sizes: &[usize] = if quick { &[2] } else { &[2, 3] };
+    for &n in gossip_sizes {
+        out.push(Family {
+            name: format!("gossip fetch&inc ({n}p × 1 op)"),
+            implementation: Box::new(GossipFetchInc::new(n)),
+            workload: Workload::uniform(n, FetchIncrement::fetch_inc(), 1),
+            limits: ExploreOptions {
+                max_depth: 4 * n,
+                max_configs: 4_000_000,
+            },
+            hard: false,
+        });
+    }
+    out
+}
+
+/// Above this many *distinct* terminal histories, a run stops collecting
+/// them (verdict columns become `—`): the raw engine on the hard families
+/// produces tens of millions of terminals, which is exactly the infeasibility
+/// the reduction removes.
+const COLLECT_CAP: usize = 200_000;
+
+struct Run {
+    stats: engine::ExploreStats,
+    /// Distinct terminal histories and their verdicts (all linearizable, all
+    /// weakly consistent); `None` when the run overflowed [`COLLECT_CAP`].
+    checked: Option<(usize, bool, bool)>,
+}
+
+fn run_family(family: &Family, reduction: Reduction, universe: &ObjectUniverse) -> Run {
+    let options = EngineOptions {
+        limits: family.limits,
+        reduction,
+        ..EngineOptions::default()
+    };
+    let max_depth = family.limits.max_depth;
+    let mut seen = std::collections::BTreeSet::new();
+    let mut terminal_histories = Vec::new();
+    let mut overflowed = false;
+    let stats = engine::explore(
+        family.implementation.as_ref(),
+        &family.workload,
+        &options,
+        |config, depth| {
+            if !overflowed && (config.enabled_processes().is_empty() || depth >= max_depth) {
+                let h = config.history().clone();
+                if seen.insert(format!("{h:?}")) {
+                    terminal_histories.push(h);
+                }
+                if seen.len() > COLLECT_CAP {
+                    overflowed = true;
+                    seen.clear();
+                    terminal_histories.clear();
+                }
+            }
+            Visit::Continue
+        },
+    );
+    assert!(
+        !stats.truncated,
+        "{}: truncated at {reduction:?}",
+        family.name
+    );
+    let checked = (!overflowed).then(|| {
+        (
+            terminal_histories.len(),
+            terminal_histories
+                .iter()
+                .all(|h| linearizability::is_linearizable(h, universe)),
+            terminal_histories
+                .iter()
+                .all(|h| weak_consistency::is_weakly_consistent(h, universe)),
+        )
+    });
+    Run { stats, checked }
+}
+
+/// Runs experiment E12 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E12 — exploration reduction: states visited by strategy (identical verdicts asserted)",
+        &[
+            "family",
+            "strategy",
+            "states visited",
+            "pruned",
+            "terminals",
+            "distinct histories",
+            "reduction ×",
+            "all linearizable",
+            "all weakly consistent",
+        ],
+    );
+    let mut universe = ObjectUniverse::new();
+    universe.add_object(FetchIncrement::new());
+    for family in families(quick) {
+        let baseline = run_family(&family, Reduction::None, &universe);
+        // The verdict every collected strategy must agree with: the raw
+        // engine's when collectable, otherwise the first reduced strategy's
+        // (raw-vs-reduced agreement on collectable configs is additionally
+        // fuzzed by crates/sim/tests/reduction_differential.rs).
+        let mut reference_verdict = baseline.checked.map(|(_, lin, wc)| (lin, wc));
+        for reduction in STRATEGIES {
+            let run = if reduction == Reduction::None {
+                Run {
+                    stats: baseline.stats,
+                    checked: baseline.checked,
+                }
+            } else {
+                run_family(&family, reduction, &universe)
+            };
+            if let Some((_, lin, wc)) = run.checked {
+                match reference_verdict {
+                    None => reference_verdict = Some((lin, wc)),
+                    Some(expected) => assert_eq!(
+                        (lin, wc),
+                        expected,
+                        "{}: {reduction:?} changed a verdict",
+                        family.name
+                    ),
+                }
+            }
+            let factor = baseline.stats.visited as f64 / run.stats.visited.max(1) as f64;
+            if family.hard && reduction == Reduction::SleepSetSymmetry {
+                assert!(
+                    factor >= 5.0,
+                    "{}: hard family must reduce ≥5× (got {factor:.1}×)",
+                    family.name
+                );
+            }
+            let (distinct, lin, wc) = match run.checked {
+                Some((d, lin, wc)) => (d.to_string(), lin.to_string(), wc.to_string()),
+                None => (format!("> {COLLECT_CAP}"), "—".to_string(), "—".to_string()),
+            };
+            table.push_row([
+                family.name.clone(),
+                reduction.label().to_string(),
+                run.stats.visited.to_string(),
+                run.stats.pruned.to_string(),
+                run.stats.terminals.to_string(),
+                distinct,
+                format!("{factor:.1}×"),
+                lin,
+                wc,
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_factors_meet_the_acceptance_bar() {
+        // `run` itself asserts verdict equality and the ≥5× bar on the hard
+        // family; here additionally check the table shape and that the
+        // combined strategy never does worse than no reduction.
+        let tables = run(true);
+        let table = &tables[0];
+        assert_eq!(table.rows.len() % STRATEGIES.len(), 0);
+        for chunk in table.rows.chunks(STRATEGIES.len()) {
+            let baseline: usize = chunk[0][2].parse().unwrap();
+            let combined: usize = chunk[3][2].parse().unwrap();
+            assert!(
+                combined <= baseline,
+                "combined strategy regressed: {chunk:?}"
+            );
+        }
+    }
+}

@@ -247,6 +247,21 @@ impl History {
     pub fn is_prefix_of(&self, other: &History) -> bool {
         self.len() <= other.len() && self.events[..] == other.events[..self.len()]
     }
+
+    /// Renames every process in place: process `p` becomes `map[p.index()]`.
+    ///
+    /// Used by the simulator's symmetry reduction, which rewrites whole
+    /// configurations (including their recorded histories) under a process
+    /// permutation before merging symmetric states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some event's process index is not covered by `map`.
+    pub fn rename_processes(&mut self, map: &[ProcessId]) {
+        for e in &mut self.events {
+            e.process = map[e.process.index()];
+        }
+    }
 }
 
 impl fmt::Display for History {
@@ -405,5 +420,16 @@ mod tests {
         let text = format!("{}", sample());
         assert_eq!(text.lines().count(), 5);
         assert!(text.contains("write"));
+    }
+
+    #[test]
+    fn rename_processes_swaps_identities() {
+        let mut h = sample();
+        h.rename_processes(&[p(1), p(0)]);
+        assert_eq!(h.project_process(p(1)).len(), 3);
+        assert_eq!(h.project_process(p(0)).len(), 2);
+        // Renaming twice with the same transposition restores the original.
+        h.rename_processes(&[p(1), p(0)]);
+        assert_eq!(h, sample());
     }
 }

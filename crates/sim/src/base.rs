@@ -5,6 +5,28 @@ use evlin_spec::{Invocation, ObjectType, Value};
 use std::fmt;
 use std::sync::Arc;
 
+/// How a base object's state depends on process identities.
+///
+/// Consulted by the symmetry reduction of [`crate::engine`] before it merges
+/// configurations that differ only by a renaming of the processes: every base
+/// object in the configuration must be [`PidDependence::Independent`] or
+/// [`PidDependence::Permutable`], otherwise canonicalization is disabled
+/// (plain deduplication still applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PidDependence {
+    /// The state never records which process performed an access (for
+    /// example a plain register): renaming processes leaves the object
+    /// untouched.
+    Independent,
+    /// The state mentions process ids, and the object knows how to rename
+    /// them ([`BaseObject::permute_processes`] is overridden consistently
+    /// with its `Debug` output).
+    Permutable,
+    /// Unknown — the conservative default.  Symmetry reduction is disabled
+    /// for configurations containing such an object.
+    Opaque,
+}
+
 /// A shared base object accessed by atomic steps.
 ///
 /// `invoke` performs one operation atomically and returns its response.  Base
@@ -29,6 +51,19 @@ pub trait BaseObject: fmt::Debug + Send + Sync {
 
     /// The name of the object's type (for diagnostics).
     fn type_name(&self) -> String;
+
+    /// How the object's state depends on process identities (see
+    /// [`PidDependence`]).  Defaults to the conservative
+    /// [`PidDependence::Opaque`], which disables symmetry reduction.
+    fn pid_dependence(&self) -> PidDependence {
+        PidDependence::Opaque
+    }
+
+    /// Renames every process id recorded in the object's state: process `p`
+    /// becomes `perm[p]`.  Must be overridden by objects declaring
+    /// [`PidDependence::Permutable`]; the default no-op is only correct for
+    /// [`PidDependence::Independent`] objects.
+    fn permute_processes(&mut self, _perm: &[usize]) {}
 }
 
 impl Clone for Box<dyn BaseObject> {
@@ -104,6 +139,12 @@ impl BaseObject for SpecObject {
 
     fn type_name(&self) -> String {
         self.ty.name().to_owned()
+    }
+
+    // The sequential specification ignores the caller's identity, so the
+    // state can never depend on process ids.
+    fn pid_dependence(&self) -> PidDependence {
+        PidDependence::Independent
     }
 }
 
@@ -212,6 +253,10 @@ impl BaseObject for AnnounceLog {
     fn type_name(&self) -> String {
         "announce-log".to_owned()
     }
+
+    // Deliberately left `PidDependence::Opaque` (the default): the log itself
+    // ignores the caller's identity, but the *values* appended by the Figure 1
+    // wrapper embed process ids, which a renaming could not reach.
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! (everything is an owned value), which is what the execution-tree explorer,
 //! the valency analysis and the stable-configuration search rely on.
 
-use crate::base::BaseObject;
+use crate::base::{BaseObject, PidDependence};
 use crate::program::{Implementation, ProcessLogic, TaskStep};
 use crate::workload::Workload;
 use evlin_history::{History, ObjectId, ProcessId};
@@ -25,6 +25,34 @@ pub enum StepOutcome {
     Completed(Value),
     /// The process has no operation to run (its workload is exhausted).
     Idle,
+}
+
+/// The *shape* of the next atomic step of a process, as seen by the
+/// step-independence oracle of [`crate::engine`]: whether the step records a
+/// history event and, for mid-operation base-object accesses, which object
+/// it touches and whether it changes that object's state.
+///
+/// Two steps *commute* (executing them in either order reaches the same
+/// configuration) iff both are [`StepShape::Access`]es to disjoint base
+/// objects, or to the same object with neither writing.  Operation starts and
+/// completions append to the recorded history, whose event order is part of
+/// the configuration, so they never commute with anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepShape {
+    /// The step starts a new high-level operation (records an invocation
+    /// event).
+    Start,
+    /// A mid-operation access to a base object (records nothing).
+    Access {
+        /// Index of the base object the step accesses.
+        object: usize,
+        /// Whether the access changes the object's state (observed on its
+        /// `Debug` rendering, which for the state machines in this workspace
+        /// prints every field).
+        writes: bool,
+    },
+    /// The step completes the current operation (records a response event).
+    Complete,
 }
 
 #[derive(Clone, Debug)]
@@ -174,6 +202,24 @@ impl Config {
     /// through their `Debug` representations, which for the state-machine
     /// structs in this workspace print every field.
     pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_with(None)
+    }
+
+    /// The fingerprint of the configuration *as if* its processes had been
+    /// renamed by `perm` (process `i` becomes `perm[i]`), without mutating
+    /// anything.
+    ///
+    /// This is what the symmetry reduction minimizes over all permutations to
+    /// pick a canonical representative; it must agree with
+    /// [`Config::fingerprint`] after [`Config::apply_permutation`] with the
+    /// same permutation.  Sound only when process programmes do not embed
+    /// their own identity and every base object declares its process-id
+    /// dependence (see [`crate::engine::SymmetryReduction`]).
+    pub fn fingerprint_permuted(&self, perm: &[usize]) -> u64 {
+        self.fingerprint_with(Some(perm))
+    }
+
+    fn fingerprint_with(&self, perm: Option<&[usize]>) -> u64 {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
 
@@ -192,17 +238,222 @@ impl Config {
         use fmt::Write as _;
         let mut hasher = DefaultHasher::new();
         for b in &self.base {
-            write!(HashWriter(&mut hasher), "{b:?}").expect("hashing cannot fail");
+            match perm {
+                Some(map) if b.pid_dependence() == PidDependence::Permutable => {
+                    let mut renamed = b.clone();
+                    renamed.permute_processes(map);
+                    write!(HashWriter(&mut hasher), "{renamed:?}").expect("hashing cannot fail");
+                }
+                _ => write!(HashWriter(&mut hasher), "{b:?}").expect("hashing cannot fail"),
+            }
         }
-        for p in &self.processes {
+        let mut hash_process = |p: &ProcessState| {
             write!(HashWriter(&mut hasher), "{:?}", p.logic).expect("hashing cannot fail");
             p.running.hash(&mut hasher);
             p.last_response.hash(&mut hasher);
             p.completed.hash(&mut hasher);
             p.remaining.hash(&mut hasher);
+        };
+        match perm {
+            None => {
+                for p in &self.processes {
+                    hash_process(p);
+                }
+            }
+            Some(map) => {
+                // Position `j` of the renamed configuration holds the state
+                // of the (unique) process that `map` sends to `j`.
+                let mut inverse = vec![0usize; map.len()];
+                for (old, &new) in map.iter().enumerate() {
+                    inverse[new] = old;
+                }
+                for &old in &inverse {
+                    hash_process(&self.processes[old]);
+                }
+            }
         }
-        write!(HashWriter(&mut hasher), "{:?}", self.history).expect("hashing cannot fail");
+        for e in self.history.events() {
+            match perm {
+                None => e.process.hash(&mut hasher),
+                Some(map) => ProcessId(map[e.process.index()]).hash(&mut hasher),
+            }
+            e.object.hash(&mut hasher);
+            e.kind.hash(&mut hasher);
+        }
         hasher.finish()
+    }
+
+    /// Picks the permutation (an index into `perms`) whose renaming of this
+    /// configuration has the least canonical key — the argmin the symmetry
+    /// reduction rewrites configurations with.  Renamings of one another
+    /// select the same representative (up to hash collision), because the
+    /// key is a function of the renamed configuration alone.
+    ///
+    /// Unlike [`Config::fingerprint_permuted`], which re-serializes the
+    /// whole configuration per permutation, this precomputes one hash per
+    /// process state and per history event and folds them per candidate, so
+    /// the `n!` candidates cost `O(n + |history|)` word mixes each — this
+    /// runs once per configuration visited under symmetry reduction.
+    pub fn canonical_permutation(&self, perms: &[Vec<usize>]) -> usize {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        struct HashWriter<'a, H: Hasher>(&'a mut H);
+        impl<H: Hasher> fmt::Write for HashWriter<'_, H> {
+            fn write_str(&mut self, s: &str) -> fmt::Result {
+                self.0.write(s.as_bytes());
+                Ok(())
+            }
+        }
+        use fmt::Write as _;
+
+        let process_hash: Vec<u64> = self
+            .processes
+            .iter()
+            .map(|p| {
+                let mut h = DefaultHasher::new();
+                write!(HashWriter(&mut h), "{:?}", p.logic).expect("hashing cannot fail");
+                p.running.hash(&mut h);
+                p.last_response.hash(&mut h);
+                p.completed.hash(&mut h);
+                p.remaining.hash(&mut h);
+                h.finish()
+            })
+            .collect();
+        let event_body: Vec<(usize, u64)> = self
+            .history
+            .events()
+            .iter()
+            .map(|e| {
+                let mut h = DefaultHasher::new();
+                e.object.hash(&mut h);
+                e.kind.hash(&mut h);
+                (e.process.index(), h.finish())
+            })
+            .collect();
+        // Pid-independent base objects hash identically under every
+        // renaming, so only permutable ones participate in the argmin.
+        let permutable: Vec<usize> = (0..self.base.len())
+            .filter(|&i| self.base[i].pid_dependence() == PidDependence::Permutable)
+            .collect();
+
+        let n = self.processes.len();
+        let mut inverse = vec![0usize; n];
+        let mut best = 0usize;
+        let mut best_key = u64::MAX;
+        for (i, perm) in perms.iter().enumerate() {
+            let mut h = DefaultHasher::new();
+            for &obj in &permutable {
+                let mut renamed = self.base[obj].clone();
+                renamed.permute_processes(perm);
+                write!(HashWriter(&mut h), "{renamed:?}").expect("hashing cannot fail");
+            }
+            for (old, &new) in perm.iter().enumerate() {
+                inverse[new] = old;
+            }
+            for &old in &inverse {
+                process_hash[old].hash(&mut h);
+            }
+            for &(p, body) in &event_body {
+                perm[p].hash(&mut h);
+                body.hash(&mut h);
+            }
+            let key = h.finish();
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Physically renames the processes: process `i` becomes `perm[i]`,
+    /// permuting the per-process states, renaming every process id recorded
+    /// by pid-dependent base objects, and renaming the history's events.
+    ///
+    /// Used by the symmetry reduction to rewrite a configuration into its
+    /// canonical representative.  Sound only under the conditions checked by
+    /// [`crate::engine::SymmetryReduction::detect`].
+    pub fn apply_permutation(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.processes.len(), "permutation arity");
+        let old = std::mem::take(&mut self.processes);
+        let mut slots: Vec<Option<ProcessState>> = (0..old.len()).map(|_| None).collect();
+        for (i, state) in old.into_iter().enumerate() {
+            slots[perm[i]] = Some(state);
+        }
+        self.processes = slots
+            .into_iter()
+            .map(|s| s.expect("perm must be a bijection"))
+            .collect();
+        for b in &mut self.base {
+            if b.pid_dependence() == PidDependence::Permutable {
+                b.permute_processes(perm);
+            }
+        }
+        let map: Vec<ProcessId> = perm.iter().map(|&i| ProcessId(i)).collect();
+        self.history.rename_processes(&map);
+    }
+
+    /// Whether every per-process state is structurally identical: same
+    /// programme state (by `Debug`), same progress flags and same remaining
+    /// workload.  On the initial configuration of a uniform workload this is
+    /// the structural evidence that the implementation is process-symmetric
+    /// (programmes that embed their own id print differently).
+    pub fn processes_structurally_symmetric(&self) -> bool {
+        if self.processes.len() < 2 {
+            return false;
+        }
+        let sig = |p: &ProcessState| {
+            (
+                format!("{:?}", p.logic),
+                p.running,
+                p.completed,
+                p.last_response.clone(),
+            )
+        };
+        let first = sig(&self.processes[0]);
+        self.processes
+            .iter()
+            .skip(1)
+            .all(|p| sig(p) == first && p.remaining == self.processes[0].remaining)
+    }
+
+    /// Whether every base object declares how its state depends on process
+    /// ids (no [`PidDependence::Opaque`] object) — a precondition for
+    /// symmetry canonicalization.
+    pub fn base_objects_permutable(&self) -> bool {
+        self.base
+            .iter()
+            .all(|b| b.pid_dependence() != PidDependence::Opaque)
+    }
+
+    /// The shape of the next atomic step process `p` would take, without
+    /// taking it — the step-independence oracle behind the sleep-set
+    /// reduction of [`crate::engine`].  Returns `None` if `p` is not enabled.
+    ///
+    /// Determining whether a base-object access *writes* costs one clone of
+    /// the target object plus a probe invocation; operation starts and
+    /// completions are classified from the programme state alone.
+    pub fn peek_step_shape(&self, p: ProcessId) -> Option<StepShape> {
+        let state = &self.processes[p.index()];
+        if !state.running {
+            return if state.remaining.is_empty() {
+                None
+            } else {
+                Some(StepShape::Start)
+            };
+        }
+        let mut logic = state.logic.clone();
+        match logic.step(state.last_response.clone()) {
+            TaskStep::Access { object, invocation } => {
+                let mut probe = self.base[object].clone();
+                let before = format!("{probe:?}");
+                let _ = probe.invoke(p, &invocation);
+                let writes = format!("{probe:?}") != before;
+                Some(StepShape::Access { object, writes })
+            }
+            TaskStep::Complete(_) => Some(StepShape::Complete),
+        }
     }
 
     /// Gives one atomic step to process `p`.
@@ -395,6 +646,57 @@ mod tests {
         b.step(ProcessId(0));
         assert_eq!(b.total_completed(), 2);
         assert_eq!(a.history().len(), 4);
+    }
+
+    #[test]
+    fn permuted_fingerprint_matches_physical_permutation() {
+        let imp = fi_local(2);
+        // Asymmetric workload, so renaming the processes genuinely changes
+        // the configuration.
+        let w = Workload::new(vec![
+            vec![FetchIncrement::fetch_inc(); 2],
+            vec![FetchIncrement::fetch_inc()],
+        ]);
+        let mut c = Config::initial(&imp, &w);
+        c.step(ProcessId(0));
+        let perm = [1usize, 0];
+        let expected = c.fingerprint_permuted(&perm);
+        assert_ne!(expected, c.fingerprint());
+        let mut renamed = c.clone();
+        renamed.apply_permutation(&perm);
+        assert_eq!(renamed.fingerprint(), expected);
+        // The identity permutation is a no-op.
+        assert_eq!(c.fingerprint_permuted(&[0, 1]), c.fingerprint());
+    }
+
+    #[test]
+    fn structural_symmetry_detection() {
+        let imp = fi_local(2);
+        let uniform = Config::initial(&imp, &Workload::uniform(2, FetchIncrement::fetch_inc(), 2));
+        assert!(uniform.processes_structurally_symmetric());
+        assert!(uniform.base_objects_permutable()); // vacuously: no base objects
+        let skewed = Config::initial(
+            &imp,
+            &Workload::new(vec![vec![FetchIncrement::fetch_inc()], Vec::new()]),
+        );
+        assert!(!skewed.processes_structurally_symmetric());
+        let solo = Config::initial(
+            &fi_local(1),
+            &Workload::uniform(1, FetchIncrement::fetch_inc(), 1),
+        );
+        assert!(!solo.processes_structurally_symmetric());
+    }
+
+    #[test]
+    fn peek_step_shape_classifies_starts_and_idles() {
+        let imp = fi_local(2);
+        let w = Workload::new(vec![vec![FetchIncrement::fetch_inc()], Vec::new()]);
+        let c = Config::initial(&imp, &w);
+        assert_eq!(c.peek_step_shape(ProcessId(0)), Some(StepShape::Start));
+        assert_eq!(c.peek_step_shape(ProcessId(1)), None);
+        // Peeking takes no step and records nothing.
+        assert_eq!(c.steps(), 0);
+        assert!(c.history().is_empty());
     }
 
     #[test]

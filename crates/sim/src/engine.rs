@@ -1,0 +1,1132 @@
+//! The unified exhaustive-exploration engine with pluggable reduction.
+//!
+//! Every exhaustive quantifier in this workspace ("every history of this
+//! implementation is linearizable", "some reachable configuration is
+//! stable", …) is discharged by walking the tree of interleavings of process
+//! steps.  This module is the single walker behind all of them — the
+//! [`crate::explorer`] functions, the valency analysis and the stability
+//! search are thin facades over it — and it fights the combinatorial
+//! explosion with two classical reductions, selected by a pluggable
+//! [`ReductionStrategy`]:
+//!
+//! * **Sleep sets** (Godefroid-style dynamic partial-order reduction,
+//!   [`SleepSets`]): after exploring a step of process `p`, sibling branches
+//!   carry `p` in their *sleep set* for as long as `p`'s pending step
+//!   commutes with theirs, so only one order of each commuting pair is
+//!   expanded.  Commutation is decided by the step-independence oracle
+//!   [`crate::config::Config::peek_step_shape`]: two steps commute iff both
+//!   are mid-operation base-object accesses touching disjoint objects (or the
+//!   same object without writing) — steps that record history events never
+//!   commute, which is exactly what keeps every history-collecting visitor
+//!   exact: pruned schedules produce histories *identical* to retained ones.
+//! * **Process-symmetry canonicalization** ([`SymmetryReduction`]): for
+//!   symmetric programs (detected structurally from the initial
+//!   [`crate::program::ProcessLogic`] states, vetoable/assertable through
+//!   [`crate::program::Implementation::process_symmetric_hint`]), every
+//!   configuration is physically rewritten into the least representative of
+//!   its orbit under process renaming before deduplication, merging the `n!`
+//!   renamed copies of each reachable state.  Sound for process-symmetric
+//!   verdicts (linearizability, weak consistency, …, which never mention
+//!   identities); the histories the visitor sees are canonical renamings.
+//!
+//! Both reductions preserve the *set of distinct terminal histories* (exactly
+//! for sleep sets, up to process renaming for symmetry), hence every verdict
+//! computed from them; `crates/sim/tests/reduction_differential.rs` checks
+//! this against the unreduced engine on seeded random configurations, and the
+//! determinism suite checks that [`ExploreStats`] are identical across worker
+//! counts and runs.
+
+use crate::config::{Config, StepOutcome, StepShape};
+use crate::program::Implementation;
+use crate::workload::Workload;
+use evlin_history::{History, ProcessId};
+use rayon::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maximum number of steps along any path / configurations visited.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Maximum number of steps along any single execution path.
+    pub max_depth: usize,
+    /// Maximum total number of configurations to visit (safety valve).
+    pub max_configs: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_depth: 64,
+            max_configs: 500_000,
+        }
+    }
+}
+
+/// Statistics about an exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Number of configurations visited (including the initial one).
+    pub visited: usize,
+    /// Number of terminal configurations reached (quiescent or at depth
+    /// bound).
+    pub terminals: usize,
+    /// Number of child configurations *not* expanded because the reduction
+    /// strategy slept them or deduplication had already seen them.
+    pub pruned: usize,
+    /// Whether the exploration was truncated by `max_configs`.
+    pub truncated: bool,
+}
+
+/// What the visitor can tell the engine after seeing a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visit {
+    /// Keep exploring from this configuration.
+    Continue,
+    /// Do not explore successors of this configuration (but keep exploring
+    /// its siblings).
+    Prune,
+    /// Abort the entire exploration (e.g. a counterexample was found).
+    Stop,
+}
+
+/// Bitmask of sleeping processes: bit `i` set means process `i` is asleep
+/// (its pending step is covered by an already-explored sibling order).
+pub type SleepMask = u64;
+
+/// The reduction applied by the engine, as a plain selectable value.
+///
+/// Each variant resolves (via [`Reduction::strategy`]) to a concrete
+/// [`ReductionStrategy`]; custom strategies can be plugged in directly
+/// through [`explore_with`] / [`explore_shared_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// No reduction: today's raw-tree semantics.
+    #[default]
+    None,
+    /// Sleep-set dynamic partial-order reduction.
+    SleepSet,
+    /// Process-symmetry canonicalization (forces deduplication on).
+    Symmetry,
+    /// Both: sleep sets over canonicalized configurations.
+    SleepSetSymmetry,
+}
+
+impl Reduction {
+    /// The strategy's display name (matches [`ReductionStrategy::name`] of
+    /// the strategy this variant resolves to) — the single source of truth
+    /// for experiment tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Reduction::None => "none",
+            Reduction::SleepSet => "sleep-set",
+            Reduction::Symmetry => "symmetry",
+            Reduction::SleepSetSymmetry => "sleep-set+symmetry",
+        }
+    }
+
+    /// Builds the strategy for exploring from `root`.  `hint` is the
+    /// implementation's symmetry marker
+    /// ([`Implementation::process_symmetric_hint`]); pass `None` to decide
+    /// structurally (the right thing when exploring from a mid-execution
+    /// configuration).
+    pub fn strategy(self, root: &Config, hint: Option<bool>) -> Box<dyn ReductionStrategy> {
+        match self {
+            Reduction::None => Box::new(NoReduction),
+            Reduction::SleepSet => Box::new(SleepSets),
+            Reduction::Symmetry => Box::new(SymmetryReduction::detect(root, hint)),
+            Reduction::SleepSetSymmetry => Box::new(SleepSetSymmetry {
+                symmetry: SymmetryReduction::detect(root, hint),
+            }),
+        }
+    }
+}
+
+/// A pluggable state-space reduction.
+///
+/// The engine drives the traversal (budgets, deduplication, parallel
+/// subtree-stealing); a strategy only decides *which* children of a node to
+/// expand ([`ReductionStrategy::expand`]) and how to rewrite a freshly
+/// produced configuration into a canonical representative
+/// ([`ReductionStrategy::normalize`]).  Both must be deterministic functions
+/// of their arguments — that is what makes [`ExploreStats`] identical across
+/// worker counts and runs.
+pub trait ReductionStrategy: fmt::Debug + Send + Sync {
+    /// A short name for tables and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Whether the strategy only prunes through the deduplication set (the
+    /// engine force-enables dedup when this is true).  Canonicalizing
+    /// strategies merge renamed configurations this way.
+    fn requires_dedup(&self) -> bool {
+        false
+    }
+
+    /// Rewrites `config` into its canonical representative, renaming the
+    /// sleep mask along.  The default keeps the configuration as-is.
+    fn normalize(&self, _config: &mut Config, _mask: &mut SleepMask) {}
+
+    /// The children of `config` to expand — each an enabled process together
+    /// with the child's sleep mask — in deterministic order.  Children left
+    /// out are counted as pruned by the engine.
+    fn expand(&self, config: &Config, sleep: SleepMask) -> Vec<(ProcessId, SleepMask)>;
+}
+
+/// The identity strategy: expand every enabled process, canonicalize nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct NoReduction;
+
+impl ReductionStrategy for NoReduction {
+    fn name(&self) -> &'static str {
+        Reduction::None.label()
+    }
+
+    fn expand(&self, config: &Config, _sleep: SleepMask) -> Vec<(ProcessId, SleepMask)> {
+        config
+            .enabled_processes()
+            .into_iter()
+            .map(|p| (p, 0))
+            .collect()
+    }
+}
+
+/// Whether the pending steps with shapes `a` and `b` commute at the current
+/// configuration (see [`StepShape`]).
+fn independent(a: StepShape, b: StepShape) -> bool {
+    match (a, b) {
+        (
+            StepShape::Access {
+                object: oa,
+                writes: wa,
+            },
+            StepShape::Access {
+                object: ob,
+                writes: wb,
+            },
+        ) => oa != ob || (!wa && !wb),
+        _ => false,
+    }
+}
+
+/// Sleep-set dynamic partial-order reduction.
+///
+/// At a node with sleep set `S`, only processes outside `S` are expanded; the
+/// `i`-th expanded process `p` hands its child the sleep set
+/// `{ q ∈ S ∪ {earlier siblings} : step(q) commutes with step(p) here }`.
+/// Every pruned schedule is a commutation of a retained one, so the set of
+/// reachable terminal configurations — and with it every terminal history —
+/// is preserved exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct SleepSets;
+
+impl ReductionStrategy for SleepSets {
+    fn name(&self) -> &'static str {
+        Reduction::SleepSet.label()
+    }
+
+    fn expand(&self, config: &Config, sleep: SleepMask) -> Vec<(ProcessId, SleepMask)> {
+        let enabled = config.enabled_processes();
+        debug_assert!(
+            config.processes() <= SleepMask::BITS as usize,
+            "sleep masks hold at most {} processes",
+            SleepMask::BITS
+        );
+        if enabled.len() <= 1 {
+            return enabled.into_iter().map(|p| (p, 0)).collect();
+        }
+        let mut shapes: Vec<Option<StepShape>> = vec![None; config.processes()];
+        for &p in &enabled {
+            shapes[p.index()] = config.peek_step_shape(p);
+        }
+        let mut out = Vec::with_capacity(enabled.len());
+        let mut slept = sleep;
+        for &p in &enabled {
+            if sleep & (1 << p.index()) != 0 {
+                continue;
+            }
+            let shape = shapes[p.index()].expect("enabled process has a next step");
+            let mut child_mask: SleepMask = 0;
+            let mut bits = slept;
+            while bits != 0 {
+                let q = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // A sleeping process that somehow lost its step (it cannot,
+                // but stay conservative) is simply woken.
+                if shapes[q].is_some_and(|sq| independent(shape, sq)) {
+                    child_mask |= 1 << q;
+                }
+            }
+            out.push((p, child_mask));
+            slept |= 1 << p.index();
+        }
+        out
+    }
+}
+
+/// Process-symmetry canonicalization.
+///
+/// Applicable when the program is process-symmetric: every process starts
+/// with the same programme state and workload (checked structurally on the
+/// root, or asserted/vetoed by
+/// [`Implementation::process_symmetric_hint`]) and every base object declares
+/// its process-id dependence ([`crate::base::PidDependence`]).  Each
+/// configuration is then rewritten into the least fingerprint of its orbit
+/// under the `n!` process renamings, so deduplication merges all symmetric
+/// copies; when inapplicable the strategy degrades to plain deduplication.
+///
+/// The visitor sees canonical renamings of real executions — correct for any
+/// process-symmetric verdict, and exactly why the differential suite compares
+/// *canonicalized* history sets for this strategy.
+#[derive(Debug)]
+pub struct SymmetryReduction {
+    /// All permutations of the process ids (identity first); empty when the
+    /// reduction is inapplicable.
+    perms: Vec<Vec<usize>>,
+}
+
+impl SymmetryReduction {
+    /// Largest process count for which canonicalization is attempted: each
+    /// visited configuration is hashed once per permutation, so the cost
+    /// grows as `n!`.
+    pub const MAX_PROCESSES: usize = 6;
+
+    /// Decides applicability against `root` (see the type docs) and builds
+    /// the permutation table.
+    pub fn detect(root: &Config, hint: Option<bool>) -> Self {
+        let n = root.processes();
+        let applicable = (2..=Self::MAX_PROCESSES).contains(&n)
+            && root.base_objects_permutable()
+            && match hint {
+                Some(false) => false,
+                Some(true) => true,
+                None => root.processes_structurally_symmetric(),
+            };
+        SymmetryReduction {
+            perms: if applicable {
+                permutations(n)
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Whether canonicalization is active (false = plain dedup fallback).
+    pub fn is_applicable(&self) -> bool {
+        !self.perms.is_empty()
+    }
+
+    fn canonicalize(&self, config: &mut Config, mask: &mut SleepMask) {
+        if self.perms.is_empty() {
+            return;
+        }
+        // `perms[0]` is the identity; `canonical_permutation` picks the
+        // first index achieving the minimal key, which keeps
+        // canonicalization idempotent.
+        let best = config.canonical_permutation(&self.perms);
+        if best != 0 {
+            let perm = &self.perms[best];
+            config.apply_permutation(perm);
+            *mask = permute_mask(*mask, perm);
+        }
+    }
+}
+
+impl ReductionStrategy for SymmetryReduction {
+    fn name(&self) -> &'static str {
+        Reduction::Symmetry.label()
+    }
+
+    fn requires_dedup(&self) -> bool {
+        true
+    }
+
+    fn normalize(&self, config: &mut Config, mask: &mut SleepMask) {
+        self.canonicalize(config, mask);
+    }
+
+    fn expand(&self, config: &Config, sleep: SleepMask) -> Vec<(ProcessId, SleepMask)> {
+        NoReduction.expand(config, sleep)
+    }
+}
+
+/// Sleep sets over canonicalized configurations: the sleep-set expansion
+/// runs in canonical coordinates, so sibling orders are well-defined per
+/// orbit and the merged state graph stays deterministic.
+#[derive(Debug)]
+pub struct SleepSetSymmetry {
+    /// The canonicalization half (detected against the root).
+    pub symmetry: SymmetryReduction,
+}
+
+impl ReductionStrategy for SleepSetSymmetry {
+    fn name(&self) -> &'static str {
+        Reduction::SleepSetSymmetry.label()
+    }
+
+    fn requires_dedup(&self) -> bool {
+        true
+    }
+
+    fn normalize(&self, config: &mut Config, mask: &mut SleepMask) {
+        self.symmetry.canonicalize(config, mask);
+    }
+
+    fn expand(&self, config: &Config, sleep: SleepMask) -> Vec<(ProcessId, SleepMask)> {
+        SleepSets.expand(config, sleep)
+    }
+}
+
+/// All permutations of `0..n` in lexicographic order (identity first) — the
+/// renaming table [`SymmetryReduction`] canonicalizes with, exposed so that
+/// differential tests can canonicalize histories with the *same* orbit
+/// enumeration the engine uses for configurations.
+pub fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = (0..n).collect();
+    loop {
+        out.push(current.clone());
+        // Standard next-permutation: find the rightmost ascent, swap with the
+        // smallest larger element to its right, reverse the tail.
+        let Some(i) = (0..n.saturating_sub(1))
+            .rev()
+            .find(|&i| current[i] < current[i + 1])
+        else {
+            return out;
+        };
+        let j = (i + 1..n)
+            .rev()
+            .find(|&j| current[j] > current[i])
+            .expect("an ascent guarantees a larger element");
+        current.swap(i, j);
+        current[i + 1..].reverse();
+    }
+}
+
+/// Applies a process renaming to a sleep mask.
+fn permute_mask(mask: SleepMask, perm: &[usize]) -> SleepMask {
+    let mut out = 0;
+    let mut bits = mask;
+    while bits != 0 {
+        let i = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        out |= 1 << perm[i];
+    }
+    out
+}
+
+/// Options of one engine run.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Depth and size bounds.
+    pub limits: ExploreOptions,
+    /// Worker count: `1` runs strictly sequentially; larger values (or
+    /// `None` = rayon's thread count) size the stealable subtree frontier of
+    /// the parallel path.  Actual parallelism always comes from the global
+    /// rayon pool (`RAYON_NUM_THREADS`).
+    pub workers: Option<usize>,
+    /// How many independent subtrees to carve out per worker (parallel path).
+    pub subtrees_per_worker: usize,
+    /// Merge configurations reached at the same depth with identical state,
+    /// recorded history *and sleep mask*.  Forced on by canonicalizing
+    /// strategies.
+    pub dedup: bool,
+    /// The reduction to apply.
+    pub reduction: Reduction,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            limits: ExploreOptions::default(),
+            workers: None,
+            subtrees_per_worker: 8,
+            dedup: false,
+            reduction: Reduction::None,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// The assumed worker count (resolving `None` against the rayon pool).
+    pub fn effective_workers(&self) -> usize {
+        self.workers
+            .unwrap_or_else(rayon::current_num_threads)
+            .max(1)
+    }
+}
+
+/// The sharded `(key, depth)` dedup set shared by all workers.
+type DedupShards = [Mutex<HashSet<(u64, usize)>>];
+
+/// Shared mutable state of one exploration (used by the sequential path too,
+/// with trivial contention).
+struct Shared<'a> {
+    /// Configurations the whole exploration may still visit (`max_configs`
+    /// budget).  Decremented per visit; exhaustion marks truncation.
+    budget: AtomicUsize,
+    /// Set by `Visit::Stop` (and by budget exhaustion) to halt all workers.
+    stopped: AtomicBool,
+    /// Whether the budget ran out anywhere.
+    truncated: AtomicBool,
+    /// Sharded dedup set; `None` when deduplication is off.
+    dedup: Option<&'a DedupShards>,
+}
+
+impl Shared<'_> {
+    fn claim_visit(&self) -> bool {
+        let mut current = self.budget.load(Ordering::Relaxed);
+        loop {
+            if current == 0 {
+                self.truncated.store(true, Ordering::Relaxed);
+                self.stopped.store(true, Ordering::Relaxed);
+                return false;
+            }
+            match self.budget.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Whether `(config, mask)` at `depth` is seen for the first time (always
+    /// true when deduplication is off — the fingerprint is only computed when
+    /// a dedup set exists, since it costs a full state serialization).
+    fn first_visit(&self, config: &Config, depth: usize, mask: SleepMask) -> bool {
+        match self.dedup {
+            None => true,
+            Some(shards) => {
+                let mut hasher = DefaultHasher::new();
+                config.fingerprint().hash(&mut hasher);
+                mask.hash(&mut hasher);
+                let key = hasher.finish();
+                let shard = (key % shards.len() as u64) as usize;
+                shards[shard]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .insert((key, depth))
+            }
+        }
+    }
+}
+
+/// Visits one configuration: claims budget, invokes the visitor, classifies
+/// terminals, expands children through the strategy and hands the surviving
+/// ones to `emit`.  Returns `false` when exploration should halt (budget
+/// exhausted or `Visit::Stop`).
+#[allow(clippy::too_many_arguments)] // one call frame of the hot loop
+fn visit_one<V, E>(
+    config: &Config,
+    depth: usize,
+    mask: SleepMask,
+    visitor: &mut V,
+    strategy: &dyn ReductionStrategy,
+    shared: &Shared<'_>,
+    stats: &mut ExploreStats,
+    max_depth: usize,
+    mut emit: E,
+) -> bool
+where
+    V: FnMut(&Config, usize) -> Visit,
+    E: FnMut(Config, usize, SleepMask),
+{
+    if !shared.claim_visit() {
+        return false;
+    }
+    stats.visited += 1;
+    match visitor(config, depth) {
+        Visit::Stop => {
+            shared.stopped.store(true, Ordering::Relaxed);
+            return false;
+        }
+        Visit::Prune => return true,
+        Visit::Continue => {}
+    }
+    let enabled = config.enabled_processes();
+    if enabled.is_empty() || depth >= max_depth {
+        stats.terminals += 1;
+        return true;
+    }
+    let children = strategy.expand(config, mask);
+    stats.pruned += enabled.len() - children.len();
+    for (p, child_mask) in children {
+        let mut child = config.clone();
+        if matches!(child.step(p), StepOutcome::Idle) {
+            continue;
+        }
+        let mut mask = child_mask;
+        strategy.normalize(&mut child, &mut mask);
+        if shared.first_visit(&child, depth + 1, mask) {
+            emit(child, depth + 1, mask);
+        } else {
+            stats.pruned += 1;
+        }
+    }
+    true
+}
+
+/// Explores all executions of `implementation` on `workload` sequentially,
+/// calling `visitor` on every visited configuration with its depth.
+pub fn explore<F>(
+    implementation: &dyn Implementation,
+    workload: &Workload,
+    options: &EngineOptions,
+    visitor: F,
+) -> ExploreStats
+where
+    F: FnMut(&Config, usize) -> Visit,
+{
+    let root = Config::initial(implementation, workload);
+    let strategy = options
+        .reduction
+        .strategy(&root, implementation.process_symmetric_hint());
+    explore_with(root, strategy.as_ref(), options, visitor)
+}
+
+/// Like [`explore`], but from an explicit root configuration (used by the
+/// valency and stability analyses, which start mid-execution).  Symmetry
+/// applicability is decided structurally against the given root.
+pub fn explore_config<F>(root: Config, options: &EngineOptions, visitor: F) -> ExploreStats
+where
+    F: FnMut(&Config, usize) -> Visit,
+{
+    let strategy = options.reduction.strategy(&root, None);
+    explore_with(root, strategy.as_ref(), options, visitor)
+}
+
+/// The sequential engine path with an explicit (possibly custom) strategy.
+pub fn explore_with<F>(
+    mut root: Config,
+    strategy: &dyn ReductionStrategy,
+    options: &EngineOptions,
+    mut visitor: F,
+) -> ExploreStats
+where
+    F: FnMut(&Config, usize) -> Visit,
+{
+    let dedup_on = options.dedup || strategy.requires_dedup();
+    let shards: Vec<Mutex<HashSet<(u64, usize)>>> = if dedup_on {
+        vec![Mutex::new(HashSet::new())]
+    } else {
+        Vec::new()
+    };
+    let shared = Shared {
+        budget: AtomicUsize::new(options.limits.max_configs),
+        stopped: AtomicBool::new(false),
+        truncated: AtomicBool::new(false),
+        dedup: dedup_on.then_some(shards.as_slice()),
+    };
+    let mut stats = ExploreStats::default();
+    let mut mask: SleepMask = 0;
+    strategy.normalize(&mut root, &mut mask);
+    let mut stack: Vec<(Config, usize, SleepMask)> = Vec::new();
+    if shared.first_visit(&root, 0, mask) {
+        stack.push((root, 0, mask));
+    }
+    while let Some((config, depth, mask)) = stack.pop() {
+        if !visit_one(
+            &config,
+            depth,
+            mask,
+            &mut visitor,
+            strategy,
+            &shared,
+            &mut stats,
+            options.limits.max_depth,
+            |child, d, m| stack.push((child, d, m)),
+        ) {
+            break;
+        }
+    }
+    stats.truncated = shared.truncated.load(Ordering::Relaxed);
+    stats
+}
+
+/// Explores all executions of `implementation` on `workload` with
+/// subtree-stealing workers (semantics of [`explore`]; the visitor is shared,
+/// hence `Fn + Sync`).
+///
+/// Determinism: visited/terminal/pruned counts equal the sequential path's
+/// exactly, for any worker count — without dedup because the reduced tree's
+/// node count is traversal-order independent, with dedup because expansion is
+/// a function of the `(state, history, sleep-mask, depth)` key, so the set of
+/// reachable keys is too.  Only `Visit::Stop` and `max_configs` truncation
+/// are inherently order-sensitive.
+pub fn explore_shared<F>(
+    implementation: &dyn Implementation,
+    workload: &Workload,
+    options: &EngineOptions,
+    visitor: F,
+) -> ExploreStats
+where
+    F: Fn(&Config, usize) -> Visit + Sync,
+{
+    let root = Config::initial(implementation, workload);
+    let strategy = options
+        .reduction
+        .strategy(&root, implementation.process_symmetric_hint());
+    explore_shared_with(root, strategy.as_ref(), options, visitor)
+}
+
+/// The parallel engine path with an explicit (possibly custom) strategy.
+pub fn explore_shared_with<F>(
+    mut root: Config,
+    strategy: &dyn ReductionStrategy,
+    options: &EngineOptions,
+    visitor: F,
+) -> ExploreStats
+where
+    F: Fn(&Config, usize) -> Visit + Sync,
+{
+    let workers = options.effective_workers();
+    let target_frontier = workers * options.subtrees_per_worker.max(1);
+    let dedup_on = options.dedup || strategy.requires_dedup();
+    let shards: Vec<Mutex<HashSet<(u64, usize)>>> = if dedup_on {
+        (0..(workers * 4).max(16))
+            .map(|_| Mutex::new(HashSet::new()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let shared = Shared {
+        budget: AtomicUsize::new(options.limits.max_configs),
+        stopped: AtomicBool::new(false),
+        truncated: AtomicBool::new(false),
+        dedup: dedup_on.then_some(shards.as_slice()),
+    };
+
+    // Phase 1: sequential breadth-first expansion of the root region until
+    // enough independent subtree roots exist to keep every worker busy.
+    let mut stats = ExploreStats::default();
+    let mut frontier: VecDeque<(Config, usize, SleepMask)> = VecDeque::new();
+    let mut mask: SleepMask = 0;
+    strategy.normalize(&mut root, &mut mask);
+    if shared.first_visit(&root, 0, mask) {
+        frontier.push_back((root, 0, mask));
+    }
+    while frontier.len() < target_frontier {
+        let Some((config, depth, mask)) = frontier.pop_front() else {
+            break;
+        };
+        let mut shim = |c: &Config, d: usize| visitor(c, d);
+        if !visit_one(
+            &config,
+            depth,
+            mask,
+            &mut shim,
+            strategy,
+            &shared,
+            &mut stats,
+            options.limits.max_depth,
+            |child, d, m| frontier.push_back((child, d, m)),
+        ) {
+            break;
+        }
+    }
+
+    // Phase 2: workers steal subtree roots from the frontier and explore
+    // each subtree depth-first, all sharing the visitor, the visit budget
+    // and (when enabled) the merged dedup set.
+    let subtree_stats: Vec<ExploreStats> = frontier
+        .into_iter()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(config, depth, mask)| {
+            let mut local = ExploreStats::default();
+            let mut stack: Vec<(Config, usize, SleepMask)> = vec![(config, depth, mask)];
+            while let Some((config, depth, mask)) = stack.pop() {
+                if shared.stopped.load(Ordering::Relaxed) {
+                    break;
+                }
+                let mut shim = |c: &Config, d: usize| visitor(c, d);
+                if !visit_one(
+                    &config,
+                    depth,
+                    mask,
+                    &mut shim,
+                    strategy,
+                    &shared,
+                    &mut local,
+                    options.limits.max_depth,
+                    |child, d, m| stack.push((child, d, m)),
+                ) {
+                    break;
+                }
+            }
+            local
+        })
+        .collect();
+
+    for s in subtree_stats {
+        stats.visited += s.visited;
+        stats.terminals += s.terminals;
+        stats.pruned += s.pruned;
+    }
+    stats.truncated = shared.truncated.load(Ordering::Relaxed);
+    stats
+}
+
+/// Collects the history of every terminal configuration (quiescent or at the
+/// depth bound): the one engine path behind both
+/// [`crate::explorer::terminal_histories`] and
+/// [`crate::explorer::terminal_histories_par`], selected by
+/// [`EngineOptions::workers`].  The result is sorted deterministically (by
+/// debug encoding) for every worker count.
+pub fn terminal_histories(
+    implementation: &dyn Implementation,
+    workload: &Workload,
+    options: &EngineOptions,
+) -> Vec<History> {
+    let max_depth = options.limits.max_depth;
+    let mut histories = if options.effective_workers() <= 1 {
+        let mut out = Vec::new();
+        explore(implementation, workload, options, |config, depth| {
+            if config.enabled_processes().is_empty() || depth >= max_depth {
+                out.push(config.history().clone());
+            }
+            Visit::Continue
+        });
+        out
+    } else {
+        let out = Mutex::new(Vec::new());
+        explore_shared(implementation, workload, options, |config, depth| {
+            if config.enabled_processes().is_empty() || depth >= max_depth {
+                out.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .push(config.history().clone());
+            }
+            Visit::Continue
+        });
+        out.into_inner().unwrap_or_else(|p| p.into_inner())
+    };
+    histories.sort_by_cached_key(|h| format!("{h:?}"));
+    histories
+}
+
+/// Checks `predicate` against the history of every reachable configuration
+/// and returns a violating history if one exists: the one engine path behind
+/// [`crate::explorer::find_history_violation`] and its `_par` twin.  With one
+/// worker the *first* violation in DFS order is returned; with several, *a*
+/// violation (there is no meaningful "first" under concurrency).
+pub fn find_history_violation<F>(
+    implementation: &dyn Implementation,
+    workload: &Workload,
+    options: &EngineOptions,
+    predicate: F,
+) -> Option<History>
+where
+    F: Fn(&History) -> bool + Sync,
+{
+    if options.effective_workers() <= 1 {
+        let mut violation = None;
+        explore(implementation, workload, options, |config, _| {
+            if !predicate(config.history()) {
+                violation = Some(config.history().clone());
+                Visit::Stop
+            } else {
+                Visit::Continue
+            }
+        });
+        violation
+    } else {
+        let violation = Mutex::new(None);
+        explore_shared(implementation, workload, options, |config, _| {
+            if !predicate(config.history()) {
+                *violation
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()) =
+                    Some(config.history().clone());
+                Visit::Stop
+            } else {
+                Visit::Continue
+            }
+        });
+        violation.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::{objects, BaseObject};
+    use crate::program::{LocalSpecImplementation, ProcessLogic, TaskStep};
+    use evlin_spec::{FetchIncrement, Invocation, Register, Value};
+    use std::sync::Arc;
+
+    /// A two-phase fetch&increment over one shared register per process:
+    /// write your own slot, then read the others — plenty of commuting
+    /// accesses for the sleep sets to prune, and a process id baked into the
+    /// programme state (so symmetry must detect asymmetry structurally).
+    #[derive(Debug, Clone)]
+    struct ScanCounter {
+        processes: usize,
+    }
+
+    #[derive(Debug, Clone)]
+    struct ScanLogic {
+        me: usize,
+        n: usize,
+        count: i64,
+        at: usize,
+        sum: i64,
+        running: bool,
+    }
+
+    impl Implementation for ScanCounter {
+        fn name(&self) -> String {
+            "scan counter".into()
+        }
+        fn processes(&self) -> usize {
+            self.processes
+        }
+        fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+            (0..self.processes)
+                .map(|_| objects::register(Value::from(0i64)))
+                .collect()
+        }
+        fn new_process(&self, p: ProcessId) -> Box<dyn ProcessLogic> {
+            Box::new(ScanLogic {
+                me: p.index(),
+                n: self.processes,
+                count: 0,
+                at: 0,
+                sum: 0,
+                running: false,
+            })
+        }
+        fn process_symmetric_hint(&self) -> Option<bool> {
+            Some(false)
+        }
+    }
+
+    impl ProcessLogic for ScanLogic {
+        fn begin(&mut self, _invocation: Invocation) {
+            self.running = true;
+            self.at = 0;
+            self.sum = 0;
+            self.count += 1;
+        }
+        fn step(&mut self, previous: Option<Value>) -> TaskStep {
+            if self.at == 0 {
+                self.at = 1;
+                return TaskStep::Access {
+                    object: self.me,
+                    invocation: Register::write(Value::from(self.count)),
+                };
+            }
+            if self.at > 1 {
+                self.sum += previous.and_then(|v| v.as_int()).unwrap_or(0);
+            }
+            // Scan the other processes' registers in index order.
+            let k = (0..self.n).filter(|&k| k != self.me).nth(self.at - 1);
+            match k {
+                Some(object) => {
+                    self.at += 1;
+                    TaskStep::Access {
+                        object,
+                        invocation: Register::read(),
+                    }
+                }
+                None => {
+                    self.running = false;
+                    TaskStep::Complete(Value::from(self.sum + self.count - 1))
+                }
+            }
+        }
+        fn clone_box(&self) -> Box<dyn ProcessLogic> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn fi_local(n: usize) -> LocalSpecImplementation {
+        LocalSpecImplementation::new(Arc::new(FetchIncrement::new()), n)
+    }
+
+    fn options(reduction: Reduction) -> EngineOptions {
+        EngineOptions {
+            reduction,
+            workers: Some(1),
+            ..EngineOptions::default()
+        }
+    }
+
+    #[test]
+    fn no_reduction_matches_raw_tree_counts() {
+        let imp = fi_local(2);
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 1);
+        let stats = explore(&imp, &w, &options(Reduction::None), |_, _| Visit::Continue);
+        assert_eq!((stats.visited, stats.terminals, stats.pruned), (5, 2, 0));
+    }
+
+    #[test]
+    fn sleep_sets_prune_commuting_register_scans() {
+        let imp = ScanCounter { processes: 3 };
+        let w = Workload::uniform(3, Invocation::nullary("fetch_inc"), 1);
+        let raw = explore(&imp, &w, &options(Reduction::None), |_, _| Visit::Continue);
+        let reduced = explore(&imp, &w, &options(Reduction::SleepSet), |_, _| {
+            Visit::Continue
+        });
+        assert!(!raw.truncated && !reduced.truncated);
+        assert!(
+            reduced.visited < raw.visited,
+            "sleep sets must prune: raw {raw:?}, reduced {reduced:?}"
+        );
+        assert!(reduced.pruned > 0);
+        // Every distinct terminal history is preserved exactly.
+        let collect = |r: Reduction| {
+            let mut hs = Vec::new();
+            explore(&imp, &w, &options(r), |c, d| {
+                if c.enabled_processes().is_empty() || d >= 64 {
+                    hs.push(format!("{:?}", c.history()));
+                }
+                Visit::Continue
+            });
+            hs.sort();
+            hs.dedup();
+            hs
+        };
+        assert_eq!(collect(Reduction::None), collect(Reduction::SleepSet));
+    }
+
+    #[test]
+    fn symmetry_canonicalization_merges_renamed_configs() {
+        let imp = fi_local(3);
+        let w = Workload::uniform(3, FetchIncrement::fetch_inc(), 2);
+        let raw = explore(&imp, &w, &options(Reduction::None), |_, _| Visit::Continue);
+        let reduced = explore(&imp, &w, &options(Reduction::Symmetry), |_, _| {
+            Visit::Continue
+        });
+        assert!(!raw.truncated && !reduced.truncated);
+        assert!(
+            reduced.visited * 2 < raw.visited,
+            "symmetry must merge orbits: raw {raw:?}, reduced {reduced:?}"
+        );
+    }
+
+    #[test]
+    fn symmetry_detection_vetoes_and_degrades() {
+        // Hint veto: the scan counter embeds process ids.
+        let scan = ScanCounter { processes: 2 };
+        let root = Config::initial(
+            &scan,
+            &Workload::uniform(2, Invocation::nullary("fetch_inc"), 1),
+        );
+        assert!(!SymmetryReduction::detect(&root, scan.process_symmetric_hint()).is_applicable());
+        // Structural veto: asymmetric workload.
+        let imp = fi_local(2);
+        let skew = Config::initial(
+            &imp,
+            &Workload::new(vec![vec![FetchIncrement::fetch_inc()], Vec::new()]),
+        );
+        assert!(!SymmetryReduction::detect(&skew, None).is_applicable());
+        // Applicable: uniform workload over identical programmes.
+        let fair = Config::initial(&imp, &Workload::uniform(2, FetchIncrement::fetch_inc(), 1));
+        assert!(SymmetryReduction::detect(&fair, None).is_applicable());
+    }
+
+    #[test]
+    fn combined_reduction_beats_either_alone_and_keeps_verdicts() {
+        let imp = fi_local(4);
+        let w = Workload::uniform(4, FetchIncrement::fetch_inc(), 2);
+        let run = |r: Reduction| explore(&imp, &w, &options(r), |_, _| Visit::Continue);
+        let raw = run(Reduction::None);
+        let combined = run(Reduction::SleepSetSymmetry);
+        assert!(!raw.truncated && !combined.truncated);
+        assert!(
+            combined.visited * 5 <= raw.visited,
+            "raw {raw:?} vs {combined:?}"
+        );
+        // The local-copy fetch&inc duplicates responses in some interleaving;
+        // the reduced engines must still find that violation.
+        for r in [
+            Reduction::None,
+            Reduction::SleepSet,
+            Reduction::Symmetry,
+            Reduction::SleepSetSymmetry,
+        ] {
+            let violation = find_history_violation(
+                &imp,
+                &w,
+                &EngineOptions {
+                    reduction: r,
+                    workers: Some(1),
+                    ..EngineOptions::default()
+                },
+                |h| {
+                    h.complete_operations()
+                        .iter()
+                        .filter(|o| o.response == Some(Value::from(0i64)))
+                        .count()
+                        < 2
+                },
+            );
+            assert!(violation.is_some(), "strategy {r:?} lost the violation");
+        }
+    }
+
+    #[test]
+    fn stats_identical_across_worker_counts() {
+        let imp = fi_local(3);
+        let w = Workload::uniform(3, FetchIncrement::fetch_inc(), 2);
+        for reduction in [
+            Reduction::None,
+            Reduction::SleepSet,
+            Reduction::Symmetry,
+            Reduction::SleepSetSymmetry,
+        ] {
+            let reference = explore(&imp, &w, &options(reduction), |_, _| Visit::Continue);
+            for workers in [1, 2, 4, 8] {
+                let parallel = explore_shared(
+                    &imp,
+                    &w,
+                    &EngineOptions {
+                        reduction,
+                        workers: Some(workers),
+                        subtrees_per_worker: 4,
+                        ..EngineOptions::default()
+                    },
+                    |_, _| Visit::Continue,
+                );
+                assert_eq!(
+                    parallel, reference,
+                    "{reduction:?} diverged at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_table_is_lexicographic_with_identity_first() {
+        let perms = permutations(3);
+        assert_eq!(perms.len(), 6);
+        assert_eq!(perms[0], vec![0, 1, 2]);
+        assert_eq!(perms[5], vec![2, 1, 0]);
+        assert_eq!(permute_mask(0b101, &[2, 1, 0]), 0b101);
+        assert_eq!(permute_mask(0b011, &[1, 2, 0]), 0b110);
+    }
+
+    #[test]
+    fn terminal_histories_sorted_and_worker_independent() {
+        let imp = fi_local(2);
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 2);
+        let seq = terminal_histories(&imp, &w, &options(Reduction::None));
+        let par = terminal_histories(
+            &imp,
+            &w,
+            &EngineOptions {
+                workers: Some(4),
+                subtrees_per_worker: 4,
+                ..EngineOptions::default()
+            },
+        );
+        assert_eq!(seq, par);
+        assert!(!seq.is_empty());
+    }
+}

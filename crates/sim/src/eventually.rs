@@ -22,7 +22,7 @@
 //! With `StabilizationPolicy::Never` the object is exactly the "local copies"
 //! substitution used in the proof of Theorem 12.
 
-use crate::base::BaseObject;
+use crate::base::{BaseObject, PidDependence};
 use evlin_history::ProcessId;
 use evlin_spec::{Invocation, ObjectType, Value};
 use std::collections::BTreeMap;
@@ -171,6 +171,25 @@ impl BaseObject for EventuallyLinearizable {
     fn type_name(&self) -> String {
         format!("eventually-linearizable {}", self.ty.name())
     }
+
+    // The pre-stabilization state is keyed by process ids (local copies and
+    // the replay log), but both are plain maps/sequences over `ProcessId`, so
+    // a renaming reaches every occurrence.  The *values* are states of the
+    // wrapped deterministic type and never mention processes.
+    fn pid_dependence(&self) -> PidDependence {
+        PidDependence::Permutable
+    }
+
+    fn permute_processes(&mut self, perm: &[usize]) {
+        let local = std::mem::take(&mut self.local);
+        self.local = local
+            .into_iter()
+            .map(|(p, v)| (ProcessId(perm[p.index()]), v))
+            .collect();
+        for (p, _) in &mut self.log {
+            *p = ProcessId(perm[p.index()]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +326,28 @@ mod tests {
         // Both local copies answered 0; forgiving the first operation's two
         // events makes the remainder linearizable.
         assert_eq!(min_stabilization(&h, &universe, None), Some(2));
+    }
+
+    #[test]
+    fn permute_processes_renames_local_copies_and_log() {
+        use crate::base::{BaseObject as _, PidDependence};
+        let mut r = EventuallyLinearizable::new(
+            Arc::new(Register::new(Value::from(0i64))),
+            StabilizationPolicy::Never,
+        );
+        assert_eq!(r.pid_dependence(), PidDependence::Permutable);
+        r.invoke(ProcessId(0), &Register::write(Value::from(7i64)));
+        let mut renamed = r.clone();
+        renamed.permute_processes(&[1, 0]);
+        // After the renaming, the local copy that held the write belongs to
+        // process 1 — and the Debug form (which fingerprints fold in) moves
+        // with it.
+        assert_eq!(
+            renamed.invoke(ProcessId(1), &Register::read()),
+            Value::from(7i64)
+        );
+        assert_eq!(r.invoke(ProcessId(1), &Register::read()), Value::from(0i64));
+        assert_ne!(format!("{r:?}"), format!("{renamed:?}"));
     }
 
     #[test]

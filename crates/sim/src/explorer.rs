@@ -1,4 +1,5 @@
-//! Bounded exhaustive exploration of all interleavings.
+//! Bounded exhaustive exploration of all interleavings — the stable facade
+//! over [`crate::engine`].
 //!
 //! The paper's results quantify over *every* execution of an implementation.
 //! For small workloads this quantifier can be discharged mechanically: the
@@ -7,57 +8,20 @@
 //! "every history of this implementation is linearizable" (Theorem 12) or
 //! "some reachable configuration is stable" (Proposition 18) can be checked
 //! directly.
+//!
+//! Everything here delegates to the unified exploration engine: the
+//! sequential and parallel variants are the *same* traversal selected by a
+//! worker count, and [`crate::engine::EngineOptions::reduction`] can switch
+//! on sleep-set partial-order reduction or process-symmetry
+//! canonicalization.  The functions below keep today's unreduced semantics.
 
-use crate::config::{Config, StepOutcome};
+use crate::config::Config;
+use crate::engine::{self, EngineOptions};
 use crate::program::Implementation;
 use crate::workload::Workload;
 use evlin_history::ProcessId;
-use rayon::prelude::*;
-use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
-/// Options controlling the exploration.
-#[derive(Debug, Clone, Copy)]
-pub struct ExploreOptions {
-    /// Maximum number of steps along any single execution path.
-    pub max_depth: usize,
-    /// Maximum total number of configurations to visit (safety valve).
-    pub max_configs: usize,
-}
-
-impl Default for ExploreOptions {
-    fn default() -> Self {
-        ExploreOptions {
-            max_depth: 64,
-            max_configs: 500_000,
-        }
-    }
-}
-
-/// Statistics about an exploration.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ExploreStats {
-    /// Number of configurations visited (including the initial one).
-    pub visited: usize,
-    /// Number of terminal configurations reached (quiescent or at depth
-    /// bound).
-    pub terminals: usize,
-    /// Whether the exploration was truncated by `max_configs`.
-    pub truncated: bool,
-}
-
-/// What the visitor can tell the explorer after seeing a configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Visit {
-    /// Keep exploring from this configuration.
-    Continue,
-    /// Do not explore successors of this configuration (but keep exploring
-    /// its siblings).
-    Prune,
-    /// Abort the entire exploration (e.g. a counterexample was found).
-    Stop,
-}
+pub use crate::engine::{ExploreOptions, ExploreStats, Visit};
 
 /// Exhaustively explores the executions of `implementation` on `workload`.
 ///
@@ -69,80 +33,64 @@ pub fn explore<F>(
     implementation: &dyn Implementation,
     workload: &Workload,
     options: ExploreOptions,
-    mut visitor: F,
+    visitor: F,
 ) -> ExploreStats
 where
     F: FnMut(&Config, usize) -> Visit,
 {
-    let initial = Config::initial(implementation, workload);
-    let mut stats = ExploreStats::default();
-    let mut stack: Vec<(Config, usize)> = vec![(initial, 0)];
-    while let Some((config, depth)) = stack.pop() {
-        if stats.visited >= options.max_configs {
-            stats.truncated = true;
-            break;
-        }
-        stats.visited += 1;
-        match visitor(&config, depth) {
-            Visit::Stop => break,
-            Visit::Prune => continue,
-            Visit::Continue => {}
-        }
-        let enabled = config.enabled_processes();
-        if enabled.is_empty() || depth >= options.max_depth {
-            stats.terminals += 1;
-            continue;
-        }
-        for p in enabled {
-            let mut child = config.clone();
-            match child.step(p) {
-                StepOutcome::Idle => continue,
-                _ => stack.push((child, depth + 1)),
-            }
-        }
-    }
-    stats
+    engine::explore(
+        implementation,
+        workload,
+        &EngineOptions {
+            limits: options,
+            workers: Some(1),
+            ..EngineOptions::default()
+        },
+        visitor,
+    )
 }
 
 /// Convenience wrapper: explores all executions and collects the histories of
-/// every *terminal* configuration (quiescent or depth-bounded).
+/// every *terminal* configuration (quiescent or depth-bounded), sorted
+/// deterministically by their debug encoding.
 pub fn terminal_histories(
     implementation: &dyn Implementation,
     workload: &Workload,
     options: ExploreOptions,
 ) -> Vec<evlin_history::History> {
-    let mut histories = Vec::new();
-    explore(implementation, workload, options, |config, depth| {
-        if config.enabled_processes().is_empty() || depth >= options.max_depth {
-            histories.push(config.history().clone());
-        }
-        Visit::Continue
-    });
-    histories
+    engine::terminal_histories(
+        implementation,
+        workload,
+        &EngineOptions {
+            limits: options,
+            workers: Some(1),
+            ..EngineOptions::default()
+        },
+    )
 }
 
 /// Convenience wrapper: checks that `predicate` holds for the history of
-/// every reachable configuration; returns the first offending history if one
-/// exists.
+/// every reachable configuration; returns the first offending history (in
+/// depth-first order) if one exists.
 pub fn find_history_violation<F>(
     implementation: &dyn Implementation,
     workload: &Workload,
     options: ExploreOptions,
-    mut predicate: F,
+    predicate: F,
 ) -> Option<evlin_history::History>
 where
-    F: FnMut(&evlin_history::History) -> bool,
+    F: Fn(&evlin_history::History) -> bool + Sync,
 {
-    let mut violation = None;
-    explore(implementation, workload, options, |config, _| {
-        if !predicate(config.history()) {
-            violation = Some(config.history().clone());
-            Visit::Stop
-        } else {
-            Visit::Continue
-        }
-    });
-    violation
+    engine::find_history_violation(
+        implementation,
+        workload,
+        &EngineOptions {
+            limits: options,
+            workers: Some(1),
+            ..EngineOptions::default()
+        },
+        predicate,
+    )
 }
 
 /// Options controlling parallel exploration (see [`explore_par`]).
@@ -155,8 +103,8 @@ pub struct ParExploreOptions {
     ///
     /// Note this is a *sizing hint only*: the actual workers always come
     /// from the global rayon pool (bounded by the `RAYON_NUM_THREADS`
-    /// environment variable), so `Some(1)` does **not** serialize the
-    /// exploration — it merely carves out a smaller frontier.
+    /// environment variable), so `Some(1)` does **not** serialize
+    /// [`explore_par`] — it merely carves out a smaller frontier.
     pub threads: Option<usize>,
     /// How many independent subtrees to carve out per assumed worker.  The
     /// root region is expanded breadth-first until at least
@@ -187,59 +135,15 @@ impl Default for ParExploreOptions {
     }
 }
 
-/// The sharded `(fingerprint, depth)` dedup set shared by all workers.
-type DedupShards = [Mutex<HashSet<(u64, usize)>>];
-
-/// Shared mutable state of one parallel exploration.
-struct ParShared<'a> {
-    /// Configurations the whole exploration may still visit (`max_configs`
-    /// budget).  Decremented per visit; exhaustion marks truncation.
-    budget: AtomicUsize,
-    /// Set by `Visit::Stop` (and by budget exhaustion) to halt all workers.
-    stopped: AtomicBool,
-    /// Whether the budget ran out anywhere.
-    truncated: AtomicBool,
-    /// Sharded, merged dedup set over `(fingerprint, depth)` keys; `None`
-    /// when deduplication is off.
-    dedup: Option<&'a DedupShards>,
-}
-
-impl ParShared<'_> {
-    /// Attempts to claim one visit from the global budget.
-    fn claim_visit(&self) -> bool {
-        let mut current = self.budget.load(Ordering::Relaxed);
-        loop {
-            if current == 0 {
-                self.truncated.store(true, Ordering::Relaxed);
-                self.stopped.store(true, Ordering::Relaxed);
-                return false;
-            }
-            match self.budget.compare_exchange_weak(
-                current,
-                current - 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return true,
-                Err(observed) => current = observed,
-            }
-        }
-    }
-
-    /// Whether `config` at `depth` is seen for the first time (always true
-    /// when deduplication is off — the fingerprint is only computed when a
-    /// dedup set exists, since it costs a full state serialization).
-    fn first_visit(&self, config: &Config, depth: usize) -> bool {
-        match self.dedup {
-            None => true,
-            Some(shards) => {
-                let key = (config.fingerprint(), depth);
-                let shard = (key.0 % shards.len() as u64) as usize;
-                shards[shard]
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-                    .insert(key)
-            }
+impl ParExploreOptions {
+    /// The equivalent engine options (no reduction).
+    fn engine_options(&self) -> EngineOptions {
+        EngineOptions {
+            limits: self.base,
+            workers: self.threads,
+            subtrees_per_worker: self.subtrees_per_thread,
+            dedup: self.dedup,
+            reduction: engine::Reduction::None,
         }
     }
 }
@@ -278,161 +182,20 @@ pub fn explore_par<F>(
 where
     F: Fn(&Config, usize) -> Visit + Sync,
 {
-    let threads = options
-        .threads
-        .unwrap_or_else(rayon::current_num_threads)
-        .max(1);
-    let target_frontier = threads * options.subtrees_per_thread.max(1);
-
-    let shards: Vec<Mutex<HashSet<(u64, usize)>>> = if options.dedup {
-        (0..(threads * 4).max(16))
-            .map(|_| Mutex::new(HashSet::new()))
-            .collect()
-    } else {
-        Vec::new()
-    };
-    let shared = ParShared {
-        budget: AtomicUsize::new(options.base.max_configs),
-        stopped: AtomicBool::new(false),
-        truncated: AtomicBool::new(false),
-        dedup: options.dedup.then_some(shards.as_slice()),
-    };
-
-    // Phase 1: sequential breadth-first expansion of the root region until
-    // enough independent subtree roots exist to keep every worker busy.
-    let mut stats = ExploreStats::default();
-    let mut frontier: VecDeque<(Config, usize)> = VecDeque::new();
-    let initial = Config::initial(implementation, workload);
-    if shared.first_visit(&initial, 0) {
-        frontier.push_back((initial, 0));
-    }
-    while frontier.len() < target_frontier {
-        let Some((config, depth)) = frontier.pop_front() else {
-            break;
-        };
-        if !visit_one(
-            &config,
-            depth,
-            &visitor,
-            &shared,
-            &mut stats,
-            options.base.max_depth,
-            |child, d| {
-                frontier.push_back((child, d));
-            },
-        ) {
-            break;
-        }
-    }
-
-    // Phase 2: workers steal subtree roots from the frontier and explore
-    // each subtree depth-first, all sharing the visitor, the visit budget
-    // and (when enabled) the merged dedup set.
-    let subtree_stats: Vec<ExploreStats> = frontier
-        .into_iter()
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|(config, depth)| {
-            let mut local = ExploreStats::default();
-            let mut stack: Vec<(Config, usize)> = vec![(config, depth)];
-            while let Some((config, depth)) = stack.pop() {
-                if shared.stopped.load(Ordering::Relaxed) {
-                    break;
-                }
-                if !visit_one(
-                    &config,
-                    depth,
-                    &visitor,
-                    &shared,
-                    &mut local,
-                    options.base.max_depth,
-                    |child, d| stack.push((child, d)),
-                ) {
-                    break;
-                }
-            }
-            local
-        })
-        .collect();
-
-    for s in subtree_stats {
-        stats.visited += s.visited;
-        stats.terminals += s.terminals;
-    }
-    stats.truncated = shared.truncated.load(Ordering::Relaxed);
-    stats
-}
-
-/// Visits one configuration on behalf of either phase of [`explore_par`]:
-/// claims budget, invokes the visitor, classifies terminals and hands
-/// non-deduplicated children to `emit`.  Returns `false` when exploration
-/// should halt (budget exhausted or `Visit::Stop`).
-fn visit_one<F, E>(
-    config: &Config,
-    depth: usize,
-    visitor: &F,
-    shared: &ParShared<'_>,
-    stats: &mut ExploreStats,
-    max_depth: usize,
-    mut emit: E,
-) -> bool
-where
-    F: Fn(&Config, usize) -> Visit + Sync,
-    E: FnMut(Config, usize),
-{
-    if !shared.claim_visit() {
-        return false;
-    }
-    stats.visited += 1;
-    match visitor(config, depth) {
-        Visit::Stop => {
-            shared.stopped.store(true, Ordering::Relaxed);
-            return false;
-        }
-        Visit::Prune => return true,
-        Visit::Continue => {}
-    }
-    let enabled = config.enabled_processes();
-    if enabled.is_empty() || depth >= max_depth {
-        stats.terminals += 1;
-        return true;
-    }
-    for p in enabled {
-        let mut child = config.clone();
-        match child.step(p) {
-            StepOutcome::Idle => continue,
-            _ => {
-                if shared.first_visit(&child, depth + 1) {
-                    emit(child, depth + 1);
-                }
-            }
-        }
-    }
-    true
+    engine::explore_shared(implementation, workload, &options.engine_options(), visitor)
 }
 
 /// Parallel counterpart of [`terminal_histories`]: collects the history of
-/// every terminal configuration using [`explore_par`].  The histories are
-/// returned in a deterministic order (sorted by their debug encoding), since
-/// parallel workers reach terminals in a nondeterministic sequence.
+/// every terminal configuration using the engine's parallel path.  The
+/// histories are returned in a deterministic order (sorted by their debug
+/// encoding), since parallel workers reach terminals in a nondeterministic
+/// sequence.
 pub fn terminal_histories_par(
     implementation: &dyn Implementation,
     workload: &Workload,
     options: ParExploreOptions,
 ) -> Vec<evlin_history::History> {
-    let histories = Mutex::new(Vec::new());
-    explore_par(implementation, workload, options, |config, depth| {
-        if config.enabled_processes().is_empty() || depth >= options.base.max_depth {
-            histories
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .push(config.history().clone());
-        }
-        Visit::Continue
-    });
-    let mut histories = histories.into_inner().unwrap_or_else(|p| p.into_inner());
-    histories.sort_by_cached_key(|h| format!("{h:?}"));
-    histories
+    engine::terminal_histories(implementation, workload, &options.engine_options())
 }
 
 /// Parallel counterpart of [`find_history_violation`]: checks `predicate`
@@ -448,18 +211,12 @@ pub fn find_history_violation_par<F>(
 where
     F: Fn(&evlin_history::History) -> bool + Sync,
 {
-    let violation = Mutex::new(None);
-    explore_par(implementation, workload, options, |config, _| {
-        if !predicate(config.history()) {
-            *violation
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(config.history().clone());
-            Visit::Stop
-        } else {
-            Visit::Continue
-        }
-    });
-    violation.into_inner().unwrap_or_else(|p| p.into_inner())
+    engine::find_history_violation(
+        implementation,
+        workload,
+        &options.engine_options(),
+        predicate,
+    )
 }
 
 /// Runs every process solo from the given configuration, one at a time, and
@@ -611,8 +368,7 @@ mod tests {
     fn parallel_terminal_histories_match_sequential() {
         let imp = LocalSpecImplementation::new(Arc::new(TestAndSet::new()), 2);
         let w = Workload::uniform(2, TestAndSet::test_and_set(), 1);
-        let mut sequential = terminal_histories(&imp, &w, ExploreOptions::default());
-        sequential.sort_by_key(|h| format!("{h:?}"));
+        let sequential = terminal_histories(&imp, &w, ExploreOptions::default());
         let parallel = terminal_histories_par(&imp, &w, par_options(4, false));
         assert_eq!(sequential, parallel);
     }

@@ -24,9 +24,16 @@
 //!   schedulers;
 //! * [`runner`] — drives a configuration under a scheduler and returns the
 //!   recorded high-level history;
-//! * [`explorer`] — bounded exhaustive exploration of *all* interleavings,
-//!   sequentially ([`explorer::explore`]) or on every core with work-stealing
-//!   over independent subtrees ([`explorer::explore_par`]);
+//! * [`engine`] — the unified exhaustive-exploration engine: one iterative
+//!   traversal (sequential or subtree-stealing parallel, selected by a
+//!   worker count) with a pluggable [`engine::ReductionStrategy`] — sleep-set
+//!   partial-order reduction driven by a step-independence oracle on
+//!   configurations, and process-symmetry canonicalization for symmetric
+//!   programs;
+//! * [`explorer`] — the stable facade over the engine: bounded exhaustive
+//!   exploration of *all* interleavings, sequentially
+//!   ([`explorer::explore`]) or on every core with work-stealing over
+//!   independent subtrees ([`explorer::explore_par`]);
 //! * [`valency`] — bivalence/critical-configuration analysis for two-process
 //!   consensus implementations (the engine behind the Proposition 15 and
 //!   Corollary 19 experiments);
@@ -63,6 +70,7 @@
 
 pub mod base;
 pub mod config;
+pub mod engine;
 pub mod eventually;
 pub mod explorer;
 pub mod program;
@@ -74,8 +82,9 @@ pub mod workload;
 
 /// Commonly used items re-exported for glob import in downstream crates.
 pub mod prelude {
-    pub use crate::base::{BaseObject, SpecObject};
-    pub use crate::config::{Config, StepOutcome};
+    pub use crate::base::{BaseObject, PidDependence, SpecObject};
+    pub use crate::config::{Config, StepOutcome, StepShape};
+    pub use crate::engine::{EngineOptions, Reduction, ReductionStrategy};
     pub use crate::eventually::{EventuallyLinearizable, StabilizationPolicy};
     pub use crate::explorer::{explore, explore_par, ExploreOptions, ParExploreOptions};
     pub use crate::program::{Implementation, ProcessLogic, TaskStep};

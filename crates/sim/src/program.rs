@@ -77,6 +77,22 @@ pub trait Implementation: fmt::Debug + Sync {
 
     /// Creates the programme state for process `process`.
     fn new_process(&self, process: ProcessId) -> Box<dyn ProcessLogic>;
+
+    /// Whether the implementation is *process-symmetric*: every process runs
+    /// the same programme and no process id is embedded in programme state,
+    /// so renaming processes maps executions to executions.
+    ///
+    /// Consulted by the symmetry reduction of [`crate::engine`]:
+    /// `Some(false)` vetoes canonicalization outright (the right marker for
+    /// algorithms whose programmes announce or scan by identity),
+    /// `Some(true)` asserts symmetry even when the structural check is
+    /// inconclusive (a soundness promise — the engine still requires every
+    /// base object to declare its process-id dependence), and `None` (the
+    /// default) lets the engine decide structurally by comparing the initial
+    /// [`ProcessLogic`] states and workloads.
+    fn process_symmetric_hint(&self) -> Option<bool> {
+        None
+    }
 }
 
 /// A trivial implementation useful in tests and as the degenerate case of the

@@ -23,6 +23,8 @@
 
 use crate::base::BaseObject;
 use crate::config::Config;
+use crate::engine::{self, EngineOptions, Reduction, Visit};
+use crate::explorer::ExploreOptions;
 use crate::program::{Implementation, ProcessLogic, TaskStep};
 use crate::workload::Workload;
 use evlin_checker::{fi, parallel};
@@ -46,6 +48,12 @@ pub struct StabilityOptions {
     pub max_configs: usize,
     /// Maximum solo steps allowed when completing an operation.
     pub solo_step_budget: usize,
+    /// The state-space reduction applied while exploring extensions.  Sound
+    /// for every strategy: sleep sets preserve the terminal-history set
+    /// exactly, and `t`-linearizability is process-symmetric, so symmetry
+    /// canonicalization preserves every verdict.  `Reduction::None` keeps
+    /// the seed semantics.
+    pub reduction: Reduction,
 }
 
 impl Default for StabilityOptions {
@@ -55,6 +63,7 @@ impl Default for StabilityOptions {
             extension_depth: 48,
             max_configs: 200_000,
             solo_step_budget: 10_000,
+            reduction: Reduction::None,
         }
     }
 }
@@ -71,7 +80,10 @@ impl Default for StabilityOptions {
 /// [`evlin_checker::parallel::fi_all_t_linearizable_par`], so the
 /// checking half of the search uses every core; on a single worker the
 /// histories are checked inline (batching would only pay a cloning tax).
-/// The verdict is identical either way.  A `true` answer is therefore
+/// The exploration half runs through [`crate::engine`] and honours
+/// [`StabilityOptions::reduction`], which shrinks the extension tree without
+/// changing the verdict.  The verdict is identical either way.  A `true`
+/// answer is therefore
 /// "stable up to the bound"; a `false` answer is definitive (a violating
 /// extension was found).
 pub fn is_stable(config: &Config, initial_value: i64, options: &StabilityOptions) -> bool {
@@ -83,41 +95,45 @@ pub fn is_stable(config: &Config, initial_value: i64, options: &StabilityOptions
             extended.push_operation(ProcessId(i), FetchIncrement::fetch_inc());
         }
     }
-    // DFS over interleavings; check t-linearizability at terminal nodes
-    // (prefix closure, Lemma 6, makes checking interior nodes redundant).
+    // Engine exploration over interleavings (with the configured reduction);
+    // check t-linearizability at terminal nodes (prefix closure, Lemma 6,
+    // makes checking interior nodes redundant).
     let batched = rayon::current_num_threads() > 1;
-    let mut stack: Vec<(Config, usize)> = vec![(extended, 0)];
-    let mut visited = 0usize;
+    let engine_options = EngineOptions {
+        limits: ExploreOptions {
+            max_depth: options.extension_depth,
+            max_configs: options.max_configs,
+        },
+        workers: Some(1),
+        reduction: options.reduction,
+        ..EngineOptions::default()
+    };
+    let mut ok = true;
     let mut terminal: Vec<History> = Vec::new();
-    while let Some((c, depth)) = stack.pop() {
-        visited += 1;
-        if visited > options.max_configs {
-            // Budget exhausted: treat as unstable so callers keep searching
-            // rather than freeze a configuration we could not verify.
-            return false;
-        }
-        let enabled = c.enabled_processes();
-        if enabled.is_empty() || depth >= options.extension_depth {
+    let stats = engine::explore_config(extended, &engine_options, |c, depth| {
+        if c.enabled_processes().is_empty() || depth >= options.extension_depth {
             if batched {
                 terminal.push(c.history().clone());
                 if terminal.len() == CHECK_BATCH {
                     if !parallel::fi_all_t_linearizable_par(&terminal, initial_value, t) {
-                        return false;
+                        ok = false;
+                        return Visit::Stop;
                     }
                     terminal.clear();
                 }
             } else if !fi::is_t_linearizable(c.history(), initial_value, t).unwrap_or(false) {
-                return false;
+                ok = false;
+                return Visit::Stop;
             }
-            continue;
         }
-        for p in enabled {
-            let mut child = c.clone();
-            child.step(p);
-            stack.push((child, depth + 1));
-        }
+        Visit::Continue
+    });
+    if stats.truncated {
+        // Budget exhausted: treat as unstable so callers keep searching
+        // rather than freeze a configuration we could not verify.
+        return false;
     }
-    parallel::fi_all_t_linearizable_par(&terminal, initial_value, t)
+    ok && parallel::fi_all_t_linearizable_par(&terminal, initial_value, t)
 }
 
 /// The result of a successful stable-configuration search and freeze.
@@ -393,6 +409,7 @@ mod tests {
             extension_depth: 24,
             max_configs: 100_000,
             solo_step_budget: 1_000,
+            reduction: Reduction::None,
         }
     }
 
@@ -401,6 +418,26 @@ mod tests {
         let imp = DirectFetchInc { processes: 2 };
         let config = Config::initial(&imp, &Workload::new(vec![Vec::new(), Vec::new()]));
         assert!(is_stable(&config, 0, &small_options()));
+    }
+
+    #[test]
+    fn reduced_stability_checks_agree_with_unreduced() {
+        let direct = DirectFetchInc { processes: 2 };
+        let stable = Config::initial(&direct, &Workload::new(vec![Vec::new(), Vec::new()]));
+        let local = LocalSpecImplementation::new(Arc::new(FetchIncrement::new()), 2);
+        let unstable = Config::initial(&local, &Workload::new(vec![Vec::new(), Vec::new()]));
+        for reduction in [
+            Reduction::SleepSet,
+            Reduction::Symmetry,
+            Reduction::SleepSetSymmetry,
+        ] {
+            let options = StabilityOptions {
+                reduction,
+                ..small_options()
+            };
+            assert!(is_stable(&stable, 0, &options), "{reduction:?}");
+            assert!(!is_stable(&unstable, 0, &options), "{reduction:?}");
+        }
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //!   interleavings of a one-shot consensus workload.
 
 use crate::config::Config;
-use crate::explorer::{explore, ExploreOptions, Visit};
+use crate::engine::{self, EngineOptions, Reduction};
+use crate::explorer::{ExploreOptions, Visit};
 use crate::program::Implementation;
 use crate::workload::Workload;
 use evlin_history::History;
@@ -52,18 +53,20 @@ fn reachable_decisions(
     config: &Config,
     depth: usize,
     max_configs: usize,
+    reduction: Reduction,
 ) -> (BTreeSet<Value>, bool) {
     let mut decisions = BTreeSet::new();
     let mut partial = false;
-    // Iterative DFS over clones of the configuration.
-    let mut stack: Vec<(Config, usize)> = vec![(config.clone(), 0)];
-    let mut visited = 0usize;
-    while let Some((c, d)) = stack.pop() {
-        visited += 1;
-        if visited > max_configs {
-            partial = true;
-            break;
-        }
+    let options = EngineOptions {
+        limits: ExploreOptions {
+            max_depth: depth,
+            max_configs,
+        },
+        workers: Some(1),
+        reduction,
+        ..EngineOptions::default()
+    };
+    let stats = engine::explore_config(config.clone(), &options, |c, d| {
         // Record decisions from completed propose operations.
         for op in c.history().complete_operations() {
             if let Some(v) = &op.response {
@@ -72,28 +75,36 @@ fn reachable_decisions(
         }
         if decisions.len() >= 2 {
             // Already bivalent; no need to keep exploring.
-            return (decisions, partial);
+            return Visit::Stop;
         }
-        let enabled = c.enabled_processes();
-        if enabled.is_empty() {
-            continue;
-        }
-        if d >= depth {
+        if d >= depth && !c.enabled_processes().is_empty() {
             partial = true;
-            continue;
         }
-        for p in enabled {
-            let mut child = c.clone();
-            child.step(p);
-            stack.push((child, d + 1));
-        }
+        Visit::Continue
+    });
+    if stats.truncated {
+        partial = true;
     }
     (decisions, partial)
 }
 
 /// Classifies the valency of a configuration by bounded exploration.
 pub fn valency_of(config: &Config, depth: usize, max_configs: usize) -> ValencyClass {
-    let (decisions, partial) = reachable_decisions(config, depth, max_configs);
+    valency_of_reduced(config, depth, max_configs, Reduction::None)
+}
+
+/// Like [`valency_of`], but exploring the descendants under the given
+/// [`Reduction`].  Sound for any strategy: decision values persist in the
+/// recorded history, terminal configurations are preserved by sleep sets, and
+/// symmetry canonicalization renames processes without touching response
+/// values.
+pub fn valency_of_reduced(
+    config: &Config,
+    depth: usize,
+    max_configs: usize,
+    reduction: Reduction,
+) -> ValencyClass {
+    let (decisions, partial) = reachable_decisions(config, depth, max_configs, reduction);
     if decisions.len() >= 2 {
         ValencyClass::Bivalent(decisions)
     } else if decisions.len() == 1 && !partial {
@@ -229,6 +240,19 @@ pub fn check_consensus(
     proposals: &[Value],
     options: ExploreOptions,
 ) -> ConsensusCheck {
+    check_consensus_reduced(implementation, proposals, options, Reduction::None)
+}
+
+/// Like [`check_consensus`], but exploring under the given [`Reduction`]:
+/// agreement/validity violations persist in the history once recorded and
+/// both properties are process-symmetric, so every strategy returns the same
+/// verdicts (the `terminals` count shrinks with the reduction).
+pub fn check_consensus_reduced(
+    implementation: &dyn Implementation,
+    proposals: &[Value],
+    options: ExploreOptions,
+    reduction: Reduction,
+) -> ConsensusCheck {
     let workload = Workload::one_shot(
         proposals
             .iter()
@@ -243,27 +267,38 @@ pub fn check_consensus(
         terminals: 0,
     };
     let total_ops = workload.total_operations();
-    explore(implementation, &workload, options, |config, depth| {
-        let complete = config.history().complete_operations();
-        let decided: BTreeSet<Value> = complete
-            .iter()
-            .filter_map(|op| op.response.clone())
-            .collect();
-        if decided.len() > 1 && check.agreement_violation.is_none() {
-            check.agreement_violation = Some(config.history().clone());
-        }
-        if decided.iter().any(|v| !proposed.contains(v)) && check.validity_violation.is_none() {
-            check.validity_violation = Some(config.history().clone());
-        }
-        let terminal = config.enabled_processes().is_empty() || depth >= options.max_depth;
-        if terminal {
-            check.terminals += 1;
-            if complete.len() < total_ops {
-                check.all_terminated = false;
+    let engine_options = EngineOptions {
+        limits: options,
+        workers: Some(1),
+        reduction,
+        ..EngineOptions::default()
+    };
+    engine::explore(
+        implementation,
+        &workload,
+        &engine_options,
+        |config, depth| {
+            let complete = config.history().complete_operations();
+            let decided: BTreeSet<Value> = complete
+                .iter()
+                .filter_map(|op| op.response.clone())
+                .collect();
+            if decided.len() > 1 && check.agreement_violation.is_none() {
+                check.agreement_violation = Some(config.history().clone());
             }
-        }
-        Visit::Continue
-    });
+            if decided.iter().any(|v| !proposed.contains(v)) && check.validity_violation.is_none() {
+                check.validity_violation = Some(config.history().clone());
+            }
+            let terminal = config.enabled_processes().is_empty() || depth >= options.max_depth;
+            if terminal {
+                check.terminals += 1;
+                if complete.len() < total_ops {
+                    check.all_terminated = false;
+                }
+            }
+            Visit::Continue
+        },
+    );
     check
 }
 
@@ -436,6 +471,39 @@ mod tests {
             32,
         );
         assert_eq!(walk.ended, WalkEnd::InitiallyUnivalent);
+    }
+
+    #[test]
+    fn reduced_checks_agree_with_unreduced() {
+        let strategies = [
+            Reduction::SleepSet,
+            Reduction::Symmetry,
+            Reduction::SleepSetSymmetry,
+        ];
+        let selfish = SelfishConsensus { processes: 2 };
+        let direct = DirectConsensus { processes: 2 };
+        for r in strategies {
+            let broken =
+                check_consensus_reduced(&selfish, &proposals(), ExploreOptions::default(), r);
+            assert!(broken.agreement_violation.is_some(), "{r:?}");
+            assert!(broken.validity_violation.is_none(), "{r:?}");
+            let sound =
+                check_consensus_reduced(&direct, &proposals(), ExploreOptions::default(), r);
+            assert!(sound.is_correct(), "{r:?}");
+            assert!(sound.all_terminated, "{r:?}");
+        }
+        // Valency classification is reduction-independent too.
+        let workload = Workload::one_shot(vec![
+            Consensus::propose(Value::from(0i64)),
+            Consensus::propose(Value::from(1i64)),
+        ]);
+        let config = Config::initial(&direct, &workload);
+        for r in strategies {
+            assert!(
+                valency_of_reduced(&config, 16, 10_000, r).is_bivalent(),
+                "{r:?}"
+            );
+        }
     }
 
     #[test]

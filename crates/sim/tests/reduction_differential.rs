@@ -1,0 +1,302 @@
+//! Differential tests for the reduction engine: on seeded random small
+//! configurations, every [`Reduction`] strategy must agree with the
+//! unreduced engine on
+//!
+//! * the set of **distinct terminal histories** — exactly for sleep sets,
+//!   up to process renaming (canonicalized comparison) for the symmetry
+//!   strategies;
+//! * the **verdict set** of those histories (weakly consistent /
+//!   linearizable, decided by the checker kernel);
+//! * **violation findings**: `find_history_violation` with a
+//!   process-symmetric predicate reports a violation under a reduction iff
+//!   the unreduced engine does.
+//!
+//! The quick test runs a fixed seed range on every `cargo test`; the
+//! `#[ignore]`d extended test honours the `EVLIN_DIFF_CASES` environment
+//! variable and is exercised by the nightly CI fuzz job.
+
+use evlin_algorithms::{CasFetchInc, GossipFetchInc, NoisyPrefixFetchInc};
+use evlin_checker::{linearizability, weak_consistency};
+use evlin_history::{History, ObjectUniverse, ProcessId};
+use evlin_sim::engine::{self, EngineOptions, ExploreOptions, Reduction, Visit};
+use evlin_sim::program::{Implementation, LocalSpecImplementation};
+use evlin_sim::workload::Workload;
+use evlin_spec::{FetchIncrement, ObjectType, Register, TestAndSet, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const STRATEGIES: [Reduction; 4] = [
+    Reduction::None,
+    Reduction::SleepSet,
+    Reduction::Symmetry,
+    Reduction::SleepSetSymmetry,
+];
+
+/// One random subject: an implementation, a workload for it, bounds, and the
+/// universe its histories are checked against.
+struct Case {
+    name: String,
+    implementation: Box<dyn Implementation>,
+    workload: Workload,
+    limits: ExploreOptions,
+    universe: ObjectUniverse,
+}
+
+fn random_case(seed: u64) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let processes = rng.gen_range(2..4usize);
+    let family = rng.gen_range(0..6u32);
+    // Multi-step implementations (CAS retry loops, register scans) grow much
+    // deeper trees per operation than the one-step local-copy families; keep
+    // their workloads small enough that the *unreduced* engine never hits the
+    // visit budget (truncation is shape-sensitive by design, so a truncated
+    // baseline would compare junk).
+    let ops = if family >= 3 && processes > 2 {
+        1
+    } else {
+        rng.gen_range(1..3usize)
+    };
+    let mut universe = ObjectUniverse::new();
+    let (name, implementation, workload): (String, Box<dyn Implementation>, Workload) = match family
+    {
+        0 => {
+            let ty: Arc<dyn ObjectType> = Arc::new(FetchIncrement::new());
+            universe.add_object(FetchIncrement::new());
+            (
+                format!("local-copy fi ({processes}p×{ops})"),
+                Box::new(LocalSpecImplementation::new(ty, processes)),
+                Workload::uniform(processes, FetchIncrement::fetch_inc(), ops),
+            )
+        }
+        1 => {
+            let ty: Arc<dyn ObjectType> = Arc::new(TestAndSet::new());
+            universe.add_object(TestAndSet::new());
+            (
+                format!("local-copy tas ({processes}p×{ops})"),
+                Box::new(LocalSpecImplementation::new(ty, processes)),
+                Workload::uniform(processes, TestAndSet::test_and_set(), ops),
+            )
+        }
+        2 => {
+            let ty: Arc<dyn ObjectType> = Arc::new(Register::new(Value::from(0i64)));
+            universe.add_object(Register::new(Value::from(0i64)));
+            // Mixed reads and writes, still uniform across processes.
+            let mut invocations = Vec::new();
+            for k in 0..ops {
+                invocations.push(if k % 2 == 0 {
+                    Register::write(Value::from(1i64))
+                } else {
+                    Register::read()
+                });
+            }
+            (
+                format!("local-copy register ({processes}p×{ops})"),
+                Box::new(LocalSpecImplementation::new(ty, processes)),
+                Workload::new(vec![invocations; processes]),
+            )
+        }
+        3 => {
+            universe.add_object(FetchIncrement::new());
+            (
+                format!("cas fetch&inc ({processes}p×{ops})"),
+                Box::new(CasFetchInc::new(processes)),
+                Workload::uniform(processes, FetchIncrement::fetch_inc(), ops),
+            )
+        }
+        4 => {
+            universe.add_object(FetchIncrement::new());
+            (
+                format!("noisy-prefix fetch&inc ({processes}p×{ops})"),
+                Box::new(NoisyPrefixFetchInc::new(processes, rng.gen_range(0..4i64))),
+                Workload::uniform(processes, FetchIncrement::fetch_inc(), ops),
+            )
+        }
+        _ => {
+            universe.add_object(FetchIncrement::new());
+            // Gossip is register-heavy: many commuting accesses, and an
+            // asymmetric programme the symmetry detection must veto.
+            (
+                format!("gossip fetch&inc ({processes}p×{ops})"),
+                Box::new(GossipFetchInc::new(processes)),
+                Workload::uniform(processes, FetchIncrement::fetch_inc(), 1.min(ops)),
+            )
+        }
+    };
+    Case {
+        name,
+        implementation,
+        workload,
+        limits: ExploreOptions {
+            max_depth: rng.gen_range(10..14usize),
+            max_configs: 2_000_000,
+        },
+        universe,
+    }
+}
+
+fn options(case: &Case, reduction: Reduction) -> EngineOptions {
+    EngineOptions {
+        limits: case.limits,
+        workers: Some(1),
+        reduction,
+        ..EngineOptions::default()
+    }
+}
+
+/// Distinct terminal histories under `reduction` (panics on truncation — a
+/// truncated exploration is shape-sensitive and must not be compared).
+fn distinct_terminals(case: &Case, reduction: Reduction) -> Vec<History> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    let max_depth = case.limits.max_depth;
+    let stats = engine::explore(
+        case.implementation.as_ref(),
+        &case.workload,
+        &options(case, reduction),
+        |config, depth| {
+            if config.enabled_processes().is_empty() || depth >= max_depth {
+                let h = config.history().clone();
+                if seen.insert(format!("{h:?}")) {
+                    out.push(h);
+                }
+            }
+            Visit::Continue
+        },
+    );
+    assert!(
+        !stats.truncated,
+        "{}: {reduction:?} exploration truncated — shrink the case",
+        case.name
+    );
+    out
+}
+
+/// The least debug string of a history's orbit under process renaming — the
+/// canonical form the symmetry strategies are compared in, enumerating the
+/// orbit with the same [`engine::permutations`] table the engine
+/// canonicalizes configurations with.
+fn canonical_form(history: &History, processes: usize) -> String {
+    engine::permutations(processes)
+        .iter()
+        .map(|perm| {
+            let mut renamed = history.clone();
+            let map: Vec<ProcessId> = perm.iter().map(|&i| ProcessId(i)).collect();
+            renamed.rename_processes(&map);
+            format!("{renamed:?}")
+        })
+        .min()
+        .expect("at least the identity renaming")
+}
+
+fn canonical_set(histories: &[History], processes: usize) -> BTreeSet<String> {
+    histories
+        .iter()
+        .map(|h| canonical_form(h, processes))
+        .collect()
+}
+
+/// Process-symmetric verdicts of a history under the checker kernel.
+fn verdict(history: &History, universe: &ObjectUniverse) -> (bool, bool) {
+    (
+        weak_consistency::is_weakly_consistent(history, universe),
+        linearizability::is_linearizable(history, universe),
+    )
+}
+
+fn check_seed(seed: u64) {
+    let case = random_case(seed);
+    let processes = case.workload.processes();
+    let baseline = distinct_terminals(&case, Reduction::None);
+    assert!(
+        !baseline.is_empty(),
+        "seed {seed} ({}) explored no terminals",
+        case.name
+    );
+    let baseline_canonical = canonical_set(&baseline, processes);
+    let baseline_verdicts: BTreeSet<(bool, bool)> = baseline
+        .iter()
+        .map(|h| verdict(h, &case.universe))
+        .collect();
+    // A process-symmetric safety predicate: no two completed operations of
+    // the same invocation return the same response... for idempotent reads
+    // that is expected, so use the coarser "some response is duplicated
+    // across processes" signal only for counting-style objects; the
+    // universally valid differential signal is the verdict itself.
+    let violates = |h: &History| !weak_consistency::is_weakly_consistent(h, &case.universe);
+    let baseline_violation = engine::find_history_violation(
+        case.implementation.as_ref(),
+        &case.workload,
+        &options(&case, Reduction::None),
+        |h| !violates(h),
+    )
+    .is_some();
+
+    for reduction in STRATEGIES {
+        if reduction == Reduction::None {
+            continue; // the baseline itself
+        }
+        let reduced = distinct_terminals(&case, reduction);
+        match reduction {
+            Reduction::None => {}
+            Reduction::SleepSet => {
+                // Exact preservation of the distinct terminal-history set.
+                let lhs: BTreeSet<String> = baseline.iter().map(|h| format!("{h:?}")).collect();
+                let rhs: BTreeSet<String> = reduced.iter().map(|h| format!("{h:?}")).collect();
+                assert_eq!(
+                    lhs, rhs,
+                    "seed {seed} ({}): sleep sets changed the terminal set",
+                    case.name
+                );
+            }
+            Reduction::Symmetry | Reduction::SleepSetSymmetry => {
+                assert_eq!(
+                    baseline_canonical,
+                    canonical_set(&reduced, processes),
+                    "seed {seed} ({}): {reduction:?} changed the canonical terminal set",
+                    case.name
+                );
+            }
+        }
+        let verdicts: BTreeSet<(bool, bool)> =
+            reduced.iter().map(|h| verdict(h, &case.universe)).collect();
+        assert_eq!(
+            baseline_verdicts, verdicts,
+            "seed {seed} ({}): {reduction:?} changed the verdict set",
+            case.name
+        );
+        let violation = engine::find_history_violation(
+            case.implementation.as_ref(),
+            &case.workload,
+            &options(&case, reduction),
+            |h| !violates(h),
+        )
+        .is_some();
+        assert_eq!(
+            baseline_violation, violation,
+            "seed {seed} ({}): {reduction:?} changed the violation finding",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn reductions_agree_with_unreduced_engine_on_random_configs() {
+    for seed in 0..12 {
+        check_seed(seed);
+    }
+}
+
+/// Extended nightly run: `EVLIN_DIFF_CASES` seeds (default 300).
+#[test]
+#[ignore = "long-running; exercised by the nightly fuzz job"]
+fn reductions_agree_extended() {
+    let cases: u64 = std::env::var("EVLIN_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    for seed in 1_000..1_000 + cases {
+        check_seed(seed);
+    }
+}
