@@ -63,6 +63,22 @@ fn bench_specialized(c: &mut Criterion) {
     group.finish();
 }
 
+/// Generic kernel on the queue/max-register family: structured (list-valued)
+/// object states and non-interchangeable operations, so the hot path is
+/// gated on a non-counter object type — neither the fetch&increment fast
+/// path nor interchangeability-class merging can carry the search.
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/queue_linearizability");
+    let universe = histories::queue_universe();
+    for &ops in &[8usize, 12, 16, 20] {
+        let conc = histories::random_queue_linearizable(&universe, ops, ops as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &conc, |b, h| {
+            b.iter(|| assert!(linearizability::is_linearizable(h, &universe)));
+        });
+    }
+    group.finish();
+}
+
 /// Sequential vs parallel batched checking of many independent histories:
 /// the speedup of `batch_par` over `batch_seq` at equal batch size is the
 /// multi-core scaling headroom (≈ the core count on a quiet machine; the
@@ -140,6 +156,7 @@ fn bench_locality(c: &mut Criterion) {
 criterion_group!(
     checker_scaling,
     bench_generic,
+    bench_queue,
     bench_specialized,
     bench_batch,
     bench_locality

@@ -28,6 +28,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             "histories",
             "all accepted",
             "mean check time (µs)",
+            "peak arena KiB",
         ],
     );
     let sizes: Vec<usize> = if quick {
@@ -42,6 +43,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         universe.add_object(FetchIncrement::new());
         let mut all_ok = true;
         let mut total = std::time::Duration::ZERO;
+        let mut peak_arena = 0usize;
         for seed in 0..histories_per_size {
             let mut rng = StdRng::seed_from_u64(seed as u64);
             let seq = random_sequential_legal(
@@ -54,8 +56,15 @@ pub fn run(quick: bool) -> Vec<Table> {
             );
             let conc = concurrentize(&seq, 2, &mut rng);
             let start = Instant::now();
-            all_ok &= linearizability::is_linearizable(&conc, &universe);
+            let (result, stats) = evlin_checker::kernel::check_local_with_stats(
+                &linearizability::Linearizability,
+                &conc,
+                &universe,
+                evlin_checker::kernel::SearchLimits::default(),
+            );
             total += start.elapsed();
+            all_ok &= result.is_yes();
+            peak_arena = peak_arena.max(stats.arena_bytes);
         }
         generic.push_row([
             ops.to_string(),
@@ -66,6 +75,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 "{:.1}",
                 total.as_micros() as f64 / histories_per_size as f64
             ),
+            format!("{:.1}", peak_arena as f64 / 1024.0),
         ]);
     }
 

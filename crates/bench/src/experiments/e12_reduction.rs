@@ -172,6 +172,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             "terminals",
             "distinct histories",
             "reduction ×",
+            "dedup KiB",
             "all linearizable",
             "all weakly consistent",
         ],
@@ -225,6 +226,9 @@ pub fn run(quick: bool) -> Vec<Table> {
                 run.stats.terminals.to_string(),
                 distinct,
                 format!("{factor:.1}×"),
+                // Peak engine bookkeeping: the dedup table's key bytes (0
+                // when the strategy runs without deduplication).
+                format!("{:.1}", run.stats.bytes_allocated as f64 / 1024.0),
                 lin,
                 wc,
             ]);

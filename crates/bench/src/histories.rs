@@ -3,7 +3,7 @@
 
 use evlin_history::generator::{concurrentize, random_sequential_legal, WorkloadSpec};
 use evlin_history::{History, HistoryBuilder, ObjectUniverse, ProcessId};
-use evlin_spec::{FetchIncrement, Register, Value};
+use evlin_spec::{FetchIncrement, MaxRegister, Queue, Register, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,6 +36,24 @@ pub fn random_linearizable(universe: &ObjectUniverse, ops: usize, seed: u64) -> 
         &mut rng,
     );
     concurrentize(&seq, 3, &mut rng)
+}
+
+/// A universe with one FIFO queue and one max-register — the non-counter
+/// family that keeps the kernel hot path gated on objects with structured
+/// (list-valued) states and non-interchangeable operations, where neither
+/// the fetch&increment fast path nor a trivial response pattern applies.
+pub fn queue_universe() -> ObjectUniverse {
+    let mut universe = ObjectUniverse::new();
+    universe.add_object(Queue::new());
+    universe.add_object(MaxRegister::new());
+    universe
+}
+
+/// A random linearizable-by-construction queue/max-register history with
+/// `ops` operations (the `checker/queue_linearizability` bench family and
+/// its gate baselines).
+pub fn random_queue_linearizable(universe: &ObjectUniverse, ops: usize, seed: u64) -> History {
+    random_linearizable(universe, ops, seed)
 }
 
 /// The *hard* multi-object family: every object carries `writes` concurrent
@@ -89,6 +107,16 @@ mod tests {
             let h = random_linearizable(&u, 12, seed);
             assert!(is_linearizable(&h, &u));
             assert!(linearization_witness(&h, &u).is_some());
+        }
+    }
+
+    #[test]
+    fn queue_family_is_linearizable() {
+        let u = queue_universe();
+        for seed in 0..3 {
+            let h = random_queue_linearizable(&u, 12, seed);
+            assert!(!h.is_empty());
+            assert!(is_linearizable(&h, &u));
         }
     }
 

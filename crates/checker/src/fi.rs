@@ -62,29 +62,50 @@ struct FiOp {
 }
 
 fn extract(history: &History) -> Result<Vec<FiOp>, FiError> {
-    if !history.is_well_formed() {
-        return Err(FiError::IllFormed);
-    }
-    let objects = history.objects();
-    if objects.len() > 1 {
-        return Err(FiError::MultipleObjects);
-    }
-    let mut ops = Vec::new();
-    for op in history.operations() {
-        if op.invocation.method() != "fetch_inc" {
-            return Err(FiError::NotFetchInc {
-                method: op.invocation.method().to_owned(),
-            });
+    // One fused sweep over the events checks well-formedness, the
+    // single-object and fetch_inc-only constraints, and collects the
+    // operations — the histories this fast path exists for have hundreds of
+    // thousands of events, so the separate `is_well_formed` / `objects()` /
+    // `operations()` passes (and their per-operation record clones) matter.
+    use evlin_history::EventKind;
+    let mut ops: Vec<FiOp> = Vec::new();
+    // Pending operation per process: `(process, index into ops)`.  A linear
+    // scan is faster than a map for the handful of processes real histories
+    // have.
+    let mut pending: Vec<(evlin_history::ProcessId, usize)> = Vec::new();
+    let mut object: Option<evlin_history::ObjectId> = None;
+    for (i, e) in history.events().iter().enumerate() {
+        match object {
+            Some(o) if o != e.object => return Err(FiError::MultipleObjects),
+            Some(_) => {}
+            None => object = Some(e.object),
         }
-        let response = match &op.response {
-            Some(v) => Some(v.as_int().ok_or(FiError::NonIntegerResponse)?),
-            None => None,
-        };
-        ops.push(FiOp {
-            invoke_index: op.invoke_index,
-            respond_index: op.respond_index,
-            response,
-        });
+        match &e.kind {
+            EventKind::Invoke(invocation) => {
+                if pending.iter().any(|&(p, _)| p == e.process) {
+                    return Err(FiError::IllFormed);
+                }
+                if invocation.method() != "fetch_inc" {
+                    return Err(FiError::NotFetchInc {
+                        method: invocation.method().to_owned(),
+                    });
+                }
+                pending.push((e.process, ops.len()));
+                ops.push(FiOp {
+                    invoke_index: i,
+                    respond_index: None,
+                    response: None,
+                });
+            }
+            EventKind::Respond(value) => {
+                let Some(at) = pending.iter().position(|&(p, _)| p == e.process) else {
+                    return Err(FiError::IllFormed);
+                };
+                let (_, op) = pending.swap_remove(at);
+                ops[op].respond_index = Some(i);
+                ops[op].response = Some(value.as_int().ok_or(FiError::NonIntegerResponse)?);
+            }
+        }
     }
     Ok(ops)
 }

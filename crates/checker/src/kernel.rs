@@ -17,25 +17,34 @@
 //! * [`solve`] — one iterative (non-recursive) Wing–Gong searcher over
 //!   partial linearizations.  Object states and responses are interned to
 //!   dense `u32` identifiers, transition lookups are memoized per
-//!   `(invocation, state)` pair, interchangeable operations are merged into
-//!   classes, and visited `(linearized-multiset, object-states)` keys are
-//!   stored as compact boxed `u32` slices;
+//!   `(invocation, state)` pair into a pooled span arena, interchangeable
+//!   operations are merged into classes, and the visited
+//!   `(linearized-multiset, object-states)` cache keys on an *incrementally
+//!   maintained* Zobrist fold — one linearization step updates the key with
+//!   four word mixes instead of serializing the pair.  The fold identifies
+//!   states up to a 64-bit hash: a key collision (probability ~nodes²/2⁶⁵
+//!   per search) could prune a genuinely new subtree, the same vanishing
+//!   risk the simulator's fingerprint deduplication documents and accepts —
+//!   the debug cross-check guards against maintenance drift, and the
+//!   brute-force differential suite fuzzes the end-to-end verdicts;
 //! * [`check_local`] — the locality pre-pass: for conditions whose
 //!   decomposition is [`Locality::Exact`] (the Herlihy–Wing locality theorem
 //!   for linearizability, Lemma 8 for weak consistency), a multi-object
 //!   history is split into independent per-object subproblems, checked in
 //!   parallel via [`crate::parallel`], and the per-object witnesses are
 //!   composed back into a global one;
-//! * [`KernelScratch`] — reusable search state (visited cache, taken-set)
-//!   so that e.g. the binary search of `min_stabilization` does not
-//!   reallocate per probe.
+//! * [`KernelScratch`] — reusable search state (visited cache, taken-set,
+//!   and the pooled searcher tables and arenas) so that e.g. the binary
+//!   search of `min_stabilization`, the weak-consistency per-operation loop
+//!   and the monitor's per-segment chains run allocation-free after their
+//!   first search.
 //!
 //! [`candidates`]: ConsistencyCondition::candidates
 //! [`precedence`]: ConsistencyCondition::precedence
 //! [`accepted`]: ConsistencyCondition::accepted
 
 use crate::parallel;
-use crate::util::{BitSet, FxHashMap, FxHashSet};
+use crate::util::{self, BitSet, FxHashMap, FxHashSet};
 use evlin_history::{History, ObjectId, ObjectUniverse, OperationRecord};
 use evlin_spec::{Invocation, Value};
 
@@ -132,14 +141,23 @@ pub struct SearchStats {
     /// Nodes cut off because their `(linearized-multiset, object-states)`
     /// key had already been visited — the Wing–Gong memoization at work.
     pub memo_hits: usize,
+    /// Peak bytes of live kernel bookkeeping (visited cache, interners,
+    /// transition arena, per-op tables) across this run and every absorbed
+    /// one — a function of the explored key sets and problem sizes, so it is
+    /// deterministic across thread counts.  Because [`KernelScratch`] pools
+    /// these buffers, repeated searches reuse rather than re-grow them; the
+    /// monitor's per-segment accounting test pins that down.
+    pub arena_bytes: usize,
 }
 
 impl SearchStats {
     /// Accumulates another run's counters into this one (used when a check
     /// is split into subproblems — per object, per segment, per probe).
+    /// Node counters add; the memory high-water mark takes the maximum.
     pub fn absorb(&mut self, other: SearchStats) {
         self.nodes += other.nodes;
         self.memo_hits += other.memo_hits;
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
     }
 }
 
@@ -216,20 +234,26 @@ pub trait ConsistencyCondition: Sync {
 // Reusable scratch state
 // ---------------------------------------------------------------------------
 
-/// Reusable search state: the visited cache and the taken-set.
+/// Reusable search state: the visited cache, the taken-set, and the pooled
+/// searcher buffers (interners, per-operation tables, the transition arena,
+/// the DFS frame stack).
 ///
-/// Allocations (the hash table and the bit set) survive across searches, so
-/// repeated probes over the same history — the binary search of
-/// `min_stabilization`, the per-operation loop of the weak-consistency
-/// checker — reuse them instead of reallocating.  `BitSet::clear` and
+/// Every allocation of a search survives into the next one, so repeated
+/// probes — the binary search of `min_stabilization`, the per-operation loop
+/// of the weak-consistency checker, the monitor's per-segment chains — run
+/// allocation-free after warm-up (the allocation-count smoke test in
+/// `tests/alloc_smoke.rs` enforces this).  `BitSet::clear` and
 /// `BitSet::count` keep the taken-set sound across reuses: bits left set by
 /// a successful search are cleared one by one, and the emptiness invariant is
 /// asserted before the next run.
 #[derive(Default)]
 pub struct KernelScratch {
-    visited: FxHashSet<Box<[u32]>>,
+    visited: FxHashSet<u64>,
     taken: BitSet,
     capacity: usize,
+    bufs: SearcherBufs,
+    /// Distinct accepting frontiers seen by [`solve_frontiers`].
+    frontier_seen: FxHashSet<Box<[u32]>>,
 }
 
 impl KernelScratch {
@@ -255,6 +279,154 @@ impl KernelScratch {
     }
 }
 
+/// Retention cap for the thread-local scratch: a pool grown past this many
+/// live bytes by one unusually large search is dropped after the call
+/// instead of pinning peak-sized buffers to the thread for the process
+/// lifetime (long-lived rayon workers and monitor threads would otherwise
+/// never release them).
+const THREAD_SCRATCH_RETAIN_BYTES: usize = 1 << 20;
+
+/// Runs `f` with a thread-local [`KernelScratch`], so entry points without a
+/// caller-provided scratch ([`solve`], [`check`], the `is_linearizable`
+/// facades) still reuse one warm buffer pool per thread instead of
+/// reallocating per call.  Falls back to a fresh scratch on re-entrant use.
+fn with_thread_scratch<R>(f: impl FnOnce(&mut KernelScratch) -> R) -> R {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<KernelScratch> = RefCell::new(KernelScratch::new());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => {
+            let result = f(&mut scratch);
+            if scratch.bufs.live_bytes() + scratch.visited.len() * std::mem::size_of::<u64>()
+                > THREAD_SCRATCH_RETAIN_BYTES
+            {
+                *scratch = KernelScratch::new();
+            }
+            result
+        }
+        Err(_) => f(&mut KernelScratch::new()),
+    })
+}
+
+/// The pooled per-search arrays of the searcher, owned by [`KernelScratch`]
+/// between runs.  Everything is flat: variable-length per-item lists
+/// (precedence predecessors, interchangeability-class members, memoized
+/// transition lists) are spans into shared arena vectors instead of nested
+/// `Vec<Vec<_>>`, so a search allocates nothing once the pool is warm.
+#[derive(Default)]
+struct SearcherBufs {
+    /// Active objects, in first-appearance order.
+    slots: Vec<ObjectId>,
+    /// Interned `Value` table (object states and responses).
+    values: Vec<Value>,
+    /// Value-id lookup, engaged only past [`LINEAR_INTERN_MAX`] entries (the
+    /// small-problem fast path scans `values` linearly instead of paying
+    /// hash-map setup).
+    value_map: FxHashMap<Value, u32>,
+    /// Interned `(slot, invocation)` table (the object repeated for
+    /// transition lookups).
+    inv_table: Vec<(u32, ObjectId, Invocation)>,
+    /// Invocation-id lookup, engaged only past [`LINEAR_INTERN_MAX`] rows.
+    inv_map: FxHashMap<(u32, Invocation), u32>,
+    // --- per-operation tables ---
+    op_inv: Vec<u32>,
+    op_slot: Vec<u32>,
+    op_required: Vec<bool>,
+    /// Fixed-response value id, or `INVALID` for a free response.
+    op_fixed: Vec<u32>,
+    incident: Vec<bool>,
+    /// CSR of required predecessors: `pred_data[pred_offsets[j]..pred_offsets[j+1]]`.
+    pred_offsets: Vec<u32>,
+    pred_data: Vec<u32>,
+    class_of: Vec<u32>,
+    /// One `(inv, required, fixed, class)` row per mergeable class.
+    class_reps: Vec<(u32, bool, u32, u32)>,
+    /// Class lookup, engaged only past [`LINEAR_INTERN_MAX`] classes.
+    class_map: FxHashMap<(u32, bool, u32), u32>,
+    /// CSR of class members in ascending operation order.
+    class_offsets: Vec<u32>,
+    class_data: Vec<u32>,
+    /// Reused counting-sort cursor.
+    cursor: Vec<u32>,
+    // --- mutable search state ---
+    class_counts: Vec<u16>,
+    states: Vec<u32>,
+    order: Vec<u32>,
+    responses: Vec<u32>,
+    // --- memoized transitions ---
+    /// `((inv as u64) << 32 | state)` → index into `trans_spans`.
+    trans_index: FxHashMap<u64, u32>,
+    /// `(start, len)` spans into `trans_data`.
+    trans_spans: Vec<(u32, u32)>,
+    trans_data: Vec<(u32, u32)>,
+    /// Pooled DFS frame stack.
+    frames: Vec<Frame>,
+}
+
+impl SearcherBufs {
+    /// Clears every table (keeping capacity) for the next search.
+    fn reset(&mut self) {
+        self.slots.clear();
+        self.values.clear();
+        self.value_map.clear();
+        self.inv_table.clear();
+        self.inv_map.clear();
+        self.op_inv.clear();
+        self.op_slot.clear();
+        self.op_required.clear();
+        self.op_fixed.clear();
+        self.incident.clear();
+        self.pred_offsets.clear();
+        self.pred_data.clear();
+        self.class_of.clear();
+        self.class_reps.clear();
+        self.class_map.clear();
+        self.class_offsets.clear();
+        self.class_data.clear();
+        self.cursor.clear();
+        self.class_counts.clear();
+        self.states.clear();
+        self.order.clear();
+        self.responses.clear();
+        self.trans_index.clear();
+        self.trans_spans.clear();
+        self.trans_data.clear();
+        self.frames.clear();
+    }
+
+    /// Bytes of live bookkeeping (by current lengths, not capacities, so the
+    /// figure is a deterministic function of the search itself).
+    fn live_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.slots.len() * size_of::<ObjectId>()
+            + self.values.len() * size_of::<Value>()
+            + self.inv_table.len() * size_of::<(u32, ObjectId, Invocation)>()
+            + (self.op_inv.len() + self.op_slot.len() + self.op_fixed.len()) * size_of::<u32>()
+            + self.op_required.len()
+            + (self.pred_offsets.len() + self.pred_data.len()) * size_of::<u32>()
+            + self.class_of.len() * size_of::<u32>()
+            + self.class_reps.len() * size_of::<(u32, bool, u32, u32)>()
+            + (self.class_offsets.len() + self.class_data.len()) * size_of::<u32>()
+            + self.class_counts.len() * size_of::<u16>()
+            + (self.states.len() + self.order.len() + self.responses.len()) * size_of::<u32>()
+            + self.trans_index.len() * size_of::<(u64, u32)>()
+            + self.trans_spans.len() * size_of::<(u32, u32)>()
+            + self.trans_data.len() * size_of::<(u32, u32)>()
+    }
+}
+
+/// Linear-scan interning bound: problems whose value table stays at or below
+/// this size (the overwhelmingly common case — unit-test histories, bench
+/// histories up to ~20 operations, per-object monitor segments) never touch
+/// a hash map during setup.
+const LINEAR_INTERN_MAX: usize = 32;
+
+/// Domain tag of class-count components of the incremental visited key.
+const TAG_CLASS: u64 = 0x636c_6173_7300_0001;
+/// Domain tag of object-state components of the incremental visited key.
+const TAG_STATE: u64 = 0x7374_6174_6500_0002;
+
 // ---------------------------------------------------------------------------
 // The iterative searcher
 // ---------------------------------------------------------------------------
@@ -272,8 +444,8 @@ struct Frame {
     /// Candidate operation currently being enumerated at this level.
     i: usize,
     /// Next transition index for operation `i`.
-    k: usize,
-    /// Index into `Searcher::trans_lists` of operation `i`'s transitions at
+    k: u32,
+    /// Index into the transition-span arena of operation `i`'s transitions at
     /// this level's entry state, or `INVALID` before it is computed.
     trans: u32,
     /// How this level's node was produced (`None` only for the root).
@@ -289,106 +461,153 @@ struct Undo {
     required: bool,
 }
 
+/// The iterative Wing–Gong searcher over one interned problem.
+///
+/// All of its arrays live in [`SearcherBufs`], borrowed from the caller's
+/// [`KernelScratch`] for the duration of the search and returned afterwards,
+/// so a warm scratch makes both construction and the search itself
+/// allocation-free.  The visited cache keys on an *incrementally maintained*
+/// Zobrist fold of the `(per-class taken counts, object states)` pair
+/// ([`Searcher::vkey`]): one linearization step XORs out and in at most four
+/// [`crate::util::zkey`] components instead of serializing a fresh boxed key
+/// per node.
 struct Searcher<'a> {
     universe: &'a ObjectUniverse,
     limits: SearchLimits,
-    // --- interned problem ---
     n: usize,
-    /// The object of each slot (active objects, in first-appearance order).
-    slots: Vec<ObjectId>,
-    /// Interned `Value` table (object states and responses).
-    values: Vec<Value>,
-    value_ids: FxHashMap<Value, u32>,
-    /// Interned `(object, invocation)` table.
-    inv_table: Vec<(usize, ObjectId, Invocation)>,
-    /// Per-operation interned data.
-    op_inv: Vec<u32>,
-    op_slot: Vec<usize>,
-    op_required: Vec<bool>,
-    op_fixed: Vec<Option<u32>>,
-    /// Required predecessors of each operation.
-    preds: Vec<Vec<usize>>,
-    /// Interchangeability classes: `class_of[i]` and the members of each
-    /// class in ascending operation order.
-    class_of: Vec<usize>,
-    class_members: Vec<Vec<usize>>,
     required_count: usize,
-    // --- memoized transitions ---
-    /// `trans_cache[invocation id][state id]` -> `trans_lists` index, or
-    /// `INVALID` when not yet computed (dense: both id spaces are small).
-    trans_cache: Vec<Vec<u32>>,
-    trans_lists: Vec<Vec<(u32, u32)>>,
+    /// The pooled tables (see [`SearcherBufs`]).
+    b: SearcherBufs,
+    /// The incremental visited-cache key of the current search state.
+    vkey: u64,
     // --- mutable search state ---
-    class_counts: Vec<u16>,
-    states: Vec<u32>,
-    order: Vec<usize>,
-    responses: Vec<u32>,
     required_taken: usize,
     nodes: usize,
     memo_hits: usize,
     exhausted: bool,
 }
 
+/// Interns `v` into the pooled value table: linear scan while the table is
+/// small (the small-problem fast path — no hash-map setup for the common
+/// tiny searches), hash lookup once it grows past [`LINEAR_INTERN_MAX`].
+fn intern_value(b: &mut SearcherBufs, v: &Value) -> u32 {
+    if b.value_map.is_empty() {
+        if let Some(i) = b.values.iter().position(|x| x == v) {
+            return i as u32;
+        }
+        let id = b.values.len() as u32;
+        b.values.push(v.clone());
+        if b.values.len() > LINEAR_INTERN_MAX {
+            // Grown past the linear bound: engage the map from here on.
+            for (i, x) in b.values.iter().enumerate() {
+                b.value_map.insert(x.clone(), i as u32);
+            }
+        }
+        return id;
+    }
+    if let Some(&i) = b.value_map.get(v) {
+        return i;
+    }
+    let id = b.values.len() as u32;
+    b.values.push(v.clone());
+    b.value_map.insert(v.clone(), id);
+    id
+}
+
 impl<'a> Searcher<'a> {
-    fn new(problem: &SearchProblem, universe: &'a ObjectUniverse, limits: SearchLimits) -> Self {
+    /// Builds the interned problem inside `bufs` (taken from a
+    /// [`KernelScratch`]; returned via [`Searcher::into_bufs`]).
+    fn new(
+        problem: &SearchProblem,
+        universe: &'a ObjectUniverse,
+        limits: SearchLimits,
+        mut b: SearcherBufs,
+    ) -> Self {
+        b.reset();
         let n = problem.ops.len();
 
-        // Active objects -> slots.
-        let mut slot_of: FxHashMap<usize, usize> = FxHashMap::default();
-        let mut slots: Vec<ObjectId> = Vec::new();
-        for cop in &problem.ops {
-            slot_of.entry(cop.record.object.index()).or_insert_with(|| {
-                slots.push(cop.record.object);
-                slots.len() - 1
-            });
+        // Active objects -> slots, and per-op interned invocations.  All
+        // lookups are linear scans over the (small) tables — see
+        // `LINEAR_INTERN_MAX` for the value interner's fallback.
+        for i in 0..n {
+            let cop = &problem.ops[i];
+            let slot = match b.slots.iter().position(|&o| o == cop.record.object) {
+                Some(s) => s,
+                None => {
+                    b.slots.push(cop.record.object);
+                    b.slots.len() - 1
+                }
+            };
+            b.op_slot.push(slot as u32);
+            // Linear scan while the table is small; hash lookup once it
+            // grows past the small-problem bound (mirrors `intern_value`, so
+            // setup stays O(n) on large histories too).
+            let found = if b.inv_map.is_empty() {
+                b.inv_table
+                    .iter()
+                    .position(|(s, _, inv)| *s == slot as u32 && *inv == cop.record.invocation)
+                    .map(|idx| idx as u32)
+            } else {
+                b.inv_map
+                    .get(&(slot as u32, cop.record.invocation.clone()))
+                    .copied()
+            };
+            let inv = match found {
+                Some(idx) => idx,
+                None => {
+                    let id = b.inv_table.len() as u32;
+                    b.inv_table.push((
+                        slot as u32,
+                        cop.record.object,
+                        cop.record.invocation.clone(),
+                    ));
+                    if b.inv_table.len() > LINEAR_INTERN_MAX {
+                        if b.inv_map.is_empty() {
+                            for (idx, (s, _, inv)) in b.inv_table.iter().enumerate() {
+                                b.inv_map.insert((*s, inv.clone()), idx as u32);
+                            }
+                        } else {
+                            b.inv_map
+                                .insert((slot as u32, cop.record.invocation.clone()), id);
+                        }
+                    }
+                    id
+                }
+            };
+            b.op_inv.push(inv);
+            b.op_required.push(cop.required);
+            let fixed = match &cop.fixed_response {
+                Some(v) => intern_value(&mut b, v),
+                None => INVALID,
+            };
+            b.op_fixed.push(fixed);
         }
 
-        // Interners.
-        let mut values: Vec<Value> = Vec::new();
-        let mut value_ids: FxHashMap<Value, u32> = FxHashMap::default();
-        let mut intern_value = |v: &Value, values: &mut Vec<Value>| -> u32 {
-            if let Some(&id) = value_ids.get(v) {
-                return id;
-            }
-            let id = values.len() as u32;
-            values.push(v.clone());
-            value_ids.insert(v.clone(), id);
-            id
-        };
-        let mut inv_table: Vec<(usize, ObjectId, Invocation)> = Vec::new();
-        let mut inv_ids: FxHashMap<(usize, Invocation), u32> = FxHashMap::default();
-
-        let mut op_inv = Vec::with_capacity(n);
-        let mut op_slot = Vec::with_capacity(n);
-        let mut op_required = Vec::with_capacity(n);
-        let mut op_fixed = Vec::with_capacity(n);
-        for cop in &problem.ops {
-            let slot = slot_of[&cop.record.object.index()];
-            let key = (slot, cop.record.invocation.clone());
-            let inv = *inv_ids.entry(key).or_insert_with(|| {
-                inv_table.push((slot, cop.record.object, cop.record.invocation.clone()));
-                (inv_table.len() - 1) as u32
-            });
-            op_inv.push(inv);
-            op_slot.push(slot);
-            op_required.push(cop.required);
-            op_fixed.push(
-                cop.fixed_response
-                    .as_ref()
-                    .map(|v| intern_value(v, &mut values)),
-            );
-        }
-
-        // Required predecessors (edges with optional sources impose nothing,
-        // matching the reductions in this crate, which only create edges with
-        // required sources).
-        let mut preds = vec![Vec::new(); n];
-        let mut incident = vec![false; n];
+        // Required predecessors as a CSR (edges with optional sources impose
+        // nothing, matching the reductions in this crate, which only create
+        // edges with required sources).
+        b.incident.resize(n, false);
+        b.cursor.resize(n, 0);
         for &(i, j) in &problem.precedence {
-            incident[i] = true;
-            incident[j] = true;
+            b.incident[i] = true;
+            b.incident[j] = true;
             if problem.ops[i].required {
-                preds[j].push(i);
+                b.cursor[j] += 1;
+            }
+        }
+        b.pred_offsets.reserve(n + 1);
+        let mut acc = 0u32;
+        for j in 0..n {
+            b.pred_offsets.push(acc);
+            acc += b.cursor[j];
+        }
+        b.pred_offsets.push(acc);
+        b.pred_data.resize(acc as usize, 0);
+        b.cursor.copy_from_slice(&b.pred_offsets[..n]);
+        for &(i, j) in &problem.precedence {
+            if problem.ops[i].required {
+                b.pred_data[b.cursor[j] as usize] = i as u32;
+                b.cursor[j] += 1;
             }
         }
 
@@ -396,62 +615,87 @@ impl<'a> Searcher<'a> {
         // invocation, the same constraints and no incident precedence edge
         // are indistinguishable, so the search only ever takes the first
         // untaken member of a class and the visited cache keys on per-class
-        // counts instead of exact subsets.
-        let mut class_of = vec![usize::MAX; n];
-        let mut class_members: Vec<Vec<usize>> = Vec::new();
-        let mut class_ids: FxHashMap<(u32, bool, Option<u32>), usize> = FxHashMap::default();
+        // counts instead of exact subsets.  Class lookup is a linear scan
+        // over the representative table (no hash map on this setup path).
+        let mut class_count = 0u32;
         for i in 0..n {
-            let class = if incident[i] {
-                class_members.push(vec![i]);
-                class_members.len() - 1
+            let class = if b.incident[i] {
+                let c = class_count;
+                class_count += 1;
+                c
             } else {
-                let key = (op_inv[i], op_required[i], op_fixed[i]);
-                match class_ids.get(&key) {
-                    Some(&c) => {
-                        class_members[c].push(i);
-                        c
-                    }
+                let key = (b.op_inv[i], b.op_required[i], b.op_fixed[i]);
+                let found = if b.class_map.is_empty() {
+                    b.class_reps
+                        .iter()
+                        .find(|(inv, req, fixed, _)| (*inv, *req, *fixed) == key)
+                        .map(|&(_, _, _, c)| c)
+                } else {
+                    b.class_map.get(&key).copied()
+                };
+                match found {
+                    Some(c) => c,
                     None => {
-                        class_members.push(vec![i]);
-                        let c = class_members.len() - 1;
-                        class_ids.insert(key, c);
+                        let c = class_count;
+                        class_count += 1;
+                        b.class_reps.push((key.0, key.1, key.2, c));
+                        if b.class_reps.len() > LINEAR_INTERN_MAX {
+                            if b.class_map.is_empty() {
+                                for &(inv, req, fixed, c) in b.class_reps.iter() {
+                                    b.class_map.insert((inv, req, fixed), c);
+                                }
+                            } else {
+                                b.class_map.insert(key, c);
+                            }
+                        }
                         c
                     }
                 }
             };
-            class_of[i] = class;
+            b.class_of.push(class);
+        }
+        // Class members (ascending operation order) as a CSR.
+        let class_count = class_count as usize;
+        b.cursor.clear();
+        b.cursor.resize(class_count, 0);
+        for i in 0..n {
+            b.cursor[b.class_of[i] as usize] += 1;
+        }
+        b.class_offsets.reserve(class_count + 1);
+        let mut acc = 0u32;
+        for c in 0..class_count {
+            b.class_offsets.push(acc);
+            acc += b.cursor[c];
+        }
+        b.class_offsets.push(acc);
+        b.class_data.resize(n, 0);
+        b.cursor.copy_from_slice(&b.class_offsets[..class_count]);
+        for i in 0..n {
+            let c = b.class_of[i] as usize;
+            b.class_data[b.cursor[c] as usize] = i as u32;
+            b.cursor[c] += 1;
+        }
+        b.class_counts.resize(class_count, 0);
+
+        // Initial object states and the initial visited key.
+        for slot in 0..b.slots.len() {
+            let object = b.slots[slot];
+            let id = intern_value(&mut b, universe.initial_state(object));
+            b.states.push(id);
+        }
+        let mut vkey = 0u64;
+        for (slot, &state) in b.states.iter().enumerate() {
+            vkey ^= util::zkey(TAG_STATE, slot as u64, state as u64);
         }
 
-        let states: Vec<u32> = slots
-            .iter()
-            .map(|id| intern_value(universe.initial_state(*id), &mut values))
-            .collect();
-
         let required_count = problem.ops.iter().filter(|o| o.required).count();
-        let class_count = class_members.len();
-        let inv_count = inv_table.len();
         Searcher {
             universe,
             limits,
             n,
-            slots,
-            values,
-            value_ids,
-            inv_table,
-            op_inv,
-            op_slot,
-            op_required,
-            op_fixed,
-            preds,
-            class_of,
-            class_members,
             required_count,
-            trans_cache: vec![Vec::new(); inv_count],
-            trans_lists: Vec::new(),
-            class_counts: vec![0; class_count],
-            states,
-            order: Vec::new(),
-            responses: Vec::new(),
+            b,
+            vkey,
             required_taken: 0,
             nodes: 0,
             memo_hits: 0,
@@ -459,114 +703,152 @@ impl<'a> Searcher<'a> {
         }
     }
 
-    fn intern_value(&mut self, v: Value) -> u32 {
-        if let Some(&id) = self.value_ids.get(&v) {
-            return id;
-        }
-        let id = self.values.len() as u32;
-        self.values.push(v.clone());
-        self.value_ids.insert(v, id);
-        id
+    /// Releases the pooled buffers back to the scratch.
+    fn into_bufs(self) -> SearcherBufs {
+        self.b
     }
 
-    /// The transitions of invocation `inv` in state `state`, memoized.
-    fn transitions(&mut self, inv: u32, state: u32) -> u32 {
-        let row = &self.trans_cache[inv as usize];
-        if let Some(&idx) = row.get(state as usize) {
-            if idx != INVALID {
-                return idx;
-            }
+    fn stats(&self, scratch: &KernelScratch) -> SearchStats {
+        use std::mem::size_of;
+        // The frontier-dedup keys of `solve_frontiers` are part of the
+        // search's working set too — without them a frontier-dominated
+        // monitor segment would under-report its peak.
+        let frontier_bytes: usize = scratch
+            .frontier_seen
+            .iter()
+            .map(|k| size_of::<Box<[u32]>>() + k.len() * size_of::<u32>())
+            .sum();
+        SearchStats {
+            nodes: self.nodes,
+            memo_hits: self.memo_hits,
+            arena_bytes: self.b.live_bytes()
+                + scratch.visited.len() * size_of::<u64>()
+                + frontier_bytes,
         }
-        let (_, object, invocation) = self.inv_table[inv as usize].clone();
+    }
+
+    /// The transitions of invocation `inv` in state `state`, memoized as a
+    /// span into the pooled transition arena.
+    fn transitions(&mut self, inv: u32, state: u32) -> u32 {
+        let key = ((inv as u64) << 32) | state as u64;
+        if let Some(&idx) = self.b.trans_index.get(&key) {
+            return idx;
+        }
+        let (_, object, invocation) = self.b.inv_table[inv as usize].clone();
         let raw = self
             .universe
             .object_type(object)
-            .transitions(&self.values[state as usize], &invocation);
-        let list: Vec<(u32, u32)> = raw
-            .into_iter()
-            .map(|t| {
-                let r = self.intern_value(t.response);
-                let s = self.intern_value(t.next_state);
-                (r, s)
-            })
-            .collect();
-        let idx = self.trans_lists.len() as u32;
-        self.trans_lists.push(list);
-        let row = &mut self.trans_cache[inv as usize];
-        if row.len() <= state as usize {
-            row.resize(state as usize + 1, INVALID);
+            .transitions(&self.b.values[state as usize], &invocation);
+        let start = self.b.trans_data.len() as u32;
+        for t in raw {
+            let r = intern_value(&mut self.b, &t.response);
+            let s = intern_value(&mut self.b, &t.next_state);
+            self.b.trans_data.push((r, s));
         }
-        row[state as usize] = idx;
+        let len = self.b.trans_data.len() as u32 - start;
+        let idx = self.b.trans_spans.len() as u32;
+        self.b.trans_spans.push((start, len));
+        self.b.trans_index.insert(key, idx);
         idx
     }
 
     /// Whether `i` is the first untaken member of its class (the canonical
     /// representative tried by the search).
     fn canonical(&self, i: usize, taken: &BitSet) -> bool {
-        self.class_members[self.class_of[i]]
-            .iter()
-            .find(|&&m| !taken.contains(m))
-            == Some(&i)
+        let c = self.b.class_of[i] as usize;
+        let members = &self.b.class_data
+            [self.b.class_offsets[c] as usize..self.b.class_offsets[c + 1] as usize];
+        members.iter().find(|&&m| !taken.contains(m as usize)) == Some(&(i as u32))
     }
 
     fn preds_taken(&self, i: usize, taken: &BitSet) -> bool {
-        self.preds[i].iter().all(|&p| taken.contains(p))
+        let preds =
+            &self.b.pred_data[self.b.pred_offsets[i] as usize..self.b.pred_offsets[i + 1] as usize];
+        preds.iter().all(|&p| taken.contains(p as usize))
     }
 
-    /// The compact visited key: per-class taken counts, then object states.
-    fn visit_key(&self) -> Box<[u32]> {
-        let mut key = Vec::with_capacity(self.class_counts.len() + self.states.len());
-        key.extend(self.class_counts.iter().map(|&c| c as u32));
-        key.extend_from_slice(&self.states);
-        key.into_boxed_slice()
+    /// Recomputes the visited key from scratch — the debug cross-check for
+    /// the incrementally maintained [`Searcher::vkey`] (run on every
+    /// apply/retract under `debug_assertions`, i.e. by the whole test suite
+    /// including the nightly differential fuzz job; compiled out of release
+    /// builds).
+    fn recomputed_vkey(&self) -> u64 {
+        let mut key = 0u64;
+        for (c, &count) in self.b.class_counts.iter().enumerate() {
+            if count > 0 {
+                key ^= util::zkey(TAG_CLASS, c as u64, count as u64);
+            }
+        }
+        for (slot, &state) in self.b.states.iter().enumerate() {
+            key ^= util::zkey(TAG_STATE, slot as u64, state as u64);
+        }
+        key
     }
 
     fn progress(&self) -> SearchProgress {
         SearchProgress {
             required_taken: self.required_taken,
             required_total: self.required_count,
-            taken_total: self.order.len(),
+            taken_total: self.b.order.len(),
         }
     }
 
     fn apply(&mut self, i: usize, resp: u32, next_state: u32, taken: &mut BitSet) -> Undo {
-        let slot = self.op_slot[i];
+        let slot = self.b.op_slot[i] as usize;
+        let class = self.b.class_of[i] as usize;
         let undo = Undo {
             op: i,
-            class: self.class_of[i],
+            class,
             slot,
-            prev_state: self.states[slot],
-            required: self.op_required[i],
+            prev_state: self.b.states[slot],
+            required: self.b.op_required[i],
         };
         taken.set(i);
-        self.class_counts[undo.class] += 1;
-        self.states[slot] = next_state;
-        self.order.push(i);
-        self.responses.push(resp);
+        let count = self.b.class_counts[class];
+        if count > 0 {
+            self.vkey ^= util::zkey(TAG_CLASS, class as u64, count as u64);
+        }
+        self.vkey ^= util::zkey(TAG_CLASS, class as u64, (count + 1) as u64);
+        self.b.class_counts[class] = count + 1;
+        self.vkey ^= util::zkey(TAG_STATE, slot as u64, undo.prev_state as u64)
+            ^ util::zkey(TAG_STATE, slot as u64, next_state as u64);
+        self.b.states[slot] = next_state;
+        self.b.order.push(i as u32);
+        self.b.responses.push(resp);
         if undo.required {
             self.required_taken += 1;
         }
+        debug_assert_eq!(self.vkey, self.recomputed_vkey(), "visited key drifted");
         undo
     }
 
     fn retract(&mut self, undo: Undo, taken: &mut BitSet) {
         taken.clear(undo.op);
-        self.class_counts[undo.class] -= 1;
-        self.states[undo.slot] = undo.prev_state;
-        self.order.pop();
-        self.responses.pop();
+        let count = self.b.class_counts[undo.class];
+        self.vkey ^= util::zkey(TAG_CLASS, undo.class as u64, count as u64);
+        if count > 1 {
+            self.vkey ^= util::zkey(TAG_CLASS, undo.class as u64, (count - 1) as u64);
+        }
+        self.b.class_counts[undo.class] = count - 1;
+        self.vkey ^= util::zkey(TAG_STATE, undo.slot as u64, self.b.states[undo.slot] as u64)
+            ^ util::zkey(TAG_STATE, undo.slot as u64, undo.prev_state as u64);
+        self.b.states[undo.slot] = undo.prev_state;
+        self.b.order.pop();
+        self.b.responses.pop();
         if undo.required {
             self.required_taken -= 1;
         }
+        debug_assert_eq!(self.vkey, self.recomputed_vkey(), "visited key drifted");
     }
 
     fn witness(&self) -> Witness {
         Witness {
-            order: self.order.clone(),
+            order: self.b.order.iter().map(|&i| i as usize).collect(),
             responses: self
+                .b
                 .responses
                 .iter()
-                .map(|&r| self.values[r as usize].clone())
+                .map(|&r| self.b.values[r as usize].clone())
                 .collect(),
         }
     }
@@ -585,14 +867,15 @@ impl<'a> Searcher<'a> {
         if self.nodes > self.limits.max_nodes {
             return SearchResult::Unknown;
         }
-        scratch.visited.insert(self.visit_key());
+        scratch.visited.insert(self.vkey);
 
-        let mut frames: Vec<Frame> = vec![Frame {
+        let mut frames = std::mem::take(&mut self.b.frames);
+        frames.push(Frame {
             i: 0,
             k: 0,
             trans: INVALID,
             undo: None,
-        }];
+        });
         // Split `taken` out of the scratch so `self` methods can borrow
         // freely; it is put back (empty) before returning.
         let mut taken = std::mem::take(&mut scratch.taken);
@@ -622,24 +905,25 @@ impl<'a> Searcher<'a> {
                     continue;
                 }
                 if f.trans == INVALID {
-                    f.trans = self.transitions(self.op_inv[i], self.states[self.op_slot[i]]);
+                    f.trans = self
+                        .transitions(self.b.op_inv[i], self.b.states[self.b.op_slot[i] as usize]);
                     f.k = 0;
                 }
-                while f.k < self.trans_lists[f.trans as usize].len() {
-                    let (resp, next_state) = self.trans_lists[f.trans as usize][f.k];
+                let (start, len) = self.b.trans_spans[f.trans as usize];
+                while f.k < len {
+                    let (resp, next_state) = self.b.trans_data[(start + f.k) as usize];
                     f.k += 1;
-                    if let Some(fixed) = self.op_fixed[i] {
-                        if resp != fixed {
-                            continue;
-                        }
+                    let fixed = self.b.op_fixed[i];
+                    if fixed != INVALID && resp != fixed {
+                        continue;
                     }
                     let undo = self.apply(i, resp, next_state, &mut taken);
                     if accept(&self.progress()) {
                         let witness = self.witness();
                         // Leave the taken-set empty for the next reuse of
                         // the scratch.
-                        for &op in &self.order {
-                            taken.clear(op);
+                        for &op in &self.b.order {
+                            taken.clear(op as usize);
                         }
                         break 'outer SearchResult::Yes(witness);
                     }
@@ -649,7 +933,7 @@ impl<'a> Searcher<'a> {
                         self.retract(undo, &mut taken);
                         continue;
                     }
-                    if !scratch.visited.insert(self.visit_key()) {
+                    if !scratch.visited.insert(self.vkey) {
                         self.memo_hits += 1;
                         self.retract(undo, &mut taken);
                         continue;
@@ -673,6 +957,8 @@ impl<'a> Searcher<'a> {
         // back for the next reuse of the scratch.
         debug_assert_eq!(taken.count(), 0, "taken-set must be released empty");
         scratch.taken = taken;
+        frames.clear();
+        self.b.frames = frames;
         result
     }
 
@@ -691,14 +977,15 @@ impl<'a> Searcher<'a> {
         tracked: &[usize],
     ) -> (Vec<RawFrontier>, bool) {
         scratch.prepare(self.n);
-        let mut seen: FxHashSet<Box<[u32]>> = FxHashSet::default();
+        scratch.frontier_seen.clear();
         let mut out: Vec<RawFrontier> = Vec::new();
-        let mut frames: Vec<Frame> = vec![Frame {
+        let mut frames = std::mem::take(&mut self.b.frames);
+        frames.push(Frame {
             i: 0,
             k: 0,
             trans: INVALID,
             undo: None,
-        }];
+        });
         let mut taken = std::mem::take(&mut scratch.taken);
         // Records the current node's frontier if it is accepting and new.
         // (A node reached twice is pruned by the visited cache before this
@@ -712,18 +999,18 @@ impl<'a> Searcher<'a> {
             out: &mut Vec<(Vec<u32>, Vec<bool>)>,
         ) {
             let placed: Vec<bool> = tracked.iter().map(|&op| taken.contains(op)).collect();
-            let mut key = Vec::with_capacity(searcher.states.len() + placed.len());
-            key.extend_from_slice(&searcher.states);
+            let mut key = Vec::with_capacity(searcher.b.states.len() + placed.len());
+            key.extend_from_slice(&searcher.b.states);
             key.extend(placed.iter().map(|&b| b as u32));
             if seen.insert(key.into_boxed_slice()) {
-                out.push((searcher.states.clone(), placed));
+                out.push((searcher.b.states.clone(), placed));
             }
         }
 
         self.nodes += 1;
-        scratch.visited.insert(self.visit_key());
+        scratch.visited.insert(self.vkey);
         if accept(&self.progress()) {
-            record(self, &taken, tracked, &mut seen, &mut out);
+            record(self, &taken, tracked, &mut scratch.frontier_seen, &mut out);
         }
         'outer: while let Some(mut f) = frames.pop() {
             loop {
@@ -741,16 +1028,17 @@ impl<'a> Searcher<'a> {
                     continue;
                 }
                 if f.trans == INVALID {
-                    f.trans = self.transitions(self.op_inv[i], self.states[self.op_slot[i]]);
+                    f.trans = self
+                        .transitions(self.b.op_inv[i], self.b.states[self.b.op_slot[i] as usize]);
                     f.k = 0;
                 }
-                while f.k < self.trans_lists[f.trans as usize].len() {
-                    let (resp, next_state) = self.trans_lists[f.trans as usize][f.k];
+                let (start, len) = self.b.trans_spans[f.trans as usize];
+                while f.k < len {
+                    let (resp, next_state) = self.b.trans_data[(start + f.k) as usize];
                     f.k += 1;
-                    if let Some(fixed) = self.op_fixed[i] {
-                        if resp != fixed {
-                            continue;
-                        }
+                    let fixed = self.b.op_fixed[i];
+                    if fixed != INVALID && resp != fixed {
+                        continue;
                     }
                     let undo = self.apply(i, resp, next_state, &mut taken);
                     self.nodes += 1;
@@ -759,7 +1047,7 @@ impl<'a> Searcher<'a> {
                         self.retract(undo, &mut taken);
                         continue;
                     }
-                    if !scratch.visited.insert(self.visit_key()) {
+                    if !scratch.visited.insert(self.vkey) {
                         self.memo_hits += 1;
                         self.retract(undo, &mut taken);
                         continue;
@@ -769,7 +1057,7 @@ impl<'a> Searcher<'a> {
                     // stopping condition, because deeper nodes (more optional
                     // operations linearized) reach *different* frontiers.
                     if accept(&self.progress()) {
-                        record(self, &taken, tracked, &mut seen, &mut out);
+                        record(self, &taken, tracked, &mut scratch.frontier_seen, &mut out);
                     }
                     frames.push(f);
                     frames.push(Frame {
@@ -787,6 +1075,8 @@ impl<'a> Searcher<'a> {
         }
         debug_assert_eq!(taken.count(), 0, "taken-set must be released empty");
         scratch.taken = taken;
+        frames.clear();
+        self.b.frames = frames;
         (out, !self.exhausted)
     }
 }
@@ -802,8 +1092,7 @@ pub fn solve(
     universe: &ObjectUniverse,
     limits: SearchLimits,
 ) -> (SearchResult, SearchStats) {
-    let mut scratch = KernelScratch::new();
-    solve_with_scratch(problem, universe, limits, &mut scratch)
+    with_thread_scratch(|scratch| solve_with_scratch(problem, universe, limits, scratch))
 }
 
 /// Like [`solve`], reusing a caller-provided [`KernelScratch`] so repeated
@@ -814,15 +1103,12 @@ pub fn solve_with_scratch(
     limits: SearchLimits,
     scratch: &mut KernelScratch,
 ) -> (SearchResult, SearchStats) {
-    let mut searcher = Searcher::new(problem, universe, limits);
+    let bufs = std::mem::take(&mut scratch.bufs);
+    let mut searcher = Searcher::new(problem, universe, limits, bufs);
     let result = searcher.run(scratch, &|p| p.required_taken == p.required_total);
-    (
-        result,
-        SearchStats {
-            nodes: searcher.nodes,
-            memo_hits: searcher.memo_hits,
-        },
-    )
+    let stats = searcher.stats(scratch);
+    scratch.bufs = searcher.into_bufs();
+    (result, stats)
 }
 
 /// One distinct *accepting frontier* of a search problem: the final state of
@@ -876,7 +1162,8 @@ pub fn solve_frontiers(
     tracked: &[usize],
     scratch: &mut KernelScratch,
 ) -> (FrontierSet, SearchStats) {
-    let mut searcher = Searcher::new(problem, universe, limits);
+    let bufs = std::mem::take(&mut scratch.bufs);
+    let mut searcher = Searcher::new(problem, universe, limits, bufs);
     let (raw, complete) =
         searcher.run_frontiers(scratch, &|p| p.required_taken == p.required_total, tracked);
     let entries = raw
@@ -885,18 +1172,19 @@ pub fn solve_frontiers(
             states: states
                 .iter()
                 .enumerate()
-                .map(|(slot, &id)| (searcher.slots[slot], searcher.values[id as usize].clone()))
+                .map(|(slot, &id)| {
+                    (
+                        searcher.b.slots[slot],
+                        searcher.b.values[id as usize].clone(),
+                    )
+                })
                 .collect(),
             placed,
         })
         .collect();
-    (
-        FrontierSet { entries, complete },
-        SearchStats {
-            nodes: searcher.nodes,
-            memo_hits: searcher.memo_hits,
-        },
-    )
+    let stats = searcher.stats(scratch);
+    scratch.bufs = searcher.into_bufs();
+    (FrontierSet { entries, complete }, stats)
 }
 
 /// Checks `condition` on the whole history (no locality decomposition).
@@ -916,8 +1204,7 @@ pub fn check_with_stats(
     universe: &ObjectUniverse,
     limits: SearchLimits,
 ) -> (SearchResult, SearchStats) {
-    let mut scratch = KernelScratch::new();
-    check_with_scratch(condition, history, universe, limits, &mut scratch)
+    with_thread_scratch(|scratch| check_with_scratch(condition, history, universe, limits, scratch))
 }
 
 /// Like [`check_with_stats`], reusing a caller-provided [`KernelScratch`]
@@ -932,15 +1219,12 @@ pub fn check_with_scratch(
     scratch: &mut KernelScratch,
 ) -> (SearchResult, SearchStats) {
     let problem = condition.problem(history);
-    let mut searcher = Searcher::new(&problem, universe, limits);
+    let bufs = std::mem::take(&mut scratch.bufs);
+    let mut searcher = Searcher::new(&problem, universe, limits, bufs);
     let result = searcher.run(scratch, &|p| condition.accepted(p));
-    (
-        result,
-        SearchStats {
-            nodes: searcher.nodes,
-            memo_hits: searcher.memo_hits,
-        },
-    )
+    let stats = searcher.stats(scratch);
+    scratch.bufs = searcher.into_bufs();
+    (result, stats)
 }
 
 /// Checks `condition` with the locality pre-pass: a multi-object history is

@@ -364,6 +364,14 @@ pub struct Monitor {
     /// Some search was cut off; a subsequent "no" cannot be trusted.
     incomplete: bool,
     stats: MonitorStats,
+    /// One pooled kernel scratch per object for the linearizability mode's
+    /// per-object chains, threaded through the parallel fan-out and back so
+    /// the visited caches and arenas are reused across segment *batches* —
+    /// the per-segment memory high-water mark stays flat as the stream grows
+    /// (asserted by the `arena_reuse_keeps_peak_bytes_flat` test).
+    lin_scratch: BTreeMap<ObjectId, KernelScratch>,
+    /// Pooled scratch for the sequential (t-linearizability) chains.
+    scratch: KernelScratch,
 }
 
 impl fmt::Debug for Monitor {
@@ -431,6 +439,8 @@ impl Monitor {
             violation: None,
             incomplete: false,
             stats: MonitorStats::default(),
+            lin_scratch: BTreeMap::new(),
+            scratch: KernelScratch::new(),
         }
     }
 
@@ -654,7 +664,14 @@ impl Monitor {
         let universe = &self.universe;
         let limits = self.limits;
         let max_frontiers = self.max_frontiers;
-        let outcomes = parallel::map_par(&objects, |&object| {
+        // Move each object's pooled scratch into its parallel chain and take
+        // it back with the outcome: segment batches reuse one arena per
+        // object instead of churning the allocator per batch.
+        let work: Vec<(ObjectId, KernelScratch)> = objects
+            .iter()
+            .map(|&object| (object, self.lin_scratch.remove(&object).unwrap_or_default()))
+            .collect();
+        let outcomes = parallel::map_par_into(work, |(object, scratch)| {
             let incoming = frontiers
                 .get(&object)
                 .cloned()
@@ -667,12 +684,18 @@ impl Monitor {
                 incoming,
                 segments,
                 is_final,
+                scratch,
             )
         });
+        let mut outcomes_only = Vec::with_capacity(outcomes.len());
+        for (object, (outcome, scratch)) in objects.iter().zip(outcomes) {
+            self.lin_scratch.insert(*object, scratch);
+            outcomes_only.push(outcome);
+        }
         // Merge: earliest violating segment wins (deterministically).
         let mut best: Option<(usize, ObjectId, String)> = None;
         let mut new_frontiers: Vec<(ObjectId, Vec<Value>)> = Vec::new();
-        for (object, outcome) in objects.iter().zip(outcomes) {
+        for (object, outcome) in objects.iter().zip(outcomes_only) {
             self.stats.search.absorb(outcome.stats);
             self.stats.fast_path_segments += outcome.fast_segments;
             if outcome.incomplete {
@@ -729,7 +752,7 @@ impl Monitor {
         };
         let t = *t;
         let mut current: Vec<TlFrontier> = frontiers.clone();
-        let mut scratch = KernelScratch::new();
+        let mut scratch = std::mem::take(&mut self.scratch);
         for (index, segment) in segments.iter().enumerate() {
             let final_segment = is_final && index + 1 == segments.len();
             if segment.history.is_empty() && !final_segment {
@@ -864,6 +887,7 @@ impl Monitor {
                         ),
                     });
                 }
+                self.scratch = scratch;
                 return;
             }
             self.stats.checked_ops += segment.history.complete_operations().len();
@@ -872,10 +896,12 @@ impl Monitor {
             }
             if outgoing.len() > self.max_frontiers {
                 self.incomplete = true;
+                self.scratch = scratch;
                 return;
             }
             current = outgoing.into_iter().collect();
         }
+        self.scratch = scratch;
         let ModeState::TLin { frontiers, .. } = &mut self.mode else {
             unreachable!();
         };
@@ -1079,7 +1105,8 @@ struct ObjectOutcome {
 }
 
 /// Threads one object's frontier set through its projections of a segment
-/// batch.
+/// batch, reusing (and returning) the caller's pooled scratch.
+#[allow(clippy::too_many_arguments)] // private helper of drain_lin
 fn chase_object_chain(
     universe: &ObjectUniverse,
     limits: SearchLimits,
@@ -1088,7 +1115,8 @@ fn chase_object_chain(
     mut frontier: Vec<Value>,
     segments: &[Segment],
     is_final: bool,
-) -> ObjectOutcome {
+    mut scratch: KernelScratch,
+) -> (ObjectOutcome, KernelScratch) {
     let mut outcome = ObjectOutcome {
         frontier: Vec::new(),
         violation: None,
@@ -1097,7 +1125,6 @@ fn chase_object_chain(
         fast_segments: 0,
     };
     let fast_eligible = universe.object_type(object).name() == "fetch&increment";
-    let mut scratch = KernelScratch::new();
     for (segment_index, segment) in segments.iter().enumerate() {
         let final_segment = is_final && segment_index + 1 == segments.len();
         let projection = segment.history.project_object(object);
@@ -1120,7 +1147,7 @@ fn chase_object_chain(
                             ),
                         ));
                         outcome.frontier = frontier;
-                        return outcome;
+                        return (outcome, scratch);
                     }
                     frontier = next;
                     continue;
@@ -1173,7 +1200,7 @@ fn chase_object_chain(
                 format!("{object}: segment has no linearization from any frontier state"),
             ));
             outcome.frontier = frontier;
-            return outcome;
+            return (outcome, scratch);
         }
         if final_segment {
             break;
@@ -1181,12 +1208,12 @@ fn chase_object_chain(
         if outgoing.len() > max_frontiers {
             outcome.incomplete = true;
             outcome.frontier = frontier;
-            return outcome;
+            return (outcome, scratch);
         }
         frontier = outgoing.into_iter().collect();
     }
     outcome.frontier = frontier;
-    outcome
+    (outcome, scratch)
 }
 
 /// Fast-path step: decides a pure fetch&increment projection from every
@@ -1515,6 +1542,46 @@ mod tests {
             }
             assert!(m.finish().verdict.is_ok(), "chunk size {chunk}");
         }
+    }
+
+    #[test]
+    fn arena_reuse_keeps_peak_bytes_flat_across_segments() {
+        // Identical register segments, checked through the kernel (registers
+        // have no fast path): after the first batch has sized the pooled
+        // per-object scratch, further batches must reuse it — the memory
+        // high-water mark reported in `stats.search.arena_bytes` stays
+        // exactly flat no matter how many more segments stream through.
+        let mut u = ObjectUniverse::new();
+        let r = u.add_object(Register::new(Value::from(0i64)));
+        let mut m = Monitor::new(
+            u,
+            MonitorConfig {
+                segment_batch: 4,
+                ..MonitorConfig::default()
+            },
+        );
+        let feed_batch = |m: &mut Monitor| {
+            for _ in 0..8 {
+                m.invoke(ProcessId(0), r, Register::write(Value::from(1i64)))
+                    .unwrap();
+                m.invoke(ProcessId(1), r, Register::read()).unwrap();
+                m.respond(ProcessId(0), r, Value::Unit).unwrap();
+                m.respond(ProcessId(1), r, Value::from(1i64)).unwrap();
+            }
+            m.pump();
+        };
+        feed_batch(&mut m);
+        let after_first = m.stats().search.arena_bytes;
+        assert!(after_first > 0, "kernel searches must report arena bytes");
+        for _ in 0..10 {
+            feed_batch(&mut m);
+        }
+        assert!(m.verdict_so_far().is_ok());
+        assert_eq!(
+            m.stats().search.arena_bytes,
+            after_first,
+            "per-segment arena reuse must keep the peak flat across batches"
+        );
     }
 
     #[test]

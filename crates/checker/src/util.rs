@@ -60,6 +60,28 @@ pub(crate) type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// A hash set using [`FxHasher`].
 pub(crate) type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 
+/// The splitmix64 finalizer: the key-derivation function behind the kernel's
+/// incremental (Zobrist-style) visited-cache keys.  Mirrors
+/// `evlin_sim::zobrist::mix` — the two crates are independent, so the three
+/// lines are duplicated rather than coupling the checker to the simulator.
+#[inline]
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The derived Zobrist key of one part of a composite search state: `tag`
+/// separates domains (class counts vs object states), `slot` the position,
+/// `payload` the value.  A state's key is the XOR of its parts, so one
+/// linearization step updates it with four mixes instead of re-serializing
+/// the `(linearized-multiset, object-states)` pair.
+#[inline]
+pub(crate) fn zkey(tag: u64, slot: u64, payload: u64) -> u64 {
+    mix(tag ^ mix(slot ^ mix(payload)))
+}
+
 /// A dynamically sized bit set used by the kernel to track which operations
 /// have already been linearized in a search state.  The kernel's
 /// backtracking and scratch-reuse paths rely on [`BitSet::clear`] (retract

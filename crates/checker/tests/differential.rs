@@ -251,6 +251,56 @@ fn assert_eventual_agrees(u: &ObjectUniverse, seed: u64) {
     );
 }
 
+/// Scratch-reuse / incremental-key cross-check: solving a stream of seeded
+/// problems through ONE reused [`kernel::KernelScratch`] must give exactly
+/// the verdicts and node counters of fresh-scratch solves.  This is the
+/// differential mode for the pooled-buffer and incremental visited-key
+/// refactor — a stale pooled table or a drifting Zobrist key shows up as a
+/// verdict or counter mismatch (and the kernel additionally re-derives the
+/// key from scratch on every apply/retract under `debug_assertions`, which
+/// this test therefore exercises on every visited state).
+fn assert_scratch_reuse_agrees(u: &ObjectUniverse, seeds: impl Iterator<Item = u64>) {
+    let mut reused = kernel::KernelScratch::new();
+    let limits = SearchLimits::default();
+    for seed in seeds {
+        let h = random_history(seed, MAX_OPS);
+        for t in [0, h.len() / 2] {
+            let problem = t_linearizability::problem_for(&h, t);
+            let (fresh_result, fresh_stats) =
+                kernel::solve_with_scratch(&problem, u, limits, &mut kernel::KernelScratch::new());
+            let (reused_result, reused_stats) =
+                kernel::solve_with_scratch(&problem, u, limits, &mut reused);
+            assert_eq!(
+                fresh_result.is_yes(),
+                reused_result.is_yes(),
+                "scratch reuse changed the verdict (seed {seed}, t {t})\n{h}"
+            );
+            assert_eq!(
+                (fresh_stats.nodes, fresh_stats.memo_hits),
+                (reused_stats.nodes, reused_stats.memo_hits),
+                "scratch reuse changed the search counters (seed {seed}, t {t})\n{h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scratch_reuse_matches_fresh_scratch_verdicts() {
+    let u = differential_universe();
+    assert_scratch_reuse_agrees(&u, 0..SEEDS);
+}
+
+/// Nightly-fuzz version of the scratch-reuse cross-check.
+#[test]
+#[ignore = "extended fuzz: run via the nightly CI job or with --ignored"]
+fn extended_scratch_reuse_cross_check() {
+    let u = differential_universe();
+    assert_scratch_reuse_agrees(
+        &u,
+        (0..extended_cases()).map(|i| 7_000 + i.wrapping_mul(0x9e37_79b9)),
+    );
+}
+
 #[test]
 fn kernel_agrees_with_brute_force_on_linearizability() {
     let u = differential_universe();

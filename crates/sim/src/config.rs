@@ -9,10 +9,12 @@
 use crate::base::{BaseObject, PidDependence};
 use crate::program::{Implementation, ProcessLogic, TaskStep};
 use crate::workload::Workload;
-use evlin_history::{History, ObjectId, ProcessId};
+use crate::zobrist::{self, TAG_EVENT, TAG_OBJECT, TAG_PROCESS};
+use evlin_history::{Event, History, ObjectId, ProcessId};
 use evlin_spec::Value;
 use std::collections::VecDeque;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// What happened when a process was given one step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +69,108 @@ struct ProcessState {
     completed: usize,
 }
 
+/// Largest process count for which the per-(process, rename-target) history
+/// components are maintained (the symmetry reduction needs them for up to
+/// [`crate::engine::SymmetryReduction::MAX_PROCESSES`] = 6 processes; beyond
+/// this bound permuted fingerprints fall back to a physical rename).
+const MAX_TRACKED_PROCESSES: usize = 16;
+
+/// The incrementally maintained Zobrist fingerprint of a configuration (see
+/// [`crate::zobrist`]): one XOR-folded [`zobrist::component`] per base
+/// object, per process state and per recorded history event.
+///
+/// Every mutation of the configuration updates exactly the components it
+/// touches — a step rehashes one process state and at most one base object,
+/// an event append folds in one event key per rename target — so
+/// [`Config::fingerprint`] is a field read instead of a full-state
+/// serialization.
+#[derive(Clone, Default)]
+struct Fingerprint {
+    /// Content hash of each base object's state (its `Debug` rendering).
+    obj_raw: Vec<u64>,
+    /// Content hash of each process state.
+    proc_raw: Vec<u64>,
+    /// XOR of all object components (`component(TAG_OBJECT, i, obj_raw[i])`).
+    obj_fold: u64,
+    /// XOR of all process components.
+    proc_fold: u64,
+    /// XOR of all identity event components (`ev(k, p, body)` for the event
+    /// at position `k` by process `p`).
+    hist_id: u64,
+    /// `hist[p * n + q]`: XOR of the event components of process `p`'s events
+    /// *as if* `p` were renamed to `q` — what lets a permuted fingerprint
+    /// fold `n` precomputed words instead of rehashing the history.  Empty
+    /// when the configuration has more than [`MAX_TRACKED_PROCESSES`]
+    /// processes.
+    hist: Vec<u64>,
+}
+
+/// The key of the event at position `k` by (renamed) process `q` with
+/// content hash `body`.
+#[inline]
+fn ev_key(k: usize, q: usize, body: u64) -> u64 {
+    zobrist::component(TAG_EVENT, zobrist::mix2(k as u64, q as u64), body)
+}
+
+impl Fingerprint {
+    /// The combined fingerprint.
+    #[inline]
+    fn current(&self) -> u64 {
+        self.obj_fold ^ self.proc_fold ^ self.hist_id
+    }
+
+    fn tracks_renames(&self, n: usize) -> bool {
+        self.hist.len() == n * n
+    }
+
+    /// Folds the event at position `k` by process `p` into the history
+    /// components.
+    fn push_event(&mut self, n: usize, k: usize, p: usize, body: u64) {
+        self.hist_id ^= ev_key(k, p, body);
+        if self.tracks_renames(n) {
+            for q in 0..n {
+                self.hist[p * n + q] ^= ev_key(k, q, body);
+            }
+        }
+    }
+
+    /// Replaces the content hash of base object `i`.
+    fn set_obj(&mut self, i: usize, raw: u64) {
+        self.obj_fold ^= zobrist::component(TAG_OBJECT, i as u64, self.obj_raw[i])
+            ^ zobrist::component(TAG_OBJECT, i as u64, raw);
+        self.obj_raw[i] = raw;
+    }
+
+    /// Replaces the content hash of process `i`'s state.
+    fn set_proc(&mut self, i: usize, raw: u64) {
+        self.proc_fold ^= zobrist::component(TAG_PROCESS, i as u64, self.proc_raw[i])
+            ^ zobrist::component(TAG_PROCESS, i as u64, raw);
+        self.proc_raw[i] = raw;
+    }
+}
+
+/// The content hash of one process state (programme state by `Debug`,
+/// progress flags, in-flight response, remaining workload) — the same fields
+/// the pre-incremental fingerprint serialized.
+fn proc_content(state: &ProcessState) -> u64 {
+    let mut hasher = zobrist::FxHasher::default();
+    zobrist::hash_debug(&state.logic).hash(&mut hasher);
+    state.running.hash(&mut hasher);
+    state.last_response.hash(&mut hasher);
+    state.completed.hash(&mut hasher);
+    state.remaining.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The content hash of one history event's body (object and kind; the
+/// process id is folded separately so renamings can be applied per process).
+fn event_body(event: &Event) -> u64 {
+    let mut hasher = zobrist::FxHasher::default();
+    event.object.hash(&mut hasher);
+    event.kind.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// A configuration of the simulated system.
 #[derive(Clone)]
 pub struct Config {
@@ -76,6 +180,15 @@ pub struct Config {
     steps: usize,
     /// The single high-level object id used in the recorded history.
     object_id: ObjectId,
+    /// The maintained structural fingerprint.
+    fp: Fingerprint,
+    /// Whether `fp` is being maintained.  Off by default: only deduplicating
+    /// exploration reads fingerprints, and maintaining them costs one
+    /// state-content rehash per step, which pure tree walks and the long
+    /// scheduler runs of `crate::runner` should not pay.  The engine flips
+    /// this on (see [`Config::set_fingerprint_tracking`]) exactly when a
+    /// dedup set exists.
+    fp_live: bool,
 }
 
 impl Config {
@@ -109,7 +222,85 @@ impl Config {
             history: History::new(),
             steps: 0,
             object_id: ObjectId(0),
+            fp: Fingerprint::default(),
+            fp_live: false,
         }
+    }
+
+    /// Switches incremental fingerprint maintenance on or off.
+    ///
+    /// Turning it on rebuilds the components once (O(|state| + |history|));
+    /// every subsequent [`Config::step`] then updates them incrementally.
+    /// `renames` additionally maintains the per-(process, rename-target)
+    /// history rows that [`Config::canonical_permutation`] folds — only the
+    /// symmetry-canonicalizing strategies read them, and they cost `n` extra
+    /// event-key folds per recorded event plus an `n²`-word copy per clone,
+    /// so plain deduplicating walks should pass `false`.  Turning tracking
+    /// off drops the components, which also makes clones of this
+    /// configuration slightly cheaper.  The exploration engine enables
+    /// tracking on the root exactly when deduplication (or symmetry
+    /// canonicalization) will read fingerprints.
+    pub fn set_fingerprint_tracking(&mut self, on: bool, renames: bool) {
+        if on && (!self.fp_live || self.fp.tracks_renames(self.processes.len()) != renames) {
+            self.fp = self.rebuild_fingerprint_with(renames);
+        } else if !on {
+            self.fp = Fingerprint::default();
+        }
+        self.fp_live = on;
+    }
+
+    /// Rebuilds the fingerprint components from scratch, with rename rows
+    /// matching the current tracking mode (the debug cross-check; every
+    /// steady-state update is incremental).
+    fn rebuild_fingerprint(&self) -> Fingerprint {
+        self.rebuild_fingerprint_with(self.fp.tracks_renames(self.processes.len()))
+    }
+
+    /// Rebuilds the fingerprint components from scratch, building the
+    /// per-(process, rename-target) history rows only when `renames` asks
+    /// for them.
+    fn rebuild_fingerprint_with(&self, renames: bool) -> Fingerprint {
+        let n = self.processes.len();
+        let obj_raw: Vec<u64> = self.base.iter().map(|b| zobrist::hash_debug(b)).collect();
+        let proc_raw: Vec<u64> = self.processes.iter().map(proc_content).collect();
+        let obj_fold = obj_raw.iter().enumerate().fold(0, |acc, (i, &raw)| {
+            acc ^ zobrist::component(TAG_OBJECT, i as u64, raw)
+        });
+        let proc_fold = proc_raw.iter().enumerate().fold(0, |acc, (i, &raw)| {
+            acc ^ zobrist::component(TAG_PROCESS, i as u64, raw)
+        });
+        let mut fp = Fingerprint {
+            obj_raw,
+            proc_raw,
+            obj_fold,
+            proc_fold,
+            hist_id: 0,
+            hist: if renames && n <= MAX_TRACKED_PROCESSES {
+                vec![0; n * n]
+            } else {
+                Vec::new()
+            },
+        };
+        for (k, event) in self.history.events().iter().enumerate() {
+            fp.push_event(n, k, event.process.index(), event_body(event));
+        }
+        fp
+    }
+
+    /// Whether the incrementally maintained fingerprint agrees with a full
+    /// rebuild — the cross-check the differential suite runs on every visited
+    /// state of its seeded cases.  Vacuously true while tracking is off.
+    pub fn fingerprint_consistent(&self) -> bool {
+        if !self.fp_live {
+            return true;
+        }
+        let fresh = self.rebuild_fingerprint();
+        fresh.obj_raw == self.fp.obj_raw
+            && fresh.proc_raw == self.fp.proc_raw
+            && fresh.obj_fold == self.fp.obj_fold
+            && fresh.proc_fold == self.fp.proc_fold
+            && fresh.hist_id == self.fp.hist_id
+            && fresh.hist == self.fp.hist
     }
 
     /// The number of processes.
@@ -159,15 +350,37 @@ impl Config {
 
     /// The processes that can currently take a step.
     pub fn enabled_processes(&self) -> Vec<ProcessId> {
-        (0..self.processes.len())
-            .map(ProcessId)
-            .filter(|&p| self.is_enabled(p))
-            .collect()
+        let mut out = Vec::new();
+        self.enabled_into(&mut out);
+        out
+    }
+
+    /// Collects the enabled processes into a caller-provided buffer (cleared
+    /// first) — the allocation-free variant the exploration engine uses once
+    /// per visited configuration.
+    pub fn enabled_into(&self, out: &mut Vec<ProcessId>) {
+        out.clear();
+        out.extend(
+            (0..self.processes.len())
+                .map(ProcessId)
+                .filter(|&p| self.is_enabled(p)),
+        );
     }
 
     /// Appends an extra high-level operation to process `p`'s workload.
     pub fn push_operation(&mut self, p: ProcessId, invocation: evlin_spec::Invocation) {
         self.processes[p.index()].remaining.push_back(invocation);
+        self.refresh_proc_fingerprint(p.index());
+    }
+
+    /// Rehashes process `i`'s state into the maintained fingerprint (called
+    /// after any mutation of that process's fields; no-op while tracking is
+    /// off).
+    fn refresh_proc_fingerprint(&mut self, i: usize) {
+        if self.fp_live {
+            let raw = proc_content(&self.processes[i]);
+            self.fp.set_proc(i, raw);
+        }
     }
 
     /// The current states of the base objects (used by the Proposition 18
@@ -198,11 +411,20 @@ impl Config {
     /// visitors which collect histories stay exact under deduplication.  The
     /// step counter is excluded: configurations agreeing on everything else
     /// have necessarily taken the same number of (non-idle) steps, so hashing
-    /// it would add nothing.  Programme and base-object states are folded in
-    /// through their `Debug` representations, which for the state-machine
-    /// structs in this workspace print every field.
+    /// it would add nothing.
+    ///
+    /// The fingerprint is a Zobrist-style XOR fold maintained incrementally
+    /// by [`Config::step`] (see [`crate::zobrist`]), so with tracking enabled
+    /// ([`Config::set_fingerprint_tracking`], as the deduplicating engine
+    /// does) this is a field read — O(1) instead of O(|state|) per visited
+    /// configuration.  Without tracking it falls back to a full rebuild.
+    #[inline]
     pub fn fingerprint(&self) -> u64 {
-        self.fingerprint_with(None)
+        if self.fp_live {
+            self.fp.current()
+        } else {
+            self.rebuild_fingerprint().current()
+        }
     }
 
     /// The fingerprint of the configuration *as if* its processes had been
@@ -210,155 +432,88 @@ impl Config {
     /// anything.
     ///
     /// This is what the symmetry reduction minimizes over all permutations to
-    /// pick a canonical representative; it must agree with
+    /// pick a canonical representative; it agrees with
     /// [`Config::fingerprint`] after [`Config::apply_permutation`] with the
     /// same permutation.  Sound only when process programmes do not embed
     /// their own identity and every base object declares its process-id
     /// dependence (see [`crate::engine::SymmetryReduction`]).
     pub fn fingerprint_permuted(&self, perm: &[usize]) -> u64 {
-        self.fingerprint_with(Some(perm))
+        let n = self.processes.len();
+        if n > MAX_TRACKED_PROCESSES {
+            // Beyond the tracked bound: rename physically (cold path, never
+            // taken by the symmetry reduction, which caps at 6 processes).
+            let mut renamed = self.clone();
+            renamed.apply_permutation(perm);
+            return renamed.fingerprint();
+        }
+        if self.fp_live && self.fp.tracks_renames(n) {
+            self.permuted_key(&self.fp, perm, self.permutable_components(&self.fp, perm))
+        } else {
+            // Rows not maintained (tracking off, or a non-canonicalizing
+            // walk): derive them once for this call.
+            let fp = self.rebuild_fingerprint_with(true);
+            self.permuted_key(&fp, perm, self.permutable_components(&fp, perm))
+        }
     }
 
-    fn fingerprint_with(&self, perm: Option<&[usize]>) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
+    /// The object components of the configuration under `perm`: only
+    /// pid-dependent objects change (their state mentions process ids), so
+    /// everything else reuses the maintained component fold.
+    fn permutable_components(&self, fp: &Fingerprint, perm: &[usize]) -> u64 {
+        let mut fold = fp.obj_fold;
+        for (i, b) in self.base.iter().enumerate() {
+            if b.pid_dependence() == PidDependence::Permutable {
+                let mut renamed = b.clone();
+                renamed.permute_processes(perm);
+                fold ^= zobrist::component(TAG_OBJECT, i as u64, fp.obj_raw[i])
+                    ^ zobrist::component(TAG_OBJECT, i as u64, zobrist::hash_debug(&renamed));
+            }
+        }
+        fold
+    }
 
-        /// Streams `Debug` output straight into a hasher, so fingerprinting
-        /// allocates no intermediate strings (it runs once per explored
-        /// configuration on the dedup hot path).
-        struct HashWriter<'a, H: Hasher>(&'a mut H);
-
-        impl<H: Hasher> fmt::Write for HashWriter<'_, H> {
-            fn write_str(&mut self, s: &str) -> fmt::Result {
-                self.0.write(s.as_bytes());
-                Ok(())
-            }
+    /// The renamed fingerprint from precomputed components: `n` process-state
+    /// folds plus `n` history-row folds — O(n) per candidate permutation,
+    /// independent of the history length.
+    fn permuted_key(&self, fp: &Fingerprint, perm: &[usize], obj_fold: u64) -> u64 {
+        let n = self.processes.len();
+        let mut proc_fold = 0u64;
+        let mut hist_fold = 0u64;
+        for (i, &target) in perm.iter().enumerate() {
+            proc_fold ^= zobrist::component(TAG_PROCESS, target as u64, fp.proc_raw[i]);
+            hist_fold ^= fp.hist[i * n + target];
         }
-
-        use fmt::Write as _;
-        let mut hasher = DefaultHasher::new();
-        for b in &self.base {
-            match perm {
-                Some(map) if b.pid_dependence() == PidDependence::Permutable => {
-                    let mut renamed = b.clone();
-                    renamed.permute_processes(map);
-                    write!(HashWriter(&mut hasher), "{renamed:?}").expect("hashing cannot fail");
-                }
-                _ => write!(HashWriter(&mut hasher), "{b:?}").expect("hashing cannot fail"),
-            }
-        }
-        let mut hash_process = |p: &ProcessState| {
-            write!(HashWriter(&mut hasher), "{:?}", p.logic).expect("hashing cannot fail");
-            p.running.hash(&mut hasher);
-            p.last_response.hash(&mut hasher);
-            p.completed.hash(&mut hasher);
-            p.remaining.hash(&mut hasher);
-        };
-        match perm {
-            None => {
-                for p in &self.processes {
-                    hash_process(p);
-                }
-            }
-            Some(map) => {
-                // Position `j` of the renamed configuration holds the state
-                // of the (unique) process that `map` sends to `j`.
-                let mut inverse = vec![0usize; map.len()];
-                for (old, &new) in map.iter().enumerate() {
-                    inverse[new] = old;
-                }
-                for &old in &inverse {
-                    hash_process(&self.processes[old]);
-                }
-            }
-        }
-        for e in self.history.events() {
-            match perm {
-                None => e.process.hash(&mut hasher),
-                Some(map) => ProcessId(map[e.process.index()]).hash(&mut hasher),
-            }
-            e.object.hash(&mut hasher);
-            e.kind.hash(&mut hasher);
-        }
-        hasher.finish()
+        obj_fold ^ proc_fold ^ hist_fold
     }
 
     /// Picks the permutation (an index into `perms`) whose renaming of this
     /// configuration has the least canonical key — the argmin the symmetry
     /// reduction rewrites configurations with.  Renamings of one another
     /// select the same representative (up to hash collision), because the
-    /// key is a function of the renamed configuration alone.
+    /// key is a function of the renamed configuration alone (it equals
+    /// [`Config::fingerprint_permuted`] of that renaming).
     ///
-    /// Unlike [`Config::fingerprint_permuted`], which re-serializes the
-    /// whole configuration per permutation, this precomputes one hash per
-    /// process state and per history event and folds them per candidate, so
-    /// the `n!` candidates cost `O(n + |history|)` word mixes each — this
-    /// runs once per configuration visited under symmetry reduction.
+    /// The per-process and per-event components are maintained incrementally
+    /// by [`Config::step`], so the `n!` candidates cost `O(n)` word folds
+    /// each — the history is never rehashed, even though this runs once per
+    /// configuration visited under symmetry reduction.
     pub fn canonical_permutation(&self, perms: &[Vec<usize>]) -> usize {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-
-        struct HashWriter<'a, H: Hasher>(&'a mut H);
-        impl<H: Hasher> fmt::Write for HashWriter<'_, H> {
-            fn write_str(&mut self, s: &str) -> fmt::Result {
-                self.0.write(s.as_bytes());
-                Ok(())
-            }
-        }
-        use fmt::Write as _;
-
-        let process_hash: Vec<u64> = self
-            .processes
-            .iter()
-            .map(|p| {
-                let mut h = DefaultHasher::new();
-                write!(HashWriter(&mut h), "{:?}", p.logic).expect("hashing cannot fail");
-                p.running.hash(&mut h);
-                p.last_response.hash(&mut h);
-                p.completed.hash(&mut h);
-                p.remaining.hash(&mut h);
-                h.finish()
-            })
-            .collect();
-        let event_body: Vec<(usize, u64)> = self
-            .history
-            .events()
-            .iter()
-            .map(|e| {
-                let mut h = DefaultHasher::new();
-                e.object.hash(&mut h);
-                e.kind.hash(&mut h);
-                (e.process.index(), h.finish())
-            })
-            .collect();
-        // Pid-independent base objects hash identically under every
-        // renaming, so only permutable ones participate in the argmin.
-        let permutable: Vec<usize> = (0..self.base.len())
-            .filter(|&i| self.base[i].pid_dependence() == PidDependence::Permutable)
-            .collect();
-
-        let n = self.processes.len();
-        let mut inverse = vec![0usize; n];
+        let rebuilt;
+        let fp = if self.fp_live && self.fp.tracks_renames(self.processes.len()) {
+            &self.fp
+        } else {
+            rebuilt = self.rebuild_fingerprint_with(true);
+            &rebuilt
+        };
+        debug_assert!(
+            fp.tracks_renames(self.processes.len()),
+            "canonicalization requires tracked rename components"
+        );
         let mut best = 0usize;
         let mut best_key = u64::MAX;
         for (i, perm) in perms.iter().enumerate() {
-            let mut h = DefaultHasher::new();
-            for &obj in &permutable {
-                let mut renamed = self.base[obj].clone();
-                renamed.permute_processes(perm);
-                write!(HashWriter(&mut h), "{renamed:?}").expect("hashing cannot fail");
-            }
-            for (old, &new) in perm.iter().enumerate() {
-                inverse[new] = old;
-            }
-            for &old in &inverse {
-                process_hash[old].hash(&mut h);
-            }
-            for &(p, body) in &event_body {
-                perm[p].hash(&mut h);
-                body.hash(&mut h);
-            }
-            let key = h.finish();
+            let obj_fold = self.permutable_components(fp, perm);
+            let key = self.permuted_key(fp, perm, obj_fold);
             if key < best_key {
                 best_key = key;
                 best = i;
@@ -376,6 +531,7 @@ impl Config {
     /// [`crate::engine::SymmetryReduction::detect`].
     pub fn apply_permutation(&mut self, perm: &[usize]) {
         assert_eq!(perm.len(), self.processes.len(), "permutation arity");
+        let n = self.processes.len();
         let old = std::mem::take(&mut self.processes);
         let mut slots: Vec<Option<ProcessState>> = (0..old.len()).map(|_| None).collect();
         for (i, state) in old.into_iter().enumerate() {
@@ -385,13 +541,52 @@ impl Config {
             .into_iter()
             .map(|s| s.expect("perm must be a bijection"))
             .collect();
-        for b in &mut self.base {
+        let fp_live = self.fp_live;
+        for (i, b) in self.base.iter_mut().enumerate() {
             if b.pid_dependence() == PidDependence::Permutable {
                 b.permute_processes(perm);
+                if fp_live {
+                    let raw = zobrist::hash_debug(b);
+                    self.fp.set_obj(i, raw);
+                }
             }
         }
         let map: Vec<ProcessId> = perm.iter().map(|&i| ProcessId(i)).collect();
         self.history.rename_processes(&map);
+        if !self.fp_live {
+            return;
+        }
+        // Rename the fingerprint components along: process contents move to
+        // their new positions, and each history row `hist[p][·]` (events of
+        // old process `p` under every rename target) becomes the row of
+        // `perm[p]`; the identity fold of the renamed configuration is the
+        // old `perm`-fold.
+        let old_proc_raw = std::mem::take(&mut self.fp.proc_raw);
+        let mut proc_raw = vec![0u64; n];
+        let mut proc_fold = 0u64;
+        for (i, &target) in perm.iter().enumerate() {
+            proc_raw[target] = old_proc_raw[i];
+            proc_fold ^= zobrist::component(TAG_PROCESS, target as u64, old_proc_raw[i]);
+        }
+        self.fp.proc_raw = proc_raw;
+        self.fp.proc_fold = proc_fold;
+        if self.fp.tracks_renames(n) {
+            let old_hist = std::mem::take(&mut self.fp.hist);
+            let mut hist = vec![0u64; n * n];
+            let mut hist_id = 0u64;
+            for (p, &target) in perm.iter().enumerate() {
+                hist[target * n..(target + 1) * n].copy_from_slice(&old_hist[p * n..(p + 1) * n]);
+                hist_id ^= old_hist[p * n + target];
+            }
+            self.fp.hist = hist;
+            self.fp.hist_id = hist_id;
+        } else {
+            self.fp = self.rebuild_fingerprint();
+        }
+        debug_assert!(
+            self.fingerprint_consistent(),
+            "permuted fingerprint drifted"
+        );
     }
 
     /// Whether every per-process state is structurally identical: same
@@ -446,10 +641,16 @@ impl Config {
         let mut logic = state.logic.clone();
         match logic.step(state.last_response.clone()) {
             TaskStep::Access { object, invocation } => {
+                // Write detection compares streamed content hashes of the
+                // probed object's debug rendering — no string allocations on
+                // this path, which runs once per enabled process per node
+                // under sleep-set reduction.  (A 2⁻⁶⁴ hash collision would
+                // misclassify a write as a read — the same vanishing risk the
+                // fingerprint-based deduplication already accepts.)
                 let mut probe = self.base[object].clone();
-                let before = format!("{probe:?}");
+                let before = zobrist::hash_debug(&probe);
                 let _ = probe.invoke(p, &invocation);
-                let writes = format!("{probe:?}") != before;
+                let writes = zobrist::hash_debug(&probe) != before;
                 Some(StepShape::Access { object, writes })
             }
             TaskStep::Complete(_) => Some(StepShape::Complete),
@@ -470,30 +671,47 @@ impl Config {
             return StepOutcome::Idle;
         }
         self.steps += 1;
+        let n = self.processes.len();
         if !self.processes[idx].running {
             let inv = self.processes[idx]
                 .remaining
                 .pop_front()
                 .expect("enabled non-running process must have workload");
+            let position = self.history.len();
             self.history.push_invoke(p, self.object_id, inv.clone());
+            if self.fp_live {
+                let body = event_body(self.history.events().last().expect("just pushed"));
+                self.fp.push_event(n, position, idx, body);
+            }
             self.processes[idx].logic.begin(inv);
             self.processes[idx].running = true;
             self.processes[idx].last_response = None;
         }
         let prev = self.processes[idx].last_response.take();
-        match self.processes[idx].logic.step(prev) {
+        let outcome = match self.processes[idx].logic.step(prev) {
             TaskStep::Access { object, invocation } => {
                 let response = self.base[object].invoke(p, &invocation);
+                if self.fp_live {
+                    let raw = zobrist::hash_debug(&self.base[object]);
+                    self.fp.set_obj(object, raw);
+                }
                 self.processes[idx].last_response = Some(response);
                 StepOutcome::Progressed
             }
             TaskStep::Complete(value) => {
+                let position = self.history.len();
                 self.history.push_respond(p, self.object_id, value.clone());
+                if self.fp_live {
+                    let body = event_body(self.history.events().last().expect("just pushed"));
+                    self.fp.push_event(n, position, idx, body);
+                }
                 self.processes[idx].running = false;
                 self.processes[idx].completed += 1;
                 StepOutcome::Completed(value)
             }
-        }
+        };
+        self.refresh_proc_fingerprint(idx);
+        outcome
     }
 
     /// Runs process `p` alone until it completes its current operation (or

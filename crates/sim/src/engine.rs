@@ -39,12 +39,11 @@
 use crate::config::{Config, StepOutcome, StepShape};
 use crate::program::Implementation;
 use crate::workload::Workload;
+use crate::zobrist;
 use evlin_history::{History, ProcessId};
 use rayon::prelude::*;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -77,6 +76,11 @@ pub struct ExploreStats {
     /// Number of child configurations *not* expanded because the reduction
     /// strategy slept them or deduplication had already seen them.
     pub pruned: usize,
+    /// Bytes held by the engine's deduplication table at the end of the run
+    /// (entries × entry size; 0 when deduplication is off).  A function of
+    /// the visited key *set*, so it is identical across worker counts — the
+    /// engine's peak-memory accounting for the E12 tables.
+    pub bytes_allocated: usize,
     /// Whether the exploration was truncated by `max_configs`.
     pub truncated: bool,
 }
@@ -165,14 +169,31 @@ pub trait ReductionStrategy: fmt::Debug + Send + Sync {
         false
     }
 
+    /// Whether the strategy folds *permuted* fingerprints
+    /// ([`Config::canonical_permutation`]): only then does the engine ask
+    /// configurations to maintain the per-(process, rename-target) history
+    /// rows, which plain deduplication never reads.
+    fn uses_rename_components(&self) -> bool {
+        false
+    }
+
     /// Rewrites `config` into its canonical representative, renaming the
     /// sleep mask along.  The default keeps the configuration as-is.
     fn normalize(&self, _config: &mut Config, _mask: &mut SleepMask) {}
 
-    /// The children of `config` to expand — each an enabled process together
-    /// with the child's sleep mask — in deterministic order.  Children left
-    /// out are counted as pruned by the engine.
-    fn expand(&self, config: &Config, sleep: SleepMask) -> Vec<(ProcessId, SleepMask)>;
+    /// Appends the children of `config` to expand — each an enabled process
+    /// together with the child's sleep mask — to `out` (cleared by the
+    /// engine), in deterministic order.  `enabled` is the precomputed list of
+    /// enabled processes.  Children left out are counted as pruned by the
+    /// engine.  The buffer is reused across nodes, which keeps expansion
+    /// allocation-free.
+    fn expand(
+        &self,
+        config: &Config,
+        enabled: &[ProcessId],
+        sleep: SleepMask,
+        out: &mut Vec<(ProcessId, SleepMask)>,
+    );
 }
 
 /// The identity strategy: expand every enabled process, canonicalize nothing.
@@ -184,12 +205,14 @@ impl ReductionStrategy for NoReduction {
         Reduction::None.label()
     }
 
-    fn expand(&self, config: &Config, _sleep: SleepMask) -> Vec<(ProcessId, SleepMask)> {
-        config
-            .enabled_processes()
-            .into_iter()
-            .map(|p| (p, 0))
-            .collect()
+    fn expand(
+        &self,
+        _config: &Config,
+        enabled: &[ProcessId],
+        _sleep: SleepMask,
+        out: &mut Vec<(ProcessId, SleepMask)>,
+    ) {
+        out.extend(enabled.iter().map(|&p| (p, 0)));
     }
 }
 
@@ -227,23 +250,30 @@ impl ReductionStrategy for SleepSets {
         Reduction::SleepSet.label()
     }
 
-    fn expand(&self, config: &Config, sleep: SleepMask) -> Vec<(ProcessId, SleepMask)> {
-        let enabled = config.enabled_processes();
+    fn expand(
+        &self,
+        config: &Config,
+        enabled: &[ProcessId],
+        sleep: SleepMask,
+        out: &mut Vec<(ProcessId, SleepMask)>,
+    ) {
         debug_assert!(
             config.processes() <= SleepMask::BITS as usize,
             "sleep masks hold at most {} processes",
             SleepMask::BITS
         );
         if enabled.len() <= 1 {
-            return enabled.into_iter().map(|p| (p, 0)).collect();
+            out.extend(enabled.iter().map(|&p| (p, 0)));
+            return;
         }
-        let mut shapes: Vec<Option<StepShape>> = vec![None; config.processes()];
-        for &p in &enabled {
+        // Shapes live on the stack (one slot per possible mask bit), so
+        // expansion allocates nothing beyond the reused output buffer.
+        let mut shapes = [None::<StepShape>; SleepMask::BITS as usize];
+        for &p in enabled {
             shapes[p.index()] = config.peek_step_shape(p);
         }
-        let mut out = Vec::with_capacity(enabled.len());
         let mut slept = sleep;
-        for &p in &enabled {
+        for &p in enabled {
             if sleep & (1 << p.index()) != 0 {
                 continue;
             }
@@ -262,7 +292,6 @@ impl ReductionStrategy for SleepSets {
             out.push((p, child_mask));
             slept |= 1 << p.index();
         }
-        out
     }
 }
 
@@ -343,12 +372,22 @@ impl ReductionStrategy for SymmetryReduction {
         true
     }
 
+    fn uses_rename_components(&self) -> bool {
+        self.is_applicable()
+    }
+
     fn normalize(&self, config: &mut Config, mask: &mut SleepMask) {
         self.canonicalize(config, mask);
     }
 
-    fn expand(&self, config: &Config, sleep: SleepMask) -> Vec<(ProcessId, SleepMask)> {
-        NoReduction.expand(config, sleep)
+    fn expand(
+        &self,
+        config: &Config,
+        enabled: &[ProcessId],
+        sleep: SleepMask,
+        out: &mut Vec<(ProcessId, SleepMask)>,
+    ) {
+        NoReduction.expand(config, enabled, sleep, out)
     }
 }
 
@@ -370,12 +409,22 @@ impl ReductionStrategy for SleepSetSymmetry {
         true
     }
 
+    fn uses_rename_components(&self) -> bool {
+        self.symmetry.is_applicable()
+    }
+
     fn normalize(&self, config: &mut Config, mask: &mut SleepMask) {
         self.symmetry.canonicalize(config, mask);
     }
 
-    fn expand(&self, config: &Config, sleep: SleepMask) -> Vec<(ProcessId, SleepMask)> {
-        SleepSets.expand(config, sleep)
+    fn expand(
+        &self,
+        config: &Config,
+        enabled: &[ProcessId],
+        sleep: SleepMask,
+        out: &mut Vec<(ProcessId, SleepMask)>,
+    ) {
+        SleepSets.expand(config, enabled, sleep, out)
     }
 }
 
@@ -497,16 +546,15 @@ impl Shared<'_> {
     }
 
     /// Whether `(config, mask)` at `depth` is seen for the first time (always
-    /// true when deduplication is off — the fingerprint is only computed when
-    /// a dedup set exists, since it costs a full state serialization).
+    /// true when deduplication is off).  The key mixes the configuration's
+    /// maintained Zobrist fingerprint — a field read since the incremental
+    /// fingerprint refactor — with the sleep mask, so deduplication costs a
+    /// couple of word mixes per child instead of a full state serialization.
     fn first_visit(&self, config: &Config, depth: usize, mask: SleepMask) -> bool {
         match self.dedup {
             None => true,
             Some(shards) => {
-                let mut hasher = DefaultHasher::new();
-                config.fingerprint().hash(&mut hasher);
-                mask.hash(&mut hasher);
-                let key = hasher.finish();
+                let key = zobrist::mix2(config.fingerprint(), mask);
                 let shard = (key % shards.len() as u64) as usize;
                 shards[shard]
                     .lock()
@@ -515,15 +563,44 @@ impl Shared<'_> {
             }
         }
     }
+
+    /// Bytes held by the dedup table (entries × entry size) — the engine's
+    /// deterministic peak-memory figure.
+    fn dedup_bytes(&self) -> usize {
+        self.dedup.map_or(0, |shards| {
+            let entries: usize = shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .len()
+                })
+                .sum();
+            entries * std::mem::size_of::<(u64, usize)>()
+        })
+    }
+}
+
+/// Reusable per-walker buffers: the enabled-process list and the expansion
+/// output, cleared and refilled once per visited node so the hot loop
+/// allocates nothing after warm-up.
+#[derive(Default)]
+struct WalkScratch {
+    enabled: Vec<ProcessId>,
+    children: Vec<(ProcessId, SleepMask)>,
 }
 
 /// Visits one configuration: claims budget, invokes the visitor, classifies
 /// terminals, expands children through the strategy and hands the surviving
 /// ones to `emit`.  Returns `false` when exploration should halt (budget
 /// exhausted or `Visit::Stop`).
+///
+/// The configuration is passed *by value* so the last expanded child can be
+/// stepped in place instead of cloned — one whole-configuration clone saved
+/// per interior node, on top of the reused `scratch` buffers.
 #[allow(clippy::too_many_arguments)] // one call frame of the hot loop
 fn visit_one<V, E>(
-    config: &Config,
+    config: Config,
     depth: usize,
     mask: SleepMask,
     visitor: &mut V,
@@ -531,6 +608,7 @@ fn visit_one<V, E>(
     shared: &Shared<'_>,
     stats: &mut ExploreStats,
     max_depth: usize,
+    scratch: &mut WalkScratch,
     mut emit: E,
 ) -> bool
 where
@@ -541,7 +619,7 @@ where
         return false;
     }
     stats.visited += 1;
-    match visitor(config, depth) {
+    match visitor(&config, depth) {
         Visit::Stop => {
             shared.stopped.store(true, Ordering::Relaxed);
             return false;
@@ -549,15 +627,26 @@ where
         Visit::Prune => return true,
         Visit::Continue => {}
     }
-    let enabled = config.enabled_processes();
-    if enabled.is_empty() || depth >= max_depth {
+    config.enabled_into(&mut scratch.enabled);
+    if scratch.enabled.is_empty() || depth >= max_depth {
         stats.terminals += 1;
         return true;
     }
-    let children = strategy.expand(config, mask);
-    stats.pruned += enabled.len() - children.len();
-    for (p, child_mask) in children {
-        let mut child = config.clone();
+    scratch.children.clear();
+    strategy.expand(&config, &scratch.enabled, mask, &mut scratch.children);
+    stats.pruned += scratch.enabled.len() - scratch.children.len();
+    let count = scratch.children.len();
+    let mut parent = Some(config);
+    for ci in 0..count {
+        let (p, child_mask) = scratch.children[ci];
+        let mut child = if ci + 1 == count {
+            parent.take().expect("parent is moved out only once")
+        } else {
+            parent
+                .as_ref()
+                .expect("parent alive before last child")
+                .clone()
+        };
         if matches!(child.step(p), StepOutcome::Idle) {
             continue;
         }
@@ -625,14 +714,18 @@ where
     };
     let mut stats = ExploreStats::default();
     let mut mask: SleepMask = 0;
+    // Fingerprints are only read by the dedup set; don't pay for maintaining
+    // them on pure tree walks.
+    root.set_fingerprint_tracking(dedup_on, strategy.uses_rename_components());
     strategy.normalize(&mut root, &mut mask);
     let mut stack: Vec<(Config, usize, SleepMask)> = Vec::new();
     if shared.first_visit(&root, 0, mask) {
         stack.push((root, 0, mask));
     }
+    let mut scratch = WalkScratch::default();
     while let Some((config, depth, mask)) = stack.pop() {
         if !visit_one(
-            &config,
+            config,
             depth,
             mask,
             &mut visitor,
@@ -640,11 +733,13 @@ where
             &shared,
             &mut stats,
             options.limits.max_depth,
+            &mut scratch,
             |child, d, m| stack.push((child, d, m)),
         ) {
             break;
         }
     }
+    stats.bytes_allocated = shared.dedup_bytes();
     stats.truncated = shared.truncated.load(Ordering::Relaxed);
     stats
 }
@@ -707,17 +802,19 @@ where
     let mut stats = ExploreStats::default();
     let mut frontier: VecDeque<(Config, usize, SleepMask)> = VecDeque::new();
     let mut mask: SleepMask = 0;
+    root.set_fingerprint_tracking(dedup_on, strategy.uses_rename_components());
     strategy.normalize(&mut root, &mut mask);
     if shared.first_visit(&root, 0, mask) {
         frontier.push_back((root, 0, mask));
     }
+    let mut scratch = WalkScratch::default();
     while frontier.len() < target_frontier {
         let Some((config, depth, mask)) = frontier.pop_front() else {
             break;
         };
         let mut shim = |c: &Config, d: usize| visitor(c, d);
         if !visit_one(
-            &config,
+            config,
             depth,
             mask,
             &mut shim,
@@ -725,6 +822,7 @@ where
             &shared,
             &mut stats,
             options.limits.max_depth,
+            &mut scratch,
             |child, d, m| frontier.push_back((child, d, m)),
         ) {
             break;
@@ -740,6 +838,7 @@ where
         .into_par_iter()
         .map(|(config, depth, mask)| {
             let mut local = ExploreStats::default();
+            let mut scratch = WalkScratch::default();
             let mut stack: Vec<(Config, usize, SleepMask)> = vec![(config, depth, mask)];
             while let Some((config, depth, mask)) = stack.pop() {
                 if shared.stopped.load(Ordering::Relaxed) {
@@ -747,7 +846,7 @@ where
                 }
                 let mut shim = |c: &Config, d: usize| visitor(c, d);
                 if !visit_one(
-                    &config,
+                    config,
                     depth,
                     mask,
                     &mut shim,
@@ -755,6 +854,7 @@ where
                     &shared,
                     &mut local,
                     options.limits.max_depth,
+                    &mut scratch,
                     |child, d, m| stack.push((child, d, m)),
                 ) {
                     break;
@@ -769,6 +869,7 @@ where
         stats.terminals += s.terminals;
         stats.pruned += s.pruned;
     }
+    stats.bytes_allocated = shared.dedup_bytes();
     stats.truncated = shared.truncated.load(Ordering::Relaxed);
     stats
 }
@@ -788,7 +889,7 @@ pub fn terminal_histories(
     let mut histories = if options.effective_workers() <= 1 {
         let mut out = Vec::new();
         explore(implementation, workload, options, |config, depth| {
-            if config.enabled_processes().is_empty() || depth >= max_depth {
+            if config.is_quiescent() || depth >= max_depth {
                 out.push(config.history().clone());
             }
             Visit::Continue
@@ -797,7 +898,7 @@ pub fn terminal_histories(
     } else {
         let out = Mutex::new(Vec::new());
         explore_shared(implementation, workload, options, |config, depth| {
-            if config.enabled_processes().is_empty() || depth >= max_depth {
+            if config.is_quiescent() || depth >= max_depth {
                 out.lock()
                     .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .push(config.history().clone());
@@ -983,7 +1084,7 @@ mod tests {
         let collect = |r: Reduction| {
             let mut hs = Vec::new();
             explore(&imp, &w, &options(r), |c, d| {
-                if c.enabled_processes().is_empty() || d >= 64 {
+                if c.is_quiescent() || d >= 64 {
                     hs.push(format!("{:?}", c.history()));
                 }
                 Visit::Continue

@@ -79,6 +79,7 @@ pub mod scheduler;
 pub mod stability;
 pub mod valency;
 pub mod workload;
+pub mod zobrist;
 
 /// Commonly used items re-exported for glob import in downstream crates.
 pub mod prelude {

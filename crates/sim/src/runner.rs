@@ -79,7 +79,7 @@ pub fn run_from_observed(
             StepOutcome::Idle => {
                 // The scheduler picked a process with nothing to do; if no
                 // process is enabled we are done, otherwise just continue.
-                if config.enabled_processes().is_empty() {
+                if config.is_quiescent() {
                     break;
                 }
             }

@@ -111,7 +111,7 @@ pub fn is_stable(config: &Config, initial_value: i64, options: &StabilityOptions
     let mut ok = true;
     let mut terminal: Vec<History> = Vec::new();
     let stats = engine::explore_config(extended, &engine_options, |c, depth| {
-        if c.enabled_processes().is_empty() || depth >= options.extension_depth {
+        if c.is_quiescent() || depth >= options.extension_depth {
             if batched {
                 terminal.push(c.history().clone());
                 if terminal.len() == CHECK_BATCH {

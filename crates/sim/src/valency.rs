@@ -77,7 +77,7 @@ fn reachable_decisions(
             // Already bivalent; no need to keep exploring.
             return Visit::Stop;
         }
-        if d >= depth && !c.enabled_processes().is_empty() {
+        if d >= depth && !c.is_quiescent() {
             partial = true;
         }
         Visit::Continue
@@ -289,7 +289,7 @@ pub fn check_consensus_reduced(
             if decided.iter().any(|v| !proposed.contains(v)) && check.validity_violation.is_none() {
                 check.validity_violation = Some(config.history().clone());
             }
-            let terminal = config.enabled_processes().is_empty() || depth >= options.max_depth;
+            let terminal = config.is_quiescent() || depth >= options.max_depth;
             if terminal {
                 check.terminals += 1;
                 if complete.len() < total_ops {

@@ -281,10 +281,83 @@ fn check_seed(seed: u64) {
     }
 }
 
+/// Fingerprint cross-check mode: on every configuration visited by a
+/// deduplicating exploration, the *incrementally maintained* Zobrist
+/// fingerprint must agree with a full from-scratch rebuild
+/// ([`evlin_sim::config::Config::fingerprint_consistent`]), and the
+/// decomposed permuted fingerprint must agree with physically renaming the
+/// configuration and reading its fingerprint.
+fn check_fingerprint_seed(seed: u64) {
+    let case = random_case(seed);
+    let processes = case.workload.processes();
+    let perms = engine::permutations(processes);
+    for reduction in STRATEGIES {
+        let options = EngineOptions {
+            limits: case.limits,
+            workers: Some(1),
+            reduction,
+            dedup: true, // forces fingerprint tracking on
+            ..EngineOptions::default()
+        };
+        let mut checked = 0usize;
+        engine::explore(
+            case.implementation.as_ref(),
+            &case.workload,
+            &options,
+            |config, _| {
+                assert!(
+                    config.fingerprint_consistent(),
+                    "seed {seed} ({}): {reduction:?} drifted from the full rehash",
+                    case.name
+                );
+                // Spot-check the permuted fold against a physical renaming on
+                // a deterministic subsample (every 7th state keeps the quick
+                // suite fast; the nightly run covers many more seeds).
+                if checked.is_multiple_of(7) {
+                    for perm in &perms {
+                        let folded = config.fingerprint_permuted(perm);
+                        let mut renamed = config.clone();
+                        renamed.apply_permutation(perm);
+                        assert_eq!(
+                            folded,
+                            renamed.fingerprint(),
+                            "seed {seed} ({}): permuted fold diverged for {perm:?}",
+                            case.name
+                        );
+                    }
+                }
+                checked += 1;
+                Visit::Continue
+            },
+        );
+        assert!(checked > 0, "seed {seed}: nothing visited");
+    }
+}
+
 #[test]
 fn reductions_agree_with_unreduced_engine_on_random_configs() {
     for seed in 0..12 {
         check_seed(seed);
+    }
+}
+
+#[test]
+fn fingerprints_match_full_rehash_on_visited_states() {
+    for seed in 0..8 {
+        check_fingerprint_seed(seed);
+    }
+}
+
+/// Extended nightly fingerprint cross-check: `EVLIN_DIFF_CASES` seeds.
+#[test]
+#[ignore = "long-running; exercised by the nightly fuzz job"]
+fn fingerprints_match_full_rehash_extended() {
+    let cases: u64 = std::env::var("EVLIN_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    for seed in 2_000..2_000 + cases {
+        check_fingerprint_seed(seed);
     }
 }
 

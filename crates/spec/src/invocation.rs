@@ -3,6 +3,7 @@
 use crate::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// An operation invocation: a method name together with its arguments.
 ///
@@ -10,6 +11,12 @@ use std::fmt;
 /// operation's arguments" — an `Invocation` is exactly that pairing, kept
 /// structured so that specifications can pattern-match on the method name and
 /// inspect the arguments.
+///
+/// Both fields are reference-counted (`Arc<str>` / `Arc<[Value]>`), so
+/// cloning an invocation — which happens once per recorded event every time
+/// the exhaustive explorer clones a configuration, and once per operation in
+/// every checker's candidate table — is two reference-count bumps instead of
+/// a string and a vector allocation.
 ///
 /// # Example
 ///
@@ -22,16 +29,29 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Invocation {
-    method: String,
-    args: Vec<Value>,
+    method: Arc<str>,
+    args: Arc<[Value]>,
+}
+
+/// The shared empty argument list: nullary invocations are by far the most
+/// common (`read()`, `fetch_inc()`, …) and are built once per programme step
+/// by the simulator's state machines, so they must not pay a fresh slice
+/// allocation each time.
+fn empty_args() -> Arc<[Value]> {
+    static EMPTY: OnceLock<Arc<[Value]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(Vec::new())).clone()
 }
 
 impl Invocation {
     /// Creates an invocation with an arbitrary argument list.
     pub fn new<S: Into<String>>(method: S, args: Vec<Value>) -> Self {
         Invocation {
-            method: method.into(),
-            args,
+            method: Arc::from(method.into()),
+            args: if args.is_empty() {
+                empty_args()
+            } else {
+                Arc::from(args)
+            },
         }
     }
 
