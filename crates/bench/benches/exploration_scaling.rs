@@ -8,7 +8,11 @@
 //!   reduction — the raw tree grows with the multinomial of the schedule,
 //!   the reduced one with the partition count);
 //! * the compare&swap fetch&increment (multi-step, one shared object,
-//!   commuting read/failed-cas steps).
+//!   commuting read/failed-cas steps);
+//! * the fault-bounded tree (`explore/faults/k{0,1,2}`): the local-copy
+//!   family under `SleepSetSymmetry` with a transient-fault budget.  The
+//!   `k0` entry is gated at ±5% (per-entry tolerance in BENCH_checker.json):
+//!   a zero budget must keep the fault machinery out of the hot path.
 //!
 //! The `explore/…` means recorded in BENCH_checker.json's `gate` object are
 //! enforced by CI's bench-gate job: a regression here means the engine (or a
@@ -28,6 +32,16 @@ fn explore_once(
     limits: ExploreOptions,
     reduction: Reduction,
 ) -> usize {
+    explore_faulty(implementation, workload, limits, reduction, 0)
+}
+
+fn explore_faulty(
+    implementation: &dyn Implementation,
+    workload: &Workload,
+    limits: ExploreOptions,
+    reduction: Reduction,
+    fault_budget: usize,
+) -> usize {
     let stats = engine::explore(
         implementation,
         workload,
@@ -35,6 +49,7 @@ fn explore_once(
             limits,
             workers: Some(1),
             reduction,
+            fault_budget,
             ..EngineOptions::default()
         },
         |_, _| Visit::Continue,
@@ -88,5 +103,43 @@ fn bench_cas(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(exploration_scaling, bench_local_copy, bench_cas);
+/// Local-copy fetch&increment, 3 processes × 2 ops, by transient-fault
+/// budget under the combined strategy (the E15 configuration).  `k0` is the
+/// ≤5%-overhead gate: with a zero budget the engine must not pay for the
+/// fault layer at all.
+fn bench_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore/faults");
+    let n = 3usize;
+    let implementation = LocalSpecImplementation::new(Arc::new(FetchIncrement::new()), n);
+    let workload = Workload::uniform(n, FetchIncrement::fetch_inc(), 2);
+    for k in [0usize, 1, 2] {
+        let limits = ExploreOptions {
+            max_depth: 2 * n + k,
+            max_configs: 4_000_000,
+        };
+        group.bench_with_input(
+            BenchmarkId::new(format!("k{k}"), n),
+            &k,
+            |b, &fault_budget| {
+                b.iter(|| {
+                    explore_faulty(
+                        &implementation,
+                        &workload,
+                        limits,
+                        Reduction::SleepSetSymmetry,
+                        fault_budget,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    exploration_scaling,
+    bench_local_copy,
+    bench_cas,
+    bench_faults
+);
 criterion_main!(exploration_scaling);

@@ -252,25 +252,64 @@ pub fn parse_bench_output(text: &str) -> Vec<Measurement> {
     out
 }
 
+/// One committed gate baseline: a bench line name, its reference mean, and
+/// an optional entry-specific tolerance overriding the gate's global one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Bench line name, e.g. `explore/faults/k0/3`.
+    pub name: String,
+    /// Baseline mean per-iteration time in microseconds.
+    pub mean_us: f64,
+    /// Per-entry symmetric relative tolerance (e.g. `0.05` = ±5%); `None`
+    /// falls back to the tolerance passed to [`compare`].
+    pub tolerance: Option<f64>,
+}
+
 /// Reads the `"gate"` object of `BENCH_checker.json`: a flat map from bench
-/// line name to baseline mean in microseconds.
+/// line name to either a baseline mean in microseconds, or an object
+/// `{"mean_us": <number>, "tolerance": <ratio>}` for entries gated tighter
+/// (or looser) than the global tolerance.
 ///
 /// # Errors
 ///
 /// Returns a message if the object is missing or malformed.
-pub fn gate_baselines(baseline: &Json) -> Result<Vec<Measurement>, String> {
+pub fn gate_baselines(baseline: &Json) -> Result<Vec<Baseline>, String> {
     let Some(Json::Obj(members)) = baseline.get("gate") else {
         return Err("baseline file has no top-level \"gate\" object".to_string());
     };
     let mut out = Vec::new();
     for (name, value) in members {
-        let mean_us = value
-            .as_f64()
-            .ok_or_else(|| format!("gate entry `{name}` is not a number"))?;
-        out.push(Measurement {
-            name: name.clone(),
-            mean_us,
-        });
+        let entry = match value {
+            Json::Num(mean_us) => Baseline {
+                name: name.clone(),
+                mean_us: *mean_us,
+                tolerance: None,
+            },
+            Json::Obj(_) => {
+                let mean_us = value.get("mean_us").and_then(Json::as_f64).ok_or_else(|| {
+                    format!("gate entry `{name}` has no numeric \"mean_us\" member")
+                })?;
+                let tolerance = match value.get("tolerance") {
+                    None => None,
+                    Some(t) => Some(t.as_f64().ok_or_else(|| {
+                        format!("gate entry `{name}` has a non-numeric \"tolerance\"")
+                    })?),
+                };
+                Baseline {
+                    name: name.clone(),
+                    mean_us,
+                    tolerance,
+                }
+            }
+            _ => return Err(format!("gate entry `{name}` is not a number or object")),
+        };
+        if entry.mean_us <= 0.0 {
+            return Err(format!("gate entry `{name}` has a non-positive mean"));
+        }
+        if entry.tolerance.is_some_and(|t| t <= 0.0) {
+            return Err(format!("gate entry `{name}` has a non-positive tolerance"));
+        }
+        out.push(entry);
     }
     Ok(out)
 }
@@ -310,6 +349,9 @@ pub struct GateResult {
     pub baseline_us: f64,
     /// Measured mean (µs), if the bench ran.
     pub measured_us: Option<f64>,
+    /// The tolerance this entry was judged against (per-entry override or
+    /// the gate's global one).
+    pub tolerance: f64,
     /// The verdict.
     pub status: GateStatus,
 }
@@ -322,29 +364,34 @@ impl GateResult {
 }
 
 /// Compares measurements against baselines with a symmetric relative
-/// `tolerance` (0.30 = ±30%).  Only [`GateStatus::Regressed`] and
-/// [`GateStatus::Missing`] should fail a build.
+/// `tolerance` (0.30 = ±30%); a [`Baseline::tolerance`] overrides it for
+/// that entry.  Only [`GateStatus::Regressed`] and [`GateStatus::Missing`]
+/// should fail a build.
 pub fn compare(
-    baselines: &[Measurement],
+    baselines: &[Baseline],
     measured: &[Measurement],
     tolerance: f64,
 ) -> Vec<GateResult> {
     baselines
         .iter()
         .map(|baseline| {
+            let entry_tolerance = baseline.tolerance.unwrap_or(tolerance);
             let found = measured.iter().find(|m| m.name == baseline.name);
             let status = match found {
                 None => GateStatus::Missing,
-                Some(m) if m.mean_us > baseline.mean_us * (1.0 + tolerance) => {
+                Some(m) if m.mean_us > baseline.mean_us * (1.0 + entry_tolerance) => {
                     GateStatus::Regressed
                 }
-                Some(m) if m.mean_us < baseline.mean_us / (1.0 + tolerance) => GateStatus::Improved,
+                Some(m) if m.mean_us < baseline.mean_us / (1.0 + entry_tolerance) => {
+                    GateStatus::Improved
+                }
                 Some(_) => GateStatus::Ok,
             };
             GateResult {
                 name: baseline.name.clone(),
                 baseline_us: baseline.mean_us,
                 measured_us: found.map(|m| m.mean_us),
+                tolerance: entry_tolerance,
                 status,
             }
         })
@@ -373,6 +420,13 @@ mod tests {
         let baselines = gate_baselines(&json).expect("gate section present");
         assert!(!baselines.is_empty());
         assert!(baselines.iter().all(|b| b.mean_us > 0.0));
+        // The k=0 fault-enumeration entry carries the tightened per-entry
+        // tolerance that holds its overhead to ≤5%.
+        let k0 = baselines
+            .iter()
+            .find(|b| b.name == "explore/faults/k0/3")
+            .expect("fault k0 gate entry");
+        assert_eq!(k0.tolerance, Some(0.05));
     }
 
     #[test]
@@ -417,24 +471,12 @@ some unrelated line
 
     #[test]
     fn gate_statuses_cover_all_outcomes() {
-        let baselines = vec![
-            Measurement {
-                name: "a".into(),
-                mean_us: 100.0,
-            },
-            Measurement {
-                name: "b".into(),
-                mean_us: 100.0,
-            },
-            Measurement {
-                name: "c".into(),
-                mean_us: 100.0,
-            },
-            Measurement {
-                name: "d".into(),
-                mean_us: 100.0,
-            },
-        ];
+        let entry = |name: &str| Baseline {
+            name: name.into(),
+            mean_us: 100.0,
+            tolerance: None,
+        };
+        let baselines = vec![entry("a"), entry("b"), entry("c"), entry("d")];
         let measured = vec![
             Measurement {
                 name: "a".into(),
@@ -454,8 +496,66 @@ some unrelated line
         assert_eq!(results[1].status, GateStatus::Regressed);
         assert_eq!(results[2].status, GateStatus::Improved);
         assert_eq!(results[3].status, GateStatus::Missing);
+        assert!(results.iter().all(|r| (r.tolerance - 0.30).abs() < 1e-12));
         assert!(gate_fails(&results));
         assert!(!gate_fails(&results[..1]));
         assert!(!gate_fails(&results[2..3]));
+    }
+
+    #[test]
+    fn per_entry_tolerance_overrides_the_global_one() {
+        let json = parse(
+            r#"{"gate": {
+                "plain": 100.0,
+                "tight": {"mean_us": 100.0, "tolerance": 0.05},
+                "detailed": {"mean_us": 200.0}
+            }}"#,
+        )
+        .expect("valid json");
+        let baselines = gate_baselines(&json).expect("gate parses");
+        assert_eq!(baselines[0].tolerance, None);
+        assert_eq!(baselines[1].tolerance, Some(0.05));
+        assert_eq!(
+            baselines[2],
+            Baseline {
+                name: "detailed".into(),
+                mean_us: 200.0,
+                tolerance: None,
+            }
+        );
+
+        // 110 µs: inside the global ±30%, outside the tight entry's ±5%.
+        let measured = vec![
+            Measurement {
+                name: "plain".into(),
+                mean_us: 110.0,
+            },
+            Measurement {
+                name: "tight".into(),
+                mean_us: 110.0,
+            },
+            Measurement {
+                name: "detailed".into(),
+                mean_us: 200.0,
+            },
+        ];
+        let results = compare(&baselines, &measured, 0.30);
+        assert_eq!(results[0].status, GateStatus::Ok);
+        assert_eq!(results[1].status, GateStatus::Regressed);
+        assert!((results[1].tolerance - 0.05).abs() < 1e-12);
+        assert_eq!(results[2].status, GateStatus::Ok);
+        assert!(gate_fails(&results));
+
+        // Malformed per-entry objects are rejected, not defaulted.
+        assert!(gate_baselines(&parse(r#"{"gate": {"x": {"tolerance": 0.1}}}"#).unwrap()).is_err());
+        assert!(gate_baselines(
+            &parse(r#"{"gate": {"x": {"mean_us": 1.0, "tolerance": "huge"}}}"#).unwrap()
+        )
+        .is_err());
+        assert!(gate_baselines(&parse(r#"{"gate": {"x": true}}"#).unwrap()).is_err());
+        assert!(gate_baselines(
+            &parse(r#"{"gate": {"x": {"mean_us": 1.0, "tolerance": 0}}}"#).unwrap()
+        )
+        .is_err());
     }
 }

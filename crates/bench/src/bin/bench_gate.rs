@@ -85,11 +85,12 @@ fn write_report(
             .unwrap_or_else(|| "null".to_string());
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"baseline_us\": {}, \"measured_us\": {}, \
-             \"ratio\": {}, \"status\": \"{}\"}}{}\n",
+             \"ratio\": {}, \"tolerance\": {}, \"status\": \"{}\"}}{}\n",
             json_escape(&r.name),
             r.baseline_us,
             measured,
             ratio,
+            r.tolerance,
             r.status,
             if i + 1 == results.len() { "" } else { "," }
         ));
@@ -129,8 +130,11 @@ fn run() -> Result<bool, String> {
             .map(|x| format!("{x:>5.2}x"))
             .unwrap_or_else(|| "    — ".to_string());
         println!(
-            "  {:<55} baseline {:>12.2} µs   measured {measured}   {ratio}   {}",
-            r.name, r.baseline_us, r.status
+            "  {:<55} baseline {:>12.2} µs   measured {measured}   {ratio}   ±{:.0}%   {}",
+            r.name,
+            r.baseline_us,
+            r.tolerance * 100.0,
+            r.status
         );
     }
     if let Some(path) = &args.report_path {

@@ -51,6 +51,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         // Sleep sets shrink the extension trees without touching verdicts —
         // the compare&swap protocol's read steps commute across processes.
         reduction: Reduction::SleepSet,
+        fault_budget: 0,
     };
 
     let mut table = Table::new(

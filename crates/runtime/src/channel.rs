@@ -14,7 +14,52 @@
 //! unsafe fast path.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`]: the item could not be delivered and is
+/// handed back to the caller.
+///
+/// Shutdown must be a *value*, not a panic or a hang: the monitor thread may
+/// exit (dropping its [`Receiver`]) while recording threads are blocked in
+/// `send` on a full channel, and those threads must wake up and observe the
+/// disconnect deterministically.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum SendError<T> {
+    /// Every receiver hung up; the unsent item is returned.
+    Disconnected(T),
+}
+
+impl<T> SendError<T> {
+    /// Recovers the item that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendError::Disconnected(item) => item,
+        }
+    }
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError::Disconnected(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a channel whose receivers all hung up")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`], distinguishing "nothing yet"
+/// from "nothing ever again".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders are still alive.
+    Empty,
+    /// The channel is empty and every sender hung up.
+    Disconnected,
+}
 
 struct Shared<T> {
     queue: Mutex<Inner<T>>,
@@ -63,13 +108,18 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
 }
 
 impl<T> Sender<T> {
-    /// Sends an item, blocking while the channel is full.  Returns the item
-    /// back if the receiver has hung up.
-    pub fn send(&self, item: T) -> Result<(), T> {
+    /// Sends an item, blocking while the channel is full.
+    ///
+    /// Returns [`SendError::Disconnected`] (carrying the item back) as soon
+    /// as every receiver has hung up — including when the hang-up happens
+    /// *while this call is blocked* on a full channel: [`Receiver::drop`]
+    /// signals `not_full`, so a blocked sender wakes, re-checks receiver
+    /// liveness and returns the error instead of sleeping forever.
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
         let mut inner = self.shared.queue.lock().expect("channel mutex");
         loop {
             if inner.receivers == 0 {
-                return Err(item);
+                return Err(SendError::Disconnected(item));
             }
             if inner.items.len() < inner.capacity {
                 inner.items.push_back(item);
@@ -117,16 +167,20 @@ impl<T> Receiver<T> {
         }
     }
 
-    /// Receives without blocking; `None` means "currently empty", which is
-    /// indistinguishable here from "closed" — use [`Receiver::recv`] for
-    /// shutdown-aware draining.
-    pub fn try_recv(&self) -> Option<T> {
+    /// Receives without blocking, distinguishing an empty channel
+    /// ([`TryRecvError::Empty`]) from one whose senders all hung up
+    /// ([`TryRecvError::Disconnected`]) — the same drain-then-close order
+    /// as [`Receiver::recv`]: queued items are always delivered first.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut inner = self.shared.queue.lock().expect("channel mutex");
-        let item = inner.items.pop_front();
-        if item.is_some() {
-            self.shared.not_full.notify_one();
+        match inner.items.pop_front() {
+            Some(item) => {
+                self.shared.not_full.notify_one();
+                Ok(item)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
         }
-        item
     }
 }
 
@@ -181,14 +235,64 @@ mod tests {
     fn send_fails_after_receiver_drops() {
         let (tx, rx) = bounded(2);
         drop(rx);
-        assert_eq!(tx.send(7usize), Err(7));
+        let err = tx.send(7usize).expect_err("receiver is gone");
+        assert_eq!(err, SendError::Disconnected(7));
+        assert_eq!(err.into_inner(), 7);
     }
 
     #[test]
-    fn try_recv_is_non_blocking() {
+    fn try_recv_distinguishes_empty_from_disconnected() {
         let (tx, rx) = bounded(2);
-        assert_eq!(rx.try_recv(), None);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         tx.send(1usize).unwrap();
-        assert_eq!(rx.try_recv(), Some(1));
+        tx.send(2usize).unwrap();
+        drop(tx);
+        // Drain-then-close: queued items always come out before the
+        // disconnect is reported.
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_drains_queued_items_after_all_senders_drop() {
+        let (tx, rx) = bounded(4);
+        tx.send(1usize).unwrap();
+        tx.send(2usize).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None, "closed stays closed");
+    }
+
+    #[test]
+    fn receiver_drop_wakes_a_blocked_sender() {
+        // Loom-style interleaving sweep of the shutdown race: a sender
+        // saturating a capacity-1 channel is blocked in `send` (or about to
+        // block) when the receiver hangs up after a varying number of
+        // receives.  Every interleaving must end with the sender *returning*
+        // `Disconnected` — never panicking, never sleeping forever on the
+        // `not_full` condvar.
+        for received_before_drop in 0..8usize {
+            let (tx, rx) = bounded(1);
+            let sender = std::thread::spawn(move || {
+                let mut next = 0usize;
+                loop {
+                    match tx.send(next) {
+                        Ok(()) => next += 1,
+                        Err(SendError::Disconnected(item)) => return (next, item),
+                    }
+                }
+            });
+            for expect in 0..received_before_drop {
+                assert_eq!(rx.recv(), Some(expect));
+            }
+            drop(rx);
+            let (sent, returned) = sender.join().expect("sender must not panic");
+            // The rejected item is exactly the one that failed to send.
+            assert_eq!(returned, sent);
+            assert!(sent >= received_before_drop);
+        }
     }
 }

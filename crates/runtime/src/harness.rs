@@ -2,6 +2,7 @@
 
 use crate::channel;
 use crate::counter::ConcurrentCounter;
+use crate::fault::{ChannelFaultStats, FaultPlan};
 use crate::recorder::{Recorder, SinkStats};
 use evlin_checker::monitor::{Monitor, MonitorConfig, MonitorReport};
 use evlin_history::{History, ObjectId, ObjectUniverse, ProcessId};
@@ -84,6 +85,10 @@ pub struct MonitoredRun {
     pub report: MonitorReport,
     /// What the streaming recorder delivered to the channel.
     pub sink: SinkStats,
+    /// Faults injected by the channel, when the run streamed through a
+    /// [`crate::fault::FaultySender`]
+    /// ([`run_counter_workload_monitored_faulty`]); `None` on clean runs.
+    pub channel_faults: Option<ChannelFaultStats>,
     /// Wall-clock time from workload start until the monitor finished
     /// checking the last event (≥ `run.elapsed`; the basis for checked-ops/s).
     pub total_elapsed: Duration,
@@ -113,18 +118,62 @@ pub fn run_counter_workload_monitored(
     monitor_config: MonitorConfig,
     channel_capacity: usize,
 ) -> MonitoredRun {
+    monitored_run(counter, options, monitor_config, channel_capacity, None)
+}
+
+/// Like [`run_counter_workload_monitored`], but streaming the events through
+/// a seeded transient-fault channel ([`crate::fault::FaultySender`]) that
+/// loses, duplicates or reorders them per `plan` before they reach the
+/// monitor.
+///
+/// This is the runtime half of the fault-injection experiments: the monitor
+/// sees a corrupted stream, so its verdict reflects the *corruption*, not the
+/// counter — a lost or reordered event shows up as a violation (flagged) or
+/// as an ill-formed event the monitor rejects, while conditions with
+/// forgiveness (`t`-linearizability, stabilizes-eventually) absorb a
+/// corrupted prefix.  The injected faults are reported in
+/// [`MonitoredRun::channel_faults`].
+pub fn run_counter_workload_monitored_faulty(
+    counter: &dyn ConcurrentCounter,
+    options: HarnessOptions,
+    monitor_config: MonitorConfig,
+    channel_capacity: usize,
+    plan: FaultPlan,
+) -> MonitoredRun {
+    monitored_run(
+        counter,
+        options,
+        monitor_config,
+        channel_capacity,
+        Some(plan),
+    )
+}
+
+fn monitored_run(
+    counter: &dyn ConcurrentCounter,
+    options: HarnessOptions,
+    monitor_config: MonitorConfig,
+    channel_capacity: usize,
+    plan: Option<FaultPlan>,
+) -> MonitoredRun {
     let mut universe = ObjectUniverse::new();
     let object = universe.add_object(FetchIncrement::new());
     debug_assert_eq!(object, ObjectId(0), "the harness records on ObjectId(0)");
     let mut monitor = Monitor::new(universe, monitor_config);
     let (sender, receiver) = channel::bounded(channel_capacity);
-    let recorder = Arc::new(Recorder::with_sink(sender, false));
+    let recorder = Arc::new(match plan {
+        Some(plan) => Recorder::with_faulty_sink(sender, plan, false),
+        None => Recorder::with_sink(sender, false),
+    });
 
     let started = Instant::now();
     let consumer = std::thread::spawn(move || {
         while let Some(event) = receiver.recv() {
-            // The recorder's well-formedness filter makes errors impossible
-            // here; a violation verdict is carried in the report instead.
+            // On a clean channel the recorder's well-formedness filter makes
+            // errors impossible here; on a faulty one a lost invocation can
+            // orphan its response, which the monitor rejects — that is the
+            // fault surfacing, not a pipeline bug, so the run continues and
+            // the verdict carries the outcome.
             let _ = monitor.ingest(event);
         }
         monitor.finish()
@@ -134,6 +183,7 @@ pub fn run_counter_workload_monitored(
     let sink = sink_recorder
         .sink_stats()
         .expect("streaming recorder has a sink");
+    let channel_faults = sink_recorder.channel_fault_stats();
     // Dropping the recorder flushes the reorder buffer and hangs up the
     // channel, letting the monitor thread drain and finish.
     drop(sink_recorder);
@@ -143,6 +193,7 @@ pub fn run_counter_workload_monitored(
         run,
         report,
         sink,
+        channel_faults,
         total_elapsed,
     }
 }
@@ -318,6 +369,61 @@ mod tests {
             // stays far below the full history length.
             assert!(out.report.stats.peak_window_events < 2400);
         }
+    }
+
+    #[test]
+    fn faulty_channel_run_completes_and_reports_fault_stats() {
+        use evlin_checker::monitor::MonitorConfig;
+        let counter = FetchAddCounter::new();
+        let out = run_counter_workload_monitored_faulty(
+            &counter,
+            options(2, 200, true),
+            MonitorConfig::default(),
+            256,
+            FaultPlan {
+                seed: 2014,
+                lose: 64,
+                duplicate: 64,
+                reorder: 64,
+            },
+        );
+        // The pipeline must terminate (no hang, no panic) whatever the
+        // verdict — the corrupted stream may be flagged as a violation,
+        // rejected event by event, or even still pass; all are legitimate
+        // monitor reactions to channel faults.
+        let faults = out.channel_faults.expect("a faulty run reports faults");
+        assert!(
+            faults.lost + faults.duplicated + faults.reordered > 0,
+            "the seeded plan injects something over 800 events: {faults:?}"
+        );
+        // Conservation: every emitted event was either delivered or lost,
+        // and each duplication delivered one extra copy.
+        assert_eq!(
+            faults.delivered + faults.lost,
+            out.sink.emitted + faults.duplicated
+        );
+        // The workload side is untouched by channel faults.
+        assert_eq!(out.run.total_ops, 400);
+        assert_eq!(out.run.final_total, 400);
+        assert!(out.run.responses_distinct());
+    }
+
+    #[test]
+    fn transparent_fault_plan_matches_the_clean_monitored_path() {
+        use evlin_checker::monitor::MonitorConfig;
+        let counter = CasCounter::new();
+        let out = run_counter_workload_monitored_faulty(
+            &counter,
+            options(2, 150, true),
+            MonitorConfig::default(),
+            256,
+            FaultPlan::transparent(1),
+        );
+        assert!(out.report.verdict.is_ok(), "{:?}", out.report);
+        assert_eq!(out.report.stats.checked_ops, 300);
+        let faults = out.channel_faults.expect("still a faulty-sink run");
+        assert_eq!(faults.lost + faults.duplicated + faults.reordered, 0);
+        assert_eq!(faults.delivered, out.sink.emitted);
     }
 
     #[test]

@@ -28,6 +28,13 @@
 //! history and throughput statistics ([`harness::run_counter_workload`]), or
 //! check the stream live ([`harness::run_counter_workload_monitored`], used
 //! by experiment E11 and the `monitor_throughput` bench).
+//!
+//! For the fault-injection experiments, [`fault::FaultySender`] turns the
+//! monitor feed into a seeded lossy/duplicating/reordering link
+//! ([`Recorder::with_faulty_sink`],
+//! [`harness::run_counter_workload_monitored_faulty`]), so the online
+//! checker's reaction to transient *transport* faults can be measured
+//! alongside the simulator's transient *state* faults.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,11 +42,14 @@
 pub mod channel;
 pub mod consensus;
 pub mod counter;
+pub mod fault;
 pub mod harness;
 pub mod recorder;
 
 pub use counter::{CasCounter, ConcurrentCounter, FetchAddCounter, ShardedCounter};
+pub use fault::{ChannelFaultStats, FaultPlan, FaultySender};
 pub use harness::{
-    run_counter_workload, run_counter_workload_monitored, CounterRun, HarnessOptions, MonitoredRun,
+    run_counter_workload, run_counter_workload_monitored, run_counter_workload_monitored_faulty,
+    CounterRun, HarnessOptions, MonitoredRun,
 };
 pub use recorder::{Recorder, SinkStats};

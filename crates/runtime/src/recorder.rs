@@ -1,6 +1,7 @@
 //! Recording histories from real threads.
 
-use crate::channel::Sender;
+use crate::channel::{SendError, Sender};
+use crate::fault::{ChannelFaultStats, FaultPlan, FaultySender};
 use evlin_history::{Event, EventKind, History, ObjectId, ProcessId};
 use evlin_spec::{Invocation, Value};
 use parking_lot::Mutex;
@@ -66,10 +67,44 @@ pub struct SinkStats {
     pub flushed_past_gap: usize,
     /// Whether the sink hung up before the stream ended.
     pub disconnected: bool,
+    /// Events swallowed because the sink had already hung up.  A hang-up can
+    /// race the drop-time flush, so delivery failures there are *counted*
+    /// rather than panicking inside `Drop`.
+    pub dropped_disconnected: usize,
+}
+
+/// The recorder's downstream link: the bounded channel sender, either bare
+/// or behind the transient-fault injector of [`crate::fault`].
+enum Sink {
+    Clean(Sender<Event>),
+    Faulty(FaultySender<Event>),
+}
+
+impl Sink {
+    fn send(&mut self, event: Event) -> Result<(), SendError<Event>> {
+        match self {
+            Sink::Clean(sender) => sender.send(event),
+            Sink::Faulty(faulty) => faulty.send(event),
+        }
+    }
+
+    /// Pushes a held-back (reordered) event through; a no-op for clean links.
+    fn flush(&mut self) {
+        if let Sink::Faulty(faulty) = self {
+            let _ = faulty.flush();
+        }
+    }
+
+    fn fault_stats(&self) -> Option<ChannelFaultStats> {
+        match self {
+            Sink::Clean(_) => None,
+            Sink::Faulty(faulty) => Some(faulty.stats()),
+        }
+    }
 }
 
 struct StreamState {
-    sender: Option<Sender<Event>>,
+    sender: Option<Sink>,
     /// The next sequence number to emit.
     next_emit: usize,
     /// Events that arrived ahead of a missing predecessor.
@@ -81,7 +116,7 @@ struct StreamState {
 }
 
 impl StreamState {
-    fn new(sender: Sender<Event>) -> Self {
+    fn new(sender: Sink) -> Self {
         StreamState {
             sender: Some(sender),
             next_emit: 0,
@@ -131,13 +166,19 @@ impl StreamState {
                 }
             },
         }
-        if let Some(sender) = &self.sender {
+        if let Some(sender) = &mut self.sender {
             if sender.send(event).is_ok() {
                 self.stats.emitted += 1;
             } else {
                 self.stats.disconnected = true;
+                self.stats.dropped_disconnected += 1;
                 self.sender = None;
             }
+        } else {
+            // The sink hung up earlier; later events (including the
+            // drop-time flush of the reorder buffer) are swallowed and
+            // counted, never panicked on.
+            self.stats.dropped_disconnected += 1;
         }
     }
 
@@ -155,6 +196,9 @@ impl StreamState {
                 self.next_emit = seq + 1;
                 self.emit(event);
             }
+        }
+        if let Some(sender) = &mut self.sender {
+            sender.flush();
         }
     }
 }
@@ -207,9 +251,38 @@ impl Recorder {
             inner: Mutex::new(Inner {
                 retained: Vec::new(),
                 retain: retain_events,
-                stream: Some(StreamState::new(sink)),
+                stream: Some(StreamState::new(Sink::Clean(sink))),
             }),
         }
+    }
+
+    /// Like [`Recorder::with_sink`], but streaming through a transient-fault
+    /// channel ([`crate::fault::FaultySender`]) that loses, duplicates or
+    /// reorders events per the seeded `plan` — the feed of the
+    /// fault-injection experiments, where the online monitor must flag a
+    /// corrupted stream and forgive a corrupted-but-quiesced prefix.
+    pub fn with_faulty_sink(sink: Sender<Event>, plan: FaultPlan, retain_events: bool) -> Self {
+        Recorder {
+            next: AtomicUsize::new(0),
+            inner: Mutex::new(Inner {
+                retained: Vec::new(),
+                retain: retain_events,
+                stream: Some(StreamState::new(Sink::Faulty(FaultySender::new(
+                    sink, plan,
+                )))),
+            }),
+        }
+    }
+
+    /// Counters of the faults the sink's channel injected, if this recorder
+    /// streams through a faulty sink ([`Recorder::with_faulty_sink`]).
+    pub fn channel_fault_stats(&self) -> Option<ChannelFaultStats> {
+        self.inner
+            .lock()
+            .stream
+            .as_ref()
+            .and_then(|s| s.sender.as_ref())
+            .and_then(|sink| sink.fault_stats())
     }
 
     fn record(&self, event: Event) {
@@ -465,6 +538,28 @@ mod tests {
 
     fn bounded_pair() -> (Sender<Event>, crate::channel::Receiver<Event>) {
         channel::bounded(8)
+    }
+
+    #[test]
+    fn hung_up_sink_is_swallowed_and_counted_not_panicked() {
+        let (tx, rx) = channel::bounded(8);
+        let o = ObjectId(0);
+        let r = Recorder::with_sink(tx, false);
+        r.invoke(ProcessId(0), o, FetchIncrement::fetch_inc());
+        r.respond(ProcessId(0), o, Value::from(0i64));
+        drop(rx); // the monitor died mid-run
+                  // The next emit observes the hang-up...
+        r.invoke(ProcessId(1), o, FetchIncrement::fetch_inc());
+        // ...and an event held back behind a sequence gap is flushed into
+        // the dead sink without panicking, counted in the stats.
+        r.next.fetch_add(1, Ordering::SeqCst);
+        r.invoke(ProcessId(2), o, FetchIncrement::fetch_inc());
+        r.flush_sink();
+        let stats = r.sink_stats().expect("streaming");
+        assert_eq!(stats.emitted, 2);
+        assert!(stats.disconnected);
+        assert_eq!(stats.dropped_disconnected, 2);
+        drop(r); // the drop-time flush on a dead sink is a quiet no-op
     }
 
     #[test]

@@ -64,6 +64,30 @@ pub trait BaseObject: fmt::Debug + Send + Sync {
     /// [`PidDependence::Permutable`]; the default no-op is only correct for
     /// [`PidDependence::Independent`] objects.
     fn permute_processes(&mut self, _perm: &[usize]) {}
+
+    /// The number of distinct *transient-fault corruptions* of the object's
+    /// current state that the fault-injection layer ([`crate::fault`]) may
+    /// apply.  Each index in `0..corruption_count()` names one
+    /// reachable-but-different state the object can be corrupted to; the
+    /// enumeration must be a deterministic function of the current state.
+    /// Objects that cannot enumerate such states (the conservative default)
+    /// return 0 and are never corrupted.
+    fn corruption_count(&self) -> usize {
+        0
+    }
+
+    /// Corrupts the object's state to its `index`-th enumerable corruption.
+    ///
+    /// # Panics
+    ///
+    /// May panic when `index >= corruption_count()`; the default panics
+    /// unconditionally (objects declaring no corruptions are never asked).
+    fn corrupt(&mut self, index: usize) {
+        panic!(
+            "base object {} declares no corruptions (corrupt({index}))",
+            self.type_name()
+        );
+    }
 }
 
 impl Clone for Box<dyn BaseObject> {
@@ -107,6 +131,26 @@ impl SpecObject {
     pub fn object_type(&self) -> &Arc<dyn ObjectType> {
         &self.ty
     }
+
+    /// The states a transient fault may corrupt this object to: the first
+    /// [`crate::fault::CORRUPTION_STATE_CAP`] states reachable from the
+    /// type's first initial state (by sampled invocations, breadth-first),
+    /// minus the current state.  Deterministic in the current state, which is
+    /// what keeps fault enumeration stable under exploration and symmetry
+    /// canonicalization (the spec state never mentions process ids).
+    fn corruption_states(&self) -> Vec<Value> {
+        let initial = self
+            .ty
+            .initial_states()
+            .into_iter()
+            .next()
+            .expect("object types must have at least one initial state");
+        self.ty
+            .reachable_states(&initial, crate::fault::CORRUPTION_STATE_CAP)
+            .into_iter()
+            .filter(|s| s != &self.state)
+            .collect()
+    }
 }
 
 impl fmt::Debug for SpecObject {
@@ -145,6 +189,24 @@ impl BaseObject for SpecObject {
     // state can never depend on process ids.
     fn pid_dependence(&self) -> PidDependence {
         PidDependence::Independent
+    }
+
+    fn corruption_count(&self) -> usize {
+        self.corruption_states().len()
+    }
+
+    fn corrupt(&mut self, index: usize) {
+        let states = self.corruption_states();
+        self.state = states
+            .get(index)
+            .unwrap_or_else(|| {
+                panic!(
+                    "corrupt({index}) out of range for {} ({} corruptions)",
+                    self.ty.name(),
+                    states.len()
+                )
+            })
+            .clone();
     }
 }
 
@@ -257,6 +319,22 @@ impl BaseObject for AnnounceLog {
     // Deliberately left `PidDependence::Opaque` (the default): the log itself
     // ignores the caller's identity, but the *values* appended by the Figure 1
     // wrapper embed process ids, which a renaming could not reach.
+
+    // A transient fault on an announce log *loses one announcement* — the
+    // channel-fault model of Dolev et al. transplanted to the paper's
+    // announce-before-compute structure.  Variant `i` removes entry `i`.
+    fn corruption_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn corrupt(&mut self, index: usize) {
+        assert!(
+            index < self.entries.len(),
+            "corrupt({index}) out of range for announce-log ({} entries)",
+            self.entries.len()
+        );
+        self.entries.remove(index);
+    }
 }
 
 #[cfg(test)]

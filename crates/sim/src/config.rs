@@ -7,6 +7,7 @@
 //! the valency analysis and the stable-configuration search rely on.
 
 use crate::base::{BaseObject, PidDependence};
+use crate::fault::{FaultStep, FaultTarget};
 use crate::program::{Implementation, ProcessLogic, TaskStep};
 use crate::workload::Workload;
 use crate::zobrist::{self, TAG_EVENT, TAG_OBJECT, TAG_PROCESS};
@@ -171,8 +172,12 @@ fn event_body(event: &Event) -> u64 {
     hasher.finish()
 }
 
+/// One slot of the step-shape memo: `None` = not computed for the current
+/// state; `Some(shape)` = the memoized [`Config::peek_step_shape`] result
+/// (itself an `Option`, since disabled processes have no shape).
+type ShapeSlot = Option<Option<StepShape>>;
+
 /// A configuration of the simulated system.
-#[derive(Clone)]
 pub struct Config {
     base: Vec<Box<dyn BaseObject>>,
     processes: Vec<ProcessState>,
@@ -189,6 +194,35 @@ pub struct Config {
     /// this on (see [`Config::set_fingerprint_tracking`]) exactly when a
     /// dedup set exists.
     fp_live: bool,
+    /// Remaining transient-fault budget: how many more [`FaultStep`]s this
+    /// configuration's futures may inject (see [`crate::fault`]).  0 — the
+    /// default — disables fault enumeration entirely.
+    fault_budget: usize,
+    /// Memoized per-process step shapes ([`Config::step_shape_memoized`]),
+    /// cleared by every mutation that can change a pending step's shape —
+    /// including fault corruption, whose staleness would otherwise let a
+    /// write-detecting probe report the pre-corruption classification.
+    /// Empty = cold.
+    shape_memo: Vec<ShapeSlot>,
+}
+
+impl Clone for Config {
+    fn clone(&self) -> Self {
+        Config {
+            base: self.base.clone(),
+            processes: self.processes.clone(),
+            history: self.history.clone(),
+            steps: self.steps,
+            object_id: self.object_id,
+            fp: self.fp.clone(),
+            fp_live: self.fp_live,
+            fault_budget: self.fault_budget,
+            // The memo would still be valid for the clone (same state), but
+            // carrying it would cost an allocation per clone on the engine's
+            // hot path; clones start cold instead.
+            shape_memo: Vec::new(),
+        }
+    }
 }
 
 impl Config {
@@ -224,6 +258,8 @@ impl Config {
             object_id: ObjectId(0),
             fp: Fingerprint::default(),
             fp_live: false,
+            fault_budget: 0,
+            shape_memo: Vec::new(),
         }
     }
 
@@ -370,6 +406,7 @@ impl Config {
     /// Appends an extra high-level operation to process `p`'s workload.
     pub fn push_operation(&mut self, p: ProcessId, invocation: evlin_spec::Invocation) {
         self.processes[p.index()].remaining.push_back(invocation);
+        self.shape_memo.clear();
         self.refresh_proc_fingerprint(p.index());
     }
 
@@ -531,6 +568,7 @@ impl Config {
     /// [`crate::engine::SymmetryReduction::detect`].
     pub fn apply_permutation(&mut self, perm: &[usize]) {
         assert_eq!(perm.len(), self.processes.len(), "permutation arity");
+        self.shape_memo.clear();
         let n = self.processes.len();
         let old = std::mem::take(&mut self.processes);
         let mut slots: Vec<Option<ProcessState>> = (0..old.len()).map(|_| None).collect();
@@ -657,6 +695,32 @@ impl Config {
         }
     }
 
+    /// [`Config::peek_step_shape`] with a per-process memo, for callers that
+    /// may classify the same pending step several times against one
+    /// configuration (quiescence probes, external tooling; the engine's
+    /// sleep-set expansion instead keeps one classification per process on
+    /// its stack, which is cheaper for its classify-once pattern).  The memo
+    /// is invalidated by every mutation that can
+    /// change a pending step's shape — a process step, a permutation, a
+    /// workload append and, crucially, a fault corruption: a corrupted base
+    /// object can flip whether a pending access *writes* (e.g. a `cas` whose
+    /// expected value no longer matches), and a corrupted programme state can
+    /// change the step entirely, so serving the stale classification would
+    /// unsoundly sleep dependent steps.
+    pub fn step_shape_memoized(&mut self, p: ProcessId) -> Option<StepShape> {
+        let n = self.processes.len();
+        if self.shape_memo.len() != n {
+            self.shape_memo.clear();
+            self.shape_memo.resize(n, None);
+        }
+        if let Some(known) = self.shape_memo[p.index()] {
+            return known;
+        }
+        let shape = self.peek_step_shape(p);
+        self.shape_memo[p.index()] = Some(shape);
+        shape
+    }
+
     /// Gives one atomic step to process `p`.
     ///
     /// If `p` has no operation in progress and workload remains, the next
@@ -671,6 +735,7 @@ impl Config {
             return StepOutcome::Idle;
         }
         self.steps += 1;
+        self.shape_memo.clear();
         let n = self.processes.len();
         if !self.processes[idx].running {
             let inv = self.processes[idx]
@@ -757,6 +822,76 @@ impl Config {
         }
         true
     }
+
+    /// The remaining transient-fault budget (see [`crate::fault`]).
+    #[inline]
+    pub fn fault_budget(&self) -> usize {
+        self.fault_budget
+    }
+
+    /// Sets the transient-fault budget: at most `k` faults along any schedule
+    /// continuing from this configuration.  The engine sets this on the root
+    /// from [`crate::engine::EngineOptions::fault_budget`].
+    pub fn set_fault_budget(&mut self, k: usize) {
+        self.fault_budget = k;
+    }
+
+    /// Enumerates every fault injectable at this configuration, in
+    /// deterministic order (objects by index, then processes by index, each
+    /// by corruption variant).  Does nothing when the budget is exhausted —
+    /// in particular, budget 0 (the default) costs one branch.
+    pub fn for_each_fault(&self, mut f: impl FnMut(FaultStep)) {
+        if self.fault_budget == 0 {
+            return;
+        }
+        for (i, b) in self.base.iter().enumerate() {
+            for variant in 0..b.corruption_count() {
+                f(FaultStep {
+                    target: FaultTarget::Object(i),
+                    variant,
+                });
+            }
+        }
+        for (i, p) in self.processes.iter().enumerate() {
+            for variant in 0..p.logic.corruption_count() {
+                f(FaultStep {
+                    target: FaultTarget::Process(i),
+                    variant,
+                });
+            }
+        }
+    }
+
+    /// Applies one transient fault: spends one budget unit and corrupts the
+    /// target component, maintaining the incremental fingerprint exactly and
+    /// invalidating the step-shape memo.  No history event is recorded —
+    /// faults are environmental, not operations.  Returns `false` (and does
+    /// nothing) when the budget is exhausted.
+    pub fn apply_fault(&mut self, fault: &FaultStep) -> bool {
+        if self.fault_budget == 0 {
+            return false;
+        }
+        self.fault_budget -= 1;
+        match fault.target {
+            FaultTarget::Object(i) => {
+                self.base[i].corrupt(fault.variant);
+                if self.fp_live {
+                    let raw = zobrist::hash_debug(&self.base[i]);
+                    self.fp.set_obj(i, raw);
+                }
+            }
+            FaultTarget::Process(i) => {
+                self.processes[i].logic.corrupt(fault.variant);
+                self.refresh_proc_fingerprint(i);
+            }
+        }
+        self.shape_memo.clear();
+        debug_assert!(
+            self.fingerprint_consistent(),
+            "fault mutation drifted the incremental fingerprint"
+        );
+        true
+    }
 }
 
 impl fmt::Debug for Config {
@@ -774,7 +909,7 @@ impl fmt::Debug for Config {
 mod tests {
     use super::*;
     use crate::program::LocalSpecImplementation;
-    use evlin_spec::FetchIncrement;
+    use evlin_spec::{FetchIncrement, Invocation};
     use std::sync::Arc;
 
     fn fi_local(processes: usize) -> LocalSpecImplementation {
@@ -923,5 +1058,141 @@ mod tests {
         let imp = fi_local(1);
         let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 1);
         let _ = Config::initial(&imp, &w);
+    }
+
+    /// A one-shot programme over a cas base object: one dummy register read,
+    /// then `cas(0 → 1)`, then complete — the pending cas is exactly the step
+    /// whose *writes* classification flips when a fault corrupts the target.
+    #[derive(Debug, Clone)]
+    struct CasOnce;
+
+    #[derive(Debug, Clone)]
+    struct CasOnceLogic {
+        at: usize,
+    }
+
+    impl Implementation for CasOnce {
+        fn name(&self) -> String {
+            "cas once".into()
+        }
+        fn processes(&self) -> usize {
+            1
+        }
+        fn initial_base_objects(&self) -> Vec<Box<dyn BaseObject>> {
+            vec![
+                crate::base::objects::cas(Value::from(0i64)),
+                crate::base::objects::register(Value::from(0i64)),
+            ]
+        }
+        fn new_process(&self, _p: ProcessId) -> Box<dyn ProcessLogic> {
+            Box::new(CasOnceLogic { at: 0 })
+        }
+    }
+
+    impl ProcessLogic for CasOnceLogic {
+        fn begin(&mut self, _invocation: evlin_spec::Invocation) {
+            self.at = 0;
+        }
+        fn step(&mut self, _previous: Option<Value>) -> TaskStep {
+            self.at += 1;
+            match self.at {
+                1 => TaskStep::Access {
+                    object: 1,
+                    invocation: evlin_spec::Register::read(),
+                },
+                2 => TaskStep::Access {
+                    object: 0,
+                    invocation: evlin_spec::CompareAndSwap::cas(
+                        Value::from(0i64),
+                        Value::from(1i64),
+                    ),
+                },
+                _ => TaskStep::Complete(Value::Unit),
+            }
+        }
+        fn clone_box(&self) -> Box<dyn ProcessLogic> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn fault_application_spends_budget_and_keeps_fingerprint() {
+        let imp = fi_local(2);
+        let w = Workload::uniform(2, FetchIncrement::fetch_inc(), 1);
+        let mut c = Config::initial(&imp, &w);
+        c.set_fingerprint_tracking(true, false);
+        c.set_fault_budget(2);
+        let mut faults = Vec::new();
+        c.for_each_fault(|f| faults.push(f));
+        // Each local-copy programme state offers at least one corruption.
+        assert!(faults.len() >= 2, "expected process faults, got {faults:?}");
+        let before = c.fingerprint();
+        assert!(c.apply_fault(&faults[0]));
+        assert_eq!(c.fault_budget(), 1);
+        assert_ne!(c.fingerprint(), before, "corruption must change the state");
+        assert!(c.fingerprint_consistent());
+        // Faults record no history events and advance no step counter.
+        assert!(c.history().is_empty());
+        assert_eq!(c.steps(), 0);
+        assert!(c.apply_fault(&faults[0]));
+        assert_eq!(c.fault_budget(), 0);
+        // Budget exhausted: enumeration is empty and application refuses.
+        let mut rest = Vec::new();
+        c.for_each_fault(|f| rest.push(f));
+        assert!(rest.is_empty());
+        assert!(!c.apply_fault(&faults[0]));
+    }
+
+    #[test]
+    fn fault_invalidates_stale_step_shape_memo() {
+        let imp = CasOnce;
+        let w = Workload::uniform(1, Invocation::nullary("op"), 1);
+        let mut c = Config::initial(&imp, &w);
+        let p = ProcessId(0);
+        // Start the operation and take the dummy read: the pending step is
+        // now `cas(0 → 1)` against a cas object holding 0.
+        assert_eq!(c.step(p), StepOutcome::Progressed);
+        assert_eq!(
+            c.step_shape_memoized(p),
+            Some(StepShape::Access {
+                object: 0,
+                writes: true
+            })
+        );
+        // Memo hit: same answer without recomputation.
+        assert_eq!(
+            c.step_shape_memoized(p),
+            Some(StepShape::Access {
+                object: 0,
+                writes: true
+            })
+        );
+        // Corrupt the cas object (its only corruption state is 1): the
+        // pending cas now fails, so the step no longer writes.  A stale memo
+        // would keep reporting `writes: true`.
+        c.set_fault_budget(1);
+        let mut faults = Vec::new();
+        c.for_each_fault(|f| faults.push(f));
+        let on_cas: Vec<_> = faults
+            .iter()
+            .filter(|f| f.target == crate::fault::FaultTarget::Object(0))
+            .collect();
+        assert_eq!(on_cas.len(), 1, "cas(0) has exactly one corruption");
+        assert!(c.apply_fault(on_cas[0]));
+        assert_eq!(
+            c.step_shape_memoized(p),
+            Some(StepShape::Access {
+                object: 0,
+                writes: false
+            })
+        );
+        // And `peek_step_shape` (the pure variant) agrees.
+        assert_eq!(
+            c.peek_step_shape(p),
+            Some(StepShape::Access {
+                object: 0,
+                writes: false
+            })
+        );
     }
 }

@@ -122,6 +122,10 @@ pub struct ParExploreOptions {
     /// history-collecting visitor exact.  Off by default to match the
     /// sequential explorer's pure-tree semantics.
     pub dedup: bool,
+    /// Transient-fault budget installed on the root (see [`crate::fault`]):
+    /// at most this many corruption steps along any explored schedule.  0
+    /// (the default) disables fault enumeration entirely.
+    pub fault_budget: usize,
 }
 
 impl Default for ParExploreOptions {
@@ -131,6 +135,7 @@ impl Default for ParExploreOptions {
             threads: None,
             subtrees_per_thread: 8,
             dedup: false,
+            fault_budget: 0,
         }
     }
 }
@@ -144,6 +149,7 @@ impl ParExploreOptions {
             subtrees_per_worker: self.subtrees_per_thread,
             dedup: self.dedup,
             reduction: engine::Reduction::None,
+            fault_budget: self.fault_budget,
         }
     }
 }
@@ -321,6 +327,7 @@ mod tests {
             threads: Some(threads),
             subtrees_per_thread: 4,
             dedup,
+            fault_budget: 0,
         }
     }
 
@@ -406,6 +413,7 @@ mod tests {
                 threads: Some(4),
                 subtrees_per_thread: 4,
                 dedup: false,
+                fault_budget: 0,
             },
             |_, _| Visit::Continue,
         );

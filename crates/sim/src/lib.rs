@@ -39,7 +39,10 @@
 //!   Corollary 19 experiments);
 //! * [`stability`] — the stable-configuration search of Proposition 18 and
 //!   the freezing machinery that turns an eventually linearizable
-//!   fetch&increment implementation into a linearizable one.
+//!   fetch&increment implementation into a linearizable one;
+//! * [`fault`] — transient-fault injection: budgeted corruption steps
+//!   ([`fault::FaultStep`]) enumerated alongside process steps by the engine,
+//!   for self-stabilization analyses (experiment E15).
 //!
 //! ## Example
 //!
@@ -73,6 +76,7 @@ pub mod config;
 pub mod engine;
 pub mod eventually;
 pub mod explorer;
+pub mod fault;
 pub mod program;
 pub mod runner;
 pub mod scheduler;
@@ -88,6 +92,7 @@ pub mod prelude {
     pub use crate::engine::{EngineOptions, Reduction, ReductionStrategy};
     pub use crate::eventually::{EventuallyLinearizable, StabilizationPolicy};
     pub use crate::explorer::{explore, explore_par, ExploreOptions, ParExploreOptions};
+    pub use crate::fault::{FaultStep, FaultTarget};
     pub use crate::program::{Implementation, ProcessLogic, TaskStep};
     pub use crate::runner::{run, RunOutcome};
     pub use crate::scheduler::{

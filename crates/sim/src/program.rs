@@ -51,6 +51,24 @@ pub trait ProcessLogic: fmt::Debug + Send + Sync {
 
     /// Clones the programme state.
     fn clone_box(&self) -> Box<dyn ProcessLogic>;
+
+    /// The number of distinct *transient-fault corruptions* of this
+    /// programme state that the fault-injection layer ([`crate::fault`]) may
+    /// apply — a deterministic function of the current state.  The default
+    /// (0) marks the programme as uncorruptible.
+    fn corruption_count(&self) -> usize {
+        0
+    }
+
+    /// Corrupts the programme state to its `index`-th enumerable corruption.
+    ///
+    /// # Panics
+    ///
+    /// May panic when `index >= corruption_count()`; the default panics
+    /// unconditionally (programmes declaring no corruptions are never asked).
+    fn corrupt(&mut self, index: usize) {
+        panic!("programme state declares no corruptions (corrupt({index}))");
+    }
 }
 
 impl Clone for Box<dyn ProcessLogic> {
@@ -171,6 +189,45 @@ impl ProcessLogic for LocalSpecLogic {
 
     fn clone_box(&self) -> Box<dyn ProcessLogic> {
         Box::new(self.clone())
+    }
+
+    // A transient fault rewrites the process's *local copy* to any other
+    // nearby reachable spec state — the programme-state analogue of
+    // corrupting a shared [`crate::base::SpecObject`].
+    fn corruption_count(&self) -> usize {
+        self.corruption_states().len()
+    }
+
+    fn corrupt(&mut self, index: usize) {
+        let states = self.corruption_states();
+        self.state = states
+            .get(index)
+            .unwrap_or_else(|| {
+                panic!(
+                    "corrupt({index}) out of range for local {} ({} corruptions)",
+                    self.ty.name(),
+                    states.len()
+                )
+            })
+            .clone();
+    }
+}
+
+impl LocalSpecLogic {
+    /// The states a transient fault may corrupt the local copy to (see
+    /// [`crate::base::SpecObject`]'s identical enumeration).
+    fn corruption_states(&self) -> Vec<Value> {
+        let initial = self
+            .ty
+            .initial_states()
+            .into_iter()
+            .next()
+            .expect("object types must have at least one initial state");
+        self.ty
+            .reachable_states(&initial, crate::fault::CORRUPTION_STATE_CAP)
+            .into_iter()
+            .filter(|s| s != &self.state)
+            .collect()
     }
 }
 

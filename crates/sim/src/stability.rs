@@ -54,6 +54,12 @@ pub struct StabilityOptions {
     /// canonicalization preserves every verdict.  `Reduction::None` keeps
     /// the seed semantics.
     pub reduction: Reduction,
+    /// Transient-fault budget for the extension exploration (see
+    /// [`crate::fault`]): with a positive budget, stability is required to
+    /// survive up to this many corruption steps in every extension — a
+    /// *fault-tolerant* (self-stabilizing) strengthening of Proposition 18's
+    /// stability.  0 (the default) keeps the fault-free semantics.
+    pub fault_budget: usize,
 }
 
 impl Default for StabilityOptions {
@@ -64,6 +70,7 @@ impl Default for StabilityOptions {
             max_configs: 200_000,
             solo_step_budget: 10_000,
             reduction: Reduction::None,
+            fault_budget: 0,
         }
     }
 }
@@ -106,6 +113,7 @@ pub fn is_stable(config: &Config, initial_value: i64, options: &StabilityOptions
         },
         workers: Some(1),
         reduction: options.reduction,
+        fault_budget: options.fault_budget,
         ..EngineOptions::default()
     };
     let mut ok = true;
@@ -410,6 +418,7 @@ mod tests {
             max_configs: 100_000,
             solo_step_budget: 1_000,
             reduction: Reduction::None,
+            fault_budget: 0,
         }
     }
 
@@ -438,6 +447,21 @@ mod tests {
             assert!(is_stable(&stable, 0, &options), "{reduction:?}");
             assert!(!is_stable(&unstable, 0, &options), "{reduction:?}");
         }
+    }
+
+    #[test]
+    fn stability_does_not_survive_a_transient_fault_budget() {
+        // Fault-free the direct implementation is stable immediately, but a
+        // single corruption of the shared counter skips responses, so no
+        // configuration is *fault-tolerantly* stable at budget 1.
+        let imp = DirectFetchInc { processes: 2 };
+        let config = Config::initial(&imp, &Workload::new(vec![Vec::new(), Vec::new()]));
+        assert!(is_stable(&config, 0, &small_options()));
+        let faulty = StabilityOptions {
+            fault_budget: 1,
+            ..small_options()
+        };
+        assert!(!is_stable(&config, 0, &faulty));
     }
 
     #[test]

@@ -253,6 +253,26 @@ pub fn check_consensus_reduced(
     options: ExploreOptions,
     reduction: Reduction,
 ) -> ConsensusCheck {
+    check_consensus_faulty(implementation, proposals, options, reduction, 0)
+}
+
+/// Like [`check_consensus_reduced`], but additionally enumerating up to
+/// `fault_budget` transient-fault corruption steps ([`crate::fault`]) along
+/// every schedule.
+///
+/// Agreement under transient faults is a self-stabilization question, and
+/// consensus is the canonical *non*-self-stabilizing task: one corruption of
+/// a decided base object flips the decision other processes later read, so
+/// even implementations that are correct fault-free fail this check at
+/// budget 1.  With `fault_budget == 0` the check is identical to
+/// [`check_consensus_reduced`].
+pub fn check_consensus_faulty(
+    implementation: &dyn Implementation,
+    proposals: &[Value],
+    options: ExploreOptions,
+    reduction: Reduction,
+    fault_budget: usize,
+) -> ConsensusCheck {
     let workload = Workload::one_shot(
         proposals
             .iter()
@@ -271,6 +291,7 @@ pub fn check_consensus_reduced(
         limits: options,
         workers: Some(1),
         reduction,
+        fault_budget,
         ..EngineOptions::default()
     };
     engine::explore(
@@ -503,6 +524,26 @@ mod tests {
                 valency_of_reduced(&config, 16, 10_000, r).is_bivalent(),
                 "{r:?}"
             );
+        }
+    }
+
+    #[test]
+    fn transient_fault_breaks_consensus_agreement() {
+        // Fault-free the direct implementation is correct, but consensus is
+        // not self-stabilizing: a single corruption of the decided base
+        // object flips the value later proposers read.
+        let imp = DirectConsensus { processes: 2 };
+        for r in [
+            Reduction::None,
+            Reduction::SleepSet,
+            Reduction::SleepSetSymmetry,
+        ] {
+            let faulty =
+                check_consensus_faulty(&imp, &proposals(), ExploreOptions::default(), r, 1);
+            assert!(faulty.agreement_violation.is_some(), "{r:?}");
+            // Corruptions stay within reachable (hence proposed) values, so
+            // validity survives even under faults.
+            assert!(faulty.validity_violation.is_none(), "{r:?}");
         }
     }
 

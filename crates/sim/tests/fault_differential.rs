@@ -1,0 +1,380 @@
+//! Differential tests for fault-bounded exploration: on seeded random small
+//! configurations explored with a transient-fault budget
+//! (`EngineOptions::fault_budget`), every [`Reduction`] strategy must agree
+//! with the unreduced engine on
+//!
+//! * the set of **distinct terminal histories** — exactly for sleep sets
+//!   (faults are dependent with everything, so none may ever be slept), up
+//!   to process renaming for the symmetry strategies (a renaming permutes
+//!   fault targets along with the processes);
+//! * the **verdict set** of those histories (weakly consistent /
+//!   linearizable, decided by the checker kernel);
+//! * the **incremental fingerprint**: every visited configuration of a
+//!   deduplicating faulty exploration must match a from-scratch rehash.
+//!
+//! A separate monitor test pins the runtime story the fault layer exists
+//! for: a corrupted-then-quiescent event stream is *flagged* by the strict
+//! online checker and *forgiven* by the `t`-linearizability floater
+//! machinery once `t` covers the corrupted prefix.
+//!
+//! The quick tests run fixed seed ranges on every `cargo test`; the
+//! `#[ignore]`d extended tests honour the `EVLIN_DIFF_CASES` environment
+//! variable and are exercised by the nightly CI fuzz job.
+
+use evlin_algorithms::CasFetchInc;
+use evlin_checker::monitor::{Monitor, MonitorCondition, MonitorConfig, MonitorVerdict};
+use evlin_checker::{fi, linearizability, weak_consistency};
+use evlin_history::{Event, History, ObjectId, ObjectUniverse, ProcessId};
+use evlin_sim::engine::{self, EngineOptions, ExploreOptions, Reduction, Visit};
+use evlin_sim::program::{Implementation, LocalSpecImplementation};
+use evlin_sim::workload::Workload;
+use evlin_spec::{FetchIncrement, ObjectType, Register, TestAndSet, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const STRATEGIES: [Reduction; 4] = [
+    Reduction::None,
+    Reduction::SleepSet,
+    Reduction::Symmetry,
+    Reduction::SleepSetSymmetry,
+];
+
+/// One random subject: an implementation with corruptible state, a workload,
+/// bounds, a fault budget, and the universe its histories are checked
+/// against.
+struct Case {
+    name: String,
+    implementation: Box<dyn Implementation>,
+    workload: Workload,
+    limits: ExploreOptions,
+    fault_budget: usize,
+    universe: ObjectUniverse,
+}
+
+fn random_case(seed: u64) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fault children multiply the tree at every interior node, so the cases
+    // stay deliberately smaller than the fault-free differential's: two
+    // processes, shallow depth, and budget 2 only on one-op workloads.
+    let processes = 2usize;
+    let family = rng.gen_range(0..4u32);
+    let ops = rng.gen_range(1..3usize);
+    let fault_budget = if ops == 1 {
+        rng.gen_range(1..3usize)
+    } else {
+        1
+    };
+    let mut universe = ObjectUniverse::new();
+    let (name, implementation, workload): (String, Box<dyn Implementation>, Workload) = match family
+    {
+        0 => {
+            let ty: Arc<dyn ObjectType> = Arc::new(FetchIncrement::new());
+            universe.add_object(FetchIncrement::new());
+            (
+                format!("local-copy fi ({processes}p×{ops}, k={fault_budget})"),
+                Box::new(LocalSpecImplementation::new(ty, processes)),
+                Workload::uniform(processes, FetchIncrement::fetch_inc(), ops),
+            )
+        }
+        1 => {
+            let ty: Arc<dyn ObjectType> = Arc::new(TestAndSet::new());
+            universe.add_object(TestAndSet::new());
+            (
+                format!("local-copy tas ({processes}p×{ops}, k={fault_budget})"),
+                Box::new(LocalSpecImplementation::new(ty, processes)),
+                Workload::uniform(processes, TestAndSet::test_and_set(), ops),
+            )
+        }
+        2 => {
+            let ty: Arc<dyn ObjectType> = Arc::new(Register::new(Value::from(0i64)));
+            universe.add_object(Register::new(Value::from(0i64)));
+            let mut invocations = Vec::new();
+            for k in 0..ops {
+                invocations.push(if k % 2 == 0 {
+                    Register::write(Value::from(1i64))
+                } else {
+                    Register::read()
+                });
+            }
+            (
+                format!("local-copy register ({processes}p×{ops}, k={fault_budget})"),
+                Box::new(LocalSpecImplementation::new(ty, processes)),
+                Workload::new(vec![invocations; processes]),
+            )
+        }
+        _ => {
+            universe.add_object(FetchIncrement::new());
+            // Shared corruptible base objects (the cas and the announce
+            // registers) rather than corruptible programme state.
+            (
+                format!("cas fetch&inc ({processes}p×1, k={fault_budget})"),
+                Box::new(CasFetchInc::new(processes)),
+                Workload::uniform(processes, FetchIncrement::fetch_inc(), 1),
+            )
+        }
+    };
+    Case {
+        name,
+        implementation,
+        workload,
+        limits: ExploreOptions {
+            max_depth: rng.gen_range(8..11usize),
+            max_configs: 4_000_000,
+        },
+        fault_budget,
+        universe,
+    }
+}
+
+fn options(case: &Case, reduction: Reduction) -> EngineOptions {
+    EngineOptions {
+        limits: case.limits,
+        workers: Some(1),
+        reduction,
+        fault_budget: case.fault_budget,
+        ..EngineOptions::default()
+    }
+}
+
+/// Distinct terminal histories under `reduction` with the case's fault
+/// budget (panics on truncation — a truncated exploration is
+/// shape-sensitive and must not be compared).
+fn distinct_terminals(case: &Case, reduction: Reduction) -> Vec<History> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    let max_depth = case.limits.max_depth;
+    let stats = engine::explore(
+        case.implementation.as_ref(),
+        &case.workload,
+        &options(case, reduction),
+        |config, depth| {
+            if config.enabled_processes().is_empty() || depth >= max_depth {
+                let h = config.history().clone();
+                if seen.insert(format!("{h:?}")) {
+                    out.push(h);
+                }
+            }
+            Visit::Continue
+        },
+    );
+    assert!(
+        !stats.truncated,
+        "{}: {reduction:?} faulty exploration truncated — shrink the case",
+        case.name
+    );
+    out
+}
+
+/// The least debug string of a history's orbit under process renaming.
+fn canonical_form(history: &History, processes: usize) -> String {
+    engine::permutations(processes)
+        .iter()
+        .map(|perm| {
+            let mut renamed = history.clone();
+            let map: Vec<ProcessId> = perm.iter().map(|&i| ProcessId(i)).collect();
+            renamed.rename_processes(&map);
+            format!("{renamed:?}")
+        })
+        .min()
+        .expect("at least the identity renaming")
+}
+
+fn canonical_set(histories: &[History], processes: usize) -> BTreeSet<String> {
+    histories
+        .iter()
+        .map(|h| canonical_form(h, processes))
+        .collect()
+}
+
+fn verdict(history: &History, universe: &ObjectUniverse) -> (bool, bool) {
+    (
+        weak_consistency::is_weakly_consistent(history, universe),
+        linearizability::is_linearizable(history, universe),
+    )
+}
+
+fn check_seed(seed: u64) {
+    let case = random_case(seed);
+    let processes = case.workload.processes();
+    let baseline = distinct_terminals(&case, Reduction::None);
+    assert!(
+        !baseline.is_empty(),
+        "seed {seed} ({}) explored no terminals",
+        case.name
+    );
+    let baseline_canonical = canonical_set(&baseline, processes);
+    let baseline_verdicts: BTreeSet<(bool, bool)> = baseline
+        .iter()
+        .map(|h| verdict(h, &case.universe))
+        .collect();
+    for reduction in STRATEGIES {
+        if reduction == Reduction::None {
+            continue; // the baseline itself
+        }
+        let reduced = distinct_terminals(&case, reduction);
+        match reduction {
+            Reduction::None => {}
+            Reduction::SleepSet => {
+                let lhs: BTreeSet<String> = baseline.iter().map(|h| format!("{h:?}")).collect();
+                let rhs: BTreeSet<String> = reduced.iter().map(|h| format!("{h:?}")).collect();
+                assert_eq!(
+                    lhs, rhs,
+                    "seed {seed} ({}): sleep sets changed the faulty terminal set",
+                    case.name
+                );
+            }
+            Reduction::Symmetry | Reduction::SleepSetSymmetry => {
+                assert_eq!(
+                    baseline_canonical,
+                    canonical_set(&reduced, processes),
+                    "seed {seed} ({}): {reduction:?} changed the canonical faulty terminal set",
+                    case.name
+                );
+            }
+        }
+        let verdicts: BTreeSet<(bool, bool)> =
+            reduced.iter().map(|h| verdict(h, &case.universe)).collect();
+        assert_eq!(
+            baseline_verdicts, verdicts,
+            "seed {seed} ({}): {reduction:?} changed the faulty verdict set",
+            case.name
+        );
+    }
+}
+
+/// Fingerprint cross-check under faults: corruption steps route through
+/// `Fingerprint::set_obj`/`set_proc`, and every visited configuration of a
+/// deduplicating faulty exploration must match a from-scratch rehash.
+fn check_fingerprint_seed(seed: u64) {
+    let case = random_case(seed);
+    for reduction in STRATEGIES {
+        let options = EngineOptions {
+            limits: case.limits,
+            workers: Some(1),
+            reduction,
+            dedup: true, // forces fingerprint tracking on
+            fault_budget: case.fault_budget,
+            ..EngineOptions::default()
+        };
+        let mut checked = 0usize;
+        engine::explore(
+            case.implementation.as_ref(),
+            &case.workload,
+            &options,
+            |config, _| {
+                assert!(
+                    config.fingerprint_consistent(),
+                    "seed {seed} ({}): {reduction:?} drifted from the full rehash under faults",
+                    case.name
+                );
+                checked += 1;
+                Visit::Continue
+            },
+        );
+        assert!(checked > 0, "seed {seed}: nothing visited");
+    }
+}
+
+#[test]
+fn fault_bounded_reductions_agree_with_unreduced_engine() {
+    for seed in 0..10 {
+        check_seed(seed);
+    }
+}
+
+#[test]
+fn fingerprints_survive_fault_mutations_on_visited_states() {
+    for seed in 0..6 {
+        check_fingerprint_seed(seed);
+    }
+}
+
+/// A fetch&inc event stream with a corrupted prefix (a duplicated response,
+/// the visible signature of a transient fault) followed by a quiescent,
+/// clean continuation.
+fn corrupted_then_quiescent_stream() -> (ObjectUniverse, Vec<Event>, History) {
+    let mut universe = ObjectUniverse::new();
+    let object = universe.add_object(FetchIncrement::new());
+    debug_assert_eq!(object, ObjectId(0));
+    let p = ProcessId(0);
+    let responses = [0i64, 0, 1, 2, 3]; // the second 0 is the corruption
+    let mut events = Vec::new();
+    for r in responses {
+        events.push(Event::invoke(p, object, FetchIncrement::fetch_inc()));
+        events.push(Event::respond(p, object, Value::from(r)));
+    }
+    let history = History::from_events(events.clone());
+    (universe, events, history)
+}
+
+fn monitor_verdict(condition: MonitorCondition) -> MonitorVerdict {
+    let (universe, events, _) = corrupted_then_quiescent_stream();
+    let mut monitor = Monitor::new(universe, MonitorConfig::for_condition(condition));
+    monitor
+        .ingest_all(events)
+        .expect("the stream is well-formed");
+    monitor.finish().verdict
+}
+
+#[test]
+fn monitor_flags_then_forgives_a_corrupted_prefix() {
+    let (_, _, history) = corrupted_then_quiescent_stream();
+    // The strict online checker flags the corruption...
+    let strict = monitor_verdict(MonitorCondition::Linearizability);
+    assert!(
+        matches!(strict, MonitorVerdict::Violation(_)),
+        "corrupted stream must be flagged, got {strict:?}"
+    );
+    // ...a `t` covering the corrupted prefix forgives it through the
+    // floater machinery (the offline specialized checker pins the bound)...
+    let t = fi::min_stabilization(&history, 0).expect("pure fetch&inc stream");
+    assert!(t > 0, "a corrupted stream cannot be 0-linearizable");
+    assert_eq!(
+        monitor_verdict(MonitorCondition::TLinearizability { t }),
+        MonitorVerdict::Ok,
+        "the t-lin floaters must forgive the corrupted prefix at t = {t}"
+    );
+    // ...and so does the liveness half of eventual linearizability, which
+    // only asks that *some* t works.
+    assert_eq!(
+        monitor_verdict(MonitorCondition::StabilizesEventually),
+        MonitorVerdict::Ok
+    );
+    // One less than the stabilization bound still flags: the forgiveness is
+    // exactly as wide as the corruption, not a blanket pass.
+    assert!(
+        matches!(
+            monitor_verdict(MonitorCondition::TLinearizability { t: t - 1 }),
+            MonitorVerdict::Violation(_)
+        ),
+        "t - 1 must still be flagged"
+    );
+}
+
+/// Extended nightly run: `EVLIN_DIFF_CASES` seeds (default 200).
+#[test]
+#[ignore = "long-running; exercised by the nightly fuzz job"]
+fn fault_bounded_reductions_agree_extended() {
+    let cases: u64 = std::env::var("EVLIN_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    for seed in 3_000..3_000 + cases {
+        check_seed(seed);
+    }
+}
+
+/// Extended nightly fingerprint cross-check under faults.
+#[test]
+#[ignore = "long-running; exercised by the nightly fuzz job"]
+fn fingerprints_survive_fault_mutations_extended() {
+    let cases: u64 = std::env::var("EVLIN_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    for seed in 4_000..4_000 + cases {
+        check_fingerprint_seed(seed);
+    }
+}
