@@ -16,7 +16,9 @@
 use crate::Table;
 use evlin_checker::monitor::{MonitorConfig, MonitorVerdict};
 use evlin_runtime::counter::{CasCounter, ConcurrentCounter, FetchAddCounter, ShardedCounter};
-use evlin_runtime::harness::{run_counter_workload_monitored, HarnessOptions};
+use evlin_runtime::harness::{
+    run_counter_workload_monitored, run_counter_workload_pipelined, HarnessOptions, PipelineOptions,
+};
 
 fn counters(threads: usize) -> Vec<Box<dyn ConcurrentCounter>> {
     vec![
@@ -57,13 +59,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             "fast-path segments",
         ],
     );
+    let config = MonitorConfig {
+        // Amortize per-segment setup without growing the window much.
+        min_segment_events: 256,
+        segment_batch: 8,
+        ..MonitorConfig::default()
+    };
     for counter in counters(threads) {
-        let config = MonitorConfig {
-            // Amortize per-segment setup without growing the window much.
-            min_segment_events: 256,
-            segment_batch: 8,
-            ..MonitorConfig::default()
-        };
         let out = run_counter_workload_monitored(
             counter.as_ref(),
             HarnessOptions {
@@ -90,6 +92,38 @@ pub fn run(quick: bool) -> Vec<Table> {
             stats.fast_path_segments.to_string(),
         ]);
     }
+    // The pipelined dataflow of E16 on the same workloads: sharded
+    // frame-batched recording, k-way merge, staged monitor.  Same verdicts
+    // (bit-identical by the differential suite), several times the
+    // checked-ops/s — the ≥5× end-to-end speedup the pipelined-ingest work
+    // gates on lives in these rows (see BENCH_checker.json and E16).
+    for counter in counters(threads) {
+        let out = run_counter_workload_pipelined(
+            counter.as_ref(),
+            HarnessOptions {
+                threads,
+                ops_per_thread,
+                record_history: false,
+            },
+            config,
+            PipelineOptions::default(),
+        );
+        let stats = &out.report.stats;
+        table.push_row([
+            format!("{} [pipelined]", counter.name()),
+            out.run.total_ops.to_string(),
+            stats.events.to_string(),
+            verdict_label(&out.report.verdict),
+            format!("{:.0}", out.checked_ops_per_sec()),
+            stats.peak_window_events.to_string(),
+            format!(
+                "{:.4}",
+                stats.peak_window_events as f64 / stats.events.max(1) as f64
+            ),
+            stats.segments.to_string(),
+            stats.fast_path_segments.to_string(),
+        ]);
+    }
     vec![table]
 }
 
@@ -101,10 +135,11 @@ mod tests {
     fn linearizable_counters_verify_online_and_nothing_is_unknown() {
         let tables = run(true);
         let rows = &tables[0].rows;
-        assert_eq!(rows.len(), 3);
+        // Three counters on the single-channel path, three on the pipelined.
+        assert_eq!(rows.len(), 6);
         for row in rows {
             assert_ne!(row[3], "unknown", "{row:?}");
-            if row[0] == "cas-loop" || row[0] == "fetch-add" {
+            if row[0].starts_with("cas-loop") || row[0].starts_with("fetch-add") {
                 assert_eq!(row[3], "linearizable", "{row:?}");
             }
         }

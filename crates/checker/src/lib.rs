@@ -103,7 +103,9 @@ pub use kernel::{
     ConsistencyCondition, KernelScratch, Locality, SearchLimits, SearchResult, SearchStats,
 };
 pub use linearizability::{is_linearizable, linearization_witness, Linearizability};
-pub use monitor::{Monitor, MonitorCondition, MonitorConfig, MonitorReport, MonitorVerdict};
+pub use monitor::{
+    stages, Monitor, MonitorCondition, MonitorConfig, MonitorIngest, MonitorReport, MonitorVerdict,
+};
 pub use parallel::{check_histories_par, min_stabilizations_par};
 pub use t_linearizability::{is_t_linearizable, min_stabilization, TLinearizability};
 pub use weak_consistency::{is_weakly_consistent, WeakOperation};

@@ -32,6 +32,35 @@
 //! `tests/monitor_differential.rs` pit one against the other event for
 //! event).
 //!
+//! ## Pipelined stages
+//!
+//! The monitor is built as two decoupled stages so the runtime's sharded
+//! ingest path can overlap checking with ingestion:
+//!
+//! * [`MonitorIngest`] — the per-event half: well-formedness filtering,
+//!   window maintenance and quiescent-cut detection.  It is deliberately
+//!   allocation-light (flat per-process pending slots, per-segment metadata
+//!   tracked as events arrive) so the hot path costs a few dozen
+//!   nanoseconds per event.  Closed segments accumulate into opaque
+//!   [`SegmentBatch`]es.
+//! * [`MonitorCheck`] — the per-segment half: frontier threading, kernel
+//!   searches and the fetch&increment fast path.  Batches are `Send`, so a
+//!   pipelined caller ships them to a dedicated checker thread and keeps
+//!   ingesting while earlier segments are verified.
+//!
+//! [`Monitor`] glues the two stages back together behind the original
+//! single-threaded API; [`stages`] hands them out separately.  Exactness is
+//! unaffected by the split: batches are checked in FIFO order, so frontier
+//! threading, t-lin floaters and the deterministic earliest-violation merge
+//! behave exactly as in the inline monitor (the differential suites assert
+//! verdict equality for both drivers).
+//!
+//! As segments close, the ingest stage also folds every event into a running
+//! *stream fingerprint* ([`event_word`] packed per event, folded with the
+//! same word-at-a-time batch fold as `evlin_sim::zobrist::fold_words`); the
+//! fingerprint is reported in [`MonitorStats`] and gives the runtime's
+//! frame-batched transport a cheap end-to-end integrity check.
+//!
 //! ## Locality
 //!
 //! Within a segment the monitor exploits the same Herlihy–Wing locality the
@@ -43,7 +72,9 @@
 //! [`crate::parallel`].  Segments of pure fetch&increment traffic take the
 //! near-linear [`crate::fi`] fast path instead of the kernel, which is what
 //! lets the monitor keep up with millions of real-thread counter operations
-//! (experiment E11, the `monitor_throughput` bench).
+//! (experiment E11, the `monitor_throughput` bench).  Segments that touch a
+//! single object (tracked at ingest) are checked by borrowing the segment
+//! history directly instead of materializing a projection.
 //!
 //! ## The four conditions
 //!
@@ -93,12 +124,35 @@
 //! let report = monitor.finish();
 //! assert!(matches!(report.verdict, MonitorVerdict::Ok));
 //! ```
+//!
+//! Pipelined drivers split the stages instead:
+//!
+//! ```
+//! use evlin_checker::monitor::{stages, MonitorConfig};
+//! use evlin_history::{ObjectUniverse, ProcessId};
+//! use evlin_spec::{FetchIncrement, Value};
+//!
+//! let mut universe = ObjectUniverse::new();
+//! let x = universe.add_object(FetchIncrement::new());
+//! let (mut ingest, mut check) = stages(universe, MonitorConfig::default());
+//! for k in 0..10i64 {
+//!     ingest.invoke(ProcessId(0), x, FetchIncrement::fetch_inc()).unwrap();
+//!     ingest.respond(ProcessId(0), x, Value::from(k)).unwrap();
+//!     if let Some(batch) = ingest.take_ready_batch() {
+//!         check.check_batch(batch); // in a pipeline: on another thread
+//!     }
+//! }
+//! let (tail, summary) = ingest.finish();
+//! let report = check.finish(tail, summary);
+//! assert!(report.verdict.is_ok());
+//! ```
 
 use crate::kernel::{
     self, ConsistencyCondition, ConstrainedOp, KernelScratch, SearchLimits, SearchProblem,
     SearchResult, SearchStats,
 };
 use crate::t_linearizability::TLinearizability;
+use crate::util::{fold_words, hash_of, mix};
 use crate::{fi, parallel};
 use evlin_history::{
     Event, EventKind, History, ObjectId, ObjectUniverse, OpId, OperationRecord, ProcessId,
@@ -233,6 +287,13 @@ pub struct MonitorStats {
     pub peak_window_events: usize,
     /// Segments decided by the near-linear fetch&increment fast path.
     pub fast_path_segments: usize,
+    /// Running fingerprint of the ingested stream: every event is packed
+    /// into one word ([`event_word`]) and segments are folded in order with
+    /// the batch fold mirrored from `evlin_sim::zobrist::fold_words`.  Two
+    /// monitors with the same configuration agree on this value iff they saw
+    /// the same event sequence — the end-to-end integrity check of the
+    /// frame-batched transport.
+    pub stream_fingerprint: u64,
     /// Kernel search counters summed over all segment checks.
     pub search: SearchStats,
 }
@@ -291,6 +352,40 @@ impl fmt::Display for MonitorError {
 impl std::error::Error for MonitorError {}
 
 // ---------------------------------------------------------------------------
+// Stream fingerprinting
+// ---------------------------------------------------------------------------
+
+/// Domain-separation word for invocation events in [`event_word`].
+const TAG_WORD_INVOKE: u64 = 0x6576_7431_0000_0011;
+/// Domain-separation word for response events in [`event_word`].
+const TAG_WORD_RESPOND: u64 = 0x6576_7432_0000_0012;
+
+/// Packs one event into a single fingerprint word.
+///
+/// The word is a pure function of `(kind, process, object, payload)`, so the
+/// fold of a stream's words identifies the stream (up to hash collisions).
+/// Integer responses — the overwhelming majority on the counter workloads —
+/// use the value directly as the payload; everything else goes through the
+/// checker's Fx content hash.  The runtime's frame transport uses this to
+/// double-check that the k-way merge reassembled exactly the recorded
+/// sequence (segment keys on the monitor side, frame fingerprints on the
+/// sender side share the same fold).
+pub fn event_word(event: &Event) -> u64 {
+    let (tag, payload) = match &event.kind {
+        EventKind::Invoke(invocation) => (TAG_WORD_INVOKE, hash_of(invocation)),
+        EventKind::Respond(value) => (
+            TAG_WORD_RESPOND,
+            match value.as_int() {
+                Some(i) => i as u64,
+                None => hash_of(value),
+            },
+        ),
+    };
+    let slot = ((event.process.0 as u64) << 32) ^ (event.object.0 as u64);
+    mix(tag ^ mix(slot ^ mix(payload)))
+}
+
+// ---------------------------------------------------------------------------
 // Internal state
 // ---------------------------------------------------------------------------
 
@@ -300,6 +395,76 @@ struct Segment {
     start: usize,
     /// The events.
     history: History,
+    /// Distinct objects the segment touches, tracked at ingest so the check
+    /// stage never rescans events to discover them.
+    objects: Vec<ObjectId>,
+    /// Number of completed operations (= response events), tracked at
+    /// ingest; replaces per-check `complete_operations()` materialization.
+    completed: usize,
+    /// Stream fingerprint folded up to and including this segment.
+    key: u64,
+}
+
+/// An opaque batch of closed segments in flight from [`MonitorIngest`] to
+/// [`MonitorCheck`].  Batches are `Send`: a pipelined driver ships them over
+/// a channel to a dedicated checker thread, in FIFO order.
+pub struct SegmentBatch {
+    segments: Vec<Segment>,
+    /// Whether the last segment is the stream tail (possibly non-quiescent,
+    /// possibly empty) produced by [`MonitorIngest::finish`].
+    is_final: bool,
+}
+
+impl SegmentBatch {
+    /// Number of segments in the batch.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the batch holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total number of events across the batch's segments.
+    pub fn events(&self) -> usize {
+        self.segments.iter().map(|s| s.history.len()).sum()
+    }
+
+    /// The segments' keys: the stream fingerprint folded up to and including
+    /// each segment (see [`MonitorStats::stream_fingerprint`]).  The last key
+    /// of the final batch *is* the stream fingerprint; transports that frame
+    /// the stream can spot-check their reassembly against these mid-stream.
+    pub fn segment_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.segments.iter().map(|s| s.key)
+    }
+}
+
+/// End-of-stream accounting handed from [`MonitorIngest::finish`] to
+/// [`MonitorCheck::finish`], so the final report carries the ingest-side
+/// counters and the stabilizes-eventually decision sees the operations still
+/// pending when the stream ended.
+pub struct IngestSummary {
+    events: usize,
+    peak_window_events: usize,
+    stream_fingerprint: u64,
+    /// Pending `(object, invocation)` pairs at end of stream (ascending
+    /// process order).  Populated only for
+    /// [`MonitorCondition::StabilizesEventually`], the one mode whose
+    /// decision needs them.
+    pending: Vec<(ObjectId, Invocation)>,
+}
+
+impl IngestSummary {
+    /// Events ingested over the whole stream.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// The final stream fingerprint (see [`MonitorStats::stream_fingerprint`]).
+    pub fn stream_fingerprint(&self) -> u64 {
+        self.stream_fingerprint
+    }
 }
 
 /// A `t`-linearizability frontier: object-state overrides left behind by an
@@ -341,51 +506,6 @@ enum ModeState {
     },
 }
 
-/// The streaming online consistency monitor.  See the module documentation
-/// for the segmentation argument and the per-condition strategies.
-pub struct Monitor {
-    universe: ObjectUniverse,
-    limits: SearchLimits,
-    min_segment_events: usize,
-    segment_batch: usize,
-    max_frontiers: usize,
-    mode: ModeState,
-    /// The open window: events since the last cut.
-    window: Vec<Event>,
-    /// Global index of the first window event.
-    window_start: usize,
-    /// Pending operation per process: `(object, invocation)`.
-    pending: BTreeMap<ProcessId, (ObjectId, Invocation)>,
-    /// Closed segments awaiting [`Monitor::pump`].
-    closed: Vec<Segment>,
-    /// Total events in `closed`.
-    queued_events: usize,
-    violation: Option<MonitorViolation>,
-    /// Some search was cut off; a subsequent "no" cannot be trusted.
-    incomplete: bool,
-    stats: MonitorStats,
-    /// One pooled kernel scratch per object for the linearizability mode's
-    /// per-object chains, threaded through the parallel fan-out and back so
-    /// the visited caches and arenas are reused across segment *batches* —
-    /// the per-segment memory high-water mark stays flat as the stream grows
-    /// (asserted by the `arena_reuse_keeps_peak_bytes_flat` test).
-    lin_scratch: BTreeMap<ObjectId, KernelScratch>,
-    /// Pooled scratch for the sequential (t-linearizability) chains.
-    scratch: KernelScratch,
-}
-
-impl fmt::Debug for Monitor {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Monitor")
-            .field("window", &self.window.len())
-            .field("window_start", &self.window_start)
-            .field("pending", &self.pending.len())
-            .field("queued_segments", &self.closed.len())
-            .field("stats", &self.stats)
-            .finish()
-    }
-}
-
 /// A fabricated operation record for summarized (count-based) candidates.
 /// The kernel only reads the object and the invocation; the indices are
 /// chosen so no condition ever derives a precedence edge from them.
@@ -401,9 +521,313 @@ fn synth_record(object: ObjectId, invocation: Invocation, id: usize) -> Operatio
     }
 }
 
-impl Monitor {
-    /// Creates a monitor over `universe` with the given configuration.
-    pub fn new(universe: ObjectUniverse, config: MonitorConfig) -> Self {
+// ---------------------------------------------------------------------------
+// Stage 1: ingest (well-formedness, windowing, quiescent cuts)
+// ---------------------------------------------------------------------------
+
+/// The per-event half of the monitor: well-formedness filtering, window
+/// maintenance, quiescent-cut detection and stream fingerprinting.  Produces
+/// [`SegmentBatch`]es for a [`MonitorCheck`] (see [`stages`]).
+///
+/// The hot path is allocation-free in the steady state: pending operations
+/// live in flat per-process slots (no ordered map), per-segment object lists
+/// and completed-operation counts are tracked as events arrive, and the
+/// window vector is recycled segment to segment.
+pub struct MonitorIngest {
+    min_segment_events: usize,
+    segment_batch: usize,
+    /// `t`-linearizability defers the first cut until the stream has passed
+    /// this global index (0 in every other mode).
+    cut_floor: usize,
+    /// Whether pending invocation values must be retained for the final
+    /// summary (stabilizes-eventually needs them; the other modes skip the
+    /// clone on the hot path).
+    track_invocations: bool,
+    /// The open window: events since the last cut.
+    window: Vec<Event>,
+    /// Global index of the first window event.
+    window_start: usize,
+    /// One packed fingerprint word per window event.
+    word_buf: Vec<u64>,
+    /// Distinct objects in the open window (tiny; linear scan beats a set).
+    window_objects: Vec<ObjectId>,
+    /// Response events in the open window.
+    window_completed: usize,
+    /// Pending operation's object per process, indexed by `ProcessId.0`.
+    pending_objects: Vec<Option<ObjectId>>,
+    /// Pending invocations (only maintained when `track_invocations`).
+    pending_invocations: Vec<Option<Invocation>>,
+    pending_count: usize,
+    /// Closed segments awaiting [`MonitorIngest::take_batch`].
+    closed: Vec<Segment>,
+    /// Total events in `closed`.
+    queued_events: usize,
+    events: usize,
+    peak_window_events: usize,
+    /// Fingerprint folded over every closed segment so far.
+    stream_fp: u64,
+}
+
+impl fmt::Debug for MonitorIngest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorIngest")
+            .field("window", &self.window.len())
+            .field("window_start", &self.window_start)
+            .field("pending", &self.pending_count)
+            .field("queued_segments", &self.closed.len())
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+impl MonitorIngest {
+    fn new(config: &MonitorConfig) -> Self {
+        MonitorIngest {
+            min_segment_events: config.min_segment_events.max(1),
+            segment_batch: config.segment_batch.max(1),
+            cut_floor: match config.condition {
+                MonitorCondition::TLinearizability { t } => t,
+                _ => 0,
+            },
+            track_invocations: matches!(config.condition, MonitorCondition::StabilizesEventually),
+            window: Vec::new(),
+            window_start: 0,
+            word_buf: Vec::new(),
+            window_objects: Vec::new(),
+            window_completed: 0,
+            pending_objects: Vec::new(),
+            pending_invocations: Vec::new(),
+            pending_count: 0,
+            closed: Vec::new(),
+            queued_events: 0,
+            events: 0,
+            peak_window_events: 0,
+            stream_fp: 0,
+        }
+    }
+
+    /// Ingests an invocation event (see [`MonitorIngest::ingest`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonitorError`] if the event makes the stream ill-formed.
+    pub fn invoke(
+        &mut self,
+        process: ProcessId,
+        object: ObjectId,
+        invocation: Invocation,
+    ) -> Result<(), MonitorError> {
+        self.ingest(Event::invoke(process, object, invocation))
+    }
+
+    /// Ingests a response event (see [`MonitorIngest::ingest`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonitorError`] if the event makes the stream ill-formed.
+    pub fn respond(
+        &mut self,
+        process: ProcessId,
+        object: ObjectId,
+        value: Value,
+    ) -> Result<(), MonitorError> {
+        self.ingest(Event::respond(process, object, value))
+    }
+
+    /// Ingests one event, closing the window at quiescent cut points.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonitorError`] if the event makes the stream ill-formed
+    /// (the event is not ingested; the stage remains usable).
+    pub fn ingest(&mut self, event: Event) -> Result<(), MonitorError> {
+        let global_index = self.window_start + self.window.len();
+        let p = event.process.0;
+        match &event.kind {
+            EventKind::Invoke(invocation) => {
+                if self.pending_objects.len() <= p {
+                    self.pending_objects.resize(p + 1, None);
+                    if self.track_invocations {
+                        self.pending_invocations.resize(p + 1, None);
+                    }
+                }
+                if self.pending_objects[p].is_some() {
+                    return Err(MonitorError::InvokeWhilePending {
+                        process: event.process,
+                        global_index,
+                    });
+                }
+                self.pending_objects[p] = Some(event.object);
+                if self.track_invocations {
+                    self.pending_invocations[p] = Some(invocation.clone());
+                }
+                self.pending_count += 1;
+            }
+            EventKind::Respond(_) => match self.pending_objects.get(p).copied().flatten() {
+                Some(object) if object == event.object => {
+                    self.pending_objects[p] = None;
+                    if self.track_invocations {
+                        self.pending_invocations[p] = None;
+                    }
+                    self.pending_count -= 1;
+                    self.window_completed += 1;
+                }
+                _ => {
+                    return Err(MonitorError::OrphanResponse {
+                        process: event.process,
+                        global_index,
+                    });
+                }
+            },
+        }
+        if !self.window_objects.contains(&event.object) {
+            self.window_objects.push(event.object);
+        }
+        self.word_buf.push(event_word(&event));
+        self.window.push(event);
+        self.events += 1;
+        let resident = self.window.len() + self.queued_events;
+        if resident > self.peak_window_events {
+            self.peak_window_events = resident;
+        }
+        if self.pending_count == 0
+            && self.window.len() >= self.min_segment_events
+            && self.window_start + self.window.len() >= self.cut_floor
+        {
+            self.close_window();
+        }
+        Ok(())
+    }
+
+    /// Number of events ingested so far.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Takes the queued segments as a batch once at least
+    /// [`MonitorConfig::segment_batch`] of them have closed; `None` below
+    /// the threshold.  This is the pipelined analogue of the inline
+    /// monitor's automatic pump.
+    pub fn take_ready_batch(&mut self) -> Option<SegmentBatch> {
+        if self.closed.len() >= self.segment_batch {
+            self.take_batch()
+        } else {
+            None
+        }
+    }
+
+    /// Takes whatever segments have closed so far as a batch (`None` when
+    /// none have) — the pipelined analogue of [`Monitor::pump`].
+    pub fn take_batch(&mut self) -> Option<SegmentBatch> {
+        if self.closed.is_empty() {
+            return None;
+        }
+        self.queued_events = 0;
+        Some(SegmentBatch {
+            segments: std::mem::take(&mut self.closed),
+            is_final: false,
+        })
+    }
+
+    /// Closes the stream: the remaining window becomes the final (possibly
+    /// non-quiescent, possibly empty) tail segment of the returned batch,
+    /// and the summary carries the ingest-side counters for
+    /// [`MonitorCheck::finish`].
+    pub fn finish(mut self) -> (SegmentBatch, IngestSummary) {
+        let key = fold_words(self.stream_fp, &self.word_buf);
+        self.stream_fp = key;
+        self.word_buf.clear();
+        let tail = Segment {
+            start: self.window_start,
+            history: History::from_events(std::mem::take(&mut self.window)),
+            objects: std::mem::take(&mut self.window_objects),
+            completed: self.window_completed,
+            key,
+        };
+        let mut segments = std::mem::take(&mut self.closed);
+        segments.push(tail);
+        let pending = self
+            .pending_objects
+            .iter()
+            .zip(
+                self.pending_invocations
+                    .iter()
+                    .chain(std::iter::repeat(&None)),
+            )
+            .filter_map(|(object, invocation)| Some(((*object)?, invocation.clone()?)))
+            .collect();
+        (
+            SegmentBatch {
+                segments,
+                is_final: true,
+            },
+            IngestSummary {
+                events: self.events,
+                peak_window_events: self.peak_window_events,
+                stream_fingerprint: self.stream_fp,
+                pending,
+            },
+        )
+    }
+
+    fn close_window(&mut self) {
+        let events = std::mem::take(&mut self.window);
+        let start = self.window_start;
+        self.window_start = start + events.len();
+        self.queued_events += events.len();
+        let key = fold_words(self.stream_fp, &self.word_buf);
+        self.stream_fp = key;
+        self.word_buf.clear();
+        self.closed.push(Segment {
+            start,
+            history: History::from_events(events),
+            objects: std::mem::take(&mut self.window_objects),
+            completed: std::mem::replace(&mut self.window_completed, 0),
+            key,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: check (frontier threading, kernel searches)
+// ---------------------------------------------------------------------------
+
+/// The per-segment half of the monitor: consumes [`SegmentBatch`]es in FIFO
+/// order, threads frontiers across segments and renders verdicts.  See
+/// [`stages`].
+pub struct MonitorCheck {
+    universe: ObjectUniverse,
+    limits: SearchLimits,
+    max_frontiers: usize,
+    mode: ModeState,
+    violation: Option<MonitorViolation>,
+    /// Some search was cut off; a subsequent "no" cannot be trusted.
+    incomplete: bool,
+    /// `events`, `peak_window_events` and `stream_fingerprint` belong to the
+    /// ingest stage and are merged in at [`MonitorCheck::finish`] (or by
+    /// [`Monitor::stats`]); everything else is authored here.
+    stats: MonitorStats,
+    /// One pooled kernel scratch per object for the linearizability mode's
+    /// per-object chains, threaded through the parallel fan-out and back so
+    /// the visited caches and arenas are reused across segment *batches* —
+    /// the per-segment memory high-water mark stays flat as the stream grows
+    /// (asserted by the `arena_reuse_keeps_peak_bytes_flat` test).
+    lin_scratch: BTreeMap<ObjectId, KernelScratch>,
+    /// Pooled scratch for the sequential (t-linearizability) chains.
+    scratch: KernelScratch,
+}
+
+impl fmt::Debug for MonitorCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorCheck")
+            .field("stats", &self.stats)
+            .field("violation", &self.violation)
+            .finish()
+    }
+}
+
+impl MonitorCheck {
+    fn new(universe: ObjectUniverse, config: &MonitorConfig) -> Self {
         let mode = match config.condition {
             MonitorCondition::Linearizability => ModeState::Lin {
                 frontiers: BTreeMap::new(),
@@ -424,18 +848,11 @@ impl Monitor {
                 completed: BTreeMap::new(),
             },
         };
-        Monitor {
+        MonitorCheck {
             universe,
             limits: config.limits,
-            min_segment_events: config.min_segment_events.max(1),
-            segment_batch: config.segment_batch.max(1),
             max_frontiers: config.max_frontiers.max(1),
             mode,
-            window: Vec::new(),
-            window_start: 0,
-            pending: BTreeMap::new(),
-            closed: Vec::new(),
-            queued_events: 0,
             violation: None,
             incomplete: false,
             stats: MonitorStats::default(),
@@ -449,13 +866,7 @@ impl Monitor {
         &self.universe
     }
 
-    /// Counters so far.
-    pub fn stats(&self) -> &MonitorStats {
-        &self.stats
-    }
-
-    /// The verdict over everything *checked* so far (closed segments only;
-    /// call [`Monitor::finish`] for the verdict over the whole stream).
+    /// The verdict over everything checked so far.
     pub fn verdict_so_far(&self) -> MonitorVerdict {
         match &self.violation {
             Some(v) => MonitorVerdict::Violation(v.clone()),
@@ -464,177 +875,55 @@ impl Monitor {
         }
     }
 
-    /// Ingests an invocation event.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`MonitorError`] if the event makes the stream ill-formed.
-    pub fn invoke(
-        &mut self,
-        process: ProcessId,
-        object: ObjectId,
-        invocation: Invocation,
-    ) -> Result<(), MonitorError> {
-        self.ingest(Event::invoke(process, object, invocation))
+    /// Checks one (non-final) batch of closed segments and reclaims their
+    /// memory.  Batches must arrive in the order the ingest stage produced
+    /// them; after a violation, further batches are discarded unchecked.
+    pub fn check_batch(&mut self, batch: SegmentBatch) {
+        debug_assert!(!batch.is_final, "final batches go through finish()");
+        self.drain_batch(&batch.segments, false);
     }
 
-    /// Ingests a response event.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`MonitorError`] if the event makes the stream ill-formed.
-    pub fn respond(
-        &mut self,
-        process: ProcessId,
-        object: ObjectId,
-        value: Value,
-    ) -> Result<(), MonitorError> {
-        self.ingest(Event::respond(process, object, value))
-    }
-
-    /// Ingests one event.  Closed segments are checked (and their memory
-    /// reclaimed) automatically every [`MonitorConfig::segment_batch`] cuts;
-    /// call [`Monitor::pump`] to force a check earlier.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`MonitorError`] if the event makes the stream ill-formed
-    /// (the event is not ingested; the monitor remains usable).
-    pub fn ingest(&mut self, event: Event) -> Result<(), MonitorError> {
-        let global_index = self.window_start + self.window.len();
-        match &event.kind {
-            EventKind::Invoke(invocation) => {
-                if self.pending.contains_key(&event.process) {
-                    return Err(MonitorError::InvokeWhilePending {
-                        process: event.process,
-                        global_index,
-                    });
-                }
-                self.pending
-                    .insert(event.process, (event.object, invocation.clone()));
-            }
-            EventKind::Respond(_) => match self.pending.get(&event.process) {
-                Some((object, _)) if *object == event.object => {
-                    self.pending.remove(&event.process);
-                }
-                _ => {
-                    return Err(MonitorError::OrphanResponse {
-                        process: event.process,
-                        global_index,
-                    });
-                }
-            },
-        }
-        self.window.push(event);
-        self.stats.events += 1;
-        self.note_resident();
-        if self.pending.is_empty() && self.window.len() >= self.min_segment_events && self.cut_ok()
-        {
-            self.close_window();
-            if self.closed.len() >= self.segment_batch {
-                self.pump();
-            }
-        }
-        Ok(())
-    }
-
-    /// Ingests a batch of events (stopping at the first error).
-    ///
-    /// # Errors
-    ///
-    /// Returns the first [`MonitorError`] encountered, if any.
-    pub fn ingest_all<I: IntoIterator<Item = Event>>(
-        &mut self,
-        events: I,
-    ) -> Result<(), MonitorError> {
-        for event in events {
-            self.ingest(event)?;
-        }
-        Ok(())
-    }
-
-    /// Checks every closed segment queued so far and reclaims its memory.
-    /// Returns the verdict over everything checked.
-    pub fn pump(&mut self) -> MonitorVerdict {
-        let segments = std::mem::take(&mut self.closed);
-        self.queued_events = 0;
-        if !segments.is_empty() && self.violation.is_none() {
-            self.stats.segments += segments.len();
-            match &self.mode {
-                ModeState::Lin { .. } => self.drain_lin(&segments, false),
-                ModeState::TLin { .. } => self.drain_tlin(&segments, false),
-                ModeState::Weak { .. } => self.drain_weak(&segments),
-                ModeState::Stab { .. } => self.drain_stab(&segments),
-            }
-        }
-        self.verdict_so_far()
-    }
-
-    /// Closes the remaining tail (which may contain pending operations),
-    /// checks everything still queued and returns the final report.
-    ///
-    /// The verdict equals the corresponding offline checker's verdict on the
-    /// concatenation of every ingested event.
-    pub fn finish(mut self) -> MonitorReport {
-        // Check all quiescent segments first.
-        self.pump();
-        // Then the tail: a final segment that may end non-quiescently.
-        let tail = Segment {
-            start: self.window_start,
-            history: History::from_events(std::mem::take(&mut self.window)),
-        };
-        if self.violation.is_none() {
-            let segments = [tail];
-            if !segments[0].history.is_empty() {
-                self.stats.segments += 1;
-            }
-            match &self.mode {
-                ModeState::Lin { .. } => self.drain_lin(&segments, true),
-                ModeState::TLin { .. } => self.drain_tlin(&segments, true),
-                ModeState::Weak { .. } => self.drain_weak(&segments),
-                ModeState::Stab { .. } => self.drain_stab(&segments),
-            }
-        }
+    /// Consumes the final batch from [`MonitorIngest::finish`] and renders
+    /// the report.  The verdict equals the corresponding offline checker's
+    /// verdict on the concatenation of every ingested event.
+    pub fn finish(mut self, tail: SegmentBatch, summary: IngestSummary) -> MonitorReport {
+        debug_assert!(
+            tail.is_final,
+            "finish() requires the ingest stage's final batch"
+        );
+        self.drain_batch(&tail.segments, true);
         // Mode-specific wrap-up for the summarized conditions.
         if self.violation.is_none() {
             if let ModeState::Stab { .. } = &self.mode {
-                self.finish_stab();
+                self.finish_stab(&summary.pending);
             }
         }
+        let mut stats = self.stats;
+        stats.events = summary.events;
+        stats.peak_window_events = summary.peak_window_events;
+        stats.stream_fingerprint = summary.stream_fingerprint;
         MonitorReport {
             verdict: self.verdict_so_far(),
-            stats: self.stats,
+            stats,
         }
     }
 
-    // -- segmentation ------------------------------------------------------
-
-    /// Whether the (quiescent) stream position is a legal cut point for the
-    /// condition.  `t`-linearizability defers the first cut past event `t`
-    /// so every forgiven-prefix operation is discovered inside the first
-    /// segment.
-    fn cut_ok(&self) -> bool {
+    /// Dispatches one batch to the mode-specific drain.  `is_final` marks
+    /// the last segment as the stream tail.
+    fn drain_batch(&mut self, segments: &[Segment], is_final: bool) {
+        if self.violation.is_some() {
+            return;
+        }
+        let nonempty = segments.iter().filter(|s| !s.history.is_empty()).count();
+        if nonempty == 0 && !is_final {
+            return;
+        }
+        self.stats.segments += nonempty;
         match &self.mode {
-            ModeState::TLin { t, .. } => self.window_start + self.window.len() >= *t,
-            _ => true,
-        }
-    }
-
-    fn close_window(&mut self) {
-        let events = std::mem::take(&mut self.window);
-        let start = self.window_start;
-        self.window_start = start + events.len();
-        self.queued_events += events.len();
-        self.closed.push(Segment {
-            start,
-            history: History::from_events(events),
-        });
-    }
-
-    fn note_resident(&mut self) {
-        let resident = self.window.len() + self.queued_events;
-        if resident > self.stats.peak_window_events {
-            self.stats.peak_window_events = resident;
+            ModeState::Lin { .. } => self.drain_lin(segments, is_final),
+            ModeState::TLin { .. } => self.drain_tlin(segments, is_final),
+            ModeState::Weak { .. } => self.drain_weak(segments),
+            ModeState::Stab { .. } => self.drain_stab(segments),
         }
     }
 
@@ -656,11 +945,17 @@ impl Monitor {
         let ModeState::Lin { frontiers } = &self.mode else {
             unreachable!("drain_lin requires Lin mode");
         };
-        let mut objects: BTreeSet<ObjectId> = BTreeSet::new();
+        // The union of per-segment object lists (tracked at ingest), sorted
+        // for a deterministic fan-out order.
+        let mut objects: Vec<ObjectId> = Vec::new();
         for segment in segments {
-            objects.extend(segment.history.objects());
+            for &object in &segment.objects {
+                if !objects.contains(&object) {
+                    objects.push(object);
+                }
+            }
         }
-        let objects: Vec<ObjectId> = objects.into_iter().collect();
+        objects.sort_unstable();
         let universe = &self.universe;
         let limits = self.limits;
         let max_frontiers = self.max_frontiers;
@@ -719,7 +1014,7 @@ impl Monitor {
             }
             // Segments before the violating one were verified.
             for segment in &segments[..segment_index] {
-                self.stats.checked_ops += segment.history.complete_operations().len();
+                self.stats.checked_ops += segment.completed;
             }
             let segment = &segments[segment_index];
             self.violation = Some(MonitorViolation {
@@ -738,7 +1033,7 @@ impl Monitor {
             frontiers.insert(object, frontier);
         }
         for segment in segments {
-            self.stats.checked_ops += segment.history.complete_operations().len();
+            self.stats.checked_ops += segment.completed;
         }
     }
 
@@ -890,7 +1185,7 @@ impl Monitor {
                 self.scratch = scratch;
                 return;
             }
-            self.stats.checked_ops += segment.history.complete_operations().len();
+            self.stats.checked_ops += segment.completed;
             if final_segment {
                 break;
             }
@@ -961,9 +1256,16 @@ impl Monitor {
         }
         let universe = &self.universe;
         let limits = self.limits;
-        let results = parallel::map_par(&checks, |(_, _, problem)| {
-            kernel::solve(problem, universe, limits)
-        });
+        // Chunked fan-out with one pooled scratch per chunk, so the
+        // per-operation searches stop churning fresh kernel tables.
+        let results = parallel::map_par_chunked(
+            &checks,
+            32,
+            KernelScratch::new,
+            |scratch, (_, _, problem)| {
+                kernel::solve_with_scratch(problem, universe, limits, scratch)
+            },
+        );
         self.stats.checked_ops += checks.len();
         let mut first: Option<(OpId, usize)> = None;
         for ((op, segment_index, _), (result, stats)) in checks.iter().zip(results) {
@@ -993,7 +1295,7 @@ impl Monitor {
     // -- eventual stabilization (liveness half) ----------------------------
 
     /// Accumulates the invocation multisets; the decision happens in
-    /// [`Monitor::finish_stab`].
+    /// [`MonitorCheck::finish_stab`].
     fn drain_stab(&mut self, segments: &[Segment]) {
         let ModeState::Stab { completed } = &mut self.mode else {
             unreachable!("drain_stab requires Stab mode");
@@ -1025,13 +1327,13 @@ impl Monitor {
     /// completed operations (plus any subset of the pending ones)?  There
     /// are no cross-object constraints, so the objects are decided
     /// independently, in parallel.
-    fn finish_stab(&mut self) {
+    fn finish_stab(&mut self, pending: &[(ObjectId, Invocation)]) {
         let ModeState::Stab { completed } = &self.mode else {
             unreachable!("finish_stab requires Stab mode");
         };
         // Pending operations may optionally be completed by the witness.
         let mut pending_by_object: BTreeMap<ObjectId, BTreeMap<Invocation, u64>> = BTreeMap::new();
-        for (object, invocation) in self.pending.values() {
+        for (object, invocation) in pending {
             *pending_by_object
                 .entry(*object)
                 .or_default()
@@ -1091,6 +1393,147 @@ impl Monitor {
     }
 }
 
+/// Builds the two pipeline stages of a monitor over `universe`: the
+/// per-event [`MonitorIngest`] and the per-segment [`MonitorCheck`].  The
+/// pair is exactly a [`Monitor`] taken apart — feeding every batch from one
+/// into the other in FIFO order reproduces the inline monitor's verdict and
+/// counters bit for bit, but the two halves may now run on different
+/// threads.
+pub fn stages(universe: ObjectUniverse, config: MonitorConfig) -> (MonitorIngest, MonitorCheck) {
+    (
+        MonitorIngest::new(&config),
+        MonitorCheck::new(universe, &config),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The glued-together monitor
+// ---------------------------------------------------------------------------
+
+/// The streaming online consistency monitor: a [`MonitorIngest`] and a
+/// [`MonitorCheck`] glued together behind a single-threaded API.  See the
+/// module documentation for the segmentation argument and the per-condition
+/// strategies, and [`stages`] for the pipelined two-thread form.
+pub struct Monitor {
+    ingest: MonitorIngest,
+    check: MonitorCheck,
+}
+
+impl fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Monitor")
+            .field("ingest", &self.ingest)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Monitor {
+    /// Creates a monitor over `universe` with the given configuration.
+    pub fn new(universe: ObjectUniverse, config: MonitorConfig) -> Self {
+        let (ingest, check) = stages(universe, config);
+        Monitor { ingest, check }
+    }
+
+    /// The universe the monitor checks against.
+    pub fn universe(&self) -> &ObjectUniverse {
+        self.check.universe()
+    }
+
+    /// Counters so far (ingest- and check-side merged).
+    pub fn stats(&self) -> MonitorStats {
+        let mut stats = self.check.stats;
+        stats.events = self.ingest.events;
+        stats.peak_window_events = self.ingest.peak_window_events;
+        stats.stream_fingerprint = self.ingest.stream_fp;
+        stats
+    }
+
+    /// The verdict over everything *checked* so far (closed segments only;
+    /// call [`Monitor::finish`] for the verdict over the whole stream).
+    pub fn verdict_so_far(&self) -> MonitorVerdict {
+        self.check.verdict_so_far()
+    }
+
+    /// Ingests an invocation event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonitorError`] if the event makes the stream ill-formed.
+    pub fn invoke(
+        &mut self,
+        process: ProcessId,
+        object: ObjectId,
+        invocation: Invocation,
+    ) -> Result<(), MonitorError> {
+        self.ingest(Event::invoke(process, object, invocation))
+    }
+
+    /// Ingests a response event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonitorError`] if the event makes the stream ill-formed.
+    pub fn respond(
+        &mut self,
+        process: ProcessId,
+        object: ObjectId,
+        value: Value,
+    ) -> Result<(), MonitorError> {
+        self.ingest(Event::respond(process, object, value))
+    }
+
+    /// Ingests one event.  Closed segments are checked (and their memory
+    /// reclaimed) automatically every [`MonitorConfig::segment_batch`] cuts;
+    /// call [`Monitor::pump`] to force a check earlier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonitorError`] if the event makes the stream ill-formed
+    /// (the event is not ingested; the monitor remains usable).
+    pub fn ingest(&mut self, event: Event) -> Result<(), MonitorError> {
+        self.ingest.ingest(event)?;
+        if let Some(batch) = self.ingest.take_ready_batch() {
+            self.check.check_batch(batch);
+        }
+        Ok(())
+    }
+
+    /// Ingests a batch of events (stopping at the first error).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MonitorError`] encountered, if any.
+    pub fn ingest_all<I: IntoIterator<Item = Event>>(
+        &mut self,
+        events: I,
+    ) -> Result<(), MonitorError> {
+        for event in events {
+            self.ingest(event)?;
+        }
+        Ok(())
+    }
+
+    /// Checks every closed segment queued so far and reclaims its memory.
+    /// Returns the verdict over everything checked.
+    pub fn pump(&mut self) -> MonitorVerdict {
+        if let Some(batch) = self.ingest.take_batch() {
+            self.check.check_batch(batch);
+        }
+        self.check.verdict_so_far()
+    }
+
+    /// Closes the remaining tail (which may contain pending operations),
+    /// checks everything still queued and returns the final report.
+    ///
+    /// The verdict equals the corresponding offline checker's verdict on the
+    /// concatenation of every ingested event.
+    pub fn finish(self) -> MonitorReport {
+        let (tail, summary) = self.ingest.finish();
+        self.check.finish(tail, summary)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Per-object linearizability chain (free function so map_par can use it)
 // ---------------------------------------------------------------------------
@@ -1127,15 +1570,37 @@ fn chase_object_chain(
     let fast_eligible = universe.object_type(object).name() == "fetch&increment";
     for (segment_index, segment) in segments.iter().enumerate() {
         let final_segment = is_final && segment_index + 1 == segments.len();
-        let projection = segment.history.project_object(object);
+        if !segment.objects.contains(&object) {
+            continue;
+        }
+        // Single-object segments (the common case on the counter workloads,
+        // tracked at ingest) are checked by borrowing the segment history —
+        // no projection clone, and the completed-operation count comes
+        // straight from the ingest-side tally.
+        let owned_projection;
+        let projection: &History;
+        let completed: usize;
+        if segment.objects.len() == 1 {
+            projection = &segment.history;
+            completed = segment.completed;
+        } else {
+            owned_projection = segment.history.project_object(object);
+            completed = owned_projection
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Respond(_)))
+                .count();
+            projection = &owned_projection;
+        }
         if projection.is_empty() {
             continue;
         }
+        let pending = projection.len() - 2 * completed;
         // Fast path: a pure fetch&increment projection from an integer state
         // has a unique outgoing state (initial + operation count), so the
         // near-linear specialized checker replaces the kernel search.
         if fast_eligible && frontier.iter().all(|s| s.as_int().is_some()) {
-            match fi_step(&projection, &frontier, final_segment) {
+            match fi_step(projection, completed, pending, &frontier, final_segment) {
                 Ok(Some(next)) => {
                     outcome.fast_segments += 1;
                     if next.is_empty() {
@@ -1157,7 +1622,7 @@ fn chase_object_chain(
             }
         }
         let condition = TLinearizability::new(0);
-        let problem = condition.problem(&projection);
+        let problem = condition.problem(projection);
         let mut outgoing: BTreeSet<Value> = BTreeSet::new();
         let mut any_yes = false;
         for state in &frontier {
@@ -1218,17 +1683,19 @@ fn chase_object_chain(
 
 /// Fast-path step: decides a pure fetch&increment projection from every
 /// frontier state with [`crate::fi`] and returns the outgoing frontier.
+/// `completed`/`pending` are the projection's operation counts, supplied by
+/// the caller (tracked at ingest for single-object segments).
 ///
 /// `Ok(None)`/`Err(())` mean "not eligible — use the kernel".  For the final
 /// segment the outgoing frontier is unused; a singleton dummy is returned on
 /// success.
 fn fi_step(
     projection: &History,
+    completed: usize,
+    pending: usize,
     frontier: &[Value],
     is_final: bool,
 ) -> Result<Option<Vec<Value>>, ()> {
-    let completed = projection.complete_operations().len();
-    let pending = projection.pending_operations().len();
     if !is_final && pending > 0 {
         // Mid-stream segments are quiescent by construction; be safe.
         return Ok(None);
@@ -1326,6 +1793,30 @@ mod tests {
         let mut m = Monitor::new(universe.clone(), MonitorConfig::for_condition(condition));
         m.ingest_all(history.iter().cloned()).expect("well-formed");
         m.finish()
+    }
+
+    /// Drives the same stream through the split stages, pulling batches at
+    /// the given cadence (0 = only at the end), and returns the report.
+    fn run_staged(
+        universe: &ObjectUniverse,
+        history: &History,
+        condition: MonitorCondition,
+        pull_every: usize,
+    ) -> MonitorReport {
+        let (mut ingest, mut check) =
+            stages(universe.clone(), MonitorConfig::for_condition(condition));
+        for (i, event) in history.iter().cloned().enumerate() {
+            ingest.ingest(event).expect("well-formed");
+            if pull_every > 0 && i % pull_every == 0 {
+                if let Some(batch) = ingest.take_batch() {
+                    check.check_batch(batch);
+                }
+            } else if let Some(batch) = ingest.take_ready_batch() {
+                check.check_batch(batch);
+            }
+        }
+        let (tail, summary) = ingest.finish();
+        check.finish(tail, summary)
     }
 
     #[test]
@@ -1542,6 +2033,95 @@ mod tests {
             }
             assert!(m.finish().verdict.is_ok(), "chunk size {chunk}");
         }
+    }
+
+    #[test]
+    fn staged_pipeline_matches_the_inline_monitor() {
+        // The split stages, driven at any batch-pull cadence, must reproduce
+        // the inline monitor's verdict, counters and stream fingerprint for
+        // every condition.
+        let (u, x) = fi_universe();
+        let mut b = HistoryBuilder::new();
+        for k in 0..12i64 {
+            b = b
+                .invoke(ProcessId(0), x, FetchIncrement::fetch_inc())
+                .invoke(ProcessId(1), x, FetchIncrement::fetch_inc())
+                .respond(ProcessId(0), x, Value::from(2 * k))
+                .respond(ProcessId(1), x, Value::from(2 * k + 1));
+        }
+        let h = b.build();
+        for condition in [
+            MonitorCondition::Linearizability,
+            MonitorCondition::TLinearizability { t: 3 },
+            MonitorCondition::WeakConsistency,
+            MonitorCondition::StabilizesEventually,
+        ] {
+            let inline = run_monitor(&u, &h, condition);
+            for pull_every in [0, 1, 3, 7] {
+                let staged = run_staged(&u, &h, condition, pull_every);
+                assert_eq!(staged.verdict, inline.verdict, "{condition:?}/{pull_every}");
+                // Residency legitimately depends on how eagerly batches are
+                // pulled; everything else must match exactly.
+                let mut a = staged.stats;
+                let mut b = inline.stats;
+                a.peak_window_events = 0;
+                b.peak_window_events = 0;
+                assert_eq!(a, b, "{condition:?}/{pull_every}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_fingerprint_identifies_the_event_sequence() {
+        // Same stream, same config => same fingerprint, regardless of pump
+        // timing; a reordered stream fingerprints differently.
+        let (u, x) = fi_universe();
+        let h = HistoryBuilder::new()
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
+            .build();
+        let fp = |history: &History, pump: bool| {
+            let mut m = Monitor::new(u.clone(), MonitorConfig::default());
+            for e in history.iter().cloned() {
+                m.ingest(e).unwrap();
+                if pump {
+                    m.pump();
+                }
+            }
+            m.finish().stats.stream_fingerprint
+        };
+        assert_eq!(fp(&h, false), fp(&h, true));
+        // The same two operations completed in the opposite process order is
+        // a different (well-formed) stream: different fingerprint.
+        let swapped = HistoryBuilder::new()
+            .complete(
+                ProcessId(1),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(0i64),
+            )
+            .complete(
+                ProcessId(0),
+                x,
+                FetchIncrement::fetch_inc(),
+                Value::from(1i64),
+            )
+            .build();
+        assert_ne!(fp(&h, false), fp(&swapped, false));
+        // The per-event words the fold consumes separate kinds and slots.
+        let e = &h.events()[0];
+        assert_ne!(event_word(e), event_word(&h.events()[1]));
+        assert_eq!(event_word(e), event_word(&e.clone()));
     }
 
     #[test]

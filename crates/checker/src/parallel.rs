@@ -34,6 +34,31 @@ pub(crate) fn map_par_into<T: Send, R: Send>(
     items.into_par_iter().map(f).collect()
 }
 
+/// Chunked variant of [`map_par`] with per-chunk mutable state: `items` is
+/// split into runs of `chunk`, each run gets one fresh `init()` value
+/// threaded through its calls to `f`, and the flattened results preserve
+/// input order.  The monitor's weak-consistency drain uses this to give each
+/// run of per-operation kernel searches a pooled
+/// [`crate::kernel::KernelScratch`] instead of building fresh tables per
+/// operation, without giving up order-determinism.
+pub(crate) fn map_par_chunked<T: Sync, S, R: Send>(
+    items: &[T],
+    chunk: usize,
+    init: impl Fn() -> S + Sync + Send,
+    f: impl Fn(&mut S, &T) -> R + Sync + Send,
+) -> Vec<R> {
+    let chunks: Vec<&[T]> = items.chunks(chunk.max(1)).collect();
+    map_par(&chunks, |run| {
+        let mut state = init();
+        run.iter()
+            .map(|item| f(&mut state, item))
+            .collect::<Vec<R>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Sequential baseline of [`check_histories_par`].
 pub fn check_histories(histories: &[History], universe: &ObjectUniverse) -> Vec<bool> {
     histories

@@ -82,6 +82,37 @@ pub(crate) fn zkey(tag: u64, slot: u64, payload: u64) -> u64 {
     mix(tag ^ mix(slot ^ mix(payload)))
 }
 
+/// Domain-separation tag for [`fold_words`] batch fingerprints.  Mirrors
+/// `evlin_sim::zobrist::TAG_FOLD` (same value, same independence rationale
+/// as the `mix` mirror above).
+pub(crate) const TAG_FOLD: u64 = 0x666f_6c64_0000_0004;
+
+/// Folds a slice of words into one fingerprint, one `mix` round per word —
+/// the batch counterpart of [`zkey`], mirroring
+/// `evlin_sim::zobrist::fold_words` bit for bit so a stream fingerprinted on
+/// the runtime side (frame hashing) and re-fingerprinted by the monitor's
+/// segment keys agree without coupling the two crates.  Order-sensitive and
+/// length-separated.
+#[inline]
+pub(crate) fn fold_words(seed: u64, words: &[u64]) -> u64 {
+    let mut acc = mix(seed ^ TAG_FOLD);
+    for &w in words {
+        acc = mix(acc ^ w);
+    }
+    mix(acc ^ (words.len() as u64))
+}
+
+/// The content hash of a `Hash` value under [`FxHasher`] (the checker's
+/// counterpart of `evlin_sim::zobrist::hash_of`; note the two crates'
+/// hashers differ on multi-byte `write` calls, so cross-crate agreement is
+/// only for word-shaped keys).
+#[inline]
+pub(crate) fn hash_of<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// A dynamically sized bit set used by the kernel to track which operations
 /// have already been linearized in a search state.  The kernel's
 /// backtracking and scratch-reuse paths rely on [`BitSet::clear`] (retract
@@ -124,6 +155,14 @@ impl BitSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fold_words_matches_order_and_length_separation() {
+        assert_eq!(fold_words(0, &[1, 2, 3]), fold_words(0, &[1, 2, 3]));
+        assert_ne!(fold_words(0, &[1, 2, 3]), fold_words(0, &[3, 2, 1]));
+        assert_ne!(fold_words(0, &[1, 2]), fold_words(0, &[1, 2, 0]));
+        assert_ne!(fold_words(0, &[1]), fold_words(1, &[1]));
+    }
 
     #[test]
     fn set_clear_contains_count() {

@@ -15,7 +15,7 @@
 //! seeds for deep coverage.
 
 use evlin_checker::kernel::{self, SearchLimits};
-use evlin_checker::monitor::{Monitor, MonitorCondition, MonitorConfig, MonitorVerdict};
+use evlin_checker::monitor::{stages, Monitor, MonitorCondition, MonitorConfig, MonitorVerdict};
 use evlin_checker::{eventual, linearizability, t_linearizability, weak_consistency};
 use evlin_history::{History, HistoryBuilder, ObjectUniverse, ProcessId};
 use evlin_spec::{FetchIncrement, Register, Value};
@@ -106,6 +106,90 @@ fn monitor_verdict(history: &History, condition: MonitorCondition, seed: u64) ->
     report.verdict
 }
 
+/// Drives the same stream through the *split* pipeline stages
+/// ([`stages`]) with seed-dependent batch-pull timing — the two-thread
+/// runtime driver collapsed onto one thread, batch boundaries and all — and
+/// returns the final verdict.
+fn staged_verdict(history: &History, condition: MonitorCondition, seed: u64) -> MonitorVerdict {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57a6_ed00);
+    let config = MonitorConfig {
+        condition,
+        min_segment_events: rng.gen_range(1..5usize),
+        segment_batch: rng.gen_range(1..4usize),
+        ..MonitorConfig::default()
+    };
+    let (mut ingest, mut check) = stages(universe(), config);
+    for event in history.events().iter().cloned() {
+        ingest
+            .ingest(event)
+            .expect("generated streams are well-formed");
+        // Pull eagerly, lazily, or at the configured cadence — the check
+        // stage must be insensitive to all of it.
+        let batch = if rng.gen_bool(0.3) {
+            ingest.take_batch()
+        } else {
+            ingest.take_ready_batch()
+        };
+        if let Some(batch) = batch {
+            check.check_batch(batch);
+        }
+    }
+    let (tail, summary) = ingest.finish();
+    let report = check.finish(tail, summary);
+    assert_ne!(
+        report.verdict,
+        MonitorVerdict::Unknown,
+        "budgets must not be exhausted at test sizes\n{history}"
+    );
+    report.verdict
+}
+
+/// The staged pipeline against the offline kernel, all four conditions.
+fn check_staged_all_conditions(seed: u64, max_ops: usize) {
+    let h = random_history(seed, max_ops);
+    let u = universe();
+    let lin = staged_verdict(&h, MonitorCondition::Linearizability, seed);
+    assert_eq!(
+        lin.is_ok(),
+        linearizability::is_linearizable(&h, &u),
+        "staged linearizability mismatch (seed {seed})\n{h}"
+    );
+    for t in [0, 1, h.len() / 2, h.len()] {
+        let tlin = staged_verdict(&h, MonitorCondition::TLinearizability { t }, seed);
+        assert_eq!(
+            tlin.is_ok(),
+            t_linearizability::is_t_linearizable(&h, &u, t),
+            "staged t-linearizability mismatch (seed {seed}, t {t})\n{h}"
+        );
+    }
+    let offline_weak = weak_consistency::violations(&h, &u);
+    match staged_verdict(&h, MonitorCondition::WeakConsistency, seed) {
+        MonitorVerdict::Ok => assert!(
+            offline_weak.is_empty(),
+            "staged monitor missed violations {offline_weak:?} (seed {seed})\n{h}"
+        ),
+        MonitorVerdict::Violation(v) => assert_eq!(
+            v.op,
+            offline_weak.first().copied(),
+            "staged monitor flagged the wrong operation (seed {seed})\n{h}"
+        ),
+        MonitorVerdict::Unknown => unreachable!(),
+    }
+    let stab = staged_verdict(&h, MonitorCondition::StabilizesEventually, seed);
+    let offline_stab = kernel::check(
+        &eventual::StabilizesEventually,
+        &h,
+        &u,
+        SearchLimits::default(),
+    )
+    .is_yes();
+    assert_eq!(
+        stab.is_ok(),
+        offline_stab,
+        "staged stabilizes-eventually mismatch (seed {seed})\n{h}"
+    );
+}
+
 fn check_linearizability(seed: u64, max_ops: usize) {
     let h = random_history(seed, max_ops);
     let offline = linearizability::is_linearizable(&h, &universe());
@@ -194,6 +278,11 @@ proptest! {
     fn monitor_matches_offline_stabilizes_eventually(seed in 0u64..u64::MAX / 2) {
         check_stabilizes_eventually(seed, 7);
     }
+
+    #[test]
+    fn staged_pipeline_matches_offline_all_conditions(seed in 0u64..u64::MAX / 2) {
+        check_staged_all_conditions(seed, 6);
+    }
 }
 
 /// Number of cases for the `#[ignore]`d extended (nightly-fuzz) tests.
@@ -233,5 +322,13 @@ fn extended_monitor_vs_offline_weak_consistency() {
 fn extended_monitor_vs_offline_stabilizes_eventually() {
     for seed in 0..extended_cases() {
         check_stabilizes_eventually(seed.wrapping_mul(0x9e37_79b9), 8);
+    }
+}
+
+#[test]
+#[ignore = "extended fuzz: run via the nightly CI job or with --ignored"]
+fn extended_staged_pipeline_vs_offline_all_conditions() {
+    for seed in 0..extended_cases() / 4 {
+        check_staged_all_conditions(seed.wrapping_mul(0x9e37_79b9), 7);
     }
 }

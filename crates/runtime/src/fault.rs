@@ -74,6 +74,20 @@ impl FaultPlan {
             ..FaultPlan::transparent(seed)
         }
     }
+
+    /// Derives an independent per-shard plan from this one: same fault
+    /// rates, decorrelated seed.  The sharded frame transport
+    /// ([`crate::channel::sharded`]) gives each producer ring its own
+    /// [`FaultySender`]; deriving the seeds keeps a multi-shard run exactly
+    /// as reproducible as a single-link one.
+    pub fn for_shard(self, shard: usize) -> FaultPlan {
+        FaultPlan {
+            seed: self
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(shard as u64 + 1)),
+            ..self
+        }
+    }
 }
 
 /// Counters of the faults a [`FaultySender`] actually injected.

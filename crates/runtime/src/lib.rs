@@ -35,6 +35,29 @@
 //! [`harness::run_counter_workload_monitored_faulty`]), so the online
 //! checker's reaction to transient *transport* faults can be measured
 //! alongside the simulator's transient *state* faults.
+//!
+//! ## The pipelined path
+//!
+//! The single channel pays one lock round and one condvar notification per
+//! event, which caps end-to-end checked throughput far below what the
+//! monitor kernel can sustain.  The *sharded, frame-batched, pipelined*
+//! dataflow removes that cap:
+//!
+//! * each worker thread records into its own [`recorder::RecorderShard`],
+//!   which batches sequence-stamped events into pooled frames and ships
+//!   them over a per-producer bounded ring ([`channel::sharded`]);
+//! * a k-way [`channel::sharded::FrameMerge`] restores global sequence
+//!   order at O(k) per run of consecutive items, replacing the per-event
+//!   reorder buffer;
+//! * the monitor is split into overlapping stages
+//!   (`evlin_checker::monitor::stages`): the merge thread cuts quiescent
+//!   segments while a check thread runs the kernel over closed segments.
+//!
+//! [`harness::run_counter_workload_pipelined`] (and its frame-fault twin
+//! [`harness::run_counter_workload_pipelined_faulty`]) wires the three
+//! stages up; its verdicts are bit-identical to the single-channel path's —
+//! `tests/pipeline_differential.rs` proves that against the offline kernel
+//! for 1/2/8 producers, with and without frame faults.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -46,10 +69,13 @@ pub mod fault;
 pub mod harness;
 pub mod recorder;
 
+pub use channel::sharded::{Frame, FrameMerge, FrameSender, MergeStats};
+pub use channel::{ChannelStats, TrySendError};
 pub use counter::{CasCounter, ConcurrentCounter, FetchAddCounter, ShardedCounter};
 pub use fault::{ChannelFaultStats, FaultPlan, FaultySender};
 pub use harness::{
     run_counter_workload, run_counter_workload_monitored, run_counter_workload_monitored_faulty,
-    CounterRun, HarnessOptions, MonitoredRun,
+    run_counter_workload_pipelined, run_counter_workload_pipelined_faulty, CounterRun,
+    HarnessOptions, MonitoredRun, PipelineOptions, PipelinedRun,
 };
-pub use recorder::{Recorder, SinkStats};
+pub use recorder::{sharded_recorder, Recorder, RecorderShard, SinkStats};

@@ -1,5 +1,6 @@
 //! Recording histories from real threads.
 
+use crate::channel::sharded::{self, FrameMerge, FrameSender};
 use crate::channel::{SendError, Sender};
 use crate::fault::{ChannelFaultStats, FaultPlan, FaultySender};
 use evlin_history::{Event, EventKind, History, ObjectId, ProcessId};
@@ -7,7 +8,8 @@ use evlin_spec::{Invocation, Value};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A concurrent event recorder.
 ///
@@ -71,6 +73,12 @@ pub struct SinkStats {
     /// race the drop-time flush, so delivery failures there are *counted*
     /// rather than panicking inside `Drop`.
     pub dropped_disconnected: usize,
+    /// Frames shipped below capacity by the frame-batched path
+    /// ([`RecorderShard`]): the stream tail (and explicit flushes) must
+    /// reach the sink *before* the disconnect-swallowing path runs, and this
+    /// counter proves the partial flush happened instead of a silent
+    /// truncation.  Always 0 on the per-event path.
+    pub flushed_partial_frames: usize,
 }
 
 /// The recorder's downstream link: the bounded channel sender, either bare
@@ -354,6 +362,125 @@ impl Recorder {
     }
 }
 
+/// One producer's handle of a sharded, frame-batched recorder
+/// (see [`sharded_recorder`]).
+///
+/// Where [`Recorder`] funnels every event through one mutex and one
+/// per-event channel send, a shard is owned by exactly one recording thread:
+/// recording is a shared atomic sequence fetch plus a local vector push, and
+/// the channel is touched once per *frame*.  The shard runs its own
+/// well-formedness filter (the same rules as the streaming recorder's) and
+/// filters *before* allocating a sequence number, so a clean shard stream
+/// has no gaps and the merge's output needs no gap-skipping pass.
+///
+/// Contract: all events of a given process must go through the same shard
+/// (the harness maps one worker thread to one shard); the per-shard pending
+/// filter is exactly the global one under that mapping.
+pub struct RecorderShard {
+    seq: Arc<AtomicU64>,
+    sender: FrameSender<Event>,
+    /// Pending `(process, object)` pairs on this shard — a couple of
+    /// entries, so a linear scan beats any map.
+    pending: Vec<(ProcessId, ObjectId)>,
+    dropped_malformed: usize,
+}
+
+impl RecorderShard {
+    /// Records an invocation event by `process` on `object`.
+    pub fn invoke(&mut self, process: ProcessId, object: ObjectId, invocation: Invocation) {
+        self.record(Event::invoke(process, object, invocation));
+    }
+
+    /// Records a response event by `process` on `object`.
+    pub fn respond(&mut self, process: ProcessId, object: ObjectId, value: Value) {
+        self.record(Event::respond(process, object, value));
+    }
+
+    fn record(&mut self, event: Event) {
+        match &event.kind {
+            EventKind::Invoke(_) => {
+                if self.pending.iter().any(|(p, _)| *p == event.process) {
+                    self.dropped_malformed += 1;
+                    return;
+                }
+                self.pending.push((event.process, event.object));
+            }
+            EventKind::Respond(_) => {
+                match self
+                    .pending
+                    .iter()
+                    .position(|(p, o)| *p == event.process && *o == event.object)
+                {
+                    Some(i) => {
+                        self.pending.swap_remove(i);
+                    }
+                    None => {
+                        self.dropped_malformed += 1;
+                        return;
+                    }
+                }
+            }
+        }
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.sender.push(seq, event);
+    }
+
+    /// Ships the current partial frame now instead of waiting for it to fill.
+    pub fn flush(&mut self) {
+        self.sender.flush();
+    }
+
+    /// Frame-granularity fault counters, if this shard streams through a
+    /// faulty link.
+    pub fn fault_stats(&self) -> Option<ChannelFaultStats> {
+        self.sender.fault_stats()
+    }
+
+    /// Closes the shard: the partially-filled tail frame is flushed (and
+    /// counted) *before* the sender hangs up — the frame-path ordering that
+    /// keeps a shutdown from silently truncating the tail — and the sink
+    /// counters come back in [`SinkStats`] form.
+    pub fn finish(mut self) -> SinkStats {
+        self.sender.flush();
+        let s = self.sender.stats();
+        SinkStats {
+            emitted: s.events_sent,
+            dropped_malformed: self.dropped_malformed,
+            flushed_past_gap: 0,
+            disconnected: s.disconnected,
+            dropped_disconnected: s.dropped_disconnected,
+            flushed_partial_frames: s.partial_frames,
+        }
+    }
+}
+
+/// Builds a sharded, frame-batched recording pipeline: one [`RecorderShard`]
+/// per producer thread, a shared global sequence counter, and the k-way
+/// [`FrameMerge`] whose `recv_sorted` output is the same
+/// sequence-ordered event stream the single-channel [`Recorder`] delivers —
+/// at a per-frame instead of per-event synchronization cost.  With a `plan`,
+/// every shard streams through its own seed-derived frame-level fault
+/// injector ([`FaultPlan::for_shard`]).
+pub fn sharded_recorder(
+    producers: usize,
+    frame_capacity: usize,
+    ring_frames: usize,
+    plan: Option<FaultPlan>,
+) -> (Vec<RecorderShard>, FrameMerge<Event>) {
+    let (senders, merge) = sharded::sharded(producers, ring_frames, frame_capacity, plan);
+    let seq = Arc::new(AtomicU64::new(0));
+    let shards = senders
+        .into_iter()
+        .map(|sender| RecorderShard {
+            seq: Arc::clone(&seq),
+            sender,
+            pending: Vec::new(),
+            dropped_malformed: 0,
+        })
+        .collect();
+    (shards, merge)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -560,6 +687,100 @@ mod tests {
         assert!(stats.disconnected);
         assert_eq!(stats.dropped_disconnected, 2);
         drop(r); // the drop-time flush on a dead sink is a quiet no-op
+    }
+
+    #[test]
+    fn sharded_recorder_streams_the_same_well_formed_order() {
+        let (shards, mut merge) = sharded_recorder(4, 8, 16, None);
+        let o = ObjectId(0);
+        let (events, stats): (Vec<Event>, Vec<SinkStats>) = std::thread::scope(|s| {
+            let workers: Vec<_> = shards
+                .into_iter()
+                .enumerate()
+                .map(|(t, mut shard)| {
+                    s.spawn(move || {
+                        for k in 0..25i64 {
+                            shard.invoke(ProcessId(t), o, FetchIncrement::fetch_inc());
+                            shard.respond(ProcessId(t), o, Value::from(k));
+                        }
+                        shard.finish()
+                    })
+                })
+                .collect();
+            let mut out = Vec::new();
+            while merge.recv_sorted(&mut out, 256) > 0 {}
+            (
+                out.into_iter().map(|(_, e)| e).collect(),
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("worker"))
+                    .collect(),
+            )
+        });
+        let h = History::from_events(events);
+        assert_eq!(h.len(), 200);
+        assert!(h.is_well_formed());
+        assert_eq!(stats.iter().map(|s| s.emitted).sum::<usize>(), 200);
+        assert_eq!(stats.iter().map(|s| s.dropped_malformed).sum::<usize>(), 0);
+        // 25 ops = 50 events per shard at capacity 8: a partial tail each.
+        assert!(stats.iter().all(|s| s.flushed_partial_frames >= 1));
+        assert_eq!(merge.stats().fingerprint_mismatches, 0);
+        assert_eq!(merge.stats().misordered_frames, 0);
+    }
+
+    #[test]
+    fn shard_finish_flushes_the_partial_tail_before_hanging_up() {
+        // The satellite fix, pinned: a tail frame below capacity must reach
+        // a live sink (counted as a flushed-partial frame), and only a sink
+        // that *already* hung up may swallow it (counted, never panicking).
+        let (mut shards, mut merge) = sharded_recorder(1, 64, 4, None);
+        let shard = {
+            let mut shard = shards.pop().unwrap();
+            let o = ObjectId(0);
+            shard.invoke(ProcessId(0), o, FetchIncrement::fetch_inc());
+            shard.respond(ProcessId(0), o, Value::from(0i64));
+            shard
+        };
+        // Live sink: finish ships the 2-event partial frame.
+        let stats = shard.finish();
+        assert_eq!(stats.emitted, 2);
+        assert_eq!(stats.flushed_partial_frames, 1);
+        assert!(!stats.disconnected);
+        let mut out = Vec::new();
+        assert_eq!(merge.recv_sorted(&mut out, 16), 2);
+        // Dead sink: the flush is swallowed and counted, not truncated away
+        // silently and not a panic.
+        let (mut shards, merge) = sharded_recorder(1, 64, 4, None);
+        let mut shard = shards.pop().unwrap();
+        let o = ObjectId(0);
+        shard.invoke(ProcessId(0), o, FetchIncrement::fetch_inc());
+        drop(merge);
+        let stats = shard.finish();
+        assert_eq!(stats.emitted, 0);
+        assert_eq!(stats.flushed_partial_frames, 1);
+        assert!(stats.disconnected);
+        assert_eq!(stats.dropped_disconnected, 1);
+    }
+
+    #[test]
+    fn shard_filters_malformed_events_before_numbering() {
+        let (mut shards, mut merge) = sharded_recorder(1, 4, 16, None);
+        let mut shard = shards.pop().unwrap();
+        let o = ObjectId(0);
+        shard.invoke(ProcessId(0), o, FetchIncrement::fetch_inc());
+        // Double invoke and an orphan response: dropped *before* a sequence
+        // number is burned, so the emitted stream is gapless and well-formed.
+        shard.invoke(ProcessId(0), o, FetchIncrement::fetch_inc());
+        shard.respond(ProcessId(1), o, Value::from(9i64));
+        shard.respond(ProcessId(0), o, Value::from(0i64));
+        let stats = shard.finish();
+        assert_eq!(stats.dropped_malformed, 2);
+        assert_eq!(stats.emitted, 2);
+        let mut out = Vec::new();
+        assert_eq!(merge.recv_sorted(&mut out, 16), 2);
+        let seqs: Vec<u64> = out.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1], "no gaps from filtered events");
+        assert!(History::from_events(out.into_iter().map(|(_, e)| e).collect()).is_well_formed());
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Differential tests for the sharded, frame-batched pipeline: a history
+//! pushed through [`RecorderShard`]s, the k-way [`FrameMerge`] and the split
+//! monitor stages must yield exactly the offline kernel's verdict — for all
+//! four consistency conditions, any producer count, and under frame-level
+//! transport faults.
+//!
+//! The drive is deliberately single-threaded and seeded: events go into the
+//! shards in history order (so the global sequence numbering is the history
+//! order), the merge is drained in seed-sized gulps, and the ingest/check
+//! stages are pulled with seed-dependent timing.  Every step is
+//! deterministic, so a failure reproduces from its seed alone.
+//!
+//! Under a [`FaultPlan`] the transport loses, duplicates and reorders whole
+//! frames; the monitor's verdict is then compared against the offline
+//! kernel's verdict on the *post-fault* stream (the events the ingest stage
+//! accepted), which is the exactness claim that matters: corruption changes
+//! the stream, never the checking.
+//!
+//! The nightly fuzz job runs the `#[ignore]`d extended tests with
+//! `EVLIN_DIFF_CASES` seeds for deep coverage.
+
+use evlin_checker::kernel::{self, SearchLimits};
+use evlin_checker::monitor::{stages, MonitorCondition, MonitorConfig, MonitorVerdict};
+use evlin_checker::{eventual, linearizability, t_linearizability, weak_consistency};
+use evlin_history::{Event, EventKind, History, HistoryBuilder, ObjectUniverse, ProcessId};
+use evlin_runtime::sharded_recorder;
+use evlin_runtime::FaultPlan;
+use evlin_spec::{FetchIncrement, Register, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn universe() -> ObjectUniverse {
+    let mut u = ObjectUniverse::new();
+    u.add_object(Register::new(Value::from(0i64)));
+    u.add_object(FetchIncrement::new());
+    u
+}
+
+/// Random well-formed history over a register and a fetch&inc object — the
+/// same shape as the checker's differential generator (noisy responses,
+/// overlap, pending tails).
+fn random_history(seed: u64, max_ops: usize) -> History {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = evlin_history::ObjectId(0);
+    let x = evlin_history::ObjectId(1);
+    let processes = rng.gen_range(2..4usize);
+    let total_ops = rng.gen_range(2..=max_ops);
+    let mut plans: Vec<Vec<evlin_spec::Invocation>> = vec![Vec::new(); processes];
+    for _ in 0..total_ops {
+        let p = rng.gen_range(0..processes);
+        let inv = match rng.gen_range(0..3u32) {
+            0 => Register::write(Value::from(rng.gen_range(1..4i64))),
+            1 => Register::read(),
+            _ => FetchIncrement::fetch_inc(),
+        };
+        plans[p].push(inv);
+    }
+    let mut b = HistoryBuilder::new();
+    let mut next_op: Vec<usize> = vec![0; processes];
+    let mut pending: Vec<Option<evlin_spec::Invocation>> = vec![None; processes];
+    let object_of = |inv: &evlin_spec::Invocation| if inv.method() == "fetch_inc" { x } else { r };
+    for _ in 0..total_ops * 8 {
+        let p = rng.gen_range(0..processes);
+        if let Some(inv) = pending[p].clone() {
+            if rng.gen_bool(0.7) {
+                let response = if inv.method() == "write" {
+                    Value::Unit
+                } else {
+                    Value::from(rng.gen_range(0..4i64))
+                };
+                b = b.respond(ProcessId(p), object_of(&inv), response);
+                pending[p] = None;
+            }
+        } else if next_op[p] < plans[p].len() {
+            let inv = plans[p][next_op[p]].clone();
+            next_op[p] += 1;
+            b = b.invoke(ProcessId(p), object_of(&inv), inv.clone());
+            pending[p] = Some(inv);
+        }
+    }
+    b.build()
+}
+
+/// Pushes `history` through `producers` recorder shards (events of a process
+/// always go to the same shard — the shard contract) and drains the merge,
+/// returning the globally ordered post-transport event stream.
+fn pipeline_stream(
+    history: &History,
+    producers: usize,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0f1e_2d3c);
+    let frame_capacity = rng.gen_range(1..5usize);
+    // Rings sized so the single-threaded drive never blocks on a full ring,
+    // even when the fault plan duplicates every frame (at capacity 1 that is
+    // up to two delivered frames per event).
+    let ring_frames = 2 * history.len() + 4;
+    let (mut shards, mut merge) = sharded_recorder(producers, frame_capacity, ring_frames, plan);
+    for event in history.events() {
+        let shard = &mut shards[event.process.0 % producers];
+        match &event.kind {
+            EventKind::Invoke(inv) => shard.invoke(event.process, event.object, inv.clone()),
+            EventKind::Respond(v) => shard.respond(event.process, event.object, v.clone()),
+        }
+    }
+    let dropped: usize = shards
+        .into_iter()
+        .map(|s| s.finish().dropped_malformed)
+        .sum();
+    assert_eq!(dropped, 0, "well-formed histories pass the shard filters");
+    let mut out = Vec::new();
+    loop {
+        let gulp = rng.gen_range(1..32usize);
+        if merge.recv_sorted(&mut out, gulp) == 0 {
+            break;
+        }
+    }
+    assert_eq!(merge.stats().fingerprint_mismatches, 0);
+    if plan.is_none() {
+        // A clean transport reconstructs the exact global numbering…
+        let seqs: Vec<u64> = out.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..history.len() as u64).collect::<Vec<_>>());
+        assert_eq!(merge.stats().misordered_frames, 0);
+    }
+    out.into_iter().map(|(_, e)| e).collect()
+}
+
+/// Drives `stream` through the split monitor stages with seed-dependent
+/// batch-pull timing; returns the verdict and the history of the events the
+/// ingest stage *accepted* (its post-filter stream — on a clean transport,
+/// the input itself).
+fn staged_verdict_on(
+    stream: &[Event],
+    condition: MonitorCondition,
+    seed: u64,
+) -> (MonitorVerdict, History) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57a6_ed01);
+    let config = MonitorConfig {
+        condition,
+        min_segment_events: rng.gen_range(1..5usize),
+        segment_batch: rng.gen_range(1..4usize),
+        ..MonitorConfig::default()
+    };
+    let (mut ingest, mut check) = stages(universe(), config);
+    let mut accepted = Vec::with_capacity(stream.len());
+    for event in stream.iter().cloned() {
+        // A faulted transport can orphan responses or duplicate invocations;
+        // the ingest stage rejects those, and the offline comparison runs on
+        // what survived.
+        if ingest.ingest(event.clone()).is_ok() {
+            accepted.push(event);
+        }
+        let batch = if rng.gen_bool(0.3) {
+            ingest.take_batch()
+        } else {
+            ingest.take_ready_batch()
+        };
+        if let Some(batch) = batch {
+            check.check_batch(batch);
+        }
+    }
+    let (tail, summary) = ingest.finish();
+    let report = check.finish(tail, summary);
+    assert_ne!(
+        report.verdict,
+        MonitorVerdict::Unknown,
+        "budgets must not be exhausted at test sizes"
+    );
+    (report.verdict, History::from_events(accepted))
+}
+
+/// The full claim, for one seed: pipeline + staged monitor ≡ offline kernel
+/// on the post-transport stream, all four conditions.
+fn check_pipeline_all_conditions(seed: u64, producers: usize, max_ops: usize, faulty: bool) {
+    let h = random_history(seed, max_ops);
+    let plan = faulty.then_some(FaultPlan {
+        seed: seed ^ 0xfa17,
+        lose: 200,
+        duplicate: 200,
+        reorder: 200,
+    });
+    let stream = pipeline_stream(&h, producers, seed, plan);
+    if !faulty {
+        assert_eq!(
+            stream,
+            h.events().to_vec(),
+            "a clean transport is invisible (seed {seed}, {producers} producers)"
+        );
+    }
+    let u = universe();
+
+    let (lin, accepted) = staged_verdict_on(&stream, MonitorCondition::Linearizability, seed);
+    assert_eq!(
+        lin.is_ok(),
+        linearizability::is_linearizable(&accepted, &u),
+        "pipelined linearizability mismatch (seed {seed}, {producers} producers)\n{accepted}"
+    );
+
+    for t in [0, 1, accepted.len() / 2, accepted.len()] {
+        let (tlin, accepted) =
+            staged_verdict_on(&stream, MonitorCondition::TLinearizability { t }, seed);
+        assert_eq!(
+            tlin.is_ok(),
+            t_linearizability::is_t_linearizable(&accepted, &u, t),
+            "pipelined t-linearizability mismatch (seed {seed}, t {t}, {producers} producers)\n{accepted}"
+        );
+    }
+
+    let (weak, accepted) = staged_verdict_on(&stream, MonitorCondition::WeakConsistency, seed);
+    let offline_weak = weak_consistency::violations(&accepted, &u);
+    match weak {
+        MonitorVerdict::Ok => assert!(
+            offline_weak.is_empty(),
+            "pipelined monitor missed violations {offline_weak:?} (seed {seed})\n{accepted}"
+        ),
+        MonitorVerdict::Violation(v) => assert_eq!(
+            v.op,
+            offline_weak.first().copied(),
+            "pipelined monitor flagged the wrong operation (seed {seed})\n{accepted}"
+        ),
+        MonitorVerdict::Unknown => unreachable!(),
+    }
+
+    let (stab, accepted) = staged_verdict_on(&stream, MonitorCondition::StabilizesEventually, seed);
+    let offline_stab = kernel::check(
+        &eventual::StabilizesEventually,
+        &accepted,
+        &u,
+        SearchLimits::default(),
+    )
+    .is_yes();
+    assert_eq!(
+        stab.is_ok(),
+        offline_stab,
+        "pipelined stabilizes-eventually mismatch (seed {seed}, {producers} producers)\n{accepted}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn clean_pipeline_matches_offline_for_1_2_8_producers(seed in 0u64..u64::MAX / 2) {
+        for producers in [1, 2, 8] {
+            check_pipeline_all_conditions(seed, producers, 6, false);
+        }
+    }
+
+    #[test]
+    fn faulty_pipeline_matches_offline_on_the_surviving_stream(seed in 0u64..u64::MAX / 2) {
+        for producers in [1, 2, 8] {
+            check_pipeline_all_conditions(seed, producers, 6, true);
+        }
+    }
+}
+
+/// Number of cases for the `#[ignore]`d extended (nightly-fuzz) tests.
+fn extended_cases() -> u64 {
+    std::env::var("EVLIN_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+#[test]
+#[ignore = "extended fuzz: run via the nightly CI job or with --ignored"]
+fn extended_clean_pipeline_vs_offline() {
+    for seed in 0..extended_cases() / 8 {
+        for producers in [1, 2, 8] {
+            check_pipeline_all_conditions(seed.wrapping_mul(0x9e37_79b9), producers, 7, false);
+        }
+    }
+}
+
+#[test]
+#[ignore = "extended fuzz: run via the nightly CI job or with --ignored"]
+fn extended_faulty_pipeline_vs_offline() {
+    for seed in 0..extended_cases() / 8 {
+        for producers in [1, 2, 8] {
+            check_pipeline_all_conditions(seed.wrapping_mul(0x9e37_79b9), producers, 7, true);
+        }
+    }
+}
