@@ -15,12 +15,13 @@ pub mod e09_fig1_wrapper;
 pub mod e10_checker_scaling;
 pub mod e11_online_monitor;
 pub mod e12_reduction;
+pub mod e14_service_saturation;
 pub mod e15_fault_stabilization;
 pub mod e16_pipelined_ingest;
 
 use crate::Table;
 
-/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"`, `"e16"`), or all of
+/// Runs one experiment by id (`"e1"` … `"e12"`, `"e14"` … `"e16"`), or all of
 /// them for `"all"`.
 /// `quick` reduces workload sizes so the suite finishes quickly (used by
 /// tests).
@@ -38,6 +39,7 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e10" => Some(e10_checker_scaling::run(quick)),
         "e11" => Some(e11_online_monitor::run(quick)),
         "e12" => Some(e12_reduction::run(quick)),
+        "e14" => Some(e14_service_saturation::run(quick)),
         "e15" => Some(e15_fault_stabilization::run(quick)),
         "e16" => Some(e16_pipelined_ingest::run(quick)),
         "all" => {
@@ -52,8 +54,8 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
 }
 
 /// The known experiment identifiers, in order.
-pub const IDS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e16",
+pub const IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e14", "e15", "e16",
 ];
 
 #[cfg(test)]

@@ -1772,6 +1772,105 @@ fn weak_problem(
     SearchProblem { ops, precedence }
 }
 
+// ---------------------------------------------------------------------------
+// Per-object shard routing
+// ---------------------------------------------------------------------------
+
+impl MonitorCondition {
+    /// Whether the condition decomposes exactly into per-object checks.
+    ///
+    /// This mirrors [`crate::kernel::Locality::Exact`] as declared by the
+    /// offline conditions: classical linearizability is local (the
+    /// Herlihy–Wing locality theorem, the basis of the kernel's
+    /// [`crate::kernel::check_local`] pre-pass), and `t = 0`
+    /// `t`-linearizability *is* linearizability.  Every other condition
+    /// carries global state — `t`-linearizability's forgiven prefix is
+    /// counted over the whole stream, and the multiset summaries of weak
+    /// consistency and stabilization are not declared local — so a router
+    /// must not split their streams.
+    pub fn is_object_local(&self) -> bool {
+        match self {
+            MonitorCondition::Linearizability => true,
+            MonitorCondition::TLinearizability { t } => *t == 0,
+            MonitorCondition::WeakConsistency | MonitorCondition::StabilizesEventually => false,
+        }
+    }
+}
+
+/// Routes events to monitor shards by object, honouring condition locality.
+///
+/// A pool of monitor replicas can check a stream in per-object slices only
+/// when the condition decomposes exactly over objects
+/// ([`MonitorCondition::is_object_local`]); the router therefore collapses to
+/// a single shard for non-local conditions instead of silently computing a
+/// wrong verdict.  Routing is a pure function of the [`ObjectId`], so every
+/// event of one object — and hence every invoke/respond pair — lands on the
+/// same shard, which keeps each shard's substream well-formed whenever the
+/// input stream is.
+///
+/// ```
+/// use evlin_checker::monitor::{MonitorCondition, ShardRouter};
+/// use evlin_history::ObjectId;
+///
+/// let router = ShardRouter::new(MonitorCondition::Linearizability, 4);
+/// assert_eq!(router.effective_shards(), 4);
+/// assert_eq!(router.route(ObjectId(6)), 2);
+///
+/// // A non-local condition refuses to split.
+/// let router = ShardRouter::new(MonitorCondition::TLinearizability { t: 3 }, 4);
+/// assert_eq!(router.effective_shards(), 1);
+/// assert_eq!(router.route(ObjectId(6)), 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Builds a router over `shards` monitor replicas for `condition`,
+    /// collapsing to one shard when the condition is not object-local.
+    pub fn new(condition: MonitorCondition, shards: usize) -> Self {
+        let shards = if condition.is_object_local() {
+            shards.max(1)
+        } else {
+            1
+        };
+        ShardRouter { shards }
+    }
+
+    /// How many shards actually receive traffic.
+    pub fn effective_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that checks `object`.
+    pub fn route(&self, object: ObjectId) -> usize {
+        object.0 % self.shards
+    }
+}
+
+/// Recomposes per-shard verdicts into the verdict on the whole stream.
+///
+/// For an object-local condition this is the Herlihy–Wing composition
+/// direction: the stream is correct iff every per-object projection is, so
+/// the first shard violation (in shard order) decides, an `Unknown` from any
+/// shard (an exhausted budget) taints the composition, and otherwise the
+/// verdict is `Ok`.
+pub fn recompose_verdicts<I>(verdicts: I) -> MonitorVerdict
+where
+    I: IntoIterator<Item = MonitorVerdict>,
+{
+    let mut out = MonitorVerdict::Ok;
+    for verdict in verdicts {
+        match verdict {
+            MonitorVerdict::Violation(v) => return MonitorVerdict::Violation(v),
+            MonitorVerdict::Unknown => out = MonitorVerdict::Unknown,
+            MonitorVerdict::Ok => {}
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -251,6 +251,19 @@ impl<T> Sender<T> {
     pub fn stats(&self) -> ChannelStats {
         self.shared.queue.lock().expect("channel mutex").stats
     }
+
+    /// Items currently queued (a racy snapshot — only the sender-side can
+    /// make it grow, so a single producer may use it to keep a reserve of
+    /// free slots, the way the service's verdict plane holds seats for its
+    /// final summaries).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().expect("channel mutex").items.len()
+    }
+
+    /// The channel's capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.queue.lock().expect("channel mutex").capacity
+    }
 }
 
 impl<T> Clone for Sender<T> {

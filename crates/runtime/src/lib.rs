@@ -78,4 +78,4 @@ pub use harness::{
     run_counter_workload_pipelined, run_counter_workload_pipelined_faulty, CounterRun,
     HarnessOptions, MonitoredRun, PipelineOptions, PipelinedRun,
 };
-pub use recorder::{sharded_recorder, Recorder, RecorderShard, SinkStats};
+pub use recorder::{sharded_recorder, EventSink, Recorder, RecorderShard, SinkStats};

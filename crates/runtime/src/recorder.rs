@@ -362,6 +362,33 @@ impl Recorder {
     }
 }
 
+/// A destination for sequence-stamped events — the seam between recording
+/// and transport.
+///
+/// The frame-batched [`FrameSender`] is the in-process implementation; the
+/// monitoring *service* (`evlin-service`) implements the same trait over its
+/// wire codec, so a [`RecorderShard`] can stream straight into a remote
+/// monitor replica without the recording side knowing which transport sits
+/// underneath.  Implementations receive events already well-formed and in
+/// the producer's local order; `seq` values come from the shared global
+/// counter and are strictly increasing per producer.
+pub trait EventSink {
+    /// Accepts one sequence-stamped event.
+    fn accept(&mut self, seq: u64, event: Event);
+    /// Pushes any buffered events toward the consumer now.
+    fn flush(&mut self);
+}
+
+impl EventSink for FrameSender<Event> {
+    fn accept(&mut self, seq: u64, event: Event) {
+        self.push(seq, event);
+    }
+
+    fn flush(&mut self) {
+        FrameSender::flush(self);
+    }
+}
+
 /// One producer's handle of a sharded, frame-batched recorder
 /// (see [`sharded_recorder`]).
 ///
@@ -373,19 +400,36 @@ impl Recorder {
 /// filters *before* allocating a sequence number, so a clean shard stream
 /// has no gaps and the merge's output needs no gap-skipping pass.
 ///
+/// The shard is generic over its [`EventSink`] (defaulting to the in-process
+/// [`FrameSender`]); `evlin-service` plugs its wire-encoding client sink in
+/// here, which is how one recording path serves both the in-process pipeline
+/// and the networked service.
+///
 /// Contract: all events of a given process must go through the same shard
 /// (the harness maps one worker thread to one shard); the per-shard pending
 /// filter is exactly the global one under that mapping.
-pub struct RecorderShard {
+pub struct RecorderShard<S: EventSink = FrameSender<Event>> {
     seq: Arc<AtomicU64>,
-    sender: FrameSender<Event>,
+    sender: S,
     /// Pending `(process, object)` pairs on this shard — a couple of
     /// entries, so a linear scan beats any map.
     pending: Vec<(ProcessId, ObjectId)>,
     dropped_malformed: usize,
 }
 
-impl RecorderShard {
+impl<S: EventSink> RecorderShard<S> {
+    /// Builds a shard that filters, sequence-stamps (from the shared
+    /// counter) and forwards into `sink` — the recorder→client adapter used
+    /// by the monitoring service.
+    pub fn over(seq: Arc<AtomicU64>, sink: S) -> Self {
+        RecorderShard {
+            seq,
+            sender: sink,
+            pending: Vec::new(),
+            dropped_malformed: 0,
+        }
+    }
+
     /// Records an invocation event by `process` on `object`.
     pub fn invoke(&mut self, process: ProcessId, object: ObjectId, invocation: Invocation) {
         self.record(Event::invoke(process, object, invocation));
@@ -422,14 +466,28 @@ impl RecorderShard {
             }
         }
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
-        self.sender.push(seq, event);
+        self.sender.accept(seq, event);
     }
 
-    /// Ships the current partial frame now instead of waiting for it to fill.
+    /// Ships buffered events now instead of waiting for a frame to fill.
     pub fn flush(&mut self) {
         self.sender.flush();
     }
 
+    /// Events dropped by the well-formedness filter so far.
+    pub fn dropped_malformed(&self) -> usize {
+        self.dropped_malformed
+    }
+
+    /// Closes the shard, flushing buffered events, and hands the sink back
+    /// together with the filter's drop count.
+    pub fn into_sink(mut self) -> (S, usize) {
+        self.sender.flush();
+        (self.sender, self.dropped_malformed)
+    }
+}
+
+impl RecorderShard<FrameSender<Event>> {
     /// Frame-granularity fault counters, if this shard streams through a
     /// faulty link.
     pub fn fault_stats(&self) -> Option<ChannelFaultStats> {

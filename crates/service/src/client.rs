@@ -1,0 +1,248 @@
+//! The producer side: recording clients that stream events over the wire.
+//!
+//! A [`ServiceClient`] is the service-facing twin of the in-process
+//! [`evlin_runtime::RecorderShard`] — in fact it *is* a `RecorderShard`,
+//! instantiated over a [`WireSink`] that encodes frame batches with the
+//! [`crate::wire`] codec instead of pushing into an in-process ring.  The
+//! shared well-formedness filter and the shared global sequence counter are
+//! therefore byte-identical to the pipeline's, which is what lets the
+//! differential tests compare service verdicts against the offline kernel
+//! without normalizing anything.
+//!
+//! Lifecycle: [`ServiceClient`] sends a hello on construction, event frames
+//! while recording, and on [`ServiceClient::finish`] a final flush plus a
+//! shutdown frame carrying its event total and chained stream fingerprint.
+//! The returned [`ClosedClient`] then drains the replica's verdict plane
+//! ([`ClosedClient::collect_verdicts`]) until the service hangs up.
+
+use crate::transport::{FrameRx, FrameTx};
+use crate::wire::{
+    chain_fingerprint, decode_frame, encode_frame, event_batch_fingerprint, VerdictSummary,
+    WireError, WireFrame, VERSION,
+};
+use evlin_history::{Event, ObjectId, ProcessId};
+use evlin_runtime::{EventSink, RecorderShard};
+use evlin_spec::{Invocation, Value};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Client-side wire counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Event frames shipped.
+    pub frames: u64,
+    /// Events shipped inside those frames.
+    pub events: u64,
+    /// Frames shipped below capacity (explicit flushes and the stream tail).
+    pub partial_frames: u64,
+    /// Events recorded but dropped by the well-formedness filter before
+    /// they reached the wire.
+    pub dropped_malformed: u64,
+    /// Frames the transport refused because the replica side hung up.
+    pub send_failures: u64,
+}
+
+/// An [`EventSink`] that batches events into wire frames — the adapter that
+/// plugs the runtime recorder into a transport.
+pub struct WireSink {
+    tx: Box<dyn FrameTx>,
+    client: u32,
+    capacity: usize,
+    buf: Vec<(u64, Event)>,
+    frame_seq: u64,
+    stream_fingerprint: u64,
+    stats: ClientStats,
+}
+
+impl WireSink {
+    /// Wraps `tx`, batching up to `frame_capacity` events per frame.
+    pub fn new(tx: Box<dyn FrameTx>, client: u32, frame_capacity: usize) -> Self {
+        WireSink {
+            tx,
+            client,
+            capacity: frame_capacity.max(1),
+            buf: Vec::with_capacity(frame_capacity.max(1)),
+            frame_seq: 0,
+            stream_fingerprint: client as u64,
+            stats: ClientStats::default(),
+        }
+    }
+
+    fn ship(&mut self, partial: bool) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let events = std::mem::replace(&mut self.buf, Vec::with_capacity(self.capacity));
+        let fingerprint = event_batch_fingerprint(self.client, &events);
+        self.stats.frames += 1;
+        self.stats.events += events.len() as u64;
+        if partial {
+            self.stats.partial_frames += 1;
+        }
+        self.stream_fingerprint = chain_fingerprint(self.stream_fingerprint, fingerprint);
+        let frame = WireFrame::Events {
+            client: self.client,
+            frame_seq: self.frame_seq,
+            events,
+            fingerprint,
+        };
+        self.frame_seq += 1;
+        if self.tx.send(encode_frame(&frame)).is_err() {
+            self.stats.send_failures += 1;
+        }
+    }
+}
+
+impl EventSink for WireSink {
+    fn accept(&mut self, seq: u64, event: Event) {
+        self.buf.push((seq, event));
+        if self.buf.len() >= self.capacity {
+            self.ship(false);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.ship(true);
+    }
+}
+
+/// A producer client of the monitoring service.
+///
+/// Obtained from [`crate::replica::MonitorService::in_process`] or via
+/// [`ServiceClient::connect`] over any transport (TCP included).  One client
+/// serves one or more recording *processes*, but — like a recorder shard —
+/// all events of a given process must go through the same client.
+pub struct ServiceClient {
+    shard: RecorderShard<WireSink>,
+    rx: Box<dyn FrameRx>,
+}
+
+impl ServiceClient {
+    /// Builds a client over an already-connected transport, sending the
+    /// protocol hello immediately.
+    ///
+    /// `seq` is the shared global sequence source; every client of one
+    /// service run must hold a clone of the same counter so that the
+    /// replicas can merge streams back into the recorded real-time order.
+    pub fn connect(
+        mut tx: Box<dyn FrameTx>,
+        rx: Box<dyn FrameRx>,
+        client: u32,
+        seq: Arc<AtomicU64>,
+        frame_capacity: usize,
+    ) -> Result<Self, WireError> {
+        tx.send(encode_frame(&WireFrame::Hello {
+            client,
+            version: VERSION,
+        }))?;
+        let sink = WireSink::new(tx, client, frame_capacity);
+        Ok(ServiceClient {
+            shard: RecorderShard::over(seq, sink),
+            rx,
+        })
+    }
+
+    /// Connects to a service endpoint over loopback (or any reachable) TCP
+    /// and performs the hello handshake.
+    ///
+    /// The counterpart of [`crate::replica::MonitorService::loopback_tcp`];
+    /// the rules of [`ServiceClient::connect`] about the shared `seq`
+    /// counter apply unchanged.
+    pub fn connect_tcp(
+        addr: std::net::SocketAddr,
+        client: u32,
+        seq: Arc<AtomicU64>,
+        frame_capacity: usize,
+    ) -> Result<Self, WireError> {
+        let (tx, rx) = crate::transport::tcp_connect(addr)?;
+        ServiceClient::connect(Box::new(tx), Box::new(rx), client, seq, frame_capacity)
+    }
+
+    /// Records an invocation event by `process` on `object`.
+    pub fn invoke(&mut self, process: ProcessId, object: ObjectId, invocation: Invocation) {
+        self.shard.invoke(process, object, invocation);
+    }
+
+    /// Records a response event by `process` on `object`.
+    pub fn respond(&mut self, process: ProcessId, object: ObjectId, value: Value) {
+        self.shard.respond(process, object, value);
+    }
+
+    /// Ships the current partial frame now.
+    pub fn flush(&mut self) {
+        self.shard.flush();
+    }
+
+    /// Ends the client's stream: flushes the tail frame, sends the shutdown
+    /// frame (event total plus chained stream fingerprint) and half-closes
+    /// the sending direction.  The verdict plane stays open on the returned
+    /// [`ClosedClient`].
+    pub fn finish(self) -> ClosedClient {
+        let (mut sink, dropped_malformed) = self.shard.into_sink();
+        sink.stats.dropped_malformed = dropped_malformed as u64;
+        let shutdown = WireFrame::Shutdown {
+            client: sink.client,
+            events_sent: sink.stats.events,
+            stream_fingerprint: sink.stream_fingerprint,
+        };
+        if sink.tx.send(encode_frame(&shutdown)).is_err() {
+            sink.stats.send_failures += 1;
+        }
+        // End the sending direction: `close` half-closes a TCP socket, and
+        // dropping the tx hangs up a duplex channel.
+        let WireSink { mut tx, stats, .. } = sink;
+        tx.close();
+        drop(tx);
+        ClosedClient { rx: self.rx, stats }
+    }
+}
+
+/// A finished client still listening on the verdict plane.
+pub struct ClosedClient {
+    rx: Box<dyn FrameRx>,
+    stats: ClientStats,
+}
+
+impl ClosedClient {
+    /// Drains verdict frames until the service hangs up, returning every
+    /// round received together with the client's wire counters.
+    ///
+    /// Mid-run rounds ride a best-effort path and may be missing (their
+    /// round numbers expose the gaps); each shard's final summary is
+    /// delivered reliably, after every client's stream has ended.
+    pub fn collect_verdicts(mut self) -> ClientReport {
+        let mut summaries = Vec::new();
+        let mut protocol_errors = 0u64;
+        while let Ok(Some(bytes)) = self.rx.recv() {
+            match decode_frame(&bytes) {
+                Ok(WireFrame::Verdict(summary)) => summaries.push(summary),
+                Ok(_) | Err(_) => protocol_errors += 1,
+            }
+        }
+        ClientReport {
+            summaries,
+            stats: self.stats,
+            protocol_errors,
+        }
+    }
+}
+
+/// What a client saw over one service run.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// Verdict rounds received, in arrival order.
+    pub summaries: Vec<VerdictSummary>,
+    /// The client's wire counters.
+    pub stats: ClientStats,
+    /// Frames on the verdict plane that were not decodable verdicts.
+    pub protocol_errors: u64,
+}
+
+impl ClientReport {
+    /// The final summaries (one per shard that reported), in shard order.
+    pub fn final_summaries(&self) -> Vec<&VerdictSummary> {
+        let mut finals: Vec<&VerdictSummary> = self.summaries.iter().filter(|s| s.last).collect();
+        finals.sort_by_key(|s| s.shard);
+        finals
+    }
+}

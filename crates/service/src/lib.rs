@@ -1,0 +1,86 @@
+//! Sharded online-monitoring **service**: the client/replica split of the
+//! `evlin` monitor, with a documented wire protocol.
+//!
+//! The in-process pipeline (PR 7) put the recorder and the staged monitor in
+//! one address space.  This crate promotes that dataflow into a service: *N*
+//! producer clients encode their recorded events into compact binary frames
+//! and stream them over a transport to a pool of monitor **replicas**, one
+//! per object shard.  Sharding by object is sound precisely for the
+//! object-local conditions of Guerraoui & Ruppert — linearizability is
+//! local (Herlihy & Wing), so per-object verdicts recompose into the global
+//! verdict; the non-local conditions collapse to a single replica rather
+//! than risk an unsound split.
+//!
+//! ## Module map
+//!
+//! | module | role |
+//! |---|---|
+//! | [`wire`] | frame codec: byte layouts, fingerprints, versioning (see `docs/PROTOCOL.md`) |
+//! | [`transport`] | how frames move: in-process duplex (optionally faulted) and loopback TCP |
+//! | [`client`] | producer side: a recorder shard over a [`client::WireSink`] |
+//! | [`replica`] | service side: connection handlers, shard router, replica pool |
+//!
+//! ## Example
+//!
+//! An in-process service run, two clients, four replica shards:
+//!
+//! ```
+//! use evlin_checker::monitor::{MonitorCondition, MonitorConfig};
+//! use evlin_history::{ObjectId, ObjectUniverse, ProcessId};
+//! use evlin_service::{MonitorService, ServiceConfig};
+//! use evlin_spec::{FetchIncrement, Value};
+//!
+//! let mut universe = ObjectUniverse::new();
+//! for _ in 0..8 {
+//!     universe.add_object(FetchIncrement::new());
+//! }
+//! let config = ServiceConfig {
+//!     shards: 4,
+//!     monitor: MonitorConfig::for_condition(MonitorCondition::Linearizability),
+//!     ..ServiceConfig::default()
+//! };
+//! let (mut clients, service) = MonitorService::in_process(&universe, 2, config);
+//!
+//! // Each client records complete operations on its own process; every
+//! // response reports the object's true sequential counter value, so the
+//! // recorded history is linearizable by construction.
+//! let mut next = vec![0i64; 8];
+//! for (c, client) in clients.iter_mut().enumerate() {
+//!     let process = ProcessId(c);
+//!     for i in 0..16usize {
+//!         let object = ObjectId(i % 8);
+//!         client.invoke(process, object, FetchIncrement::fetch_inc());
+//!         client.respond(process, object, Value::Int(next[i % 8]));
+//!         next[i % 8] += 1;
+//!     }
+//! }
+//!
+//! // Wind down: clients first, then the service.
+//! let closed: Vec<_> = clients.into_iter().map(|c| c.finish()).collect();
+//! let report = service.finish();
+//! assert!(report.verdict.is_ok());
+//! assert_eq!(report.events(), 64);
+//!
+//! // Every client received each shard's reliable final verdict.
+//! for closed in closed {
+//!     let report = closed.collect_verdicts();
+//!     assert_eq!(report.final_summaries().len(), 4);
+//! }
+//! ```
+//!
+//! The loopback-TCP variant is the same dance with
+//! [`MonitorService::loopback_tcp`] and [`ServiceClient::connect_tcp`]; see
+//! `examples/loopback_demo.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod replica;
+pub mod transport;
+pub mod wire;
+
+pub use client::{ClientReport, ClientStats, ClosedClient, ServiceClient};
+pub use replica::{ConnStats, MonitorService, ServiceConfig, ServiceReport, ShardReport};
+pub use transport::{FrameRx, FrameTx};
+pub use wire::{VerdictSummary, WireError, WireFrame, VERSION};

@@ -1,0 +1,783 @@
+//! The replica side: connection handlers, the per-object shard router and
+//! the pool of staged monitor replicas.
+//!
+//! ## Topology
+//!
+//! ```text
+//!  conn 0 ──▶ handler 0 ─┐                 ┌─▶ merge+ingest 0 ──▶ check 0 ─┐
+//!  conn 1 ──▶ handler 1 ─┼─ ShardRouter ──┤        …                …      ├─▶ verdicts
+//!  conn … ──▶ handler … ─┘                 └─▶ merge+ingest M ──▶ check M ─┘
+//! ```
+//!
+//! One **handler** thread per client connection decodes wire frames
+//! (rejecting corruption at the codec layer), audits frame sequence numbers
+//! and routes each event — by [`ShardRouter`], a pure function of the
+//! [`evlin_history::ObjectId`] — into per-shard, per-producer frame rings.  Each **replica
+//! shard** then runs the PR-7 staged pipeline as its inner loop: a k-way
+//! merge restores global sequence order across clients, quiescent-cut
+//! ingest runs on the merge thread, and kernel checking runs on its own
+//! thread.  Per-object routing is sound exactly when the condition is
+//! object-local ([`evlin_checker::monitor::MonitorCondition::is_object_local`]); the router
+//! collapses to one shard otherwise, so a non-local condition can never be
+//! silently mis-sharded.
+//!
+//! ## Verdict plane
+//!
+//! Every checked batch produces a [`VerdictSummary`] round, broadcast to
+//! all connected clients *best-effort* (a saturated link drops the round —
+//! round numbers expose the gap).  Each shard's final summary is delivered
+//! *reliably*: mid-run sends leave `shards` slots of every bounded link
+//! unused ([`crate::transport::FrameTx::has_room`]), so the final blocking
+//! sends always find room and the wind-down cannot deadlock on a slow
+//! client.  The same final summaries come back in the [`ServiceReport`].
+
+use crate::client::ServiceClient;
+use crate::transport::{duplex, tcp_pair, FrameRx, FrameTx};
+use crate::wire::{
+    chain_fingerprint, decode_frame_with, encode_frame, VerdictSummary, WireFrame, VERSION,
+};
+use evlin_checker::monitor::{
+    recompose_verdicts, stages, IngestSummary, MonitorCheck, MonitorConfig, MonitorIngest,
+    MonitorReport, MonitorVerdict, SegmentBatch, ShardRouter,
+};
+use evlin_history::{Event, ObjectUniverse};
+use evlin_runtime::channel::sharded::{self, FrameSender, MergeStats};
+use evlin_runtime::channel::{self, Receiver, Sender};
+use evlin_runtime::FaultPlan;
+use evlin_sim::zobrist::fold_words;
+use evlin_spec::Invocation;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for one service run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Requested monitor replica shards (collapsed to 1 for conditions that
+    /// are not object-local).
+    pub shards: usize,
+    /// The monitor configuration every replica shard runs.
+    pub monitor: MonitorConfig,
+    /// Events per wire frame (clients) and per in-replica ring frame.
+    pub frame_capacity: usize,
+    /// In-flight frames per producer ring inside each replica shard.
+    pub ring_frames: usize,
+    /// Frames in flight per connection direction (duplex transport).
+    pub conn_frames: usize,
+    /// Segment batches in flight between a shard's ingest and check stages.
+    pub stage_queue: usize,
+    /// Frame-granularity fault plan injected under the client→replica
+    /// direction of the in-process transport (per-connection seeds derived
+    /// via [`FaultPlan::for_shard`]).  Ignored by the TCP transport.
+    pub fault: Option<FaultPlan>,
+    /// Retain each shard's post-filter accepted event stream in the report
+    /// — the hook the differential tests pin the offline kernel against.
+    pub capture_streams: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 1,
+            monitor: MonitorConfig::default(),
+            frame_capacity: 512,
+            ring_frames: 8,
+            conn_frames: 64,
+            stage_queue: 8,
+            fault: None,
+            capture_streams: false,
+        }
+    }
+}
+
+/// Wire-level counters for one client connection, as seen by its handler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Event frames accepted (decoded and fingerprint-verified).
+    pub frames: u64,
+    /// Events delivered to the shard router.
+    pub events: u64,
+    /// Frames dropped whole: codec rejections, including event-batch
+    /// fingerprint mismatches.
+    pub corrupt_frames: u64,
+    /// Forward jumps in the per-client frame sequence (lost frames).
+    pub frame_gaps: u64,
+    /// Frame-sequence regressions (duplicated or reordered frames).
+    pub misordered_frames: u64,
+    /// Hello frames seen.
+    pub hellos: u64,
+    /// Hello frames announcing an unsupported protocol version; the
+    /// connection stops routing events after one.
+    pub bad_hellos: u64,
+    /// Shutdown frames seen.
+    pub shutdowns: u64,
+    /// Shutdown audits that failed: the client's announced event total or
+    /// chained stream fingerprint disagreed with what this handler accepted
+    /// (expected under a lossy transport — it is the loss *detector*).
+    pub shutdown_mismatches: u64,
+    /// Frames that were structurally valid but illegal in this direction or
+    /// connection state.
+    pub protocol_errors: u64,
+}
+
+/// One replica shard's contribution to the [`ServiceReport`].
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// The staged monitor's report for this shard's substream.
+    pub report: MonitorReport,
+    /// k-way merge counters (frames, events, misordered frames…).
+    pub merge: MergeStats,
+    /// Events the monitor's well-formedness filter rejected (orphan
+    /// responses and double invocations produced by transport faults).
+    pub rejected_events: u64,
+    /// Verdict rounds the shard emitted (including the final one).
+    pub rounds: u64,
+    /// The shard's final verdict summary, as sent on the wire.
+    pub summary: VerdictSummary,
+}
+
+/// What one service run produced.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// The recomposed verdict over all shards
+    /// ([`recompose_verdicts`]).
+    pub verdict: MonitorVerdict,
+    /// Per-shard reports, indexed by shard.
+    pub shards: Vec<ShardReport>,
+    /// Per-connection wire counters, indexed by connection order.
+    pub connections: Vec<ConnStats>,
+    /// Mid-run verdict rounds dropped on saturated client links.
+    pub verdicts_dropped: u64,
+    /// Each shard's accepted (post-filter) event stream, present when
+    /// [`ServiceConfig::capture_streams`] was set.
+    pub accepted_streams: Option<Vec<Vec<Event>>>,
+}
+
+impl ServiceReport {
+    /// Total events checked across all shards.
+    pub fn events(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.report.stats.events as u64)
+            .sum()
+    }
+
+    /// Total completed operations decided across all shards.
+    pub fn checked_ops(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.report.stats.checked_ops as u64)
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Verdict fanout
+// ---------------------------------------------------------------------------
+
+struct Fanout {
+    writers: Mutex<Vec<Option<Box<dyn FrameTx>>>>,
+    /// Slots every bounded link keeps free for final summaries.
+    reserve: usize,
+    dropped: AtomicU64,
+}
+
+impl Fanout {
+    fn new(conns: usize, reserve: usize) -> Self {
+        let mut writers = Vec::with_capacity(conns);
+        writers.resize_with(conns, || None);
+        Fanout {
+            writers: Mutex::new(writers),
+            reserve,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn register(&self, conn: usize, tx: Box<dyn FrameTx>) {
+        self.writers.lock().expect("fanout lock")[conn] = Some(tx);
+    }
+
+    fn broadcast(&self, summary: &VerdictSummary, reliable: bool) {
+        let bytes = encode_frame(&WireFrame::Verdict(summary.clone()));
+        let mut writers = self.writers.lock().expect("fanout lock");
+        for writer in writers.iter_mut().flatten() {
+            if reliable {
+                // Non-blocking by construction: best-effort sends always
+                // left `reserve` (= shards) slots free, and this lock is the
+                // only producer of the link.
+                let _ = writer.send(bytes.clone());
+            } else if writer.has_room(self.reserve) {
+                if !writer.try_send(bytes.clone()).unwrap_or(true) {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn close_all(&self) {
+        let mut writers = self.writers.lock().expect("fanout lock");
+        for slot in writers.iter_mut() {
+            if let Some(mut tx) = slot.take() {
+                tx.close();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slot claims: connection → per-shard senders
+// ---------------------------------------------------------------------------
+
+struct ClaimTable {
+    slots: Mutex<Vec<Option<Vec<FrameSender<Event>>>>>,
+}
+
+impl ClaimTable {
+    fn new(slots: Vec<Vec<FrameSender<Event>>>) -> Self {
+        ClaimTable {
+            slots: Mutex::new(slots.into_iter().map(Some).collect()),
+        }
+    }
+
+    /// Claims the sender set for `client`, falling back to any free slot
+    /// when the announced id is out of range or already taken (each slot
+    /// feeds an equivalent ring set, so the fallback only affects
+    /// attribution, never correctness).
+    fn claim(&self, client: u32) -> Option<Vec<FrameSender<Event>>> {
+        let mut slots = self.slots.lock().expect("claim lock");
+        let preferred = client as usize;
+        if let Some(set @ Some(_)) = slots.get_mut(preferred) {
+            return set.take();
+        }
+        slots.iter_mut().find_map(|s| s.take())
+    }
+
+    /// Drops every unclaimed sender set so the merges see end-of-stream
+    /// even for connections that never sent an identifiable frame.
+    fn drain(&self) {
+        self.slots.lock().expect("claim lock").clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handler
+// ---------------------------------------------------------------------------
+
+fn run_handler(
+    conn: usize,
+    mut rx: Box<dyn FrameRx>,
+    writer: Box<dyn FrameTx>,
+    claims: Arc<ClaimTable>,
+    fanout: Arc<Fanout>,
+    router: ShardRouter,
+) -> ConnStats {
+    fanout.register(conn, writer);
+    let mut stats = ConnStats::default();
+    let mut interner: Vec<Invocation> = Vec::new();
+    let mut senders: Option<Vec<FrameSender<Event>>> = None;
+    let mut next_frame_seq: u64 = 0;
+    let mut chain: u64 = 0;
+    let mut delivered: u64 = 0;
+    let mut version_rejected = false;
+    loop {
+        let bytes = match rx.recv() {
+            Ok(Some(bytes)) => bytes,
+            // A clean close and a transport failure both end the
+            // connection; the failure additionally counts as corruption.
+            Ok(None) => break,
+            Err(_) => {
+                stats.corrupt_frames += 1;
+                break;
+            }
+        };
+        let frame = match decode_frame_with(&bytes, &mut interner) {
+            Ok(frame) => frame,
+            Err(_) => {
+                // Fault-tolerance contract: a frame the codec rejects —
+                // truncation, bad tags, fingerprint mismatch — is dropped
+                // whole and counted; the stream continues.
+                stats.corrupt_frames += 1;
+                continue;
+            }
+        };
+        match frame {
+            WireFrame::Hello { client, version } => {
+                stats.hellos += 1;
+                if version != VERSION {
+                    stats.bad_hellos += 1;
+                    version_rejected = true;
+                } else if senders.is_none() {
+                    chain = client as u64;
+                    senders = claims.claim(client);
+                }
+            }
+            WireFrame::Events {
+                client,
+                frame_seq,
+                events,
+                fingerprint,
+            } => {
+                if version_rejected {
+                    stats.protocol_errors += 1;
+                    continue;
+                }
+                if senders.is_none() {
+                    // The hello was lost (or never sent); event frames are
+                    // self-describing, so adopt the id they carry.
+                    chain = client as u64;
+                    senders = claims.claim(client);
+                }
+                // Sequence audit: gaps are loss, regressions are
+                // duplication/reordering.  Either way the events are still
+                // delivered — the monitor's well-formedness filter decides
+                // what survives — so counting is observability, not policy.
+                if frame_seq > next_frame_seq {
+                    stats.frame_gaps += 1;
+                    next_frame_seq = frame_seq + 1;
+                } else if frame_seq < next_frame_seq {
+                    stats.misordered_frames += 1;
+                } else {
+                    next_frame_seq = frame_seq + 1;
+                }
+                chain = chain_fingerprint(chain, fingerprint);
+                stats.frames += 1;
+                stats.events += events.len() as u64;
+                delivered += events.len() as u64;
+                if let Some(senders) = &mut senders {
+                    for (seq, event) in events {
+                        let shard = router.route(event.object);
+                        senders[shard].push(seq, event);
+                    }
+                    // Ship per wire frame: the sender's own batching would
+                    // otherwise sit on a trickling client's events until its
+                    // stream ends, starving the sequence-ordered merge (which
+                    // cannot emit past a claimed ring it has heard nothing
+                    // from).  One wire frame in, at most one ring frame out
+                    // per shard.
+                    for sender in senders.iter_mut() {
+                        sender.flush();
+                    }
+                }
+            }
+            WireFrame::Shutdown {
+                client: _,
+                events_sent,
+                stream_fingerprint,
+            } => {
+                stats.shutdowns += 1;
+                if events_sent != delivered || stream_fingerprint != chain {
+                    stats.shutdown_mismatches += 1;
+                }
+            }
+            WireFrame::Verdict(_) => {
+                // Verdicts flow replica→client only.
+                stats.protocol_errors += 1;
+            }
+        }
+    }
+    if let Some(senders) = &mut senders {
+        for sender in senders.iter_mut() {
+            sender.flush();
+        }
+    }
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// Replica shard stages
+// ---------------------------------------------------------------------------
+
+enum StageMsg {
+    Batch(SegmentBatch),
+    Final(SegmentBatch, IngestSummary),
+}
+
+struct IngestOut {
+    merge: MergeStats,
+    rejected: u64,
+    accepted: Option<Vec<Event>>,
+}
+
+fn run_merge_ingest(
+    mut merge: sharded::FrameMerge<Event>,
+    mut ingest: MonitorIngest,
+    tx: Sender<StageMsg>,
+    capture: bool,
+) -> IngestOut {
+    let mut buf: Vec<(u64, Event)> = Vec::new();
+    let mut rejected = 0u64;
+    let mut accepted = capture.then(Vec::new);
+    loop {
+        buf.clear();
+        if merge.recv_sorted(&mut buf, 1024) == 0 {
+            break;
+        }
+        for (_seq, event) in buf.drain(..) {
+            let kept = if let Some(acc) = &mut accepted {
+                let clone = event.clone();
+                let ok = ingest.ingest(event).is_ok();
+                if ok {
+                    acc.push(clone);
+                }
+                ok
+            } else {
+                ingest.ingest(event).is_ok()
+            };
+            if !kept {
+                rejected += 1;
+            }
+        }
+        while let Some(batch) = ingest.take_ready_batch() {
+            if tx.send(StageMsg::Batch(batch)).is_err() {
+                break;
+            }
+        }
+    }
+    let (tail, summary) = ingest.finish();
+    let _ = tx.send(StageMsg::Final(tail, summary));
+    IngestOut {
+        merge: merge.stats(),
+        rejected,
+        accepted,
+    }
+}
+
+struct CheckOut {
+    report: MonitorReport,
+    rounds: u64,
+    summary: VerdictSummary,
+}
+
+fn run_check(
+    shard: u32,
+    mut check: MonitorCheck,
+    rx: Receiver<StageMsg>,
+    fanout: Arc<Fanout>,
+) -> CheckOut {
+    let mut round = 0u64;
+    let mut events_cum = 0u64;
+    let mut keys: Vec<u64> = Vec::new();
+    while let Some(msg) = rx.recv() {
+        match msg {
+            StageMsg::Batch(batch) => {
+                round += 1;
+                events_cum += batch.events() as u64;
+                keys.clear();
+                keys.extend(batch.segment_keys());
+                check.check_batch(batch);
+                fanout.broadcast(
+                    &VerdictSummary {
+                        shard,
+                        round,
+                        events: events_cum,
+                        checked_ops: 0,
+                        fingerprint: fold_words(shard as u64, &keys),
+                        last: false,
+                        verdict: check.verdict_so_far(),
+                    },
+                    false,
+                );
+            }
+            StageMsg::Final(tail, summary) => {
+                round += 1;
+                let report = check.finish(tail, summary);
+                let final_summary = VerdictSummary {
+                    shard,
+                    round,
+                    events: report.stats.events as u64,
+                    checked_ops: report.stats.checked_ops as u64,
+                    fingerprint: report.stats.stream_fingerprint,
+                    last: true,
+                    verdict: report.verdict.clone(),
+                };
+                fanout.broadcast(&final_summary, true);
+                return CheckOut {
+                    report,
+                    rounds: round,
+                    summary: final_summary,
+                };
+            }
+        }
+    }
+    unreachable!("the ingest stage always sends a final batch before closing")
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+enum HandlerJoins {
+    /// Handlers spawned directly (in-process transport).
+    Direct(Vec<JoinHandle<ConnStats>>),
+    /// An acceptor thread that spawns one handler per accepted socket.
+    Accepted(JoinHandle<Vec<JoinHandle<ConnStats>>>),
+}
+
+/// A running pool of monitor replicas behind a shard router.
+///
+/// Built with [`MonitorService::in_process`] (duplex channels, optionally
+/// faulted) or [`MonitorService::loopback_tcp`] (real sockets).  Threads:
+/// one handler per connection, plus a merge+ingest and a check thread per
+/// replica shard.  [`MonitorService::finish`] joins everything — call it
+/// after every client has finished — and returns the [`ServiceReport`].
+///
+/// # Liveness
+///
+/// Replicas reassemble the *global* sequence order, so a shard's merge can
+/// only advance past a client's ring once that client has sent something
+/// (or closed).  Mid-run checking therefore proceeds at the pace of the
+/// slowest producer, and clients are expected to run on independent
+/// threads: a single thread driving several clients against small
+/// `conn_frames`/`ring_frames` budgets can deadlock itself through the
+/// back-pressure cycle.  Give each client its own thread (the intended
+/// shape), or size the buffers above the in-flight event count.
+pub struct MonitorService {
+    handlers: HandlerJoins,
+    ingest_joins: Vec<JoinHandle<IngestOut>>,
+    check_joins: Vec<JoinHandle<CheckOut>>,
+    claims: Arc<ClaimTable>,
+    fanout: Arc<Fanout>,
+}
+
+struct Core {
+    claims: Arc<ClaimTable>,
+    fanout: Arc<Fanout>,
+    router: ShardRouter,
+    ingest_joins: Vec<JoinHandle<IngestOut>>,
+    check_joins: Vec<JoinHandle<CheckOut>>,
+}
+
+fn spawn_core(universe: &ObjectUniverse, conns: usize, config: &ServiceConfig) -> Core {
+    let router = ShardRouter::new(config.monitor.condition, config.shards);
+    let shards = router.effective_shards();
+    let fanout = Arc::new(Fanout::new(conns, shards));
+    let mut per_conn: Vec<Vec<FrameSender<Event>>> =
+        (0..conns).map(|_| Vec::with_capacity(shards)).collect();
+    let mut ingest_joins = Vec::with_capacity(shards);
+    let mut check_joins = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let (senders, merge) = sharded::sharded::<Event>(
+            conns.max(1),
+            config.ring_frames,
+            config.frame_capacity,
+            None,
+        );
+        for (conn, sender) in senders.into_iter().enumerate().take(conns) {
+            per_conn[conn].push(sender);
+        }
+        let (ingest, check) = stages(universe.clone(), config.monitor);
+        let (stage_tx, stage_rx) = channel::bounded(config.stage_queue.max(1));
+        let capture = config.capture_streams;
+        ingest_joins.push(
+            std::thread::Builder::new()
+                .name(format!("evlin-svc-ingest-{shard}"))
+                .spawn(move || run_merge_ingest(merge, ingest, stage_tx, capture))
+                .expect("spawn ingest thread"),
+        );
+        let fanout = Arc::clone(&fanout);
+        check_joins.push(
+            std::thread::Builder::new()
+                .name(format!("evlin-svc-check-{shard}"))
+                .spawn(move || run_check(shard as u32, check, stage_rx, fanout))
+                .expect("spawn check thread"),
+        );
+    }
+    Core {
+        claims: Arc::new(ClaimTable::new(per_conn)),
+        fanout,
+        router,
+        ingest_joins,
+        check_joins,
+    }
+}
+
+impl MonitorService {
+    /// Spawns a service over in-process duplex links and returns its
+    /// connected clients.
+    ///
+    /// With [`ServiceConfig::fault`], every client→replica link runs behind
+    /// its own seed-derived frame-level fault injector; the replica→client
+    /// verdict plane stays clean.
+    pub fn in_process(
+        universe: &ObjectUniverse,
+        clients: usize,
+        config: ServiceConfig,
+    ) -> (Vec<ServiceClient>, MonitorService) {
+        let core = spawn_core(universe, clients, &config);
+        let conn_frames = config.conn_frames.max(1);
+        // The verdict plane reserves one slot per shard for final
+        // summaries; size the replica→client direction so a reserve exists.
+        let verdict_frames = conn_frames.max(core.router.effective_shards() + 1);
+        let seq = Arc::new(AtomicU64::new(0));
+        let mut service_clients = Vec::with_capacity(clients);
+        let mut handler_joins = Vec::with_capacity(clients);
+        for conn in 0..clients {
+            let plan = config.fault.map(|p| p.for_shard(conn));
+            let (client_tx, server_rx) = duplex(conn_frames, plan);
+            let (server_tx, client_rx) = duplex(verdict_frames, None);
+            let client = ServiceClient::connect(
+                Box::new(client_tx),
+                Box::new(client_rx),
+                conn as u32,
+                Arc::clone(&seq),
+                config.frame_capacity,
+            )
+            .expect("duplex hello cannot fail: the ring is empty and open");
+            service_clients.push(client);
+            let claims = Arc::clone(&core.claims);
+            let fanout = Arc::clone(&core.fanout);
+            let router = core.router;
+            handler_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("evlin-svc-conn-{conn}"))
+                    .spawn(move || {
+                        run_handler(
+                            conn,
+                            Box::new(server_rx),
+                            Box::new(server_tx),
+                            claims,
+                            fanout,
+                            router,
+                        )
+                    })
+                    .expect("spawn handler thread"),
+            );
+        }
+        (
+            service_clients,
+            MonitorService {
+                handlers: HandlerJoins::Direct(handler_joins),
+                ingest_joins: core.ingest_joins,
+                check_joins: core.check_joins,
+                claims: core.claims,
+                fanout: core.fanout,
+            },
+        )
+    }
+
+    /// Spawns a service listening on an ephemeral loopback TCP port,
+    /// expecting exactly `clients` connections
+    /// (via [`ServiceClient::connect_tcp`]).
+    ///
+    /// Returns the address to connect to.  [`ServiceConfig::fault`] is
+    /// ignored: fault injection is a property of the in-process shim; TCP
+    /// delivers frames reliably or not at all.
+    pub fn loopback_tcp(
+        universe: &ObjectUniverse,
+        clients: usize,
+        config: ServiceConfig,
+    ) -> std::io::Result<(SocketAddr, MonitorService)> {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let core = spawn_core(universe, clients, &config);
+        let claims = Arc::clone(&core.claims);
+        let fanout = Arc::clone(&core.fanout);
+        let router = core.router;
+        let acceptor = std::thread::Builder::new()
+            .name("evlin-svc-accept".into())
+            .spawn(move || {
+                let mut joins = Vec::with_capacity(clients);
+                for conn in 0..clients {
+                    let Ok((stream, _)) = listener.accept() else {
+                        break;
+                    };
+                    let _ = stream.set_nodelay(true);
+                    let Ok((tx, rx)) = tcp_pair(stream) else {
+                        continue;
+                    };
+                    let claims = Arc::clone(&claims);
+                    let fanout = Arc::clone(&fanout);
+                    joins.push(
+                        std::thread::Builder::new()
+                            .name(format!("evlin-svc-conn-{conn}"))
+                            .spawn(move || {
+                                run_handler(
+                                    conn,
+                                    Box::new(rx),
+                                    Box::new(tx),
+                                    claims,
+                                    fanout,
+                                    router,
+                                )
+                            })
+                            .expect("spawn handler thread"),
+                    );
+                }
+                joins
+            })
+            .expect("spawn acceptor thread");
+        Ok((
+            addr,
+            MonitorService {
+                handlers: HandlerJoins::Accepted(acceptor),
+                ingest_joins: core.ingest_joins,
+                check_joins: core.check_joins,
+                claims: core.claims,
+                fanout: core.fanout,
+            },
+        ))
+    }
+
+    /// Winds the service down and returns its report.
+    ///
+    /// Call after every client finished its stream: handlers are joined
+    /// first (they exit on connection end-of-stream), unclaimed rings are
+    /// released, the replica shards drain and report, and finally the
+    /// verdict plane is closed so [`crate::client::ClosedClient`] readers
+    /// see end-of-stream.
+    pub fn finish(self) -> ServiceReport {
+        let connections: Vec<ConnStats> = match self.handlers {
+            HandlerJoins::Direct(joins) => joins
+                .into_iter()
+                .map(|j| j.join().expect("handler thread"))
+                .collect(),
+            HandlerJoins::Accepted(acceptor) => acceptor
+                .join()
+                .expect("acceptor thread")
+                .into_iter()
+                .map(|j| j.join().expect("handler thread"))
+                .collect(),
+        };
+        // Connections that never identified themselves still hold ring
+        // slots; release them so the merges can reach end-of-stream.
+        self.claims.drain();
+        let ingests: Vec<IngestOut> = self
+            .ingest_joins
+            .into_iter()
+            .map(|j| j.join().expect("ingest thread"))
+            .collect();
+        let checks: Vec<CheckOut> = self
+            .check_joins
+            .into_iter()
+            .map(|j| j.join().expect("check thread"))
+            .collect();
+        self.fanout.close_all();
+        let accepted_streams = ingests.iter().all(|i| i.accepted.is_some()).then(|| {
+            ingests
+                .iter()
+                .map(|i| i.accepted.clone().unwrap())
+                .collect()
+        });
+        let shards: Vec<ShardReport> = ingests
+            .into_iter()
+            .zip(checks)
+            .map(|(ingest, check)| ShardReport {
+                report: check.report,
+                merge: ingest.merge,
+                rejected_events: ingest.rejected,
+                rounds: check.rounds,
+                summary: check.summary,
+            })
+            .collect();
+        ServiceReport {
+            verdict: recompose_verdicts(shards.iter().map(|s| s.report.verdict.clone())),
+            shards,
+            connections,
+            verdicts_dropped: self.fanout.dropped.load(Ordering::Relaxed),
+            accepted_streams,
+        }
+    }
+}

@@ -1,0 +1,751 @@
+//! The binary wire format — the codec side of `docs/PROTOCOL.md`.
+//!
+//! Every frame is length-prefixed and self-describing: a little-endian
+//! `u32` body length, a one-byte frame tag, then the tag's body.  Event
+//! frames are sequence-stamped per event and carry a
+//! [`evlin_sim::zobrist::fold_words`] fingerprint over the interleaved
+//! `(seq, event_word)` words, mirroring the in-process frame transport's
+//! integrity check (`evlin_runtime::Frame`), so a replica detects payload
+//! corruption — not just truncation — before any event reaches a monitor.
+//!
+//! The codec is pure: [`encode_frame`] and [`decode_frame`] translate
+//! between [`WireFrame`] values and byte vectors with no I/O, which is what
+//! makes the round-trip property (`decode ∘ encode = id`) directly
+//! proptestable.  See `docs/PROTOCOL.md` for the byte-level layout tables;
+//! the constants and field orders here are the normative implementation.
+//!
+//! ```
+//! use evlin_history::{Event, ObjectId, ProcessId};
+//! use evlin_service::wire::{decode_frame, encode_frame, event_batch_fingerprint, WireFrame};
+//! use evlin_spec::FetchIncrement;
+//!
+//! let events = vec![(7u64, Event::invoke(ProcessId(0), ObjectId(3), FetchIncrement::fetch_inc()))];
+//! let frame = WireFrame::Events {
+//!     client: 2,
+//!     frame_seq: 0,
+//!     fingerprint: event_batch_fingerprint(2, &events),
+//!     events,
+//! };
+//! let bytes = encode_frame(&frame);
+//! assert_eq!(decode_frame(&bytes).unwrap(), frame);
+//! ```
+
+use evlin_checker::monitor::{event_word, MonitorVerdict, MonitorViolation};
+use evlin_history::{Event, ObjectId, ProcessId};
+use evlin_sim::zobrist::fold_words;
+use evlin_spec::{Invocation, Value};
+use std::fmt;
+
+/// Protocol magic, the ASCII bytes `EVLN` read as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"EVLN");
+
+/// Protocol version carried in every [`WireFrame::Hello`].  A replica
+/// rejects a connection whose hello announces any other version; frames
+/// themselves are not version-stamped (the handshake pins the connection).
+pub const VERSION: u16 = 1;
+
+/// Upper bound on a frame body, guarding length-prefix corruption: a flipped
+/// length bit must produce a decode error, not a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 26;
+
+/// Frame tag bytes (the byte after the length prefix).
+pub mod tag {
+    /// [`super::WireFrame::Hello`].
+    pub const HELLO: u8 = 1;
+    /// [`super::WireFrame::Events`].
+    pub const EVENTS: u8 = 2;
+    /// [`super::WireFrame::Verdict`].
+    pub const VERDICT: u8 = 3;
+    /// [`super::WireFrame::Shutdown`].
+    pub const SHUTDOWN: u8 = 4;
+}
+
+/// Everything that can appear on the wire, in decoded form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFrame {
+    /// Connection handshake, sent once by the client before anything else.
+    Hello {
+        /// The producer's client id (its slot in the replica pool).
+        client: u32,
+        /// The protocol version the client speaks ([`VERSION`]).
+        version: u16,
+    },
+    /// A batch of sequence-stamped events.
+    Events {
+        /// The sending client.
+        client: u32,
+        /// Per-client frame counter (0, 1, 2, …) — gaps and regressions in
+        /// this number are how a replica counts lost and reordered frames.
+        frame_seq: u64,
+        /// `(global sequence number, event)` pairs in send order.
+        events: Vec<(u64, Event)>,
+        /// [`event_batch_fingerprint`] over `client` and `events`; verified
+        /// during decode.
+        fingerprint: u64,
+    },
+    /// A verdict round from one monitor replica shard.
+    Verdict(VerdictSummary),
+    /// End of a client's stream, carrying totals the replica can audit.
+    Shutdown {
+        /// The sending client.
+        client: u32,
+        /// Events the client pushed onto the wire over the connection.
+        events_sent: u64,
+        /// The client's chained stream fingerprint (see
+        /// [`chain_fingerprint`]) over every event frame it sent.
+        stream_fingerprint: u64,
+    },
+}
+
+/// One round of a replica shard's verdict plane.
+///
+/// Rounds are numbered per shard (1, 2, …); because mid-run rounds ride a
+/// lossy best-effort path (see `docs/PROTOCOL.md`), the number is what lets
+/// a client detect that it missed one.  The final round of a shard has
+/// [`VerdictSummary::last`] set and is delivered reliably.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictSummary {
+    /// The reporting shard.
+    pub shard: u32,
+    /// Round number within the shard, starting at 1.
+    pub round: u64,
+    /// Events the shard's monitor has checked through this round.
+    pub events: u64,
+    /// Completed operations decided (populated on the final round).
+    pub checked_ops: u64,
+    /// Mid-run rounds: `fold_words` over the round's segment keys, seeded by
+    /// the shard id.  Final round: the monitor's canonical stream
+    /// fingerprint.
+    pub fingerprint: u64,
+    /// Whether this is the shard's final summary.
+    pub last: bool,
+    /// The verdict as of this round.
+    pub verdict: MonitorVerdict,
+}
+
+/// Decode failures, each naming the layer that rejected the bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the announced structure does.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes it had.
+        have: usize,
+    },
+    /// The length prefix disagrees with the buffer length.
+    LengthMismatch {
+        /// Length the prefix announced (body bytes).
+        announced: usize,
+        /// Body bytes actually present.
+        have: usize,
+    },
+    /// A frame body larger than [`MAX_FRAME_BYTES`] was announced.
+    FrameTooLarge(usize),
+    /// An unknown frame tag.
+    BadTag(u8),
+    /// A hello frame without the protocol magic.
+    BadMagic(u32),
+    /// An unknown [`Value`] tag inside an event payload.
+    BadValueTag(u8),
+    /// An unknown event-kind or verdict-status byte.
+    BadKind(u8),
+    /// A method name or detail string that is not UTF-8.
+    BadUtf8,
+    /// Bytes left over after the frame's structure ended.
+    TrailingBytes(usize),
+    /// The event batch fingerprint did not match the payload.
+    FingerprintMismatch {
+        /// Fingerprint carried by the frame.
+        announced: u64,
+        /// Fingerprint recomputed from the decoded events.
+        computed: u64,
+    },
+    /// The underlying transport failed (connection reset, poisoned lock…).
+    Transport(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} bytes, have {have}")
+            }
+            WireError::LengthMismatch { announced, have } => {
+                write!(
+                    f,
+                    "length prefix announced {announced} body bytes, have {have}"
+                )
+            }
+            WireError::FrameTooLarge(n) => write!(f, "frame body of {n} bytes exceeds the cap"),
+            WireError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            WireError::BadMagic(m) => write!(f, "bad protocol magic {m:#010x}"),
+            WireError::BadValueTag(t) => write!(f, "unknown value tag {t:#04x}"),
+            WireError::BadKind(k) => write!(f, "unknown kind/status byte {k:#04x}"),
+            WireError::BadUtf8 => write!(f, "non-UTF-8 string field"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame body"),
+            WireError::FingerprintMismatch {
+                announced,
+                computed,
+            } => write!(
+                f,
+                "event batch fingerprint mismatch: frame says {announced:#018x}, \
+                 payload folds to {computed:#018x}"
+            ),
+            WireError::Transport(msg) => write!(f, "transport error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The fingerprint an event frame must carry: `fold_words` seeded by the
+/// client id over the interleaved `(seq, event_word)` words of the batch.
+///
+/// Covering the packed [`event_word`] alongside each sequence number means a
+/// corrupted payload byte (not just a missing event) flips the fingerprint,
+/// and seeding by client id keeps identical batches from different clients
+/// distinguishable — the same discipline as the in-process frame transport.
+pub fn event_batch_fingerprint(client: u32, events: &[(u64, Event)]) -> u64 {
+    let mut words = Vec::with_capacity(events.len() * 2);
+    for (seq, event) in events {
+        words.push(*seq);
+        words.push(event_word(event));
+    }
+    fold_words(client as u64, &words)
+}
+
+/// One link of a client's *chained* stream fingerprint: the previous chain
+/// value seeds a fold over the new frame's batch fingerprint.
+///
+/// `fold_words` finalizes with the word count, so folds do not concatenate;
+/// chaining frame-by-frame (`chain₀ = client id`,
+/// `chainₖ₊₁ = fold_words(chainₖ, [frame fingerprintₖ])`) gives both sides
+/// an O(1)-memory running fingerprint that is order- and loss-sensitive.
+/// The final value rides the shutdown frame; a replica that accepted a
+/// different frame sequence (loss, duplication, reordering) computes a
+/// different chain, which is the end-of-stream loss audit.
+pub fn chain_fingerprint(chain: u64, frame_fingerprint: u64) -> u64 {
+    fold_words(chain, &[frame_fingerprint])
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    put_u16(out, len as u16);
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn put_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Unit => out.push(0),
+        Value::Bottom => out.push(1),
+        Value::Bool(b) => {
+            out.push(2);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(3);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Sym(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Value::Pair(a, b) => {
+            out.push(5);
+            put_value(out, a);
+            put_value(out, b);
+        }
+        Value::List(items) => {
+            out.push(6);
+            put_u32(out, items.len() as u32);
+            for item in items {
+                put_value(out, item);
+            }
+        }
+    }
+}
+
+fn put_event(out: &mut Vec<u8>, event: &Event) {
+    put_u32(out, event.process.0 as u32);
+    put_u32(out, event.object.0 as u32);
+    match &event.kind {
+        evlin_history::EventKind::Invoke(inv) => {
+            out.push(0);
+            put_str(out, inv.method());
+            out.push(inv.args().len().min(u8::MAX as usize) as u8);
+            for arg in inv.args() {
+                put_value(out, arg);
+            }
+        }
+        evlin_history::EventKind::Respond(value) => {
+            out.push(1);
+            put_value(out, value);
+        }
+    }
+}
+
+fn put_verdict(out: &mut Vec<u8>, verdict: &MonitorVerdict) {
+    match verdict {
+        MonitorVerdict::Ok => out.push(0),
+        MonitorVerdict::Unknown => out.push(2),
+        MonitorVerdict::Violation(v) => {
+            out.push(1);
+            put_u64(out, v.segment_start as u64);
+            put_u64(out, v.segment_len as u64);
+            match v.object {
+                Some(object) => {
+                    out.push(1);
+                    put_u32(out, object.0 as u32);
+                }
+                None => out.push(0),
+            }
+            match v.op {
+                Some(op) => {
+                    out.push(1);
+                    put_u64(out, op.0 as u64);
+                }
+                None => out.push(0),
+            }
+            put_str(out, &v.detail);
+        }
+    }
+}
+
+/// Encodes a frame into its full wire bytes (length prefix included).
+pub fn encode_frame(frame: &WireFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&[0; 4]); // length prefix, patched below
+    match frame {
+        WireFrame::Hello { client, version } => {
+            out.push(tag::HELLO);
+            put_u32(&mut out, MAGIC);
+            put_u16(&mut out, *version);
+            put_u32(&mut out, *client);
+        }
+        WireFrame::Events {
+            client,
+            frame_seq,
+            events,
+            fingerprint,
+        } => {
+            out.push(tag::EVENTS);
+            put_u32(&mut out, *client);
+            put_u64(&mut out, *frame_seq);
+            put_u32(&mut out, events.len() as u32);
+            for (seq, event) in events {
+                put_u64(&mut out, *seq);
+                put_event(&mut out, event);
+            }
+            put_u64(&mut out, *fingerprint);
+        }
+        WireFrame::Verdict(summary) => {
+            out.push(tag::VERDICT);
+            put_u32(&mut out, summary.shard);
+            put_u64(&mut out, summary.round);
+            put_u64(&mut out, summary.events);
+            put_u64(&mut out, summary.checked_ops);
+            put_u64(&mut out, summary.fingerprint);
+            out.push(summary.last as u8);
+            put_verdict(&mut out, &summary.verdict);
+        }
+        WireFrame::Shutdown {
+            client,
+            events_sent,
+            stream_fingerprint,
+        } => {
+            out.push(tag::SHUTDOWN);
+            put_u32(&mut out, *client);
+            put_u64(&mut out, *events_sent);
+            put_u64(&mut out, *stream_fingerprint);
+        }
+    }
+    let body_len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&body_len.to_le_bytes());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.at + n > self.bytes.len() {
+            return Err(WireError::Truncated {
+                needed: self.at + n,
+                have: self.bytes.len(),
+            });
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<&'a str, WireError> {
+        let len = self.u16()? as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            0 => Ok(Value::Unit),
+            1 => Ok(Value::Bottom),
+            2 => Ok(Value::Bool(self.u8()? != 0)),
+            3 => Ok(Value::Int(self.i64()?)),
+            4 => Ok(Value::Sym(self.str()?.to_string())),
+            5 => {
+                let a = self.value()?;
+                let b = self.value()?;
+                Ok(Value::Pair(Box::new(a), Box::new(b)))
+            }
+            6 => {
+                let n = self.u32()? as usize;
+                // Cap by remaining bytes: each element takes ≥ 1 byte, so a
+                // corrupt count can never force an oversized allocation.
+                let mut items = Vec::with_capacity(n.min(self.bytes.len() - self.at));
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Value::List(items))
+            }
+            t => Err(WireError::BadValueTag(t)),
+        }
+    }
+
+    fn event(&mut self, interner: &mut Vec<Invocation>) -> Result<Event, WireError> {
+        let process = ProcessId(self.u32()? as usize);
+        let object = ObjectId(self.u32()? as usize);
+        match self.u8()? {
+            0 => {
+                let method = self.str()?;
+                let argc = self.u8()? as usize;
+                if argc == 0 {
+                    // Zero-argument invocations dominate real streams
+                    // (`fetch_inc`, `read`); interning them makes decode a
+                    // pair of refcount bumps instead of two allocations.
+                    if let Some(known) = interner.iter().find(|i| i.method() == method) {
+                        return Ok(Event::invoke(process, object, known.clone()));
+                    }
+                    let inv = Invocation::new(method, Vec::new());
+                    interner.push(inv.clone());
+                    return Ok(Event::invoke(process, object, inv));
+                }
+                let mut args = Vec::with_capacity(argc);
+                for _ in 0..argc {
+                    args.push(self.value()?);
+                }
+                Ok(Event::invoke(
+                    process,
+                    object,
+                    Invocation::new(method, args),
+                ))
+            }
+            1 => Ok(Event::respond(process, object, self.value()?)),
+            k => Err(WireError::BadKind(k)),
+        }
+    }
+}
+
+/// A whole frame's bytes and the remainder of the stream, from
+/// [`split_frame`] — `None` while the first frame is still partial.
+pub type SplitFrame<'a> = Option<(&'a [u8], &'a [u8])>;
+
+/// Splits `bytes` (the read position of a byte stream) into the first whole
+/// frame and the rest, or returns `None` while the frame is still partial.
+///
+/// Errors only on a length prefix that exceeds [`MAX_FRAME_BYTES`] — the one
+/// corruption a streaming reader must reject *before* buffering the body.
+pub fn split_frame(bytes: &[u8]) -> Result<SplitFrame<'_>, WireError> {
+    if bytes.len() < 4 {
+        return Ok(None);
+    }
+    let body = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+    if body > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge(body));
+    }
+    if bytes.len() < 4 + body {
+        return Ok(None);
+    }
+    Ok(Some(bytes.split_at(4 + body)))
+}
+
+/// Decodes one whole frame (length prefix included), verifying structure,
+/// length and — for event frames — the batch fingerprint.
+pub fn decode_frame(bytes: &[u8]) -> Result<WireFrame, WireError> {
+    decode_frame_with(bytes, &mut Vec::new())
+}
+
+/// [`decode_frame`] with a caller-held invocation interner, so a long-lived
+/// decoder (a replica connection handler) reuses one `Invocation` allocation
+/// per distinct zero-argument method instead of allocating per event.
+pub fn decode_frame_with(
+    bytes: &[u8],
+    interner: &mut Vec<Invocation>,
+) -> Result<WireFrame, WireError> {
+    if bytes.len() < 5 {
+        return Err(WireError::Truncated {
+            needed: 5,
+            have: bytes.len(),
+        });
+    }
+    let announced = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+    if announced > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge(announced));
+    }
+    if announced != bytes.len() - 4 {
+        return Err(WireError::LengthMismatch {
+            announced,
+            have: bytes.len() - 4,
+        });
+    }
+    let mut c = Cursor { bytes, at: 4 };
+    let frame = match c.u8()? {
+        tag::HELLO => {
+            let magic = c.u32()?;
+            if magic != MAGIC {
+                return Err(WireError::BadMagic(magic));
+            }
+            let version = c.u16()?;
+            let client = c.u32()?;
+            WireFrame::Hello { client, version }
+        }
+        tag::EVENTS => {
+            let client = c.u32()?;
+            let frame_seq = c.u64()?;
+            let count = c.u32()? as usize;
+            let mut events = Vec::with_capacity(count.min(bytes.len()));
+            for _ in 0..count {
+                let seq = c.u64()?;
+                let event = c.event(interner)?;
+                events.push((seq, event));
+            }
+            let fingerprint = c.u64()?;
+            let computed = event_batch_fingerprint(client, &events);
+            if computed != fingerprint {
+                return Err(WireError::FingerprintMismatch {
+                    announced: fingerprint,
+                    computed,
+                });
+            }
+            WireFrame::Events {
+                client,
+                frame_seq,
+                events,
+                fingerprint,
+            }
+        }
+        tag::VERDICT => {
+            let shard = c.u32()?;
+            let round = c.u64()?;
+            let events = c.u64()?;
+            let checked_ops = c.u64()?;
+            let fingerprint = c.u64()?;
+            let last = c.u8()? != 0;
+            let verdict = match c.u8()? {
+                0 => MonitorVerdict::Ok,
+                2 => MonitorVerdict::Unknown,
+                1 => {
+                    let segment_start = c.u64()? as usize;
+                    let segment_len = c.u64()? as usize;
+                    let object = match c.u8()? {
+                        0 => None,
+                        _ => Some(ObjectId(c.u32()? as usize)),
+                    };
+                    let op = match c.u8()? {
+                        0 => None,
+                        _ => Some(evlin_history::OpId(c.u64()? as usize)),
+                    };
+                    let detail = c.str()?.to_string();
+                    MonitorVerdict::Violation(MonitorViolation {
+                        segment_start,
+                        segment_len,
+                        object,
+                        op,
+                        detail,
+                    })
+                }
+                k => return Err(WireError::BadKind(k)),
+            };
+            WireFrame::Verdict(VerdictSummary {
+                shard,
+                round,
+                events,
+                checked_ops,
+                fingerprint,
+                last,
+                verdict,
+            })
+        }
+        tag::SHUTDOWN => {
+            let client = c.u32()?;
+            let events_sent = c.u64()?;
+            let stream_fingerprint = c.u64()?;
+            WireFrame::Shutdown {
+                client,
+                events_sent,
+                stream_fingerprint,
+            }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    if c.at != bytes.len() {
+        return Err(WireError::TrailingBytes(bytes.len() - c.at));
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlin_spec::FetchIncrement;
+
+    fn sample_events() -> Vec<(u64, Event)> {
+        vec![
+            (
+                3,
+                Event::invoke(ProcessId(1), ObjectId(0), FetchIncrement::fetch_inc()),
+            ),
+            (
+                5,
+                Event::respond(ProcessId(1), ObjectId(0), Value::from(4i64)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn all_frame_kinds_round_trip() {
+        let events = sample_events();
+        let frames = [
+            WireFrame::Hello {
+                client: 9,
+                version: VERSION,
+            },
+            WireFrame::Events {
+                client: 9,
+                frame_seq: 2,
+                fingerprint: event_batch_fingerprint(9, &events),
+                events,
+            },
+            WireFrame::Verdict(VerdictSummary {
+                shard: 3,
+                round: 7,
+                events: 4_000,
+                checked_ops: 2_000,
+                fingerprint: 0xdead_beef,
+                last: true,
+                verdict: MonitorVerdict::Ok,
+            }),
+            WireFrame::Shutdown {
+                client: 9,
+                events_sent: 123,
+                stream_fingerprint: 0x1234,
+            },
+        ];
+        for frame in frames {
+            let bytes = encode_frame(&frame);
+            assert_eq!(decode_frame(&bytes).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_rejects_payload_corruption() {
+        let events = sample_events();
+        let frame = WireFrame::Events {
+            client: 1,
+            frame_seq: 0,
+            fingerprint: event_batch_fingerprint(1, &events),
+            events,
+        };
+        let mut bytes = encode_frame(&frame);
+        // Flip a bit in the response value's i64 payload (the last event's
+        // tail, well before the trailing fingerprint).
+        let at = bytes.len() - 12;
+        bytes[at] ^= 0x40;
+        match decode_frame(&bytes) {
+            Err(WireError::FingerprintMismatch { .. })
+            | Err(WireError::BadKind(_))
+            | Err(WireError::BadValueTag(_)) => {}
+            other => panic!("corruption must be rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = encode_frame(&WireFrame::Hello {
+            client: 0,
+            version: VERSION,
+        });
+        bytes[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::FrameTooLarge(_))
+        ));
+        assert!(matches!(
+            split_frame(&bytes),
+            Err(WireError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn split_frame_finds_boundaries() {
+        let a = encode_frame(&WireFrame::Hello {
+            client: 0,
+            version: VERSION,
+        });
+        let b = encode_frame(&WireFrame::Shutdown {
+            client: 0,
+            events_sent: 1,
+            stream_fingerprint: 2,
+        });
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let (first, rest) = split_frame(&stream).unwrap().unwrap();
+        assert_eq!(first, &a[..]);
+        assert_eq!(rest, &b[..]);
+        assert!(split_frame(&stream[..3]).unwrap().is_none());
+        assert!(split_frame(&stream[..a.len() + 2]).unwrap().is_some());
+    }
+}

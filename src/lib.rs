@@ -22,7 +22,11 @@
 //!   the Figure 1 wrapper, the Theorem 12 local-copy transformation,
 //!   fetch&increment implementations);
 //! * [`runtime`] — real multi-threaded counters and consensus objects with
-//!   history recording, for the introduction's motivating measurements.
+//!   history recording, for the introduction's motivating measurements;
+//! * [`service`] — the sharded monitoring service: producer clients stream
+//!   recorded events over a documented wire protocol (`docs/PROTOCOL.md`)
+//!   to a pool of monitor replicas sharded by object, with verdict rounds
+//!   flowing back on the same connections.
 //!
 //! ## Quick start
 //!
@@ -53,6 +57,7 @@ pub use evlin_algorithms as algorithms;
 pub use evlin_checker as checker;
 pub use evlin_history as history;
 pub use evlin_runtime as runtime;
+pub use evlin_service as service;
 pub use evlin_sim as sim;
 pub use evlin_spec as spec;
 
