@@ -20,8 +20,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use evlin_algorithms::CasFetchInc;
+use evlin_sim::checkpoint;
 use evlin_sim::engine::{self, EngineOptions, ExploreOptions, Reduction, Visit};
 use evlin_sim::program::{Implementation, LocalSpecImplementation};
+use evlin_sim::store::StoreConfig;
 use evlin_sim::workload::Workload;
 use evlin_spec::FetchIncrement;
 use std::sync::Arc;
@@ -136,10 +138,72 @@ fn bench_faults(c: &mut Criterion) {
     group.finish();
 }
 
+/// Visited-store backends on the 4-process local-copy SleepSetSymmetry
+/// walk (the `explore/local/sleepsym/4` configuration with deduplication
+/// explicit).  `mem` is the ≤5%-overhead gate for routing the hot path
+/// through the `VisitedStore` trait; `spill` prices the out-of-core
+/// backend (every iteration builds a fresh temp-dir store, flushes runs
+/// and probes them, then deletes the directory on drop); `partitioned`
+/// prices the fingerprint-range partitioner (2 partitions, in-memory
+/// stores, cross-partition edges exported and replayed).
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore/store");
+    let n = 4usize;
+    let implementation = LocalSpecImplementation::new(Arc::new(FetchIncrement::new()), n);
+    let workload = Workload::uniform(n, FetchIncrement::fetch_inc(), 2);
+    let limits = ExploreOptions {
+        max_depth: 2 * n,
+        max_configs: 4_000_000,
+    };
+    let options = |store: StoreConfig| EngineOptions {
+        limits,
+        workers: Some(1),
+        reduction: Reduction::SleepSetSymmetry,
+        dedup: true,
+        store,
+        ..EngineOptions::default()
+    };
+    for (label, store) in [
+        ("mem", StoreConfig::Mem),
+        (
+            "spill",
+            StoreConfig::Spill {
+                shards_log2: 3,
+                shard_budget: 512,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+            b.iter(|| {
+                let stats = engine::explore(&implementation, &workload, &options(store), |_, _| {
+                    Visit::Continue
+                });
+                assert!(!stats.truncated);
+                stats.visited
+            });
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("partitioned", n), &n, |b, _| {
+        b.iter(|| {
+            let run = checkpoint::explore_partitioned(
+                &implementation,
+                &workload,
+                &options(StoreConfig::Mem),
+                1,
+                |_, _| Visit::Continue,
+            )
+            .expect("partitioned exploration");
+            run.total.visited
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     exploration_scaling,
     bench_local_copy,
     bench_cas,
-    bench_faults
+    bench_faults,
+    bench_store
 );
 criterion_main!(exploration_scaling);

@@ -18,10 +18,11 @@ pub mod e12_reduction;
 pub mod e14_service_saturation;
 pub mod e15_fault_stabilization;
 pub mod e16_pipelined_ingest;
+pub mod e17_out_of_core;
 
 use crate::Table;
 
-/// Runs one experiment by id (`"e1"` … `"e12"`, `"e14"` … `"e16"`), or all of
+/// Runs one experiment by id (`"e1"` … `"e12"`, `"e14"` … `"e17"`), or all of
 /// them for `"all"`.
 /// `quick` reduces workload sizes so the suite finishes quickly (used by
 /// tests).
@@ -42,6 +43,7 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e14" => Some(e14_service_saturation::run(quick)),
         "e15" => Some(e15_fault_stabilization::run(quick)),
         "e16" => Some(e16_pipelined_ingest::run(quick)),
+        "e17" => Some(e17_out_of_core::run(quick)),
         "all" => {
             let mut all = Vec::new();
             for id in IDS {
@@ -54,8 +56,9 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
 }
 
 /// The known experiment identifiers, in order.
-pub const IDS: [&str; 15] = [
+pub const IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e14", "e15", "e16",
+    "e17",
 ];
 
 #[cfg(test)]

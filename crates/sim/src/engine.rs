@@ -39,11 +39,12 @@
 use crate::config::{Config, StepOutcome, StepShape};
 use crate::fault::{self, FaultStep};
 use crate::program::Implementation;
+use crate::store::{StoreBytes, StoreConfig, VisitedStore};
 use crate::workload::Workload;
 use crate::zobrist;
 use evlin_history::{History, ProcessId};
 use rayon::prelude::*;
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -77,11 +78,19 @@ pub struct ExploreStats {
     /// Number of child configurations *not* expanded because the reduction
     /// strategy slept them or deduplication had already seen them.
     pub pruned: usize,
-    /// Bytes held by the engine's deduplication table at the end of the run
-    /// (entries × entry size; 0 when deduplication is off).  A function of
-    /// the visited key *set*, so it is identical across worker counts — the
-    /// engine's peak-memory accounting for the E12 tables.
+    /// Total bytes held by the engine's visited store at the end of the run
+    /// (resident + spilled + filter — see [`ExploreStats::store_bytes`]; 0
+    /// when deduplication is off).  For the default in-memory backend this
+    /// is entries × entry size, a function of the visited key *set*, so it
+    /// is identical across worker counts — the engine's peak-memory
+    /// accounting for the E12 tables.
     pub bytes_allocated: usize,
+    /// Byte breakdown of the visited store by residence (all zero when
+    /// deduplication is off).  `bytes_allocated == store_bytes.total()`.
+    pub store_bytes: StoreBytes,
+    /// Sorted runs written by a spilling visited store (0 for the resident
+    /// backends).
+    pub store_runs: usize,
     /// Whether the exploration was truncated by `max_configs`.
     pub truncated: bool,
 }
@@ -525,6 +534,11 @@ pub struct EngineOptions {
     /// engine.  When exploring from an explicit root that already carries a
     /// positive budget, 0 here leaves that budget untouched.
     pub fault_budget: usize,
+    /// Which visited-store backend holds the dedup set (see
+    /// [`crate::store`]).  The default in-memory backend is bit-identical
+    /// to the pre-seam engine; the spill backend bounds resident memory.
+    /// Ignored while deduplication is off.
+    pub store: StoreConfig,
 }
 
 impl Default for EngineOptions {
@@ -536,6 +550,7 @@ impl Default for EngineOptions {
             dedup: false,
             reduction: Reduction::None,
             fault_budget: 0,
+            store: StoreConfig::Mem,
         }
     }
 }
@@ -549,25 +564,38 @@ impl EngineOptions {
     }
 }
 
-/// The sharded `(key, depth)` dedup set shared by all workers.
-type DedupShards = [Mutex<HashSet<(u64, usize)>>];
+/// The `(fingerprint, sleep-mask, fault-budget)` dedup key of a
+/// configuration: a couple of word mixes over the maintained Zobrist
+/// fingerprint (a field read since the incremental-fingerprint refactor).
+/// [`fault::budget_salt`] is 0 for budget 0, so fault-free keys are
+/// unchanged; configurations differing only in remaining budget have
+/// different futures and must not merge.  The checkpoint partitioner routes
+/// on this same key, which is what makes per-partition visited sets line up
+/// with the key ranges exactly.
+#[inline]
+pub(crate) fn dedup_key(config: &Config, mask: SleepMask) -> u64 {
+    zobrist::mix2(
+        config.fingerprint(),
+        mask ^ fault::budget_salt(config.fault_budget()),
+    )
+}
 
 /// Shared mutable state of one exploration (used by the sequential path too,
 /// with trivial contention).
-struct Shared<'a> {
+pub(crate) struct Shared<'a> {
     /// Configurations the whole exploration may still visit (`max_configs`
     /// budget).  Decremented per visit; exhaustion marks truncation.
-    budget: AtomicUsize,
+    pub(crate) budget: AtomicUsize,
     /// Set by `Visit::Stop` (and by budget exhaustion) to halt all workers.
-    stopped: AtomicBool,
+    pub(crate) stopped: AtomicBool,
     /// Whether the budget ran out anywhere.
-    truncated: AtomicBool,
-    /// Sharded dedup set; `None` when deduplication is off.
-    dedup: Option<&'a DedupShards>,
+    pub(crate) truncated: AtomicBool,
+    /// The visited store; `None` when deduplication is off.
+    pub(crate) store: Option<&'a dyn VisitedStore>,
 }
 
 impl Shared<'_> {
-    fn claim_visit(&self) -> bool {
+    pub(crate) fn claim_visit(&self) -> bool {
         let mut current = self.budget.load(Ordering::Relaxed);
         loop {
             if current == 0 {
@@ -588,66 +616,62 @@ impl Shared<'_> {
     }
 
     /// Whether `(config, mask)` at `depth` is seen for the first time (always
-    /// true when deduplication is off).  The key mixes the configuration's
-    /// maintained Zobrist fingerprint — a field read since the incremental
-    /// fingerprint refactor — with the sleep mask and the remaining fault
-    /// budget ([`fault::budget_salt`]; 0 for budget 0, so fault-free keys are
-    /// unchanged), so deduplication costs a couple of word mixes per child
-    /// instead of a full state serialization.  Configurations differing only
-    /// in remaining budget have different futures and must not merge.
-    fn first_visit(&self, config: &Config, depth: usize, mask: SleepMask) -> bool {
-        match self.dedup {
+    /// true when deduplication is off): one [`dedup_key`] computation and one
+    /// store probe.  Children of a node are probed in a single batched store
+    /// call instead (see [`visit_one`]); this entry point serves roots.
+    pub(crate) fn first_visit(&self, config: &Config, depth: usize, mask: SleepMask) -> bool {
+        match self.store {
             None => true,
-            Some(shards) => {
-                let key = zobrist::mix2(
-                    config.fingerprint(),
-                    mask ^ fault::budget_salt(config.fault_budget()),
-                );
-                let shard = (key % shards.len() as u64) as usize;
-                shards[shard]
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-                    .insert((key, depth))
-            }
+            Some(store) => store.insert(dedup_key(config, mask), depth),
         }
     }
 
-    /// Bytes held by the dedup table (entries × entry size) — the engine's
-    /// deterministic peak-memory figure.
-    fn dedup_bytes(&self) -> usize {
-        self.dedup.map_or(0, |shards| {
-            let entries: usize = shards
-                .iter()
-                .map(|s| {
-                    s.lock()
-                        .unwrap_or_else(|poisoned| poisoned.into_inner())
-                        .len()
-                })
-                .sum();
-            entries * std::mem::size_of::<(u64, usize)>()
-        })
+    /// Folds the store's final byte accounting into `stats` (the
+    /// deterministic peak-memory figures) and latches the truncation flag.
+    pub(crate) fn finish_stats(&self, stats: &mut ExploreStats) {
+        if let Some(store) = self.store {
+            let report = store.report();
+            stats.store_bytes = report.bytes;
+            stats.bytes_allocated = report.bytes.total();
+            stats.store_runs = report.runs_written;
+        }
+        stats.truncated = self.truncated.load(Ordering::Relaxed);
     }
 }
 
-/// Reusable per-walker buffers: the enabled-process list and the expansion
-/// output, cleared and refilled once per visited node so the hot loop
-/// allocates nothing after warm-up.
+/// Reusable per-walker buffers: the enabled-process list, the expansion
+/// output and the batched child-probe staging, cleared and refilled once per
+/// visited node so the hot loop allocates nothing after warm-up.
 #[derive(Default)]
-struct WalkScratch {
+pub(crate) struct WalkScratch {
     enabled: Vec<ProcessId>,
     children: Vec<(ChildStep, SleepMask)>,
+    /// Stepped-and-normalized children awaiting their store verdict.
+    pending: Vec<(Config, SleepMask, ChildStep)>,
+    /// Their dedup keys, probed in one batched store call per node.
+    keys: Vec<(u64, usize)>,
+    /// The store's per-child freshness verdicts.
+    fresh: Vec<bool>,
 }
 
 /// Visits one configuration: claims budget, invokes the visitor, classifies
 /// terminals, expands children through the strategy and hands the surviving
-/// ones to `emit`.  Returns `false` when exploration should halt (budget
-/// exhausted or `Visit::Stop`).
+/// ones to `emit` (together with the [`ChildStep`] edge that produced each,
+/// which the checkpointer records as the frontier path).  Returns `false`
+/// when exploration should halt (budget exhausted or `Visit::Stop`).
 ///
 /// The configuration is passed *by value* so the last expanded child can be
 /// stepped in place instead of cloned — one whole-configuration clone saved
 /// per interior node, on top of the reused `scratch` buffers.
+///
+/// All of a node's children are probed against the visited store in *one*
+/// [`VisitedStore::insert_batch`] call, amortizing backend locking (and, for
+/// the spill backend, run probes) across the branching factor.  Insert order
+/// within the batch equals the sequential per-child order, and stepping a
+/// child never reads the store, so batching is observationally identical to
+/// per-child probing — the bit-identical-stats tests pin this.
 #[allow(clippy::too_many_arguments)] // one call frame of the hot loop
-fn visit_one<V, E>(
+pub(crate) fn visit_one<V, E>(
     mut config: Config,
     depth: usize,
     mask: SleepMask,
@@ -661,7 +685,7 @@ fn visit_one<V, E>(
 ) -> bool
 where
     V: FnMut(&Config, usize) -> Visit,
-    E: FnMut(Config, usize, SleepMask),
+    E: FnMut(Config, usize, SleepMask, ChildStep),
 {
     if !shared.claim_visit() {
         return false;
@@ -692,6 +716,7 @@ where
     stats.pruned += scratch.enabled.len() - exec_children;
     let count = scratch.children.len();
     let mut parent = Some(config);
+    scratch.pending.clear();
     for ci in 0..count {
         let (child_step, child_mask) = scratch.children[ci];
         let mut child = if ci + 1 == count {
@@ -716,10 +741,31 @@ where
         }
         let mut mask = child_mask;
         strategy.normalize(&mut child, &mut mask);
-        if shared.first_visit(&child, depth + 1, mask) {
-            emit(child, depth + 1, mask);
-        } else {
-            stats.pruned += 1;
+        scratch.pending.push((child, mask, child_step));
+    }
+    match shared.store {
+        None => {
+            for (child, mask, step) in scratch.pending.drain(..) {
+                emit(child, depth + 1, mask, step);
+            }
+        }
+        Some(store) => {
+            scratch.keys.clear();
+            scratch.keys.extend(
+                scratch
+                    .pending
+                    .iter()
+                    .map(|(child, mask, _)| (dedup_key(child, *mask), depth + 1)),
+            );
+            scratch.fresh.clear();
+            store.insert_batch(&scratch.keys, &mut scratch.fresh);
+            for (i, (child, mask, step)) in scratch.pending.drain(..).enumerate() {
+                if scratch.fresh[i] {
+                    emit(child, depth + 1, mask, step);
+                } else {
+                    stats.pruned += 1;
+                }
+            }
         }
     }
     true
@@ -765,16 +811,21 @@ where
     F: FnMut(&Config, usize) -> Visit,
 {
     let dedup_on = options.dedup || strategy.requires_dedup();
-    let shards: Vec<Mutex<HashSet<(u64, usize)>>> = if dedup_on {
-        vec![Mutex::new(HashSet::new())]
+    let store: Option<Box<dyn VisitedStore>> = if dedup_on {
+        Some(
+            options
+                .store
+                .build(1)
+                .expect("failed to build the visited store"),
+        )
     } else {
-        Vec::new()
+        None
     };
     let shared = Shared {
         budget: AtomicUsize::new(options.limits.max_configs),
         stopped: AtomicBool::new(false),
         truncated: AtomicBool::new(false),
-        dedup: dedup_on.then_some(shards.as_slice()),
+        store: store.as_deref(),
     };
     let mut stats = ExploreStats::default();
     let mut mask: SleepMask = 0;
@@ -801,13 +852,12 @@ where
             &mut stats,
             options.limits.max_depth,
             &mut scratch,
-            |child, d, m| stack.push((child, d, m)),
+            |child, d, m, _| stack.push((child, d, m)),
         ) {
             break;
         }
     }
-    stats.bytes_allocated = shared.dedup_bytes();
-    stats.truncated = shared.truncated.load(Ordering::Relaxed);
+    shared.finish_stats(&mut stats);
     stats
 }
 
@@ -850,18 +900,21 @@ where
     let workers = options.effective_workers();
     let target_frontier = workers * options.subtrees_per_worker.max(1);
     let dedup_on = options.dedup || strategy.requires_dedup();
-    let shards: Vec<Mutex<HashSet<(u64, usize)>>> = if dedup_on {
-        (0..(workers * 4).max(16))
-            .map(|_| Mutex::new(HashSet::new()))
-            .collect()
+    let store: Option<Box<dyn VisitedStore>> = if dedup_on {
+        Some(
+            options
+                .store
+                .build((workers * 4).max(16))
+                .expect("failed to build the visited store"),
+        )
     } else {
-        Vec::new()
+        None
     };
     let shared = Shared {
         budget: AtomicUsize::new(options.limits.max_configs),
         stopped: AtomicBool::new(false),
         truncated: AtomicBool::new(false),
-        dedup: dedup_on.then_some(shards.as_slice()),
+        store: store.as_deref(),
     };
 
     // Phase 1: sequential breadth-first expansion of the root region until
@@ -893,7 +946,7 @@ where
             &mut stats,
             options.limits.max_depth,
             &mut scratch,
-            |child, d, m| frontier.push_back((child, d, m)),
+            |child, d, m, _| frontier.push_back((child, d, m)),
         ) {
             break;
         }
@@ -925,7 +978,7 @@ where
                     &mut local,
                     options.limits.max_depth,
                     &mut scratch,
-                    |child, d, m| stack.push((child, d, m)),
+                    |child, d, m, _| stack.push((child, d, m)),
                 ) {
                     break;
                 }
@@ -939,8 +992,7 @@ where
         stats.terminals += s.terminals;
         stats.pruned += s.pruned;
     }
-    stats.bytes_allocated = shared.dedup_bytes();
-    stats.truncated = shared.truncated.load(Ordering::Relaxed);
+    shared.finish_stats(&mut stats);
     stats
 }
 

@@ -18,6 +18,7 @@
 use crate::config::Config;
 use crate::engine::{self, EngineOptions};
 use crate::program::Implementation;
+use crate::store::StoreConfig;
 use crate::workload::Workload;
 use evlin_history::ProcessId;
 
@@ -126,6 +127,11 @@ pub struct ParExploreOptions {
     /// at most this many corruption steps along any explored schedule.  0
     /// (the default) disables fault enumeration entirely.
     pub fault_budget: usize,
+    /// Which visited-store backend holds the dedup set (see
+    /// [`crate::store`]); ignored while `dedup` is off.  The default
+    /// in-memory backend matches the pre-seam explorer exactly; the spill
+    /// backend bounds resident memory for visited sets larger than RAM.
+    pub store: StoreConfig,
 }
 
 impl Default for ParExploreOptions {
@@ -136,6 +142,7 @@ impl Default for ParExploreOptions {
             subtrees_per_thread: 8,
             dedup: false,
             fault_budget: 0,
+            store: StoreConfig::Mem,
         }
     }
 }
@@ -150,6 +157,7 @@ impl ParExploreOptions {
             dedup: self.dedup,
             reduction: engine::Reduction::None,
             fault_budget: self.fault_budget,
+            store: self.store,
         }
     }
 }
@@ -328,6 +336,7 @@ mod tests {
             subtrees_per_thread: 4,
             dedup,
             fault_budget: 0,
+            store: StoreConfig::Mem,
         }
     }
 
@@ -414,6 +423,7 @@ mod tests {
                 subtrees_per_thread: 4,
                 dedup: false,
                 fault_budget: 0,
+                store: StoreConfig::Mem,
             },
             |_, _| Visit::Continue,
         );

@@ -42,7 +42,17 @@
 //!   fetch&increment implementation into a linearizable one;
 //! * [`fault`] — transient-fault injection: budgeted corruption steps
 //!   ([`fault::FaultStep`]) enumerated alongside process steps by the engine,
-//!   for self-stabilization analyses (experiment E15).
+//!   for self-stabilization analyses (experiment E15);
+//! * [`store`] — the visited-store seam: the engine's deduplication set
+//!   behind a [`store::VisitedStore`] trait, with an in-memory backend
+//!   (bit-identical to the pre-seam engine), a fingerprint-prefix-sharded
+//!   backend and a spill-to-disk backend that bounds resident memory by
+//!   flushing full shards as compressed sorted runs;
+//! * [`checkpoint`] — resumable and partitionable exploration on top of the
+//!   store seam: periodic atomic checkpoints that survive SIGKILL
+//!   ([`checkpoint::explore_checkpointed`]) and a fingerprint-range
+//!   partitioner whose per-partition stats recompose the single-run totals
+//!   exactly ([`checkpoint::explore_partitioned`]).
 //!
 //! ## Example
 //!
@@ -72,6 +82,7 @@
 #![forbid(unsafe_code)]
 
 pub mod base;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod eventually;
@@ -81,6 +92,7 @@ pub mod program;
 pub mod runner;
 pub mod scheduler;
 pub mod stability;
+pub mod store;
 pub mod valency;
 pub mod workload;
 pub mod zobrist;
@@ -88,6 +100,9 @@ pub mod zobrist;
 /// Commonly used items re-exported for glob import in downstream crates.
 pub mod prelude {
     pub use crate::base::{BaseObject, PidDependence, SpecObject};
+    pub use crate::checkpoint::{
+        explore_checkpointed, explore_partitioned, CheckpointOptions, CheckpointRun, PartitionRun,
+    };
     pub use crate::config::{Config, StepOutcome, StepShape};
     pub use crate::engine::{EngineOptions, Reduction, ReductionStrategy};
     pub use crate::eventually::{EventuallyLinearizable, StabilizationPolicy};
@@ -98,5 +113,6 @@ pub mod prelude {
     pub use crate::scheduler::{
         CrashScheduler, RandomScheduler, RoundRobinScheduler, Scheduler, SoloBurstScheduler,
     };
+    pub use crate::store::{StoreBytes, StoreConfig, StoreReport, VisitedStore};
     pub use crate::workload::Workload;
 }

@@ -26,6 +26,7 @@ use crate::config::Config;
 use crate::engine::{self, EngineOptions, Reduction, Visit};
 use crate::explorer::ExploreOptions;
 use crate::program::{Implementation, ProcessLogic, TaskStep};
+use crate::store::StoreConfig;
 use crate::workload::Workload;
 use evlin_checker::{fi, parallel};
 use evlin_history::{History, ProcessId};
@@ -60,6 +61,12 @@ pub struct StabilityOptions {
     /// *fault-tolerant* (self-stabilizing) strengthening of Proposition 18's
     /// stability.  0 (the default) keeps the fault-free semantics.
     pub fault_budget: usize,
+    /// Which visited-store backend holds the extension exploration's dedup
+    /// set (see [`crate::store`]); only consulted when the chosen
+    /// `reduction` deduplicates.  The default in-memory backend keeps the
+    /// seed semantics; the spill backend bounds resident memory for very
+    /// deep extension searches.
+    pub store: StoreConfig,
 }
 
 impl Default for StabilityOptions {
@@ -71,6 +78,7 @@ impl Default for StabilityOptions {
             solo_step_budget: 10_000,
             reduction: Reduction::None,
             fault_budget: 0,
+            store: StoreConfig::Mem,
         }
     }
 }
@@ -114,6 +122,7 @@ pub fn is_stable(config: &Config, initial_value: i64, options: &StabilityOptions
         workers: Some(1),
         reduction: options.reduction,
         fault_budget: options.fault_budget,
+        store: options.store,
         ..EngineOptions::default()
     };
     let mut ok = true;
@@ -419,6 +428,7 @@ mod tests {
             solo_step_budget: 1_000,
             reduction: Reduction::None,
             fault_budget: 0,
+            store: StoreConfig::Mem,
         }
     }
 

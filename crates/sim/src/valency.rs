@@ -21,6 +21,7 @@ use crate::config::Config;
 use crate::engine::{self, EngineOptions, Reduction};
 use crate::explorer::{ExploreOptions, Visit};
 use crate::program::Implementation;
+use crate::store::StoreConfig;
 use crate::workload::Workload;
 use evlin_history::History;
 use evlin_spec::{Consensus, Value};
@@ -54,6 +55,7 @@ fn reachable_decisions(
     depth: usize,
     max_configs: usize,
     reduction: Reduction,
+    store: StoreConfig,
 ) -> (BTreeSet<Value>, bool) {
     let mut decisions = BTreeSet::new();
     let mut partial = false;
@@ -64,6 +66,7 @@ fn reachable_decisions(
         },
         workers: Some(1),
         reduction,
+        store,
         ..EngineOptions::default()
     };
     let stats = engine::explore_config(config.clone(), &options, |c, d| {
@@ -104,7 +107,21 @@ pub fn valency_of_reduced(
     max_configs: usize,
     reduction: Reduction,
 ) -> ValencyClass {
-    let (decisions, partial) = reachable_decisions(config, depth, max_configs, reduction);
+    valency_of_stored(config, depth, max_configs, reduction, StoreConfig::Mem)
+}
+
+/// Like [`valency_of_reduced`], but holding the dedup set of a deduplicating
+/// reduction in the given visited-store backend (see [`crate::store`]) — the
+/// spill backend bounds resident memory for lookahead explorations whose
+/// visited sets outgrow RAM.  The classification is backend-independent.
+pub fn valency_of_stored(
+    config: &Config,
+    depth: usize,
+    max_configs: usize,
+    reduction: Reduction,
+    store: StoreConfig,
+) -> ValencyClass {
+    let (decisions, partial) = reachable_decisions(config, depth, max_configs, reduction, store);
     if decisions.len() >= 2 {
         ValencyClass::Bivalent(decisions)
     } else if decisions.len() == 1 && !partial {
@@ -273,6 +290,29 @@ pub fn check_consensus_faulty(
     reduction: Reduction,
     fault_budget: usize,
 ) -> ConsensusCheck {
+    check_consensus_stored(
+        implementation,
+        proposals,
+        options,
+        reduction,
+        fault_budget,
+        StoreConfig::Mem,
+    )
+}
+
+/// Like [`check_consensus_faulty`], but holding the dedup set of a
+/// deduplicating reduction in the given visited-store backend (see
+/// [`crate::store`]).  Verdicts are backend-independent; the spill backend
+/// bounds resident memory when the fault-multiplied interleaving tree's
+/// visited set outgrows RAM.
+pub fn check_consensus_stored(
+    implementation: &dyn Implementation,
+    proposals: &[Value],
+    options: ExploreOptions,
+    reduction: Reduction,
+    fault_budget: usize,
+    store: StoreConfig,
+) -> ConsensusCheck {
     let workload = Workload::one_shot(
         proposals
             .iter()
@@ -292,6 +332,7 @@ pub fn check_consensus_faulty(
         workers: Some(1),
         reduction,
         fault_budget,
+        store,
         ..EngineOptions::default()
     };
     engine::explore(

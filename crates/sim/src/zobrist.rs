@@ -73,6 +73,33 @@ pub fn fold_words(seed: u64, words: &[u64]) -> u64 {
 /// Domain-separation tag for [`fold_words`] batch fingerprints.
 pub const TAG_FOLD: u64 = 0x666f_6c64_0000_0004;
 
+/// The top `bits` bits of a fingerprint, right-aligned: the *prefix* used to
+/// route a key to a shard or partition.  Because every fingerprint in this
+/// workspace goes through [`mix`] (an avalanching bijection), the high bits
+/// are uniformly distributed, so prefix routing balances shards without a
+/// second hash.  `bits == 0` yields `0` (the one-shard / one-partition
+/// degenerate case — shifting by 64 would be undefined).
+#[inline]
+pub fn prefix(key: u64, bits: u32) -> u64 {
+    if bits == 0 {
+        0
+    } else {
+        key >> (64 - bits)
+    }
+}
+
+/// The shard index of `key` among `1 << shards_log2` prefix shards: the
+/// [`prefix`] of `shards_log2` bits, as a `usize`.  This is the single
+/// routing function shared by the prefix-sharded visited stores
+/// ([`crate::store`]) and the fingerprint-range partitioner
+/// ([`crate::checkpoint::partition_ranges`]), which is what makes a
+/// partitioned exploration's per-partition stores line up with the key
+/// ranges exactly.
+#[inline]
+pub fn prefix_shard(key: u64, shards_log2: u32) -> usize {
+    prefix(key, shards_log2) as usize
+}
+
 /// The Fx hash function (as used by rustc): a fast non-cryptographic word
 /// mixer used to reduce part *contents* (debug renderings, `Hash` impls) to
 /// the `content` word of a [`component`].  Identical to the hasher the

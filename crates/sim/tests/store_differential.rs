@@ -1,0 +1,579 @@
+//! Differential tests for the visited-store seam: on seeded random small
+//! configurations, the three [`StoreConfig`] backends must be
+//! *observationally identical* — same distinct terminal-history sets, same
+//! checker verdicts, same visited/terminal/pruned counts — under every
+//! reduction, because the dedup verdict for a `(key, depth)` pair is a set
+//! property, not a layout property.  On top of the backends, the resumable
+//! drivers are checked end-to-end:
+//!
+//! * an uninterrupted [`explore_checkpointed`] run equals the plain engine
+//!   bit-for-bit (including the byte accounting);
+//! * a run killed at random points (simulated SIGKILL via
+//!   `abort_after_visits`, which leaves only the last durable checkpoint)
+//!   and resumed until completion reproduces the uninterrupted final stats
+//!   exactly;
+//! * [`explore_partitioned`] totals recompose the single-run stats exactly;
+//! * a checkpoint written under different exploration parameters is
+//!   rejected instead of silently diverging.
+//!
+//! The quick tests run fixed seed ranges on every `cargo test`; the
+//! `#[ignore]`d extended variants honour `EVLIN_DIFF_CASES` and run in the
+//! nightly CI fuzz job.
+
+use evlin_algorithms::{CasFetchInc, GossipFetchInc, NoisyPrefixFetchInc};
+use evlin_checker::{linearizability, weak_consistency};
+use evlin_history::{History, ObjectUniverse};
+use evlin_sim::checkpoint::{self, CheckpointOptions};
+use evlin_sim::engine::{self, EngineOptions, ExploreOptions, Reduction, Visit};
+use evlin_sim::program::{Implementation, LocalSpecImplementation};
+use evlin_sim::store::StoreConfig;
+use evlin_sim::workload::Workload;
+use evlin_spec::{FetchIncrement, ObjectType, Register, TestAndSet, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const STRATEGIES: [Reduction; 4] = [
+    Reduction::None,
+    Reduction::SleepSet,
+    Reduction::Symmetry,
+    Reduction::SleepSetSymmetry,
+];
+
+/// The non-default backends, sized so the spill store really spills on
+/// these trees (budget 256 bytes = 32 records per shard).
+const ALT_BACKENDS: [StoreConfig; 2] = [
+    StoreConfig::Prefix {
+        shards_log2: 2,
+        shard_budget: 4096,
+    },
+    StoreConfig::Spill {
+        shards_log2: 2,
+        shard_budget: 256,
+    },
+];
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "evlin-store-diff-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// One random subject: an implementation, a workload for it, bounds, and the
+/// universe its histories are checked against (same construction as
+/// `reduction_differential.rs`).
+struct Case {
+    name: String,
+    implementation: Box<dyn Implementation>,
+    workload: Workload,
+    limits: ExploreOptions,
+    universe: ObjectUniverse,
+}
+
+fn random_case(seed: u64) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let processes = rng.gen_range(2..4usize);
+    let family = rng.gen_range(0..6u32);
+    let ops = if family >= 3 && processes > 2 {
+        1
+    } else {
+        rng.gen_range(1..3usize)
+    };
+    let mut universe = ObjectUniverse::new();
+    let (name, implementation, workload): (String, Box<dyn Implementation>, Workload) = match family
+    {
+        0 => {
+            let ty: Arc<dyn ObjectType> = Arc::new(FetchIncrement::new());
+            universe.add_object(FetchIncrement::new());
+            (
+                format!("local-copy fi ({processes}p×{ops})"),
+                Box::new(LocalSpecImplementation::new(ty, processes)),
+                Workload::uniform(processes, FetchIncrement::fetch_inc(), ops),
+            )
+        }
+        1 => {
+            let ty: Arc<dyn ObjectType> = Arc::new(TestAndSet::new());
+            universe.add_object(TestAndSet::new());
+            (
+                format!("local-copy tas ({processes}p×{ops})"),
+                Box::new(LocalSpecImplementation::new(ty, processes)),
+                Workload::uniform(processes, TestAndSet::test_and_set(), ops),
+            )
+        }
+        2 => {
+            let ty: Arc<dyn ObjectType> = Arc::new(Register::new(Value::from(0i64)));
+            universe.add_object(Register::new(Value::from(0i64)));
+            let mut invocations = Vec::new();
+            for k in 0..ops {
+                invocations.push(if k % 2 == 0 {
+                    Register::write(Value::from(1i64))
+                } else {
+                    Register::read()
+                });
+            }
+            (
+                format!("local-copy register ({processes}p×{ops})"),
+                Box::new(LocalSpecImplementation::new(ty, processes)),
+                Workload::new(vec![invocations; processes]),
+            )
+        }
+        3 => {
+            universe.add_object(FetchIncrement::new());
+            (
+                format!("cas fetch&inc ({processes}p×{ops})"),
+                Box::new(CasFetchInc::new(processes)),
+                Workload::uniform(processes, FetchIncrement::fetch_inc(), ops),
+            )
+        }
+        4 => {
+            universe.add_object(FetchIncrement::new());
+            (
+                format!("noisy-prefix fetch&inc ({processes}p×{ops})"),
+                Box::new(NoisyPrefixFetchInc::new(processes, rng.gen_range(0..4i64))),
+                Workload::uniform(processes, FetchIncrement::fetch_inc(), ops),
+            )
+        }
+        _ => {
+            universe.add_object(FetchIncrement::new());
+            (
+                format!("gossip fetch&inc ({processes}p×{ops})"),
+                Box::new(GossipFetchInc::new(processes)),
+                Workload::uniform(processes, FetchIncrement::fetch_inc(), 1.min(ops)),
+            )
+        }
+    };
+    Case {
+        name,
+        implementation,
+        workload,
+        limits: ExploreOptions {
+            max_depth: rng.gen_range(9..12usize),
+            max_configs: 2_000_000,
+        },
+        universe,
+    }
+}
+
+/// Engine options with deduplication forced on (the store seam is only
+/// exercised by deduplicating explorations) and the given backend.
+fn options(case: &Case, reduction: Reduction, store: StoreConfig) -> EngineOptions {
+    EngineOptions {
+        limits: case.limits,
+        workers: Some(1),
+        reduction,
+        dedup: true,
+        store,
+        ..EngineOptions::default()
+    }
+}
+
+/// Explores with the given backend, collecting distinct terminal histories.
+fn run_with_store(
+    case: &Case,
+    reduction: Reduction,
+    store: StoreConfig,
+) -> (engine::ExploreStats, Vec<History>) {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    let max_depth = case.limits.max_depth;
+    let stats = engine::explore(
+        case.implementation.as_ref(),
+        &case.workload,
+        &options(case, reduction, store),
+        |config, depth| {
+            if config.enabled_processes().is_empty() || depth >= max_depth {
+                let h = config.history().clone();
+                if seen.insert(format!("{h:?}")) {
+                    out.push(h);
+                }
+            }
+            Visit::Continue
+        },
+    );
+    assert!(
+        !stats.truncated,
+        "{}: {reduction:?}/{} truncated — shrink the case",
+        case.name,
+        store.label()
+    );
+    (stats, out)
+}
+
+fn verdict_set(histories: &[History], universe: &ObjectUniverse) -> BTreeSet<(bool, bool)> {
+    histories
+        .iter()
+        .map(|h| {
+            (
+                weak_consistency::is_weakly_consistent(h, universe),
+                linearizability::is_linearizable(h, universe),
+            )
+        })
+        .collect()
+}
+
+fn debug_set(histories: &[History]) -> BTreeSet<String> {
+    histories.iter().map(|h| format!("{h:?}")).collect()
+}
+
+fn check_backends_seed(seed: u64) {
+    let case = random_case(seed);
+    for reduction in STRATEGIES {
+        let (base_stats, base_terms) = run_with_store(&case, reduction, StoreConfig::Mem);
+        assert!(
+            !base_terms.is_empty(),
+            "seed {seed} ({}): no terminals",
+            case.name
+        );
+        let base_set = debug_set(&base_terms);
+        let base_verdicts = verdict_set(&base_terms, &case.universe);
+        for backend in ALT_BACKENDS {
+            let (stats, terms) = run_with_store(&case, reduction, backend);
+            assert_eq!(
+                (
+                    stats.visited,
+                    stats.terminals,
+                    stats.pruned,
+                    stats.truncated
+                ),
+                (
+                    base_stats.visited,
+                    base_stats.terminals,
+                    base_stats.pruned,
+                    base_stats.truncated
+                ),
+                "seed {seed} ({}): {reduction:?}/{} changed the engine counts",
+                case.name,
+                backend.label()
+            );
+            assert_eq!(
+                base_set,
+                debug_set(&terms),
+                "seed {seed} ({}): {reduction:?}/{} changed the terminal set",
+                case.name,
+                backend.label()
+            );
+            assert_eq!(
+                base_verdicts,
+                verdict_set(&terms, &case.universe),
+                "seed {seed} ({}): {reduction:?}/{} changed the verdict set",
+                case.name,
+                backend.label()
+            );
+            // The seam's byte accounting responds to the backend (resident
+            // only for in-memory stores, spilled + filter when runs exist)
+            // but always totals into `bytes_allocated`.
+            assert_eq!(stats.bytes_allocated, stats.store_bytes.total());
+            if let StoreConfig::Spill { .. } = backend {
+                assert!(
+                    stats.store_bytes.spilled > 0 || stats.visited < 128,
+                    "seed {seed} ({}): spill backend never spilled {} visited states",
+                    case.name,
+                    stats.visited
+                );
+            }
+        }
+    }
+}
+
+fn check_resume_seed(seed: u64) {
+    let mut case = random_case(seed);
+    // Keep the kill/resume loop cheap: each simulated kill redoes up to one
+    // checkpoint interval of work.
+    case.limits.max_depth = case.limits.max_depth.min(10);
+    let reduction = STRATEGIES[(seed % 4) as usize];
+    let backend = if seed.is_multiple_of(2) {
+        StoreConfig::Spill {
+            shards_log2: 2,
+            shard_budget: 256,
+        }
+    } else {
+        StoreConfig::Mem
+    };
+    let engine_options = options(&case, reduction, backend);
+
+    // Reference 1: the plain engine.
+    let (plain_stats, plain_terms) = run_with_store(&case, reduction, backend);
+
+    // Reference 2: an uninterrupted checkpointed run — must equal the plain
+    // engine bit-for-bit, byte accounting included.
+    let dir_ref = temp_dir("ref");
+    let ck_ref = CheckpointOptions {
+        interval_visits: 25,
+        ..CheckpointOptions::new(&dir_ref)
+    };
+    let mut seen = BTreeSet::new();
+    let reference = checkpoint::explore_checkpointed(
+        case.implementation.as_ref(),
+        &case.workload,
+        &engine_options,
+        &ck_ref,
+        |config, depth| {
+            if config.enabled_processes().is_empty() || depth >= case.limits.max_depth {
+                seen.insert(format!("{:?}", config.history()));
+            }
+            Visit::Continue
+        },
+    )
+    .expect("uninterrupted checkpointed run");
+    assert!(reference.completed && !reference.resumed);
+    assert_eq!(
+        reference.stats, plain_stats,
+        "seed {seed} ({}): checkpointed run diverged from the plain engine",
+        case.name
+    );
+    assert_eq!(seen, debug_set(&plain_terms));
+
+    // Kill at random points until done; every process run resumes from the
+    // last durable checkpoint and the final stats must match exactly.
+    let dir_kill = temp_dir("kill");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+    let mut runs = 0usize;
+    let final_stats = loop {
+        runs += 1;
+        assert!(runs < 10_000, "kill/resume loop made no progress");
+        let ck = CheckpointOptions {
+            dir: dir_kill.clone(),
+            interval_visits: 25,
+            // Strictly more than one interval, so every run durably
+            // checkpoints before it "crashes".
+            abort_after_visits: Some(rng.gen_range(26..90)),
+        };
+        let run = checkpoint::explore_checkpointed(
+            case.implementation.as_ref(),
+            &case.workload,
+            &engine_options,
+            &ck,
+            |_, _| Visit::Continue,
+        )
+        .expect("killed/resumed run");
+        assert_eq!(run.resumed, runs > 1);
+        if run.completed {
+            break run.stats;
+        }
+    };
+    assert_eq!(
+        final_stats, reference.stats,
+        "seed {seed} ({}): kill/resume diverged from the uninterrupted run after {runs} kills",
+        case.name
+    );
+
+    // A further invocation hits the done-marker and returns the same stats
+    // without re-exploring.
+    let ck_done = CheckpointOptions {
+        interval_visits: 25,
+        ..CheckpointOptions::new(&dir_kill)
+    };
+    let replay = checkpoint::explore_checkpointed(
+        case.implementation.as_ref(),
+        &case.workload,
+        &engine_options,
+        &ck_done,
+        |_, _| panic!("a completed checkpoint must not re-visit anything"),
+    )
+    .expect("done-marker replay");
+    assert!(replay.completed && replay.resumed);
+    assert_eq!(replay.stats, reference.stats);
+
+    std::fs::remove_dir_all(&dir_ref).ok();
+    std::fs::remove_dir_all(&dir_kill).ok();
+}
+
+fn check_partitioned_seed(seed: u64) {
+    let case = random_case(seed);
+    let reduction = STRATEGIES[(seed % 4) as usize];
+    let parts_log2 = 1 + (seed % 2) as u32;
+    for backend in [
+        StoreConfig::Mem,
+        StoreConfig::Spill {
+            shards_log2: 2,
+            shard_budget: 256,
+        },
+    ] {
+        let (single_stats, single_terms) = run_with_store(&case, reduction, backend);
+        let mut seen = BTreeSet::new();
+        let run = checkpoint::explore_partitioned(
+            case.implementation.as_ref(),
+            &case.workload,
+            &options(&case, reduction, backend),
+            parts_log2,
+            |config, depth| {
+                if config.enabled_processes().is_empty() || depth >= case.limits.max_depth {
+                    seen.insert(format!("{:?}", config.history()));
+                }
+                Visit::Continue
+            },
+        )
+        .expect("partitioned exploration");
+        assert_eq!(run.per_partition.len(), 1 << parts_log2);
+        assert_eq!(
+            (
+                run.total.visited,
+                run.total.terminals,
+                run.total.pruned,
+                run.total.truncated
+            ),
+            (
+                single_stats.visited,
+                single_stats.terminals,
+                single_stats.pruned,
+                single_stats.truncated
+            ),
+            "seed {seed} ({}): {reduction:?}/{} partitioned totals diverged",
+            case.name,
+            backend.label()
+        );
+        assert_eq!(
+            seen,
+            debug_set(&single_terms),
+            "seed {seed} ({}): partitioned terminal set diverged",
+            case.name
+        );
+        let partition_sum: usize = run.per_partition.iter().map(|s| s.visited).sum();
+        assert_eq!(partition_sum, run.total.visited);
+        if backend == StoreConfig::Mem {
+            // In-memory bytes are a pure set function, so even the byte
+            // accounting recomposes exactly.
+            assert_eq!(run.total.store_bytes, single_stats.store_bytes);
+        }
+        if run.total.visited > 1 && parts_log2 > 0 {
+            assert!(
+                run.exported > 0,
+                "seed {seed} ({}): avalanched keys must cross partitions",
+                case.name
+            );
+        }
+    }
+}
+
+fn check_parallel_checkpoint_seed(seed: u64) {
+    let mut case = random_case(seed);
+    case.limits.max_depth = case.limits.max_depth.min(10);
+    let reduction = STRATEGIES[(seed % 4) as usize];
+    let backend = StoreConfig::Mem;
+    let (plain_stats, _) = run_with_store(&case, reduction, backend);
+    let dir = temp_dir("par");
+    let ck = CheckpointOptions {
+        interval_visits: 50,
+        ..CheckpointOptions::new(&dir)
+    };
+    let run = checkpoint::explore_checkpointed_par(
+        case.implementation.as_ref(),
+        &case.workload,
+        &options(&case, reduction, backend),
+        &ck,
+        |_, _| Visit::Continue,
+    )
+    .expect("parallel checkpointed run");
+    assert!(run.completed);
+    // Counts (and in-memory bytes) are worker-order independent set
+    // functions; only spill run *boundaries* may differ in parallel.
+    assert_eq!(
+        (
+            run.stats.visited,
+            run.stats.terminals,
+            run.stats.pruned,
+            run.stats.bytes_allocated
+        ),
+        (
+            plain_stats.visited,
+            plain_stats.terminals,
+            plain_stats.pruned,
+            plain_stats.bytes_allocated
+        ),
+        "seed {seed} ({}): parallel checkpointed counts diverged",
+        case.name
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_backends_are_observationally_identical() {
+    for seed in 0..8 {
+        check_backends_seed(seed);
+    }
+}
+
+#[test]
+fn kill_and_resume_reproduces_uninterrupted_stats() {
+    for seed in 0..6 {
+        check_resume_seed(seed);
+    }
+}
+
+#[test]
+fn partitioned_exploration_recomposes_single_run_totals() {
+    for seed in 0..6 {
+        check_partitioned_seed(seed);
+    }
+}
+
+#[test]
+fn parallel_checkpointed_run_matches_sequential_counts() {
+    for seed in 0..4 {
+        check_parallel_checkpoint_seed(seed);
+    }
+}
+
+#[test]
+fn checkpoint_rejects_mismatched_parameters() {
+    let case = random_case(1);
+    let dir = temp_dir("mismatch");
+    let ck = CheckpointOptions::new(&dir);
+    checkpoint::explore_checkpointed(
+        case.implementation.as_ref(),
+        &case.workload,
+        &options(&case, Reduction::SleepSet, StoreConfig::Mem),
+        &ck,
+        |_, _| Visit::Continue,
+    )
+    .expect("first run");
+    // Same directory, different reduction: the config hash must reject it.
+    let err = checkpoint::explore_checkpointed(
+        case.implementation.as_ref(),
+        &case.workload,
+        &options(&case, Reduction::Symmetry, StoreConfig::Mem),
+        &ck,
+        |_, _| Visit::Continue,
+    )
+    .expect_err("mismatched parameters must not resume");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Extended nightly run: `EVLIN_DIFF_CASES` seeds (default 200).
+#[test]
+#[ignore = "long-running; exercised by the nightly fuzz job"]
+fn store_backends_agree_extended() {
+    let cases: u64 = std::env::var("EVLIN_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    for seed in 3_000..3_000 + cases {
+        check_backends_seed(seed);
+    }
+}
+
+/// Extended nightly kill/resume + partitioning sweep: `EVLIN_DIFF_CASES`
+/// seeds (default 100 — each seed runs a full kill/resume loop).
+#[test]
+#[ignore = "long-running; exercised by the nightly fuzz job"]
+fn resumable_and_partitioned_agree_extended() {
+    let cases: u64 = std::env::var("EVLIN_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|n: u64| n / 2)
+        .unwrap_or(100);
+    for seed in 4_000..4_000 + cases {
+        check_resume_seed(seed);
+        check_partitioned_seed(seed);
+    }
+}
