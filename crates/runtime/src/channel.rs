@@ -70,6 +70,17 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::recv_timeout`]: the deadline-bounded twin
+/// of [`TryRecvError`], where `Timeout` means the channel stayed empty (with
+/// live senders) for the whole wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No item arrived before the deadline; senders are still alive.
+    Timeout,
+    /// The channel is empty and every sender hung up.
+    Disconnected,
+}
+
 /// Error returned by [`Sender::try_send`]: the non-blocking twin of
 /// [`SendError`], additionally distinguishing a full channel.  Disconnection
 /// wins over fullness, matching [`Sender::send`]'s check order.
@@ -329,6 +340,43 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Receives with a deadline: blocks at most `timeout` while the channel
+    /// is empty and open.  Liveness watchdogs (the service's heartbeat
+    /// loops) are the intended caller — a silent peer must yield
+    /// [`RecvTimeoutError::Timeout`], never an indefinite park.  Queued
+    /// items are still delivered before a disconnect is reported.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.shared.queue.lock().expect("channel mutex");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                inner.stats.wakeups += 1;
+                self.shared.not_full.notify_one();
+                return Ok(item);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            inner.stats.blocked_waits += 1;
+            let (guard, wait) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, remaining)
+                .expect("channel mutex");
+            inner = guard;
+            if wait.timed_out() && inner.items.is_empty() && inner.senders > 0 {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
     /// This channel's contention counters so far.
     pub fn stats(&self) -> ChannelStats {
         self.shared.queue.lock().expect("channel mutex").stats
@@ -505,6 +553,33 @@ mod tests {
             }
             assert!(rest.len() <= 3);
         }
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers_then_disconnects() {
+        use std::time::Duration;
+        let (tx, rx) = bounded(2);
+        // Empty + live senders: a timeout, reported as such.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5usize).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        // An item arriving mid-wait wakes the receiver before the deadline.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                tx.send(6usize).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(6));
+        });
+        drop(tx);
+        // Drain-then-close still holds under the deadline API.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

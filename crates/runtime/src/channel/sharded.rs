@@ -209,6 +209,80 @@ impl<T: Clone> FrameSender<T> {
         }
     }
 
+    /// Items buffered locally, not yet shipped into the ring.  Together with
+    /// [`FrameSender::try_flush`] this is the back-pressure *probe*: a
+    /// caller that must never block (a service connection handler shedding
+    /// load) tries a non-blocking flush and measures what stayed behind.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Ships the buffered frame only if the ring can take it right now.
+    /// Returns `true` when the buffer is empty afterwards (shipped, or
+    /// nothing to ship); `false` means the ring was full and the items
+    /// remain buffered — nothing blocks, nothing is lost.  Only the clean
+    /// sink supports this; a fault-injected link reports `false` rather
+    /// than bypass its schedule.
+    pub fn try_flush(&mut self) -> bool {
+        if self.buf.is_empty() {
+            return true;
+        }
+        let FrameSink::Clean(sender) = &self.sink else {
+            return false;
+        };
+        if self.buf.len() < self.frame_capacity {
+            self.stats.partial_frames += 1;
+        }
+        let items = std::mem::replace(&mut self.buf, self.pool.get(self.frame_capacity));
+        let events = items.len();
+        let mut frame = Frame {
+            producer: self.producer,
+            items,
+            fingerprint: 0,
+        };
+        frame.fingerprint = frame.expected_fingerprint(&mut self.seq_scratch);
+        match sender.try_send(frame) {
+            Ok(()) => {
+                self.stats.frames_sent += 1;
+                self.stats.events_sent += events;
+                true
+            }
+            Err(channel::TrySendError::Full(frame)) => {
+                // Undo: the items go back to being the local buffer.  The
+                // partial-frame count stays — the *attempt* was partial —
+                // which at worst double-counts a retried flush.
+                let spent = std::mem::replace(&mut self.buf, frame.items);
+                self.pool.put(spent);
+                false
+            }
+            Err(channel::TrySendError::Disconnected(frame)) => {
+                self.stats.disconnected = true;
+                self.stats.dropped_disconnected += frame.items.len();
+                self.pool.put(frame.items);
+                true
+            }
+        }
+    }
+
+    /// Appends one sequence-stamped item *without* ever shipping, even past
+    /// `frame_capacity` — the frame rings accept frames of any size.  The
+    /// never-block companion to [`FrameSender::try_flush`]: a caller that
+    /// bounds `buffered_len` itself (shedding load above a threshold) can
+    /// buffer-then-try-flush and provably never wait on the ring.
+    pub fn push_buffered(&mut self, seq: u64, item: T) {
+        self.buf.push((seq, item));
+    }
+
+    /// Drops the locally buffered items without shipping them.  For callers
+    /// whose items are durable elsewhere (a journal) and who must tear a
+    /// sender down without touching a possibly-stalled ring: after this,
+    /// dropping the sender cannot block (the `Drop` flush sees an empty
+    /// buffer).
+    pub fn discard_buffered(&mut self) {
+        let spent = std::mem::take(&mut self.buf);
+        self.pool.put(spent);
+    }
+
     /// This sender's counters so far.
     pub fn stats(&self) -> FrameSenderStats {
         self.stats
@@ -577,6 +651,28 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn try_flush_never_blocks_and_retains_items_on_a_full_ring() {
+        let (mut senders, mut merge) = sharded::<usize>(1, 1, 2, None);
+        let mut tx = senders.pop().unwrap();
+        // Fill the 1-frame ring...
+        tx.push(0, 0);
+        tx.push(1, 1);
+        assert_eq!(tx.stats().frames_sent, 1);
+        // ...then a non-blocking flush of the next batch must fail softly.
+        tx.push(2, 2);
+        assert!(!tx.try_flush(), "ring is full");
+        assert_eq!(tx.buffered_len(), 1, "items retained, not dropped");
+        // Drain the ring and the retry succeeds.
+        let mut out = Vec::new();
+        assert_eq!(merge.recv_sorted(&mut out, 2), 2);
+        assert!(tx.try_flush());
+        assert_eq!(tx.buffered_len(), 0);
+        drop(tx);
+        assert_eq!(merge.recv_sorted(&mut out, 16), 1);
+        assert_eq!(out.iter().map(|(s, _)| *s).collect::<Vec<_>>(), [0, 1, 2]);
     }
 
     #[test]

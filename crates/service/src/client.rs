@@ -134,6 +134,8 @@ impl ServiceClient {
         tx.send(encode_frame(&WireFrame::Hello {
             client,
             version: VERSION,
+            session: 0,
+            resume: None,
         }))?;
         let sink = WireSink::new(tx, client, frame_capacity);
         Ok(ServiceClient {

@@ -16,9 +16,12 @@
 //! | module | role |
 //! |---|---|
 //! | [`wire`] | frame codec: byte layouts, fingerprints, versioning (see `docs/PROTOCOL.md`) |
-//! | [`transport`] | how frames move: in-process duplex (optionally faulted) and loopback TCP |
+//! | [`transport`] | how frames move: in-process duplex (optionally faulted), loopback TCP, read deadlines, [`transport::ChaosPlan`] |
 //! | [`client`] | producer side: a recorder shard over a [`client::WireSink`] |
 //! | [`replica`] | service side: connection handlers, shard router, replica pool |
+//! | [`journal`] | `EVJL` per-session fsynced frame journal with torn-tail recovery |
+//! | [`session`] | exactly-once resumption: server-side dedup/ack state, client-side unacked window, seeded backoff |
+//! | [`supervisor`] | crash-recoverable service: heartbeats, journal-replay restart, overload shedding |
 //!
 //! ## Example
 //!
@@ -76,11 +79,21 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod journal;
 pub mod replica;
+pub mod session;
+pub mod supervisor;
 pub mod transport;
 pub mod wire;
 
 pub use client::{ClientReport, ClientStats, ClosedClient, ServiceClient};
+pub use journal::{Journal, JournalError};
 pub use replica::{ConnStats, MonitorService, ServiceConfig, ServiceReport, ShardReport};
-pub use transport::{FrameRx, FrameTx};
-pub use wire::{VerdictSummary, WireError, WireFrame, VERSION};
+pub use session::{Backoff, RetriesExhausted, SessionError, SessionRx, SessionTx};
+pub use supervisor::{
+    ClientRecoveryConfig, ClosedRecoverableClient, ReconnectChaos, RecoverableClient,
+    RecoverableClientReport, RecoverableClientStats, RecoverableService, RecoveryConfig,
+    RecoveryReport, SessionStats,
+};
+pub use transport::{ChaosPlan, FrameRx, FrameTx};
+pub use wire::{ResumeCursor, VerdictSummary, WireError, WireFrame, LEGACY_VERSION, VERSION};

@@ -34,7 +34,8 @@
 use crate::client::ServiceClient;
 use crate::transport::{duplex, tcp_pair, FrameRx, FrameTx};
 use crate::wire::{
-    chain_fingerprint, decode_frame_with, encode_frame, VerdictSummary, WireFrame, VERSION,
+    chain_fingerprint, decode_frame_with, encode_frame, VerdictSummary, WireFrame, LEGACY_VERSION,
+    VERSION,
 };
 use evlin_checker::monitor::{
     recompose_verdicts, stages, IngestSummary, MonitorCheck, MonitorConfig, MonitorIngest,
@@ -176,7 +177,7 @@ impl ServiceReport {
 // Verdict fanout
 // ---------------------------------------------------------------------------
 
-struct Fanout {
+pub(crate) struct Fanout {
     writers: Mutex<Vec<Option<Box<dyn FrameTx>>>>,
     /// Slots every bounded link keeps free for final summaries.
     reserve: usize,
@@ -184,7 +185,7 @@ struct Fanout {
 }
 
 impl Fanout {
-    fn new(conns: usize, reserve: usize) -> Self {
+    pub(crate) fn new(conns: usize, reserve: usize) -> Self {
         let mut writers = Vec::with_capacity(conns);
         writers.resize_with(conns, || None);
         Fanout {
@@ -194,11 +195,11 @@ impl Fanout {
         }
     }
 
-    fn register(&self, conn: usize, tx: Box<dyn FrameTx>) {
+    pub(crate) fn register(&self, conn: usize, tx: Box<dyn FrameTx>) {
         self.writers.lock().expect("fanout lock")[conn] = Some(tx);
     }
 
-    fn broadcast(&self, summary: &VerdictSummary, reliable: bool) {
+    pub(crate) fn broadcast(&self, summary: &VerdictSummary, reliable: bool) {
         let bytes = encode_frame(&WireFrame::Verdict(summary.clone()));
         let mut writers = self.writers.lock().expect("fanout lock");
         for writer in writers.iter_mut().flatten() {
@@ -217,7 +218,24 @@ impl Fanout {
         }
     }
 
-    fn close_all(&self) {
+    /// Sends one frame to one connection's writer (pong replies).  Uses the
+    /// reserve-aware best-effort path: a liveness reply must never block a
+    /// verdict round, and a lost pong just looks like a slow peer.
+    pub(crate) fn unicast(&self, conn: usize, bytes: Vec<u8>) {
+        let mut writers = self.writers.lock().expect("fanout lock");
+        if let Some(writer) = writers.get_mut(conn).and_then(|w| w.as_mut()) {
+            if writer.has_room(self.reserve) {
+                let _ = writer.try_send(bytes);
+            }
+        }
+    }
+
+    /// Verdict rounds dropped on saturated links so far.
+    pub(crate) fn dropped_so_far(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn close_all(&self) {
         let mut writers = self.writers.lock().expect("fanout lock");
         for slot in writers.iter_mut() {
             if let Some(mut tx) = slot.take() {
@@ -304,9 +322,14 @@ fn run_handler(
             }
         };
         match frame {
-            WireFrame::Hello { client, version } => {
+            WireFrame::Hello {
+                client, version, ..
+            } => {
                 stats.hellos += 1;
-                if version != VERSION {
+                // Both spoken versions are welcome here; resume cursors are
+                // the recoverable service's concern (`service::supervisor`),
+                // and a plain pool treats a v2 hello as a fresh stream.
+                if version != VERSION && version != LEGACY_VERSION {
                     stats.bad_hellos += 1;
                     version_rejected = true;
                 } else if senders.is_none() {
@@ -372,8 +395,14 @@ fn run_handler(
                     stats.shutdown_mismatches += 1;
                 }
             }
-            WireFrame::Verdict(_) => {
-                // Verdicts flow replica→client only.
+            WireFrame::Ping { token } => {
+                // Liveness: echo the token so a client-side watchdog sees a
+                // breathing replica even between verdict rounds.
+                fanout.unicast(conn, encode_frame(&WireFrame::Pong { token }));
+            }
+            WireFrame::Pong { .. } => {}
+            WireFrame::Verdict(_) | WireFrame::Ack { .. } | WireFrame::Overloaded { .. } => {
+                // These flow replica→client only.
                 stats.protocol_errors += 1;
             }
         }
@@ -390,18 +419,18 @@ fn run_handler(
 // Replica shard stages
 // ---------------------------------------------------------------------------
 
-enum StageMsg {
+pub(crate) enum StageMsg {
     Batch(SegmentBatch),
     Final(SegmentBatch, IngestSummary),
 }
 
-struct IngestOut {
-    merge: MergeStats,
-    rejected: u64,
-    accepted: Option<Vec<Event>>,
+pub(crate) struct IngestOut {
+    pub(crate) merge: MergeStats,
+    pub(crate) rejected: u64,
+    pub(crate) accepted: Option<Vec<Event>>,
 }
 
-fn run_merge_ingest(
+pub(crate) fn run_merge_ingest(
     mut merge: sharded::FrameMerge<Event>,
     mut ingest: MonitorIngest,
     tx: Sender<StageMsg>,
@@ -445,17 +474,22 @@ fn run_merge_ingest(
     }
 }
 
-struct CheckOut {
-    report: MonitorReport,
-    rounds: u64,
-    summary: VerdictSummary,
+pub(crate) struct CheckOut {
+    pub(crate) report: MonitorReport,
+    pub(crate) rounds: u64,
+    pub(crate) summary: VerdictSummary,
 }
 
-fn run_check(
+/// Runs a shard's check stage.  With `alive`, every broadcast — mid-run
+/// *and* final — is suppressed once the flag drops: a supervisor simulating
+/// a replica crash flips it so the dying pool cannot leak verdicts while its
+/// successor is being rebuilt.
+pub(crate) fn run_check(
     shard: u32,
     mut check: MonitorCheck,
     rx: Receiver<StageMsg>,
     fanout: Arc<Fanout>,
+    alive: Option<Arc<std::sync::atomic::AtomicBool>>,
 ) -> CheckOut {
     let mut round = 0u64;
     let mut events_cum = 0u64;
@@ -468,18 +502,20 @@ fn run_check(
                 keys.clear();
                 keys.extend(batch.segment_keys());
                 check.check_batch(batch);
-                fanout.broadcast(
-                    &VerdictSummary {
-                        shard,
-                        round,
-                        events: events_cum,
-                        checked_ops: 0,
-                        fingerprint: fold_words(shard as u64, &keys),
-                        last: false,
-                        verdict: check.verdict_so_far(),
-                    },
-                    false,
-                );
+                if alive.as_ref().is_none_or(|a| a.load(Ordering::Relaxed)) {
+                    fanout.broadcast(
+                        &VerdictSummary {
+                            shard,
+                            round,
+                            events: events_cum,
+                            checked_ops: 0,
+                            fingerprint: fold_words(shard as u64, &keys),
+                            last: false,
+                            verdict: check.verdict_so_far(),
+                        },
+                        false,
+                    );
+                }
             }
             StageMsg::Final(tail, summary) => {
                 round += 1;
@@ -493,7 +529,9 @@ fn run_check(
                     last: true,
                     verdict: report.verdict.clone(),
                 };
-                fanout.broadcast(&final_summary, true);
+                if alive.as_ref().is_none_or(|a| a.load(Ordering::Relaxed)) {
+                    fanout.broadcast(&final_summary, true);
+                }
                 return CheckOut {
                     report,
                     rounds: round,
@@ -581,7 +619,7 @@ fn spawn_core(universe: &ObjectUniverse, conns: usize, config: &ServiceConfig) -
         check_joins.push(
             std::thread::Builder::new()
                 .name(format!("evlin-svc-check-{shard}"))
-                .spawn(move || run_check(shard as u32, check, stage_rx, fanout))
+                .spawn(move || run_check(shard as u32, check, stage_rx, fanout, None))
                 .expect("spawn check thread"),
         );
     }

@@ -15,17 +15,24 @@
 //!   offline with the standard library only.  The frame length prefix is
 //!   the stream framing: a reader takes four length bytes, then the body.
 //!
-//! Both shims deliver *whole frames or nothing* — TCP by read-exact on the
-//! announced length, the duplex channel by construction — so the codec layer
-//! never sees a split frame and every corruption mode is frame-granular,
-//! matching the fault-tolerance contract in `docs/PROTOCOL.md`.
+//! Both shims deliver *whole frames or nothing* — TCP by buffering raw bytes
+//! and carving frames at length-prefix boundaries ([`split_frame`]), the
+//! duplex channel by construction — so the codec layer never sees a split
+//! frame and every corruption mode is frame-granular, matching the
+//! fault-tolerance contract in `docs/PROTOCOL.md`.  Receivers additionally
+//! support read deadlines ([`FrameRx::set_read_deadline`] /
+//! [`FrameRx::recv_timeout`] → [`WireError::PeerTimeout`]) so a silently
+//! dead peer can never park a thread forever, and senders can be armed with
+//! a [`ChaosPlan`] injecting partial writes and mid-frame connection kills
+//! for the chaos differential suite.
 
-use crate::wire::{WireError, MAX_FRAME_BYTES};
-use evlin_runtime::channel::{self, Receiver, Sender, TrySendError};
+use crate::wire::{split_frame, WireError};
+use evlin_runtime::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use evlin_runtime::{FaultPlan, FaultySender};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// The sending half of a frame transport.
 ///
@@ -66,6 +73,106 @@ pub trait FrameTx: Send {
 pub trait FrameRx: Send {
     /// Receives the next whole frame; `None` is a clean end of stream.
     fn recv(&mut self) -> Result<Option<Vec<u8>>, WireError>;
+
+    /// Receives with a deadline: blocks at most `timeout`, then surfaces
+    /// [`WireError::PeerTimeout`] if the peer stayed silent.  Partial frame
+    /// bytes already read are retained across timeouts — a slow peer is not
+    /// a corrupt peer — so a later call resumes mid-frame.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, WireError>;
+
+    /// Installs a standing read deadline on plain [`FrameRx::recv`] calls
+    /// (`None` restores blocking reads).  This is the liveness fix for
+    /// handler threads: with a deadline set, a silently dead peer turns
+    /// into a periodic [`WireError::PeerTimeout`] the caller can answer
+    /// with a ping or a hang-up, never a thread parked forever.
+    fn set_read_deadline(&mut self, deadline: Option<Duration>) -> Result<(), WireError>;
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: mid-frame kills and partial writes
+// ---------------------------------------------------------------------------
+
+/// Seeded byte-level fault plan for a transport's *send* side, extending the
+/// whole-frame [`FaultPlan`] faults (loss, duplication, reordering) with the
+/// two failure shapes only a byte stream has: **partial writes** (a frame
+/// split across multiple syscalls, exercising the reader's reassembly
+/// buffer) and **mid-frame kills** (the connection torn down with a strict
+/// prefix of a frame written — what a crashed client or an RST mid-`write`
+/// leaves on the wire).
+///
+/// On the in-process duplex shim — which carries whole frames — a kill
+/// degrades to delivering a truncated frame and closing, which the codec
+/// rejects frame-granularly; splits are a no-op there.  Determinism: the
+/// same seed and call sequence produce the same cut points.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    state: u64,
+    /// Per-mille probability that a send is split into two writes.
+    split_per_mille: u16,
+    /// 0-based send index at which the connection is killed mid-frame.
+    kill_at_frame: Option<u64>,
+    sent: u64,
+}
+
+impl ChaosPlan {
+    /// A no-fault plan with the given seed; compose with the builders.
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan {
+            // Xorshift needs a nonzero state.
+            state: seed | 1,
+            split_per_mille: 0,
+            kill_at_frame: None,
+            sent: 0,
+        }
+    }
+
+    /// Splits roughly `per_mille`‰ of sends into two partial writes.
+    pub fn split_writes(mut self, per_mille: u16) -> Self {
+        self.split_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Kills the connection mid-frame on the `frame`-th send (0-based).
+    pub fn kill_at(mut self, frame: u64) -> Self {
+        self.kill_at_frame = Some(frame);
+        self
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Decides this send's fate: `Kill(cut)` writes only `frame[..cut]` and
+    /// tears the link down; `Split(cut)` writes in two halves; `Pass` sends
+    /// normally.  `cut` is always a strict, nonzero prefix length.
+    fn judge(&mut self, frame_len: usize) -> ChaosVerdict {
+        let idx = self.sent;
+        self.sent += 1;
+        let cut = |r: u64| 1 + (r as usize % frame_len.saturating_sub(1).max(1));
+        if self.kill_at_frame == Some(idx) {
+            let r = self.next();
+            return ChaosVerdict::Kill(cut(r));
+        }
+        if self.split_per_mille > 0 && frame_len > 1 {
+            let roll = self.next() % 1000;
+            if roll < self.split_per_mille as u64 {
+                let r = self.next();
+                return ChaosVerdict::Split(cut(r));
+            }
+        }
+        ChaosVerdict::Pass
+    }
+}
+
+enum ChaosVerdict {
+    Pass,
+    Split(usize),
+    Kill(usize),
 }
 
 // ---------------------------------------------------------------------------
@@ -80,11 +187,14 @@ enum DuplexSink {
 /// Sending half of an in-process duplex link (see [`duplex`]).
 pub struct DuplexTx {
     sink: DuplexSink,
+    chaos: Option<ChaosPlan>,
+    killed: bool,
 }
 
 /// Receiving half of an in-process duplex link (see [`duplex`]).
 pub struct DuplexRx {
     rx: Receiver<Vec<u8>>,
+    deadline: Option<Duration>,
 }
 
 /// Builds one direction of an in-process link: a bounded channel of whole
@@ -98,11 +208,44 @@ pub fn duplex(capacity: usize, plan: Option<FaultPlan>) -> (DuplexTx, DuplexRx) 
         Some(plan) => DuplexSink::Faulty(FaultySender::new(tx, plan)),
         None => DuplexSink::Clean(tx),
     };
-    (DuplexTx { sink }, DuplexRx { rx })
+    (
+        DuplexTx {
+            sink,
+            chaos: None,
+            killed: false,
+        },
+        DuplexRx { rx, deadline: None },
+    )
+}
+
+impl DuplexTx {
+    /// Arms a [`ChaosPlan`] on this sender (kills only; the duplex link
+    /// carries whole frames, so split writes do not apply).
+    pub fn set_chaos(&mut self, plan: ChaosPlan) {
+        self.chaos = Some(plan);
+    }
 }
 
 impl FrameTx for DuplexTx {
-    fn send(&mut self, frame: Vec<u8>) -> Result<(), WireError> {
+    fn send(&mut self, mut frame: Vec<u8>) -> Result<(), WireError> {
+        if self.killed {
+            return Err(WireError::Transport("chaos: connection killed".into()));
+        }
+        if let Some(plan) = &mut self.chaos {
+            if let ChaosVerdict::Kill(cut) = plan.judge(frame.len()) {
+                // Deliver the torn prefix (the peer's decoder rejects it
+                // frame-granularly), then die.
+                frame.truncate(cut);
+                let _ = match &mut self.sink {
+                    DuplexSink::Clean(tx) => tx.send(frame),
+                    DuplexSink::Faulty(tx) => tx.send(frame),
+                };
+                self.killed = true;
+                return Err(WireError::Transport(
+                    "chaos: connection killed mid-frame".into(),
+                ));
+            }
+        }
         let result = match &mut self.sink {
             DuplexSink::Clean(tx) => tx.send(frame),
             DuplexSink::Faulty(tx) => tx.send(frame),
@@ -111,6 +254,9 @@ impl FrameTx for DuplexTx {
     }
 
     fn try_send(&mut self, frame: Vec<u8>) -> Result<bool, WireError> {
+        if self.killed {
+            return Err(WireError::Transport("chaos: connection killed".into()));
+        }
         match &mut self.sink {
             DuplexSink::Clean(tx) => match tx.try_send(frame) {
                 Ok(()) => Ok(true),
@@ -138,7 +284,23 @@ impl FrameTx for DuplexTx {
 
 impl FrameRx for DuplexRx {
     fn recv(&mut self) -> Result<Option<Vec<u8>>, WireError> {
-        Ok(self.rx.recv())
+        match self.deadline {
+            Some(deadline) => self.recv_timeout(deadline),
+            None => Ok(self.rx.recv()),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, WireError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+            Err(RecvTimeoutError::Timeout) => Err(WireError::PeerTimeout),
+        }
+    }
+
+    fn set_read_deadline(&mut self, deadline: Option<Duration>) -> Result<(), WireError> {
+        self.deadline = deadline;
+        Ok(())
     }
 }
 
@@ -151,11 +313,19 @@ impl FrameRx for DuplexRx {
 #[derive(Clone)]
 pub struct TcpTx {
     stream: Arc<Mutex<TcpStream>>,
+    chaos: Option<ChaosPlan>,
 }
 
 /// Receiving half of a TCP link.
+///
+/// Reads are *buffered*: bytes are pulled from the socket in chunks and
+/// frames carved out of the buffer by [`split_frame`], so a read deadline
+/// that fires mid-frame keeps the partial bytes — a slow peer resumes where
+/// it left off; only silence is reported ([`WireError::PeerTimeout`]).
 pub struct TcpRx {
     stream: TcpStream,
+    buf: Vec<u8>,
+    deadline: Option<Duration>,
 }
 
 fn io_err(e: std::io::Error) -> WireError {
@@ -168,8 +338,13 @@ pub fn tcp_pair(stream: TcpStream) -> Result<(TcpTx, TcpRx), WireError> {
     Ok((
         TcpTx {
             stream: Arc::new(Mutex::new(stream)),
+            chaos: None,
         },
-        TcpRx { stream: reader },
+        TcpRx {
+            stream: reader,
+            buf: Vec::new(),
+            deadline: None,
+        },
     ))
 }
 
@@ -192,15 +367,45 @@ impl TcpTx {
             let _ = stream.shutdown(std::net::Shutdown::Write);
         }
     }
+
+    /// Arms a [`ChaosPlan`] on this sender: partial writes and mid-frame
+    /// kills on the real socket.
+    pub fn set_chaos(&mut self, plan: ChaosPlan) {
+        self.chaos = Some(plan);
+    }
 }
 
 impl FrameTx for TcpTx {
     fn send(&mut self, frame: Vec<u8>) -> Result<(), WireError> {
+        let verdict = match &mut self.chaos {
+            Some(plan) => plan.judge(frame.len()),
+            None => ChaosVerdict::Pass,
+        };
         let mut stream = self
             .stream
             .lock()
             .map_err(|_| WireError::Transport("socket lock poisoned".into()))?;
-        stream.write_all(&frame).map_err(io_err)
+        match verdict {
+            ChaosVerdict::Pass => stream.write_all(&frame).map_err(io_err),
+            ChaosVerdict::Split(cut) => {
+                // Two syscalls with a flush between: the bytes all arrive,
+                // but never as one read on the peer — reassembly territory.
+                stream.write_all(&frame[..cut]).map_err(io_err)?;
+                stream.flush().map_err(io_err)?;
+                std::thread::yield_now();
+                stream.write_all(&frame[cut..]).map_err(io_err)
+            }
+            ChaosVerdict::Kill(cut) => {
+                // A crash mid-write: a strict prefix reaches the wire, then
+                // the socket dies in both directions.
+                let _ = stream.write_all(&frame[..cut]);
+                let _ = stream.flush();
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                Err(WireError::Transport(
+                    "chaos: connection killed mid-frame".into(),
+                ))
+            }
+        }
     }
 
     fn close(&mut self) {
@@ -208,23 +413,75 @@ impl FrameTx for TcpTx {
     }
 }
 
+impl TcpRx {
+    /// Carves the first whole frame out of the reassembly buffer.
+    fn take_buffered(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        match split_frame(&self.buf)? {
+            Some((head, _)) => {
+                let len = head.len();
+                let frame = self.buf[..len].to_vec();
+                self.buf.drain(..len);
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn recv_inner(&mut self, deadline: Option<Instant>) -> Result<Option<Vec<u8>>, WireError> {
+        loop {
+            if let Some(frame) = self.take_buffered()? {
+                return Ok(Some(frame));
+            }
+            if let Some(deadline) = deadline {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(WireError::PeerTimeout);
+                }
+                self.stream
+                    .set_read_timeout(Some(remaining))
+                    .map_err(io_err)?;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF on a frame boundary is a clean close; EOF with
+                    // buffered bytes is a torn frame (a mid-frame kill).
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(WireError::Transport(format!(
+                            "connection closed mid-frame ({} bytes buffered)",
+                            self.buf.len()
+                        )))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Err(WireError::PeerTimeout);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+    }
+}
+
 impl FrameRx for TcpRx {
     fn recv(&mut self) -> Result<Option<Vec<u8>>, WireError> {
-        let mut prefix = [0u8; 4];
-        match self.stream.read_exact(&mut prefix) {
-            Ok(()) => {}
-            // EOF exactly on a frame boundary is a clean close.
-            Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(io_err(e)),
-        }
-        let body = u32::from_le_bytes(prefix) as usize;
-        if body > MAX_FRAME_BYTES {
-            return Err(WireError::FrameTooLarge(body));
-        }
-        let mut frame = vec![0u8; 4 + body];
-        frame[..4].copy_from_slice(&prefix);
-        self.stream.read_exact(&mut frame[4..]).map_err(io_err)?;
-        Ok(Some(frame))
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        self.recv_inner(deadline)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, WireError> {
+        let result = self.recv_inner(Some(Instant::now() + timeout));
+        // Restore the standing deadline (or blocking mode) for later recvs.
+        let _ = self.stream.set_read_timeout(self.deadline);
+        result
+    }
+
+    fn set_read_deadline(&mut self, deadline: Option<Duration>) -> Result<(), WireError> {
+        self.deadline = deadline;
+        self.stream.set_read_timeout(deadline).map_err(io_err)
     }
 }
 
@@ -240,6 +497,8 @@ mod tests {
             tx.send(encode_frame(&WireFrame::Hello {
                 client,
                 version: VERSION,
+                session: 0,
+                resume: None,
             }))
             .unwrap();
         }
@@ -250,7 +509,9 @@ mod tests {
                 decode_frame(&bytes).unwrap(),
                 WireFrame::Hello {
                     client,
-                    version: VERSION
+                    version: VERSION,
+                    session: 0,
+                    resume: None,
                 }
             );
         }
@@ -286,5 +547,165 @@ mod tests {
         tx.send(encode_frame(&frame)).unwrap();
         tx.shutdown_write();
         assert_eq!(server.join().unwrap(), vec![frame]);
+    }
+
+    #[test]
+    fn frozen_tcp_peer_surfaces_peer_timeout_not_a_hang() {
+        use std::time::Duration;
+        let listener = loopback_listener().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let (mut tx, _rx) = tcp_connect(addr).unwrap();
+            // Send one whole frame plus a *partial* second frame, then
+            // freeze (keep the socket open, write nothing more).
+            let whole = encode_frame(&WireFrame::Ping { token: 7 });
+            tx.send(whole).unwrap();
+            let partial = encode_frame(&WireFrame::Ping { token: 8 });
+            tx.send(partial[..partial.len() - 3].to_vec()).unwrap();
+            // Hold the connection open until the server is done probing.
+            std::thread::sleep(Duration::from_millis(400));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let (_tx, mut rx) = tcp_pair(stream).unwrap();
+        rx.set_read_deadline(Some(Duration::from_millis(50)))
+            .unwrap();
+        // The whole frame arrives fine.
+        let bytes = rx.recv().unwrap().unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap(), WireFrame::Ping { token: 7 });
+        // The partial frame: every recv reports the silence as a typed
+        // timeout — not a hang, not a corruption — and the buffered prefix
+        // survives each one.
+        for _ in 0..2 {
+            assert_eq!(rx.recv(), Err(WireError::PeerTimeout));
+        }
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_partial_frame_resumes_after_timeout() {
+        use std::time::Duration;
+        let listener = loopback_listener().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let frame = encode_frame(&WireFrame::Shutdown {
+            client: 2,
+            events_sent: 9,
+            stream_fingerprint: 11,
+        });
+        let expected = frame.clone();
+        let client = std::thread::spawn(move || {
+            let (mut tx, _rx) = tcp_connect(addr).unwrap();
+            let (head, tail) = frame.split_at(frame.len() - 5);
+            tx.send(head.to_vec()).unwrap();
+            // Stall past the reader's deadline, then finish the frame.
+            std::thread::sleep(Duration::from_millis(120));
+            tx.send(tail.to_vec()).unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let (_tx, mut rx) = tcp_pair(stream).unwrap();
+        // First attempt times out mid-frame; the retry completes it — the
+        // buffered prefix was kept, so a slow peer loses nothing.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(40)),
+            Err(WireError::PeerTimeout)
+        );
+        let bytes = rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(bytes, expected);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn chaos_split_writes_still_deliver_whole_frames() {
+        let listener = loopback_listener().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let (_tx, mut rx) = tcp_pair(stream).unwrap();
+            let mut seen = Vec::new();
+            while let Some(frame) = rx.recv().unwrap() {
+                seen.push(decode_frame(&frame).unwrap());
+            }
+            seen
+        });
+        let (mut tx, _rx) = tcp_connect(addr).unwrap();
+        // Split every send in two; the reader's buffer must reassemble.
+        tx.set_chaos(ChaosPlan::new(42).split_writes(1000));
+        let frames: Vec<WireFrame> = (0..20).map(|i| WireFrame::Ping { token: i }).collect();
+        for frame in &frames {
+            tx.send(encode_frame(frame)).unwrap();
+        }
+        tx.shutdown_write();
+        assert_eq!(server.join().unwrap(), frames);
+    }
+
+    #[test]
+    fn chaos_kill_tears_the_connection_mid_frame() {
+        let listener = loopback_listener().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let (_tx, mut rx) = tcp_pair(stream).unwrap();
+            let mut whole = 0usize;
+            loop {
+                match rx.recv() {
+                    Ok(Some(frame)) => {
+                        decode_frame(&frame).unwrap();
+                        whole += 1;
+                    }
+                    // Clean EOF or a torn tail both end the stream.
+                    Ok(None) | Err(_) => return whole,
+                }
+            }
+        });
+        let (mut tx, _rx) = tcp_connect(addr).unwrap();
+        tx.set_chaos(ChaosPlan::new(7).kill_at(3));
+        let mut sent_ok = 0usize;
+        for i in 0..10u64 {
+            match tx.send(encode_frame(&WireFrame::Ping { token: i })) {
+                Ok(()) => sent_ok += 1,
+                Err(_) => break,
+            }
+        }
+        assert_eq!(sent_ok, 3, "the 4th send is the kill");
+        // The reader saw exactly the whole frames — the torn prefix of the
+        // 4th never decodes.
+        assert_eq!(server.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn duplex_deadline_reports_silence_as_peer_timeout() {
+        use std::time::Duration;
+        let (mut tx, mut rx) = duplex(4, None);
+        rx.set_read_deadline(Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(rx.recv(), Err(WireError::PeerTimeout));
+        tx.send(encode_frame(&WireFrame::Ping { token: 1 }))
+            .unwrap();
+        assert!(rx.recv().unwrap().is_some());
+        drop(tx);
+        // Hang-up still reads as a clean close, not a timeout.
+        assert_eq!(rx.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn duplex_chaos_kill_delivers_a_torn_frame_then_errors() {
+        let (mut tx, mut rx) = duplex(4, None);
+        tx.set_chaos(ChaosPlan::new(3).kill_at(1));
+        tx.send(encode_frame(&WireFrame::Ping { token: 0 }))
+            .unwrap();
+        let err = tx
+            .send(encode_frame(&WireFrame::Ping { token: 1 }))
+            .unwrap_err();
+        assert!(matches!(err, WireError::Transport(_)));
+        // Subsequent sends fail fast.
+        assert!(tx.send(vec![1, 2, 3]).is_err());
+        drop(tx);
+        // The receiver sees the whole first frame, then the torn prefix
+        // (which the codec rejects), then end of stream.
+        let first = rx.recv().unwrap().unwrap();
+        assert_eq!(decode_frame(&first).unwrap(), WireFrame::Ping { token: 0 });
+        let torn = rx.recv().unwrap().unwrap();
+        assert!(decode_frame(&torn).is_err());
+        assert_eq!(rx.recv().unwrap(), None);
     }
 }

@@ -39,10 +39,17 @@ use std::fmt;
 /// Protocol magic, the ASCII bytes `EVLN` read as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"EVLN");
 
-/// Protocol version carried in every [`WireFrame::Hello`].  A replica
-/// rejects a connection whose hello announces any other version; frames
-/// themselves are not version-stamped (the handshake pins the connection).
-pub const VERSION: u16 = 1;
+/// Current protocol version carried in every [`WireFrame::Hello`].  A
+/// replica rejects a connection whose hello announces a version it does not
+/// speak; frames themselves are not version-stamped (the handshake pins the
+/// connection).  Version 2 added session resumption (the extended hello plus
+/// the `ACK`/`PING`/`PONG`/`OVERLOADED` frames); version-1 hellos are still
+/// decoded for compatibility.
+pub const VERSION: u16 = 2;
+
+/// The pre-session protocol version: an 11-byte hello and the
+/// `EVENTS`/`VERDICT`/`SHUTDOWN` frames only.
+pub const LEGACY_VERSION: u16 = 1;
 
 /// Upper bound on a frame body, guarding length-prefix corruption: a flipped
 /// length bit must produce a decode error, not a multi-gigabyte allocation.
@@ -58,17 +65,58 @@ pub mod tag {
     pub const VERDICT: u8 = 3;
     /// [`super::WireFrame::Shutdown`].
     pub const SHUTDOWN: u8 = 4;
+    /// [`super::WireFrame::Ack`] (version 2).
+    pub const ACK: u8 = 5;
+    /// [`super::WireFrame::Ping`] (version 2).
+    pub const PING: u8 = 6;
+    /// [`super::WireFrame::Pong`] (version 2).
+    pub const PONG: u8 = 7;
+    /// [`super::WireFrame::Overloaded`] (version 2).
+    pub const OVERLOADED: u8 = 8;
+}
+
+/// A client's durable position in its session stream, as carried by resume
+/// hellos and [`WireFrame::Ack`] frames.
+///
+/// `frames` counts whole accepted `EVENTS` frames (equivalently: the next
+/// expected `frame_seq`), `events` the events inside them, and `chain` the
+/// [`chain_fingerprint`] folded over exactly those frames.  Two endpoints
+/// agree on a cursor iff they accepted the same frame sequence — which is
+/// what makes the cursor both a resume point and a corruption detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumeCursor {
+    /// Accepted `EVENTS` frames (= the next expected `frame_seq`).
+    pub frames: u64,
+    /// Events inside those frames.
+    pub events: u64,
+    /// The chained stream fingerprint over those frames.
+    pub chain: u64,
 }
 
 /// Everything that can appear on the wire, in decoded form.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireFrame {
     /// Connection handshake, sent once by the client before anything else.
+    ///
+    /// A [`LEGACY_VERSION`] hello carries only `client` and `version`
+    /// (`session` is 0 and `resume` is `None` by construction).  A
+    /// [`VERSION`]-2 hello additionally names the client's session and,
+    /// when reconnecting, the durable cursor it believes the replica has
+    /// journaled — the replica cross-checks that cursor against its journal
+    /// before resuming the session.
     Hello {
         /// The producer's client id (its slot in the replica pool).
         client: u32,
-        /// The protocol version the client speaks ([`VERSION`]).
+        /// The protocol version the client speaks ([`VERSION`] or
+        /// [`LEGACY_VERSION`]).
         version: u16,
+        /// The client's session id (0 for legacy hellos): stable across
+        /// reconnects, it is what lets a replica re-attach a dropped
+        /// connection to its journal.
+        session: u64,
+        /// Present on reconnect: the durable cursor the client last saw
+        /// acknowledged.  `None` opens a fresh session.
+        resume: Option<ResumeCursor>,
     },
     /// A batch of sequence-stamped events.
     Events {
@@ -94,6 +142,39 @@ pub enum WireFrame {
         /// The client's chained stream fingerprint (see
         /// [`chain_fingerprint`]) over every event frame it sent.
         stream_fingerprint: u64,
+    },
+    /// Durability acknowledgement, replica→client (version 2): everything
+    /// up to `cursor` has been journaled and fsynced.  The client prunes its
+    /// unacked replay window up to the cursor; on a gap rejection the cursor
+    /// tells the client exactly where to rewind.
+    Ack {
+        /// The acknowledged client.
+        client: u32,
+        /// The session being acknowledged.
+        session: u64,
+        /// The replica's durable cursor for the session.
+        cursor: ResumeCursor,
+    },
+    /// Liveness probe (version 2), either direction.  The receiver echoes
+    /// the token back in a [`WireFrame::Pong`].
+    Ping {
+        /// Opaque token echoed by the pong.
+        token: u64,
+    },
+    /// Liveness probe response (version 2).
+    Pong {
+        /// The token of the ping being answered.
+        token: u64,
+    },
+    /// Typed load-shedding rejection, replica→client (version 2): the
+    /// frame that provoked it was **not** accepted (not journaled, not
+    /// routed) and remains the client's to retransmit after `retry_after_ms`
+    /// — the bounded-ingest alternative to buffering without bound.
+    Overloaded {
+        /// The rejected client.
+        client: u32,
+        /// Suggested delay before retransmitting, in milliseconds.
+        retry_after_ms: u32,
     },
 }
 
@@ -161,6 +242,16 @@ pub enum WireError {
         /// Fingerprint recomputed from the decoded events.
         computed: u64,
     },
+    /// A hello announcing a protocol version this decoder does not speak,
+    /// or a version-2 frame arriving at a decoder capped below version 2
+    /// ([`decode_frame_limited`]).  Deliberately a *clean, typed* rejection:
+    /// an old replica meeting a resume hello must refuse it, not panic.
+    UnsupportedVersion(u16),
+    /// A blocking read exceeded its deadline while the peer stayed silent.
+    ///
+    /// Surfaced by transports with a read deadline configured; the caller
+    /// decides whether a silent peer is idle (send a ping) or dead (close).
+    PeerTimeout,
     /// The underlying transport failed (connection reset, poisoned lock…).
     Transport(String),
 }
@@ -192,6 +283,10 @@ impl fmt::Display for WireError {
                 "event batch fingerprint mismatch: frame says {announced:#018x}, \
                  payload folds to {computed:#018x}"
             ),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v}")
+            }
+            WireError::PeerTimeout => write!(f, "peer silent past the read deadline"),
             WireError::Transport(msg) => write!(f, "transport error: {msg}"),
         }
     }
@@ -334,11 +429,29 @@ pub fn encode_frame(frame: &WireFrame) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     out.extend_from_slice(&[0; 4]); // length prefix, patched below
     match frame {
-        WireFrame::Hello { client, version } => {
+        WireFrame::Hello {
+            client,
+            version,
+            session,
+            resume,
+        } => {
             out.push(tag::HELLO);
             put_u32(&mut out, MAGIC);
             put_u16(&mut out, *version);
             put_u32(&mut out, *client);
+            // A legacy hello ends here — its 11-byte layout is frozen.
+            if *version != LEGACY_VERSION {
+                put_u64(&mut out, *session);
+                match resume {
+                    Some(cursor) => {
+                        out.push(1);
+                        put_u64(&mut out, cursor.frames);
+                        put_u64(&mut out, cursor.events);
+                        put_u64(&mut out, cursor.chain);
+                    }
+                    None => out.push(0),
+                }
+            }
         }
         WireFrame::Events {
             client,
@@ -375,6 +488,34 @@ pub fn encode_frame(frame: &WireFrame) -> Vec<u8> {
             put_u32(&mut out, *client);
             put_u64(&mut out, *events_sent);
             put_u64(&mut out, *stream_fingerprint);
+        }
+        WireFrame::Ack {
+            client,
+            session,
+            cursor,
+        } => {
+            out.push(tag::ACK);
+            put_u32(&mut out, *client);
+            put_u64(&mut out, *session);
+            put_u64(&mut out, cursor.frames);
+            put_u64(&mut out, cursor.events);
+            put_u64(&mut out, cursor.chain);
+        }
+        WireFrame::Ping { token } => {
+            out.push(tag::PING);
+            put_u64(&mut out, *token);
+        }
+        WireFrame::Pong { token } => {
+            out.push(tag::PONG);
+            put_u64(&mut out, *token);
+        }
+        WireFrame::Overloaded {
+            client,
+            retry_after_ms,
+        } => {
+            out.push(tag::OVERLOADED);
+            put_u32(&mut out, *client);
+            put_u32(&mut out, *retry_after_ms);
         }
     }
     let body_len = (out.len() - 4) as u32;
@@ -525,6 +666,20 @@ pub fn decode_frame_with(
     bytes: &[u8],
     interner: &mut Vec<Invocation>,
 ) -> Result<WireFrame, WireError> {
+    decode_frame_limited(bytes, interner, VERSION)
+}
+
+/// [`decode_frame_with`] as spoken by a replica capped at `max_version` —
+/// the version gate.  A legacy ([`LEGACY_VERSION`]-only) replica meeting a
+/// resume hello or any version-2 frame gets a typed
+/// [`WireError::UnsupportedVersion`], never a structural mis-decode: the
+/// hello carries its version explicitly, and the version-2 frame tags
+/// ([`tag::ACK`]..[`tag::OVERLOADED`]) did not exist in version 1.
+pub fn decode_frame_limited(
+    bytes: &[u8],
+    interner: &mut Vec<Invocation>,
+    max_version: u16,
+) -> Result<WireFrame, WireError> {
     if bytes.len() < 5 {
         return Err(WireError::Truncated {
             needed: 5,
@@ -549,8 +704,34 @@ pub fn decode_frame_with(
                 return Err(WireError::BadMagic(magic));
             }
             let version = c.u16()?;
+            if version == 0 || version > max_version {
+                return Err(WireError::UnsupportedVersion(version));
+            }
             let client = c.u32()?;
-            WireFrame::Hello { client, version }
+            if version == LEGACY_VERSION {
+                WireFrame::Hello {
+                    client,
+                    version,
+                    session: 0,
+                    resume: None,
+                }
+            } else {
+                let session = c.u64()?;
+                let resume = match c.u8()? {
+                    0 => None,
+                    _ => Some(ResumeCursor {
+                        frames: c.u64()?,
+                        events: c.u64()?,
+                        chain: c.u64()?,
+                    }),
+                };
+                WireFrame::Hello {
+                    client,
+                    version,
+                    session,
+                    resume,
+                }
+            }
         }
         tag::EVENTS => {
             let client = c.u32()?;
@@ -629,6 +810,37 @@ pub fn decode_frame_with(
                 stream_fingerprint,
             }
         }
+        t @ (tag::ACK | tag::PING | tag::PONG | tag::OVERLOADED) if max_version < 2 => {
+            // A version-1 decoder has never heard of these tags; refusing
+            // them as a version problem (not `BadTag`) is what lets a mixed
+            // fleet report "upgrade me" instead of "corrupt stream".
+            let _ = t;
+            return Err(WireError::UnsupportedVersion(LEGACY_VERSION));
+        }
+        tag::ACK => {
+            let client = c.u32()?;
+            let session = c.u64()?;
+            let cursor = ResumeCursor {
+                frames: c.u64()?,
+                events: c.u64()?,
+                chain: c.u64()?,
+            };
+            WireFrame::Ack {
+                client,
+                session,
+                cursor,
+            }
+        }
+        tag::PING => WireFrame::Ping { token: c.u64()? },
+        tag::PONG => WireFrame::Pong { token: c.u64()? },
+        tag::OVERLOADED => {
+            let client = c.u32()?;
+            let retry_after_ms = c.u32()?;
+            WireFrame::Overloaded {
+                client,
+                retry_after_ms,
+            }
+        }
         t => return Err(WireError::BadTag(t)),
     };
     if c.at != bytes.len() {
@@ -662,6 +874,24 @@ mod tests {
             WireFrame::Hello {
                 client: 9,
                 version: VERSION,
+                session: 0xfeed_f00d,
+                resume: None,
+            },
+            WireFrame::Hello {
+                client: 9,
+                version: VERSION,
+                session: 0xfeed_f00d,
+                resume: Some(ResumeCursor {
+                    frames: 12,
+                    events: 384,
+                    chain: 0xabcd,
+                }),
+            },
+            WireFrame::Hello {
+                client: 9,
+                version: LEGACY_VERSION,
+                session: 0,
+                resume: None,
             },
             WireFrame::Events {
                 client: 9,
@@ -682,6 +912,21 @@ mod tests {
                 client: 9,
                 events_sent: 123,
                 stream_fingerprint: 0x1234,
+            },
+            WireFrame::Ack {
+                client: 9,
+                session: 0xfeed_f00d,
+                cursor: ResumeCursor {
+                    frames: 13,
+                    events: 416,
+                    chain: 0x9999,
+                },
+            },
+            WireFrame::Ping { token: 0x0102_0304 },
+            WireFrame::Pong { token: 0x0102_0304 },
+            WireFrame::Overloaded {
+                client: 9,
+                retry_after_ms: 250,
             },
         ];
         for frame in frames {
@@ -717,6 +962,8 @@ mod tests {
         let mut bytes = encode_frame(&WireFrame::Hello {
             client: 0,
             version: VERSION,
+            session: 0,
+            resume: None,
         });
         bytes[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
         assert!(matches!(
@@ -734,6 +981,8 @@ mod tests {
         let a = encode_frame(&WireFrame::Hello {
             client: 0,
             version: VERSION,
+            session: 0,
+            resume: None,
         });
         let b = encode_frame(&WireFrame::Shutdown {
             client: 0,
@@ -747,5 +996,70 @@ mod tests {
         assert_eq!(rest, &b[..]);
         assert!(split_frame(&stream[..3]).unwrap().is_none());
         assert!(split_frame(&stream[..a.len() + 2]).unwrap().is_some());
+    }
+
+    #[test]
+    fn legacy_decoder_rejects_version_2_cleanly() {
+        // An old replica (capped at LEGACY_VERSION) must refuse every
+        // version-2 construct with UnsupportedVersion — not BadTag, not a
+        // panic, not a mis-decode.
+        let mut interner = Vec::new();
+        let resume_hello = encode_frame(&WireFrame::Hello {
+            client: 3,
+            version: VERSION,
+            session: 77,
+            resume: Some(ResumeCursor {
+                frames: 1,
+                events: 2,
+                chain: 3,
+            }),
+        });
+        assert_eq!(
+            decode_frame_limited(&resume_hello, &mut interner, LEGACY_VERSION),
+            Err(WireError::UnsupportedVersion(VERSION)),
+        );
+        for frame in [
+            WireFrame::Ack {
+                client: 3,
+                session: 77,
+                cursor: ResumeCursor::default(),
+            },
+            WireFrame::Ping { token: 1 },
+            WireFrame::Pong { token: 1 },
+            WireFrame::Overloaded {
+                client: 3,
+                retry_after_ms: 10,
+            },
+        ] {
+            let bytes = encode_frame(&frame);
+            assert!(
+                matches!(
+                    decode_frame_limited(&bytes, &mut interner, LEGACY_VERSION),
+                    Err(WireError::UnsupportedVersion(_)),
+                ),
+                "{frame:?}"
+            );
+        }
+        // A legacy hello still decodes under the cap.
+        let legacy = encode_frame(&WireFrame::Hello {
+            client: 3,
+            version: LEGACY_VERSION,
+            session: 0,
+            resume: None,
+        });
+        assert!(decode_frame_limited(&legacy, &mut interner, LEGACY_VERSION).is_ok());
+    }
+
+    #[test]
+    fn hello_from_the_future_is_rejected() {
+        let mut bytes = encode_frame(&WireFrame::Hello {
+            client: 0,
+            version: VERSION,
+            session: 0,
+            resume: None,
+        });
+        // Patch the version field (body offset 5 = tag + magic, +4 prefix).
+        bytes[9..11].copy_from_slice(&99u16.to_le_bytes());
+        assert_eq!(decode_frame(&bytes), Err(WireError::UnsupportedVersion(99)),);
     }
 }

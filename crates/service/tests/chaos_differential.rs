@@ -1,0 +1,302 @@
+//! Chaos differential: *N* recoverable clients × *M* replica shards under a
+//! random schedule of connection kills, partial writes, pool crashes and
+//! restarts must still check **exactly** the recorded history — equal to
+//! the offline kernel, for all four consistency conditions.
+//!
+//! This is a strictly stronger claim than the lossy-transport differential
+//! (`service_differential.rs`): there, faults change the accepted stream
+//! and the claim retreats to the surviving events.  Here the session layer
+//! (journals, acks, window replays, dedup) makes delivery exactly-once, so
+//! chaos must change *nothing* — same events, same count, same verdict.
+//!
+//! The nightly fuzz job runs the `#[ignore]`d extended tests with
+//! `EVLIN_DIFF_CASES` seeds for deep coverage.
+
+use evlin_checker::kernel::{self, SearchLimits};
+use evlin_checker::monitor::{MonitorCondition, MonitorConfig, MonitorVerdict};
+use evlin_checker::{eventual, linearizability, t_linearizability, weak_consistency};
+use evlin_history::{EventKind, History, HistoryBuilder, ObjectUniverse, ProcessId};
+use evlin_service::{
+    ClientRecoveryConfig, ReconnectChaos, RecoverableClient, RecoverableService, RecoveryConfig,
+    RecoveryReport, ServiceConfig,
+};
+use evlin_spec::{FetchIncrement, Register, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn universe() -> ObjectUniverse {
+    let mut u = ObjectUniverse::new();
+    u.add_object(Register::new(Value::from(0i64)));
+    u.add_object(FetchIncrement::new());
+    u.add_object(Register::new(Value::from(0i64)));
+    u.add_object(FetchIncrement::new());
+    u
+}
+
+/// Random well-formed history — the differential generator, shared shape.
+fn random_history(seed: u64, max_ops: usize) -> History {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = universe().object_ids();
+    let processes = rng.gen_range(2..4usize);
+    let total_ops = rng.gen_range(2..=max_ops);
+    let mut plans: Vec<Vec<(evlin_history::ObjectId, evlin_spec::Invocation)>> =
+        vec![Vec::new(); processes];
+    for _ in 0..total_ops {
+        let p = rng.gen_range(0..processes);
+        let o = objects[rng.gen_range(0..objects.len())];
+        let inv = if o.0 % 2 == 1 {
+            FetchIncrement::fetch_inc()
+        } else if rng.gen_bool(0.5) {
+            Register::write(Value::from(rng.gen_range(1..4i64)))
+        } else {
+            Register::read()
+        };
+        plans[p].push((o, inv));
+    }
+    let mut b = HistoryBuilder::new();
+    let mut next_op: Vec<usize> = vec![0; processes];
+    let mut pending: Vec<Option<(evlin_history::ObjectId, evlin_spec::Invocation)>> =
+        vec![None; processes];
+    for _ in 0..total_ops * 8 {
+        let p = rng.gen_range(0..processes);
+        if let Some((o, inv)) = pending[p].clone() {
+            if rng.gen_bool(0.7) {
+                let response = if inv.method() == "write" {
+                    Value::Unit
+                } else {
+                    Value::from(rng.gen_range(0..4i64))
+                };
+                b = b.respond(ProcessId(p), o, response);
+                pending[p] = None;
+            }
+        } else if next_op[p] < plans[p].len() {
+            let (o, inv) = plans[p][next_op[p]].clone();
+            next_op[p] += 1;
+            b = b.invoke(ProcessId(p), o, inv.clone());
+            pending[p] = Some((o, inv));
+        }
+    }
+    b.build()
+}
+
+/// `verdict.is_ok()` of the offline kernel for `condition` on `history`.
+fn offline_ok(history: &History, condition: MonitorCondition) -> bool {
+    let u = universe();
+    match condition {
+        MonitorCondition::Linearizability => linearizability::is_linearizable(history, &u),
+        MonitorCondition::TLinearizability { t } => {
+            t_linearizability::is_t_linearizable(history, &u, t)
+        }
+        MonitorCondition::WeakConsistency => weak_consistency::violations(history, &u).is_empty(),
+        MonitorCondition::StabilizesEventually => kernel::check(
+            &eventual::StabilizesEventually,
+            history,
+            &u,
+            SearchLimits::default(),
+        )
+        .is_yes(),
+    }
+}
+
+fn temp_dir(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "evjl-chaos-{tag}-{seed}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One chaos run: `clients` recoverable clients stream `history` to a
+/// recoverable service, with seed-derived connection chaos on every client
+/// and `pool_kills` pool crashes injected at seed-derived points in the
+/// drive.  Returns the service report.
+fn chaos_run(
+    history: &History,
+    clients: usize,
+    shards: usize,
+    condition: MonitorCondition,
+    seed: u64,
+    pool_kills: usize,
+) -> RecoveryReport {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5FED);
+    let dir = temp_dir("run", seed ^ condition_tag(condition));
+    let mut config = RecoveryConfig::new(dir.clone(), clients);
+    config.service = ServiceConfig {
+        shards,
+        monitor: MonitorConfig {
+            condition,
+            min_segment_events: rng.gen_range(1..5usize),
+            segment_batch: rng.gen_range(1..4usize),
+            ..MonitorConfig::default()
+        },
+        capture_streams: true,
+        ..ServiceConfig::default()
+    };
+    config.heartbeat = Duration::from_millis(100);
+    let u = universe();
+    let (addr, service) = RecoverableService::bind(&u, config).expect("bind");
+    let kill_points: Vec<usize> = (0..pool_kills)
+        .map(|_| rng.gen_range(0..history.len().max(1)))
+        .collect();
+    let seq = Arc::new(AtomicU64::new(0));
+    let mut handles: Vec<_> = (0..clients)
+        .map(|c| {
+            RecoverableClient::connect_tcp(
+                addr,
+                c as u32,
+                seed ^ 0x5E55_0000 ^ (c as u64 + 1),
+                Arc::clone(&seq),
+                ClientRecoveryConfig {
+                    frame_capacity: rng.gen_range(1..4usize),
+                    chaos: Some(ReconnectChaos {
+                        seed: seed ^ c as u64,
+                        split_per_mille: 250,
+                        kill_after_min: rng.gen_range(2..4u64),
+                        kill_after_span: 4,
+                    }),
+                    ..ClientRecoveryConfig::standard(seed ^ c as u64)
+                },
+            )
+            .expect("initial connect")
+        })
+        .collect();
+    for (i, event) in history.events().iter().enumerate() {
+        let client = &mut handles[event.process.0 % clients];
+        match &event.kind {
+            EventKind::Invoke(inv) => client.invoke(event.process, event.object, inv.clone()),
+            EventKind::Respond(v) => client.respond(event.process, event.object, v.clone()),
+        }
+        if kill_points.contains(&i) {
+            service.kill_and_restart().expect("pool restart");
+        }
+    }
+    let closed: Vec<_> = handles
+        .into_iter()
+        .map(|c| c.finish().expect("client retry budget held"))
+        .collect();
+    let report = service.finish();
+    // Every client got each final-pool shard's reliable final verdict.
+    for closed in closed {
+        let client = closed.collect_verdicts();
+        assert_eq!(client.stats.protocol_errors, 0, "seed {seed}");
+        assert_eq!(
+            client.final_summaries().len(),
+            report.shards.len(),
+            "missing reliable finals (seed {seed})"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+fn condition_tag(condition: MonitorCondition) -> u64 {
+    match condition {
+        MonitorCondition::Linearizability => 1,
+        MonitorCondition::TLinearizability { t } => 0x10 | t as u64,
+        MonitorCondition::WeakConsistency => 2,
+        MonitorCondition::StabilizesEventually => 3,
+    }
+}
+
+/// The exactness claim under chaos, per shard and recomposed.
+fn assert_chaos_exact(
+    report: &RecoveryReport,
+    history: &History,
+    condition: MonitorCondition,
+    seed: u64,
+) {
+    assert_eq!(
+        report.events(),
+        history.len() as u64,
+        "chaos lost or duplicated events (seed {seed}, {condition:?})"
+    );
+    assert_eq!(report.replay_chain_mismatches, 0, "replay diverged");
+    assert_eq!(
+        report.verdict.is_ok(),
+        offline_ok(history, condition),
+        "verdict diverged under chaos (seed {seed}, {condition:?})\n{history}"
+    );
+    let streams = report.accepted_streams.as_ref().expect("streams captured");
+    for (shard, stream) in report.shards.iter().zip(streams) {
+        assert_ne!(
+            shard.report.verdict,
+            MonitorVerdict::Unknown,
+            "budgets must not be exhausted at test sizes (seed {seed})"
+        );
+        let accepted = History::from_events(stream.clone());
+        assert_eq!(
+            shard.report.verdict.is_ok(),
+            offline_ok(&accepted, condition),
+            "shard {} diverged under chaos (seed {seed}, {condition:?})",
+            shard.summary.shard
+        );
+    }
+}
+
+/// The full claim for one seed: every condition, with connection chaos and
+/// seed-derived pool kills.
+fn check_chaos_all_conditions(seed: u64, clients: usize, max_ops: usize) {
+    let h = random_history(seed, max_ops);
+
+    // Linearizability shards freely; give it the most chaos.
+    for shards in [1, 2] {
+        let report = chaos_run(
+            &h,
+            clients,
+            shards,
+            MonitorCondition::Linearizability,
+            seed,
+            2,
+        );
+        assert_eq!(report.shards.len(), shards);
+        assert_chaos_exact(&report, &h, MonitorCondition::Linearizability, seed);
+    }
+
+    // The non-local conditions collapse to one replica and must *still*
+    // recover exactly.
+    for condition in [
+        MonitorCondition::TLinearizability { t: 1 },
+        MonitorCondition::WeakConsistency,
+        MonitorCondition::StabilizesEventually,
+    ] {
+        let report = chaos_run(&h, clients, 4, condition, seed, 1);
+        assert_eq!(report.shards.len(), 1, "{condition:?} must not split");
+        assert_chaos_exact(&report, &h, condition, seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn chaos_service_is_exactly_once_for_all_conditions(seed in 0u64..u64::MAX / 2) {
+        for clients in [1, 2] {
+            check_chaos_all_conditions(seed, clients, 8);
+        }
+    }
+}
+
+/// Number of cases for the `#[ignore]`d extended (nightly-fuzz) tests.
+fn extended_cases() -> u64 {
+    std::env::var("EVLIN_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+#[test]
+#[ignore = "extended fuzz: run via the nightly CI job or with --ignored"]
+fn extended_chaos_vs_offline() {
+    for seed in 0..extended_cases() / 64 {
+        for clients in [1, 2] {
+            check_chaos_all_conditions(seed.wrapping_mul(0x9e37_79b9) | 1, clients, 9);
+        }
+    }
+}

@@ -10,8 +10,8 @@
 use evlin_checker::monitor::{MonitorVerdict, MonitorViolation};
 use evlin_history::{Event, EventKind, ObjectId, OpId, ProcessId};
 use evlin_service::wire::{
-    decode_frame, decode_frame_with, encode_frame, event_batch_fingerprint, split_frame,
-    VerdictSummary, WireError, WireFrame,
+    decode_frame, decode_frame_limited, decode_frame_with, encode_frame, event_batch_fingerprint,
+    split_frame, ResumeCursor, VerdictSummary, WireError, WireFrame, LEGACY_VERSION, VERSION,
 };
 use evlin_spec::{Invocation, Value};
 use proptest::prelude::*;
@@ -87,13 +87,47 @@ fn random_verdict(rng: &mut StdRng) -> MonitorVerdict {
     }
 }
 
+fn random_cursor(rng: &mut StdRng) -> ResumeCursor {
+    ResumeCursor {
+        frames: rng.gen(),
+        events: rng.gen(),
+        chain: rng.gen(),
+    }
+}
+
 fn random_frame(rng: &mut StdRng) -> WireFrame {
-    match rng.gen_range(0..6u32) {
-        0 => WireFrame::Hello {
+    match rng.gen_range(0..10u32) {
+        0 => {
+            // Only spoken versions round-trip; unknown ones are rejected at
+            // decode (covered by `version_gate_rejects_cleanly`).
+            let version = if rng.gen_bool(0.5) {
+                VERSION
+            } else {
+                LEGACY_VERSION
+            };
+            WireFrame::Hello {
+                client: rng.gen(),
+                version,
+                session: if version == LEGACY_VERSION {
+                    0
+                } else {
+                    rng.gen()
+                },
+                resume: (version == VERSION && rng.gen_bool(0.5)).then(|| random_cursor(rng)),
+            }
+        }
+        1 => WireFrame::Ack {
             client: rng.gen(),
-            version: rng.gen::<u32>() as u16,
+            session: rng.gen(),
+            cursor: random_cursor(rng),
         },
-        1 => WireFrame::Verdict(VerdictSummary {
+        2 => WireFrame::Ping { token: rng.gen() },
+        3 => WireFrame::Pong { token: rng.gen() },
+        4 => WireFrame::Overloaded {
+            client: rng.gen(),
+            retry_after_ms: rng.gen(),
+        },
+        5 => WireFrame::Verdict(VerdictSummary {
             shard: rng.gen(),
             round: rng.gen(),
             events: rng.gen(),
@@ -102,7 +136,7 @@ fn random_frame(rng: &mut StdRng) -> WireFrame {
             last: rng.gen(),
             verdict: random_verdict(rng),
         }),
-        2 => WireFrame::Shutdown {
+        6 => WireFrame::Shutdown {
             client: rng.gen(),
             events_sent: rng.gen(),
             stream_fingerprint: rng.gen(),
@@ -230,6 +264,81 @@ proptest! {
             partial = tail;
         }
         prop_assert!(partial.len() < stream.len());
+    }
+
+    /// The version gate: an old (version-1) replica meeting any version-2
+    /// construct — a resume hello, an ack, a liveness probe, an overload
+    /// rejection — returns exactly `UnsupportedVersion`, never a panic or a
+    /// structural mis-decode; legacy frames keep decoding under the cap.
+    #[test]
+    fn version_gate_rejects_cleanly(seed in 0u64..u64::MAX / 2) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut interner = Vec::new();
+        let v2_frames = [
+            WireFrame::Hello {
+                client: rng.gen(),
+                version: VERSION,
+                session: rng.gen(),
+                resume: rng.gen_bool(0.5).then(|| random_cursor(&mut rng)),
+            },
+            WireFrame::Ack {
+                client: rng.gen(),
+                session: rng.gen(),
+                cursor: random_cursor(&mut rng),
+            },
+            WireFrame::Ping { token: rng.gen() },
+            WireFrame::Pong { token: rng.gen() },
+            WireFrame::Overloaded { client: rng.gen(), retry_after_ms: rng.gen() },
+        ];
+        for frame in &v2_frames {
+            let bytes = encode_frame(frame);
+            prop_assert!(
+                matches!(
+                    decode_frame_limited(&bytes, &mut interner, LEGACY_VERSION),
+                    Err(WireError::UnsupportedVersion(_)),
+                ),
+                "{frame:?}"
+            );
+            // The modern decoder accepts the same bytes.
+            prop_assert_eq!(decode_frame(&bytes).as_ref(), Ok(frame));
+        }
+        // Version-1 frames pass both decoders unchanged.
+        let legacy = [
+            WireFrame::Hello {
+                client: rng.gen(),
+                version: LEGACY_VERSION,
+                session: 0,
+                resume: None,
+            },
+            random_events_frame(&mut rng),
+            WireFrame::Shutdown {
+                client: rng.gen(),
+                events_sent: rng.gen(),
+                stream_fingerprint: rng.gen(),
+            },
+        ];
+        for frame in legacy {
+            let bytes = encode_frame(&frame);
+            prop_assert_eq!(
+                decode_frame_limited(&bytes, &mut interner, LEGACY_VERSION).as_ref(),
+                Ok(&frame)
+            );
+            prop_assert_eq!(decode_frame(&bytes), Ok(frame));
+        }
+        // A hello announcing a version nobody speaks is rejected by its
+        // exact number, even by the modern decoder.
+        let future: u16 = rng.gen_range(3..u16::MAX);
+        let mut bytes = encode_frame(&WireFrame::Hello {
+            client: 1,
+            version: VERSION,
+            session: 0,
+            resume: None,
+        });
+        bytes[9..11].copy_from_slice(&future.to_le_bytes());
+        prop_assert_eq!(
+            decode_frame(&bytes),
+            Err(WireError::UnsupportedVersion(future))
+        );
     }
 }
 
